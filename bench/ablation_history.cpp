@@ -1,0 +1,35 @@
+// Ablation (DESIGN.md §5.3): history window L in the exterior state
+// ("the previous L rounds", §V-A). Larger L gives the exterior agent more
+// context on how its pricing changed system behaviour, at the cost of a
+// bigger observation.
+#include <iostream>
+
+#include "common/csv.h"
+#include "harness_common.h"
+
+using namespace chiron;
+
+int main() {
+  bench::HarnessOptions opt = bench::read_options();
+  TableWriter out(std::cout);
+  out.header({"history_L", "state_dim", "accuracy", "rounds",
+              "time_efficiency", "avg_episode_reward"});
+  for (int L : {1, 2, 4}) {
+    std::cerr << "[ablation_history] L=" << L << "\n";
+    core::EnvConfig env_cfg =
+        bench::make_market(data::VisionTask::kMnistLike, 5, 80.0, opt);
+    env_cfg.history = L;
+    core::EdgeLearnEnv env(env_cfg);
+    core::HierarchicalMechanism mech(env, bench::make_chiron_config(opt));
+    auto eps = mech.train();
+    auto s = mech.evaluate(opt.eval_episodes);
+    out.row({std::to_string(L), std::to_string(env.exterior_state_dim()),
+             TableWriter::num(s.final_accuracy, 4),
+             std::to_string(s.rounds),
+             TableWriter::num(s.mean_time_efficiency, 4),
+             TableWriter::num(core::mean_raw_reward(eps, eps.size() - 10,
+                                                    eps.size()),
+                              1)});
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "harness_common.h"
+
+#include <cstdlib>
+
+#include "common/stats.h"
+
+namespace chiron::bench {
+
+namespace {
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && std::string(v) == "1";
+}
+}  // namespace
+
+HarnessOptions read_options() {
+  HarnessOptions opt;
+  opt.chiron_episodes = env_int("CHIRON_EPISODES", opt.chiron_episodes);
+  opt.drl_episodes = env_int("CHIRON_EPISODES", opt.drl_episodes);
+  opt.greedy_episodes =
+      env_int("CHIRON_EPISODES", 4 * opt.greedy_episodes) / 4;
+  opt.eval_episodes = env_int("CHIRON_EVAL_EPISODES", opt.eval_episodes);
+  opt.real_training = env_flag("CHIRON_REAL_TRAINING");
+  opt.seed = static_cast<std::uint64_t>(env_int("CHIRON_SEED", 97));
+  return opt;
+}
+
+core::EnvConfig make_market(data::VisionTask task, int num_nodes,
+                            double budget, const HarnessOptions& opt) {
+  core::EnvConfig c;
+  c.num_nodes = num_nodes;
+  c.task = task;
+  c.budget = budget;
+  c.seed = opt.seed;
+  c.max_rounds = 150;
+  c.data_bits_per_node = 5e8 / static_cast<double>(num_nodes);
+  if (opt.real_training) {
+    c.backend = core::BackendKind::kRealVision;
+    c.samples_per_node = 128;
+    c.test_samples = 256;
+    c.local.epochs = 5;
+    c.local.batch_size = 10;  // paper §VI-A
+    c.local.lr = 0.05;
+  } else {
+    c.backend = core::BackendKind::kSurrogate;
+  }
+  return c;
+}
+
+core::ChironConfig make_chiron_config(const HarnessOptions& opt,
+                                      int num_nodes) {
+  core::ChironConfig c;
+  c.episodes = opt.chiron_episodes;
+  c.hidden = 64;
+  c.update_epochs = 6;
+  c.seed = opt.seed + 1;
+  if (num_nodes >= 50) {
+    c.gamma = 0.99;
+    c.inner_init_log_std = -2.0f;
+  }
+  return c;
+}
+
+std::vector<ApproachResult> compare_approaches(const core::EnvConfig& env_cfg,
+                                               const HarnessOptions& opt) {
+  std::vector<ApproachResult> out;
+  {
+    core::EdgeLearnEnv env(env_cfg);
+    core::HierarchicalMechanism chiron(env, make_chiron_config(opt));
+    chiron.train();
+    out.push_back({"chiron", chiron.evaluate(opt.eval_episodes)});
+  }
+  {
+    core::EdgeLearnEnv env(env_cfg);
+    baselines::SingleDrlConfig dc;
+    dc.episodes = opt.drl_episodes;
+    dc.hidden = 64;
+    dc.actor_lr = 1e-3;
+    dc.critic_lr = 1e-3;
+    dc.update_epochs = 6;
+    dc.seed = opt.seed + 2;
+    baselines::SingleAgentDrlMechanism drl(env, dc);
+    drl.train();
+    out.push_back({"drl_based", drl.evaluate(opt.eval_episodes)});
+  }
+  {
+    core::EdgeLearnEnv env(env_cfg);
+    baselines::GreedyConfig gc;
+    gc.episodes = opt.greedy_episodes;
+    gc.seed = opt.seed + 3;
+    baselines::GreedyMechanism greedy(env, gc);
+    greedy.train();
+    out.push_back({"greedy", greedy.evaluate(opt.eval_episodes)});
+  }
+  return out;
+}
+
+std::vector<double> reward_series(
+    const std::vector<core::EpisodeStats>& eps) {
+  std::vector<double> raw;
+  raw.reserve(eps.size());
+  for (const auto& e : eps) raw.push_back(e.raw_reward_sum);
+  return moving_average(raw, 10);
+}
+
+}  // namespace chiron::bench

@@ -1,0 +1,64 @@
+// Shared configuration and runners for the experiment harnesses.
+//
+// Every harness reproduces one exhibit of the paper's evaluation (§VI).
+// Scale knobs come from the environment so the full paper-scale runs are a
+// variable away:
+//   CHIRON_EPISODES       override DRL training episodes (default: fast)
+//   CHIRON_EVAL_EPISODES  evaluation episodes to average (default 5)
+//   CHIRON_REAL_TRAINING  "1" → real federated CNN training backend
+//                         (paper §VI-A) instead of the calibrated
+//                         surrogate curve; see DESIGN.md §3
+//   CHIRON_SEED           base RNG seed (default 97)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/greedy.h"
+#include "baselines/single_drl.h"
+#include "core/mechanism.h"
+
+namespace chiron::bench {
+
+struct HarnessOptions {
+  int chiron_episodes = 600;
+  int drl_episodes = 200;
+  int greedy_episodes = 60;
+  int eval_episodes = 5;
+  bool real_training = false;
+  std::uint64_t seed = 97;
+};
+
+/// Reads the CHIRON_* environment overrides on top of the defaults.
+HarnessOptions read_options();
+
+/// Market (environment) for an N-node experiment on one vision task. A
+/// fixed data corpus (5e8 bits ≈ 20k MNIST images) is split evenly across
+/// nodes, so per-node compute shrinks as N grows, as in the paper's
+/// scale-out experiment. The CIFAR-like task's extra difficulty
+/// lives in its slower learning curve and larger budget range ("this
+/// leads to different budget constraints", §VI-B).
+core::EnvConfig make_market(data::VisionTask task, int num_nodes,
+                            double budget, const HarnessOptions& opt);
+
+/// Chiron mechanism config tuned for the reduced-episode regime. At scale
+/// (N ≥ 50) episodes are longer and allocation noise hits participation
+/// floors harder, so the exterior credit horizon is lengthened (γ 0.99)
+/// and the inner exploration noise lowered.
+core::ChironConfig make_chiron_config(const HarnessOptions& opt,
+                                      int num_nodes = 5);
+
+/// Approach rows of the comparison figures.
+struct ApproachResult {
+  std::string name;
+  core::EpisodeStats stats;
+};
+
+/// Trains and evaluates all three approaches on identical markets.
+std::vector<ApproachResult> compare_approaches(const core::EnvConfig& env_cfg,
+                                               const HarnessOptions& opt);
+
+/// Smoothed per-episode reward series (window 10) for convergence plots.
+std::vector<double> reward_series(const std::vector<core::EpisodeStats>& eps);
+
+}  // namespace chiron::bench

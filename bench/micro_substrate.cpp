@@ -1,0 +1,131 @@
+// Engineering micro-benchmarks (google-benchmark) for the substrate the
+// simulator runs on: tensor kernels, the paper's CNN forward/backward,
+// one environment step, and one PPO update. Not a paper exhibit — these
+// quantify where simulator wall-clock goes.
+#include <benchmark/benchmark.h>
+
+#include "core/env.h"
+#include "core/mechanism.h"
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "rl/ppo.h"
+#include "tensor/ops.h"
+
+using namespace chiron;
+
+static void BM_MatmulSquare(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  auto a = tensor::Tensor::uniform({n, n}, rng);
+  auto b = tensor::Tensor::uniform({n, n}, rng);
+  for (auto _ : state) {
+    auto c = tensor::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulSquare)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_Im2col(benchmark::State& state) {
+  Rng rng(2);
+  auto x = tensor::Tensor::uniform({8, 10, 12, 12}, rng);
+  tensor::ConvGeom g{10, 12, 12, 5, 1, 0};
+  for (auto _ : state) {
+    auto cols = tensor::im2col(x, g);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+static void BM_MnistCnnForward(benchmark::State& state) {
+  Rng rng(3);
+  auto net = nn::make_mnist_cnn(rng);
+  auto x = tensor::Tensor::uniform({10, 1, 28, 28}, rng);
+  for (auto _ : state) {
+    auto y = net->forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MnistCnnForward);
+
+static void BM_MnistCnnTrainStep(benchmark::State& state) {
+  Rng rng(4);
+  auto net = nn::make_mnist_cnn(rng);
+  auto x = tensor::Tensor::uniform({10, 1, 28, 28}, rng);
+  std::vector<int> labels{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  nn::SoftmaxCrossEntropy loss;
+  for (auto _ : state) {
+    net->zero_grad();
+    loss.forward(net->forward(x, true), labels);
+    net->backward(loss.backward());
+    benchmark::DoNotOptimize(net->params().front()->grad.data());
+  }
+}
+BENCHMARK(BM_MnistCnnTrainStep);
+
+static void BM_EnvStepSurrogate(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  core::EnvConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.budget = 1e12;
+  cfg.max_rounds = 1 << 30;
+  cfg.backend = core::BackendKind::kSurrogate;
+  core::EdgeLearnEnv env(cfg);
+  env.reset();
+  std::vector<double> prices(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i)
+    prices[static_cast<std::size_t>(i)] = 0.5 * env.per_node_price_cap(i);
+  for (auto _ : state) {
+    auto res = env.step(prices);
+    benchmark::DoNotOptimize(res.accuracy);
+  }
+}
+BENCHMARK(BM_EnvStepSurrogate)->Arg(5)->Arg(100);
+
+static void BM_PpoUpdate(benchmark::State& state) {
+  rl::PpoConfig cfg;
+  cfg.obs_dim = 32;
+  cfg.act_dim = 5;
+  cfg.hidden = 64;
+  cfg.update_epochs = 6;
+  Rng rng(5);
+  rl::PpoAgent agent(cfg, rng);
+  Rng arng(6);
+  for (auto _ : state) {
+    state.PauseTiming();
+    rl::RolloutBuffer buf(32, 5);
+    std::vector<float> obs(32, 0.1f);
+    for (int i = 0; i < 20; ++i) {
+      auto a = agent.act(obs, arng);
+      rl::Transition t;
+      t.obs = obs;
+      t.action = a.action;
+      t.log_prob = a.log_prob;
+      t.value = a.value;
+      t.reward = 0.1f;
+      buf.add(std::move(t));
+    }
+    buf.finish(cfg.gamma, cfg.gae_lambda);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(agent.update(buf));
+  }
+}
+BENCHMARK(BM_PpoUpdate);
+
+static void BM_ChironEpisode(benchmark::State& state) {
+  core::EnvConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.budget = 60.0;
+  cfg.backend = core::BackendKind::kSurrogate;
+  core::EdgeLearnEnv env(cfg);
+  core::ChironConfig cc;
+  cc.episodes = 1;
+  core::HierarchicalMechanism mech(env, cc);
+  for (auto _ : state) {
+    auto s = mech.run_episode(true, true);
+    benchmark::DoNotOptimize(s.rounds);
+  }
+}
+BENCHMARK(BM_ChironEpisode);
+
+BENCHMARK_MAIN();

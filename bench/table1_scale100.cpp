@@ -1,0 +1,30 @@
+// Table I — "Performance of Chiron under MNIST with 100 edge nodes":
+// budgets η ∈ {140, 220, 300, 380} → final accuracy, completed rounds,
+// time efficiency.
+#include <iostream>
+
+#include "common/csv.h"
+#include "harness_common.h"
+
+using namespace chiron;
+
+int main() {
+  bench::HarnessOptions opt = bench::read_options();
+  const std::vector<double> budgets{140, 220, 300, 380};
+  TableWriter out(std::cout);
+  out.header({"budget", "accuracy", "rounds", "time_efficiency"});
+  for (double budget : budgets) {
+    std::cerr << "[table1] budget " << budget << "\n";
+    core::EnvConfig env_cfg =
+        bench::make_market(data::VisionTask::kMnistLike, 100, budget, opt);
+    core::EdgeLearnEnv env(env_cfg);
+    core::HierarchicalMechanism chiron(env, bench::make_chiron_config(opt, 100));
+    chiron.train();
+    auto s = chiron.evaluate(opt.eval_episodes);
+    out.row({TableWriter::num(budget, 0),
+             TableWriter::num(s.final_accuracy, 3),
+             std::to_string(s.rounds),
+             TableWriter::num(100.0 * s.mean_time_efficiency, 1) + "%"});
+  }
+  return 0;
+}

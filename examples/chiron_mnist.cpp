@@ -1,0 +1,75 @@
+// The paper's headline experiment in miniature: train the Chiron
+// hierarchical mechanism on the MNIST-like task with 5 edge nodes and a
+// fixed budget, then compare the learned policy against the Greedy and
+// single-agent DRL baselines under the same market.
+//
+// Usage: chiron_mnist [episodes] [budget]
+//   defaults: 200 episodes, budget 80 — about 10 s of wall clock.
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "baselines/greedy.h"
+#include "baselines/single_drl.h"
+#include "core/mechanism.h"
+
+using namespace chiron;
+
+namespace {
+void print_row(const std::string& name, const core::EpisodeStats& s) {
+  std::cout << std::left << std::setw(12) << name << std::right
+            << std::setw(10) << std::fixed << std::setprecision(3)
+            << s.final_accuracy << std::setw(8) << s.rounds << std::setw(12)
+            << std::setprecision(1) << 100.0 * s.mean_time_efficiency << "%"
+            << std::setw(10) << s.spent << "\n";
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int episodes = argc > 1 ? std::atoi(argv[1]) : 200;
+  const double budget = argc > 2 ? std::atof(argv[2]) : 80.0;
+
+  core::EnvConfig env_cfg;
+  env_cfg.num_nodes = 5;
+  env_cfg.task = data::VisionTask::kMnistLike;
+  env_cfg.budget = budget;
+  env_cfg.backend = core::BackendKind::kSurrogate;
+  env_cfg.seed = 23;
+
+  std::cout << "Training Chiron (" << episodes << " episodes, budget "
+            << budget << ")...\n";
+  core::EdgeLearnEnv env_chiron(env_cfg);
+  core::ChironConfig cc;
+  cc.episodes = episodes;
+  core::HierarchicalMechanism chiron(env_chiron, cc);
+  auto history = chiron.train();
+  std::cout << "  episode reward: first=" << std::fixed
+            << std::setprecision(1) << history.front().raw_reward_sum
+            << " last=" << history.back().raw_reward_sum << "\n";
+
+  std::cout << "Training DRL-based baseline...\n";
+  core::EdgeLearnEnv env_drl(env_cfg);
+  baselines::SingleDrlConfig dc;
+  dc.episodes = episodes;
+  baselines::SingleAgentDrlMechanism drl(env_drl, dc);
+  drl.train();
+
+  std::cout << "Training Greedy baseline...\n";
+  core::EdgeLearnEnv env_greedy(env_cfg);
+  baselines::GreedyConfig gc;
+  gc.episodes = episodes / 4;
+  baselines::GreedyMechanism greedy(env_greedy, gc);
+  greedy.train();
+
+  std::cout << "\n" << std::left << std::setw(12) << "approach"
+            << std::right << std::setw(10) << "accuracy" << std::setw(8)
+            << "rounds" << std::setw(13) << "efficiency" << std::setw(10)
+            << "spent" << "\n";
+  print_row("chiron", chiron.evaluate());
+  print_row("drl_based", drl.evaluate());
+  print_row("greedy", greedy.evaluate());
+  std::cout << "\n(Chiron should sustain the most rounds and the highest "
+               "final accuracy\nunder the same budget — the paper's Fig. 4 "
+               "in one table.)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Walkthrough of one incentive round's economics (paper §III–IV): posts a
+// range of prices to a heterogeneous device and prints its best response —
+// the frequency it chooses (Eqn 11), the time it takes (Eqns 6–7, 12), the
+// energy it burns, its utility (Eqn 8), and whether it participates at
+// all. Then prices a whole 5-node group and shows how the Lemma-1
+// equal-time allocation removes idle time relative to a uniform split.
+#include <iomanip>
+#include <iostream>
+
+#include "core/actions.h"
+#include "core/env.h"
+#include "sysmodel/economics.h"
+
+using namespace chiron;
+
+int main() {
+  std::cout << std::fixed << std::setprecision(3);
+
+  // --- One node's best-response curve ---------------------------------
+  Rng rng(11);
+  sysmodel::DevicePopulation pop;
+  sysmodel::DeviceProfile device = sysmodel::sample_device(pop, 1e8, rng);
+  const int sigma = 5;
+  const double p_sat = sysmodel::saturation_price(device, sigma);
+  std::cout << "device: zeta_max=" << device.zeta_max / 1e9
+            << " GHz, comm=" << device.comm_time
+            << " s, reserve=" << device.reserve_utility << "\n";
+  std::cout << "\nprice/p_sat  participates  zeta(GHz)  T_cmp(s)  T_total(s)"
+               "  energy(J)  utility  payment\n";
+  for (double frac : {0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0, 1.3}) {
+    const auto d = sysmodel::best_response(device, frac * p_sat, sigma);
+    std::cout << std::setw(11) << frac << "  " << std::setw(12)
+              << (d.participates ? "yes" : "no") << "  " << std::setw(9)
+              << d.zeta / 1e9 << "  " << std::setw(8) << d.compute_time
+              << "  " << std::setw(10) << d.total_time << "  " << std::setw(9)
+              << d.compute_energy + d.comm_energy << "  " << std::setw(7)
+              << d.utility << "  " << std::setw(7) << d.payment << "\n";
+  }
+
+  // --- Group pricing: uniform vs equal-time (Lemma 1) -----------------
+  std::cout << "\n== pricing a 5-node group ==\n";
+  core::EnvConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.budget = 1e9;  // economics only; budget irrelevant here
+  cfg.max_rounds = 10;
+  cfg.seed = 11;
+  core::EdgeLearnEnv env(cfg);
+  env.reset();
+  const double total = 0.5 * env.price_cap();
+
+  std::vector<double> uniform(5, total / 5.0);
+  auto r_uniform = env.step(uniform);
+  std::cout << "uniform split:    round_time=" << r_uniform.round_time
+            << " s, idle=" << r_uniform.idle_time
+            << " s, efficiency=" << r_uniform.time_efficiency << "\n";
+
+  core::EnvConfig cfg2 = cfg;
+  core::EdgeLearnEnv env2(cfg2);
+  env2.reset();
+  auto proportions = env2.equal_time_proportions(total);
+  auto r_oracle = env2.step(core::combine_prices(total, proportions));
+  std::cout << "equal-time split: round_time=" << r_oracle.round_time
+            << " s, idle=" << r_oracle.idle_time
+            << " s, efficiency=" << r_oracle.time_efficiency << "\n";
+  std::cout << "\nLemma 1 in action: same total price, "
+            << (r_uniform.idle_time - r_oracle.idle_time)
+            << " s less idle time.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// 1. Build a federated learning task (synthetic MNIST-like data, the
+//    paper's 21,840-parameter CNN) across 4 edge nodes.
+// 2. Run a few FedAvg rounds directly through the fl:: API.
+// 3. Wrap the same kind of task in the incentive environment and train a
+//    small Chiron mechanism for a handful of episodes.
+//
+// Runs in well under a minute on a laptop core.
+#include <iostream>
+
+#include "core/mechanism.h"
+#include "data/synthetic.h"
+#include "fl/federation.h"
+#include "nn/models.h"
+
+using namespace chiron;
+
+int main() {
+  Rng rng(7);
+
+  // --- Part 1: plain federated learning -------------------------------
+  std::cout << "== Part 1: federated averaging on synthetic MNIST ==\n";
+  data::Dataset train =
+      data::make_vision_dataset(data::VisionTask::kMnistLike, 240, rng);
+  data::Dataset test =
+      data::make_vision_dataset(data::VisionTask::kMnistLike, 120, rng);
+
+  fl::FederationConfig fed_cfg;
+  fed_cfg.num_nodes = 4;
+  fed_cfg.local.epochs = 2;
+  fed_cfg.local.batch_size = 10;
+  fed_cfg.local.lr = 0.05;
+  fl::Federation federation(
+      fed_cfg, [](Rng& r) { return nn::make_mnist_cnn(r); }, train,
+      std::move(test), rng);
+
+  std::cout << "initial accuracy: " << federation.accuracy() << "\n";
+  for (int round = 1; round <= 3; ++round) {
+    const double acc = federation.run_round({0, 1, 2, 3});
+    std::cout << "round " << round << " accuracy: " << acc << "\n";
+  }
+
+  // --- Part 2: the incentive mechanism --------------------------------
+  std::cout << "\n== Part 2: Chiron incentive mechanism (surrogate) ==\n";
+  core::EnvConfig env_cfg;
+  env_cfg.num_nodes = 5;
+  env_cfg.budget = 60.0;
+  env_cfg.backend = core::BackendKind::kSurrogate;
+  env_cfg.seed = 7;
+  core::EdgeLearnEnv env(env_cfg);
+
+  core::ChironConfig chiron_cfg;
+  chiron_cfg.episodes = 120;
+  core::HierarchicalMechanism chiron(env, chiron_cfg);
+  auto episodes = chiron.train();
+  std::cout << "mean episode reward: first 10 episodes = "
+            << core::mean_raw_reward(episodes, 0, 10)
+            << ", last 10 episodes = "
+            << core::mean_raw_reward(episodes, episodes.size() - 10,
+                                     episodes.size())
+            << "\n";
+  auto eval = chiron.evaluate(3);
+  std::cout << "trained policy: accuracy=" << eval.final_accuracy
+            << " rounds=" << eval.rounds
+            << " time-efficiency=" << eval.mean_time_efficiency << "\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "baselines/greedy.h"
+
+#include "common/error.h"
+
+namespace chiron::baselines {
+
+GreedyMechanism::GreedyMechanism(EdgeLearnEnv& env,
+                                 const GreedyConfig& config)
+    : env_(env), config_(config), rng_(config.seed) {
+  CHIRON_CHECK(config_.episodes >= 1);
+  CHIRON_CHECK(config_.seed_actions >= 1);
+  CHIRON_CHECK(config_.epsilon >= 0.0 && config_.epsilon <= 1.0);
+}
+
+std::vector<double> GreedyMechanism::random_prices() {
+  std::vector<double> prices(static_cast<std::size_t>(env_.num_nodes()));
+  for (int i = 0; i < env_.num_nodes(); ++i)
+    prices[static_cast<std::size_t>(i)] =
+        rng_.uniform(0.0, env_.per_node_price_cap(i));
+  return prices;
+}
+
+const GreedyMechanism::Entry* GreedyMechanism::best_entry() const {
+  const Entry* best = nullptr;
+  for (const auto& e : replay_)
+    if (best == nullptr || e.reward > best->reward) best = &e;
+  return best;
+}
+
+std::vector<EpisodeStats> GreedyMechanism::train(int episodes) {
+  const int n = episodes >= 0 ? episodes : config_.episodes;
+  std::vector<EpisodeStats> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int e = 0; e < n; ++e) out.push_back(run_episode(/*explore=*/true));
+  return out;
+}
+
+EpisodeStats GreedyMechanism::evaluate(int episodes) {
+  CHIRON_CHECK(episodes >= 1);
+  std::vector<EpisodeStats> stats;
+  stats.reserve(static_cast<std::size_t>(episodes));
+  for (int e = 0; e < episodes; ++e)
+    stats.push_back(run_episode(/*explore=*/false));
+  return core::mean_stats(stats);
+}
+
+EpisodeStats GreedyMechanism::run_episode(bool explore) {
+  EpisodeStats stats;
+  env_.reset();
+  while (!env_.done()) {
+    std::vector<double> prices;
+    bool exploring = false;
+    if (explore && (actions_taken_ < config_.seed_actions ||
+                    rng_.bernoulli(config_.epsilon))) {
+      prices = random_prices();
+      exploring = true;
+    } else {
+      const Entry* best = best_entry();
+      if (best == nullptr) {
+        prices = random_prices();
+        exploring = true;
+      } else {
+        prices = best->prices;
+      }
+    }
+    core::StepResult res = env_.step(prices);
+    if (res.aborted) break;
+    accumulate(stats, res);
+    ++actions_taken_;
+    if (exploring) {
+      replay_.push_back({std::move(prices), res.raw_exterior_reward});
+    }
+  }
+  finalize(stats);
+  return stats;
+}
+
+}  // namespace chiron::baselines

@@ -1,0 +1,130 @@
+#include "baselines/single_drl.h"
+
+#include "common/error.h"
+#include "core/actions.h"
+
+namespace chiron::baselines {
+
+SingleAgentDrlMechanism::SingleAgentDrlMechanism(
+    EdgeLearnEnv& env, const SingleDrlConfig& config)
+    : env_(env),
+      config_(config),
+      rng_(config.seed),
+      agent_(
+          [&] {
+            rl::PpoConfig p;
+            p.obs_dim = 3 * env.num_nodes();
+            p.act_dim = env.num_nodes();
+            p.hidden = config.hidden;
+            p.actor_lr = config.actor_lr;
+            p.critic_lr = config.critic_lr;
+            p.clip_ratio = config.clip_ratio;
+            p.gamma = config.gamma;
+            p.gae_lambda = config.gae_lambda;
+            p.update_epochs = config.update_epochs;
+            p.entropy_coef = config.entropy_coef;
+            p.init_log_std = config.init_log_std;
+            return p;
+          }(),
+          rng_),
+      buffer_(3 * env.num_nodes(), env.num_nodes()) {
+  CHIRON_CHECK(config_.episodes >= 1);
+  last_profile_.assign(static_cast<std::size_t>(3 * env.num_nodes()), 0.f);
+}
+
+std::vector<float> SingleAgentDrlMechanism::observation() const {
+  return last_profile_;
+}
+
+std::vector<EpisodeStats> SingleAgentDrlMechanism::train(int episodes) {
+  const int n = episodes >= 0 ? episodes : config_.episodes;
+  std::vector<EpisodeStats> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int e = 0; e < n; ++e)
+    out.push_back(run_episode(/*learn=*/true, /*stochastic=*/true));
+  return out;
+}
+
+EpisodeStats SingleAgentDrlMechanism::evaluate(int episodes) {
+  CHIRON_CHECK(episodes >= 1);
+  std::vector<EpisodeStats> stats;
+  stats.reserve(static_cast<std::size_t>(episodes));
+  for (int e = 0; e < episodes; ++e)
+    stats.push_back(run_episode(/*learn=*/false, /*stochastic=*/true));
+  return core::mean_stats(stats);
+}
+
+EpisodeStats SingleAgentDrlMechanism::run_episode(bool learn,
+                                                  bool stochastic) {
+  EpisodeStats stats;
+  env_.reset();
+  last_profile_.assign(last_profile_.size(), 0.f);
+  const int n = env_.num_nodes();
+  while (!env_.done()) {
+    std::vector<float> obs = observation();
+    rl::ActResult act;
+    if (stochastic) {
+      act = agent_.act(obs, rng_);
+    } else {
+      act.action = agent_.act_mean(obs);
+    }
+    // Per-node price: sigmoid of the raw action scaled by that node's
+    // saturation price.
+    std::vector<double> prices(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      prices[static_cast<std::size_t>(i)] =
+          core::sigmoid(act.action[static_cast<std::size_t>(i)]) *
+          env_.per_node_price_cap(i);
+    }
+    core::StepResult res = env_.step(prices);
+    if (res.aborted) break;
+
+    // Myopic reward: time + weighted energy, no accuracy, no budget.
+    const double reward =
+        -(res.round_time + config_.energy_weight * res.outcome.total_energy) /
+        env_.config().time_norm;
+    accumulate(stats, res);
+    if (learn) {
+      rl::Transition t;
+      t.obs = std::move(obs);
+      t.action = act.action;
+      t.log_prob = act.log_prob;
+      t.reward = static_cast<float>(reward);
+      t.value = act.value;
+      buffer_.add(std::move(t));
+    }
+    // Refresh the myopic observation from the executed round.
+    const double zeta_norm = env_.config().population.zeta_max_hi;
+    const double time_norm = env_.config().time_norm;
+    for (int i = 0; i < n; ++i) {
+      const auto& nd = res.outcome.nodes[static_cast<std::size_t>(i)];
+      const std::size_t base = static_cast<std::size_t>(3 * i);
+      last_profile_[base + 0] = static_cast<float>(nd.zeta / zeta_norm);
+      last_profile_[base + 1] = static_cast<float>(
+          nd.price / std::max(env_.per_node_price_cap(i), 1e-12));
+      last_profile_[base + 2] =
+          static_cast<float>(nd.total_time / time_norm);
+    }
+  }
+  finalize(stats);
+
+  if (learn) {
+    if (stats.rounds > 0)
+      buffer_.end_episode(config_.gamma, config_.gae_lambda);
+    ++episodes_done_;
+    if (episodes_done_ % std::max(config_.episodes_per_update, 1) == 0) {
+      if (buffer_.size() > 0) {
+        buffer_.finalize(/*normalize=*/true);
+        agent_.update(buffer_);
+      }
+      buffer_.clear();
+    }
+    if (config_.lr_decay_every > 0 &&
+        episodes_done_ % config_.lr_decay_every == 0) {
+      agent_.decay_lr(config_.lr_decay);
+    }
+  }
+  return stats;
+}
+
+}  // namespace chiron::baselines

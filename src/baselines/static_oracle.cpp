@@ -1,0 +1,68 @@
+#include "baselines/static_oracle.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/actions.h"
+
+namespace chiron::baselines {
+
+StaticOracleMechanism::StaticOracleMechanism(
+    EdgeLearnEnv& env, const StaticOracleConfig& config)
+    : env_(env), config_(config) {
+  CHIRON_CHECK(config_.candidates >= 2);
+  CHIRON_CHECK(config_.min_fraction > 0.0 &&
+               config_.min_fraction < config_.max_fraction);
+  CHIRON_CHECK(config_.max_fraction <= 1.0);
+  CHIRON_CHECK(config_.episodes_per_candidate >= 1);
+}
+
+EpisodeStats StaticOracleMechanism::run_episode(double fraction) {
+  EpisodeStats stats;
+  env_.reset();
+  const double p_total = fraction * env_.price_cap();
+  const std::vector<double> proportions =
+      env_.equal_time_proportions(p_total);
+  const std::vector<double> prices =
+      core::combine_prices(p_total, proportions);
+  while (!env_.done()) {
+    core::StepResult res = env_.step(prices);
+    if (res.aborted) break;
+    accumulate(stats, res);
+  }
+  finalize(stats);
+  return stats;
+}
+
+EpisodeStats StaticOracleMechanism::search() {
+  const double log_lo = std::log(config_.min_fraction);
+  const double log_hi = std::log(config_.max_fraction);
+  EpisodeStats best_stats;
+  double best_reward = -1e300;
+  for (int c = 0; c < config_.candidates; ++c) {
+    const double t = static_cast<double>(c) /
+                     static_cast<double>(config_.candidates - 1);
+    const double fraction = std::exp(log_lo + t * (log_hi - log_lo));
+    std::vector<EpisodeStats> runs;
+    for (int e = 0; e < config_.episodes_per_candidate; ++e)
+      runs.push_back(run_episode(fraction));
+    EpisodeStats mean = core::mean_stats(runs);
+    if (mean.raw_reward_sum > best_reward) {
+      best_reward = mean.raw_reward_sum;
+      best_fraction_ = fraction;
+      best_stats = mean;
+    }
+  }
+  return best_stats;
+}
+
+EpisodeStats StaticOracleMechanism::evaluate(int episodes) {
+  CHIRON_CHECK_MSG(best_fraction_ > 0.0, "evaluate() before search()");
+  CHIRON_CHECK(episodes >= 1);
+  std::vector<EpisodeStats> runs;
+  for (int e = 0; e < episodes; ++e)
+    runs.push_back(run_episode(best_fraction_));
+  return core::mean_stats(runs);
+}
+
+}  // namespace chiron::baselines

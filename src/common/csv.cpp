@@ -1,0 +1,45 @@
+#include "common/csv.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace chiron {
+
+TableWriter::TableWriter(std::ostream& os, char delimiter)
+    : os_(os), delim_(delimiter) {}
+
+void TableWriter::header(const std::vector<std::string>& names) {
+  CHIRON_CHECK_MSG(!header_written_, "header may only be written once");
+  CHIRON_CHECK(!names.empty());
+  columns_ = names.size();
+  header_written_ = true;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i) os_ << delim_;
+    os_ << names[i];
+  }
+  os_ << '\n';
+}
+
+void TableWriter::row(const std::vector<std::string>& cells) {
+  if (header_written_) {
+    CHIRON_CHECK_MSG(cells.size() == columns_,
+                     "row has " << cells.size() << " cells, header has "
+                                << columns_);
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << delim_;
+    os_ << cells[i];
+  }
+  os_ << '\n';
+  os_.flush();
+}
+
+std::string TableWriter::num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+}  // namespace chiron

@@ -1,0 +1,38 @@
+// Tab/comma separated output for the benchmark harnesses.
+//
+// Every experiment harness prints its series as TSV to stdout (and can tee
+// to a file); this writer keeps column counts honest.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace chiron {
+
+/// Writes delimiter-separated rows, enforcing a fixed column count set by
+/// the header row.
+class TableWriter {
+ public:
+  /// Writes to an externally owned stream (e.g. std::cout).
+  explicit TableWriter(std::ostream& os, char delimiter = '\t');
+
+  /// Writes the header and fixes the column count.
+  void header(const std::vector<std::string>& names);
+
+  /// Writes one row; length must equal the header length (if one was set).
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats arithmetic values with fixed precision.
+  static std::string num(double v, int precision = 4);
+
+ private:
+  std::ostream& os_;
+  char delim_;
+  std::size_t columns_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace chiron

@@ -1,0 +1,49 @@
+// Error-handling primitives shared by every chiron library.
+//
+// Precondition violations are programming errors; they throw
+// chiron::InvariantError so tests can assert on them and applications can
+// fail loudly instead of silently corrupting a simulation.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace chiron {
+
+/// Thrown when a CHIRON_CHECK precondition or internal invariant fails.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void invariant_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace chiron
+
+/// Checks a precondition/invariant; throws chiron::InvariantError on failure.
+/// Enabled in all build types: simulation correctness beats the nanoseconds.
+#define CHIRON_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::chiron::detail::invariant_failure(#expr, __FILE__, __LINE__, "");   \
+  } while (false)
+
+/// CHIRON_CHECK with a streamed message: CHIRON_CHECK_MSG(x > 0, "x=" << x).
+#define CHIRON_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream chiron_check_os_;                                 \
+      chiron_check_os_ << msg;                                             \
+      ::chiron::detail::invariant_failure(#expr, __FILE__, __LINE__,       \
+                                          chiron_check_os_.str());         \
+    }                                                                      \
+  } while (false)

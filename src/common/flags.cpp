@@ -1,0 +1,85 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace chiron {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+FlagParser::FlagParser(const std::vector<std::string>& args) { parse(args); }
+
+void FlagParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) != 0) {
+      positional_.push_back(a);
+      continue;
+    }
+    const std::string body = a.substr(2);
+    CHIRON_CHECK_MSG(!body.empty(), "bare '--' argument");
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // --name value (unless the next token is another flag) or bare switch.
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      flags_[body] = args[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+bool FlagParser::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string FlagParser::get(const std::string& name,
+                            const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double FlagParser::get_double(const std::string& name,
+                              double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  CHIRON_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                   "--" << name << " expects a number, got '" << it->second
+                        << "'");
+  return v;
+}
+
+int FlagParser::get_int(const std::string& name, int fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  CHIRON_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                   "--" << name << " expects an integer, got '" << it->second
+                        << "'");
+  return static_cast<int>(v);
+}
+
+std::vector<std::string> FlagParser::unknown_flags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : flags_) {
+    if (std::find(known.begin(), known.end(), name) == known.end())
+      out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace chiron

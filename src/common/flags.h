@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the CLI tools.
+//
+// Grammar: positionals and flags may interleave; flags are
+// `--name=value`, `--name value`, or bare `--name` (boolean). A value
+// starting with "--" is treated as the next flag, making the bare-switch
+// form unambiguous.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chiron {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+  explicit FlagParser(const std::vector<std::string>& args);
+
+  /// Positional arguments in order (argv[0] is not included).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True when --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String value of --name, or `fallback` when absent. A bare switch
+  /// yields the empty string.
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+
+  /// Typed accessors; throw InvariantError on malformed numbers.
+  double get_double(const std::string& name, double fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+
+  /// Flags that were provided but never queried — call after reading all
+  /// known flags to reject typos.
+  std::vector<std::string> unknown_flags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  void parse(const std::vector<std::string>& args);
+
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace chiron

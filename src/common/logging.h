@@ -1,0 +1,38 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator is mostly silent; INFO lines narrate long experiment runs,
+// DEBUG is compiled in but off by default. Not thread-safe by design — the
+// simulator is single-threaded per run.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace chiron {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a single log line at `level` (if enabled) with a level prefix.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+struct LogStream {
+  LogLevel level;
+  std::ostringstream os;
+  ~LogStream() { log_line(level, os.str()); }
+};
+}  // namespace detail
+
+}  // namespace chiron
+
+#define CHIRON_LOG(level_)                                         \
+  ::chiron::detail::LogStream { ::chiron::LogLevel::level_ }       \
+  .os
+
+#define CHIRON_INFO CHIRON_LOG(kInfo)
+#define CHIRON_WARN CHIRON_LOG(kWarn)
+#define CHIRON_DEBUG CHIRON_LOG(kDebug)

@@ -1,0 +1,43 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace chiron {
+
+Rng Rng::split() {
+  // Draw two words from the parent to seed the child; keeps streams
+  // decorrelated for practical purposes without a full split construction.
+  std::uint64_t a = engine_();
+  std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0xD1B54A32D192ED03ull);
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+int Rng::randint(int lo, int hi) {
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  shuffle(p);
+  return p;
+}
+
+}  // namespace chiron

@@ -1,0 +1,53 @@
+// Deterministic random-number generation for the whole simulator.
+//
+// Every stochastic component (dataset synthesis, device sampling, SGD
+// shuffling, policy sampling, exploration) takes an explicit Rng so that
+// experiments are reproducible from a single seed and components can be
+// given independent streams (Rng::split).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace chiron {
+
+/// Seeded pseudo-random generator with the distributions the simulator needs.
+/// Wraps std::mt19937_64; copyable (copies duplicate the stream state).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Derives an independent child stream; successive calls give distinct
+  /// streams. Used to give each subsystem its own generator.
+  Rng split();
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal (mean 0, stddev 1) scaled to N(mean, stddev^2).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int randint(int lo, int hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// A random permutation of {0, 1, ..., n-1}.
+  std::vector<int> permutation(int n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace chiron

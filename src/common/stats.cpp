@@ -1,0 +1,55 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chiron {
+
+void RunningStat::push(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Summary summarize(const std::vector<double>& v) {
+  Summary s;
+  if (v.empty()) return s;
+  RunningStat rs;
+  s.min = v.front();
+  s.max = v.front();
+  for (double x : v) {
+    rs.push(x);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.count = v.size();
+  return s;
+}
+
+std::vector<double> moving_average(const std::vector<double>& v,
+                                   std::size_t w) {
+  CHIRON_CHECK(w >= 1);
+  std::vector<double> out(v.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    acc += v[i];
+    if (i >= w) acc -= v[i - w];
+    const std::size_t n = std::min(i + 1, w);
+    out[i] = acc / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace chiron

@@ -1,0 +1,42 @@
+// Small statistics helpers used by metrics recording and the RL
+// observation/advantage normalizers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace chiron {
+
+/// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void push(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Summary of a finished sample: mean/std/min/max.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes a Summary over v; returns a zeroed Summary for an empty vector.
+Summary summarize(const std::vector<double>& v);
+
+/// Simple moving average of window w over v (w >= 1). Output has the same
+/// length as v; early entries average over the available prefix.
+std::vector<double> moving_average(const std::vector<double>& v, std::size_t w);
+
+}  // namespace chiron

@@ -1,0 +1,176 @@
+#include "core/accuracy_backend.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "data/partition.h"
+#include "nn/models.h"
+
+namespace chiron::core {
+
+SurrogateCurve surrogate_curve_for(data::VisionTask task) {
+  // Rates/ceilings calibrated to the real-training backends on the
+  // synthetic vision tasks: MNIST-like saturates fast and high, the
+  // CIFAR-like task is slow with a lower ceiling (paper §VI-B: "processing
+  // the same number of samples requires more computing resources").
+  switch (task) {
+    case data::VisionTask::kMnistLike:
+      return {0.10, 0.985, 0.15, 0.004};
+    case data::VisionTask::kFashionLike:
+      return {0.10, 0.92, 0.08, 0.005};
+    case data::VisionTask::kCifarLike:
+      return {0.10, 0.74, 0.04, 0.006};
+  }
+  CHIRON_CHECK_MSG(false, "unknown task");
+  return {};
+}
+
+SurrogateBackend::SurrogateBackend(SurrogateCurve curve, double total_weight,
+                                   Rng rng)
+    : curve_(curve), total_weight_(total_weight), rng_(rng) {
+  CHIRON_CHECK(total_weight_ > 0.0);
+  CHIRON_CHECK(curve_.a0 >= 0.0 && curve_.a_max <= 1.0 &&
+               curve_.a0 < curve_.a_max);
+  CHIRON_CHECK(curve_.rate > 0.0);
+  accuracy_ = curve_.a0;
+}
+
+double SurrogateBackend::reset() {
+  accuracy_ = curve_.a0 + rng_.normal(0.0, curve_.noise);
+  accuracy_ = std::clamp(accuracy_, 0.0, 1.0);
+  return accuracy_;
+}
+
+double SurrogateBackend::train_round(const std::vector<int>& participants,
+                                     const std::vector<double>& weights) {
+  CHIRON_CHECK(participants.size() == weights.size());
+  if (participants.empty()) return accuracy_;
+  double part_weight = 0.0;
+  for (double w : weights) {
+    CHIRON_CHECK(w >= 0.0);
+    part_weight += w;
+  }
+  const double w = std::min(part_weight / total_weight_, 1.0);
+  const double gain = curve_.rate * w * (curve_.a_max - accuracy_);
+  accuracy_ = std::clamp(
+      accuracy_ + gain + rng_.normal(0.0, curve_.noise), 0.0, curve_.a_max);
+  return accuracy_;
+}
+
+// ---------------------------------------------------------------------------
+
+RealVisionBackend::RealVisionBackend(data::VisionTask task, int num_nodes,
+                                     int samples_per_node, int test_samples,
+                                     RealBackendOptions options, Rng rng)
+    : task_(task),
+      num_nodes_(num_nodes),
+      samples_per_node_(samples_per_node),
+      test_samples_(test_samples),
+      options_(options),
+      rng_(rng) {
+  CHIRON_CHECK(num_nodes_ >= 1 && samples_per_node_ >= 1 &&
+               test_samples_ >= 1);
+  rebuild();
+}
+
+void RealVisionBackend::rebuild() {
+  Rng data_rng = rng_.split();
+  data::Dataset train = data::make_vision_dataset(
+      task_, static_cast<std::int64_t>(num_nodes_) * samples_per_node_,
+      data_rng);
+  data::Dataset test =
+      data::make_vision_dataset(task_, test_samples_, data_rng);
+  fl::FederationConfig cfg;
+  cfg.num_nodes = num_nodes_;
+  cfg.local = options_.local;
+  cfg.aggregator = options_.aggregator;
+  cfg.server_momentum = options_.server_momentum;
+  const fl::ModelFactory factory =
+      task_ == data::VisionTask::kCifarLike
+          ? fl::ModelFactory([](Rng& r) { return nn::make_lenet_cifar(r); })
+          : fl::ModelFactory([](Rng& r) { return nn::make_mnist_cnn(r); });
+  Rng part_rng = rng_.split();
+  std::vector<data::Dataset> shards =
+      options_.noniid ? data::dirichlet_partition(
+                            train, num_nodes_, options_.dirichlet_alpha,
+                            part_rng)
+                      : data::iid_partition(train, num_nodes_, part_rng);
+  Rng fed_rng = rng_.split();
+  federation_ = std::make_unique<fl::Federation>(
+      cfg, factory, std::move(shards), std::move(test), fed_rng);
+  accuracy_ = federation_->accuracy();
+}
+
+double RealVisionBackend::reset() {
+  rebuild();
+  return accuracy_;
+}
+
+double RealVisionBackend::train_round(const std::vector<int>& participants,
+                                      const std::vector<double>& weights) {
+  CHIRON_CHECK(participants.size() == weights.size());
+  accuracy_ = federation_->run_round(participants);
+  return accuracy_;
+}
+
+// ---------------------------------------------------------------------------
+
+RealBlobsBackend::RealBlobsBackend(int num_nodes, int samples_per_node,
+                                   int test_samples, int dims, int classes,
+                                   double noise, RealBackendOptions options,
+                                   Rng rng)
+    : num_nodes_(num_nodes),
+      samples_per_node_(samples_per_node),
+      test_samples_(test_samples),
+      dims_(dims),
+      classes_(classes),
+      noise_(noise),
+      options_(options),
+      rng_(rng) {
+  CHIRON_CHECK(num_nodes_ >= 1 && samples_per_node_ >= 1 &&
+               test_samples_ >= 1);
+  rebuild();
+}
+
+void RealBlobsBackend::rebuild() {
+  Rng data_rng = rng_.split();
+  data::Dataset train = data::make_gaussian_blobs(
+      static_cast<std::int64_t>(num_nodes_) * samples_per_node_, dims_,
+      classes_, noise_, data_rng);
+  data::Dataset test = data::make_gaussian_blobs(test_samples_, dims_,
+                                                 classes_, noise_, data_rng);
+  fl::FederationConfig cfg;
+  cfg.num_nodes = num_nodes_;
+  cfg.local = options_.local;
+  cfg.aggregator = options_.aggregator;
+  cfg.server_momentum = options_.server_momentum;
+  const std::int64_t in = dims_;
+  const std::int64_t out = classes_;
+  const fl::ModelFactory factory = [in, out](Rng& r) {
+    return nn::make_mlp_classifier(in, 32, out, r);
+  };
+  Rng part_rng = rng_.split();
+  std::vector<data::Dataset> shards =
+      options_.noniid ? data::dirichlet_partition(
+                            train, num_nodes_, options_.dirichlet_alpha,
+                            part_rng)
+                      : data::iid_partition(train, num_nodes_, part_rng);
+  Rng fed_rng = rng_.split();
+  federation_ = std::make_unique<fl::Federation>(
+      cfg, factory, std::move(shards), std::move(test), fed_rng);
+  accuracy_ = federation_->accuracy();
+}
+
+double RealBlobsBackend::reset() {
+  rebuild();
+  return accuracy_;
+}
+
+double RealBlobsBackend::train_round(const std::vector<int>& participants,
+                                     const std::vector<double>& weights) {
+  CHIRON_CHECK(participants.size() == weights.size());
+  accuracy_ = federation_->run_round(participants);
+  return accuracy_;
+}
+
+}  // namespace chiron::core

@@ -1,0 +1,129 @@
+// Accuracy backends: how the environment obtains A(ω_k) after a round.
+//
+// kRealVision / kRealBlobs run actual federated SGD through the fl stack —
+// the paper's position ("only through real model training can we precisely
+// obtain the correct model accuracy"). kSurrogate advances a calibrated
+// saturating learning curve; it exists because the budget-sweep figures
+// retrain a DRL mechanism dozens of times, which real training cannot do
+// on this machine's wall-clock (DESIGN.md §3). The surrogate is validated
+// against the real backend in tests/core/surrogate_fidelity_test.cpp.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "fl/federation.h"
+
+namespace chiron::core {
+
+class AccuracyBackend {
+ public:
+  virtual ~AccuracyBackend() = default;
+
+  /// Reinitializes the model; returns the accuracy of the fresh model.
+  virtual double reset() = 0;
+
+  /// Runs one aggregation round with the given participants (node ids,
+  /// with `weights` = their data sizes D_i); returns the new accuracy.
+  virtual double train_round(const std::vector<int>& participants,
+                             const std::vector<double>& weights) = 0;
+
+  virtual double accuracy() const = 0;
+};
+
+/// Parameters of the saturating surrogate learning curve
+///   A ← A + rate · w_part · (a_max − A) + noise,
+/// where w_part is the participating data fraction of the round.
+struct SurrogateCurve {
+  double a0 = 0.10;      // fresh-model accuracy (10 classes)
+  double a_max = 0.99;
+  double rate = 0.20;
+  double noise = 0.004;
+};
+
+/// Task-calibrated curves (fit to our real training runs; see DESIGN.md).
+SurrogateCurve surrogate_curve_for(data::VisionTask task);
+
+class SurrogateBackend final : public AccuracyBackend {
+ public:
+  /// `total_weight` is Σ D_i across all nodes (to normalize participation).
+  SurrogateBackend(SurrogateCurve curve, double total_weight, Rng rng);
+
+  double reset() override;
+  double train_round(const std::vector<int>& participants,
+                     const std::vector<double>& weights) override;
+  double accuracy() const override { return accuracy_; }
+
+ private:
+  SurrogateCurve curve_;
+  double total_weight_;
+  Rng rng_;
+  double accuracy_ = 0.0;
+};
+
+/// Extra knobs shared by the real-training backends.
+struct RealBackendOptions {
+  fl::LocalTrainConfig local;
+  /// Label-skewed shards via Dirichlet(alpha) instead of IID.
+  bool noniid = false;
+  double dirichlet_alpha = 0.5;
+  fl::Aggregator aggregator = fl::Aggregator::kFedAvg;
+  double server_momentum = 0.9;
+};
+
+/// Real federated training on one of the synthetic vision tasks.
+class RealVisionBackend final : public AccuracyBackend {
+ public:
+  RealVisionBackend(data::VisionTask task, int num_nodes,
+                    int samples_per_node, int test_samples,
+                    RealBackendOptions options, Rng rng);
+
+  double reset() override;
+  double train_round(const std::vector<int>& participants,
+                     const std::vector<double>& weights) override;
+  double accuracy() const override { return accuracy_; }
+
+ private:
+  void rebuild();
+
+  data::VisionTask task_;
+  int num_nodes_;
+  int samples_per_node_;
+  int test_samples_;
+  RealBackendOptions options_;
+  Rng rng_;
+  std::unique_ptr<fl::Federation> federation_;
+  double accuracy_ = 0.0;
+};
+
+/// Real federated training on Gaussian blobs with an MLP — the fast
+/// real-training mode used by tests and the convergence example.
+class RealBlobsBackend final : public AccuracyBackend {
+ public:
+  RealBlobsBackend(int num_nodes, int samples_per_node, int test_samples,
+                   int dims, int classes, double noise,
+                   RealBackendOptions options, Rng rng);
+
+  double reset() override;
+  double train_round(const std::vector<int>& participants,
+                     const std::vector<double>& weights) override;
+  double accuracy() const override { return accuracy_; }
+
+ private:
+  void rebuild();
+
+  int num_nodes_;
+  int samples_per_node_;
+  int test_samples_;
+  int dims_;
+  int classes_;
+  double noise_;
+  RealBackendOptions options_;
+  Rng rng_;
+  std::unique_ptr<fl::Federation> federation_;
+  double accuracy_ = 0.0;
+};
+
+}  // namespace chiron::core

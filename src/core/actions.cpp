@@ -1,0 +1,45 @@
+#include "core/actions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chiron::core {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+std::vector<double> softmax(const std::vector<float>& logits) {
+  CHIRON_CHECK(!logits.empty());
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> out(logits.size());
+  double denom = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(static_cast<double>(logits[i] - mx));
+    denom += out[i];
+  }
+  for (auto& v : out) v /= denom;
+  return out;
+}
+
+double map_total_price(float raw, double price_cap) {
+  CHIRON_CHECK(price_cap > 0.0);
+  return sigmoid(raw) * price_cap;
+}
+
+std::vector<double> map_proportions(const std::vector<float>& logits) {
+  return softmax(logits);
+}
+
+std::vector<double> combine_prices(double total_price,
+                                   const std::vector<double>& proportions) {
+  CHIRON_CHECK(total_price >= 0.0);
+  std::vector<double> prices(proportions.size());
+  for (std::size_t i = 0; i < proportions.size(); ++i) {
+    CHIRON_CHECK_MSG(proportions[i] >= 0.0, "negative proportion");
+    prices[i] = total_price * proportions[i];
+  }
+  return prices;
+}
+
+}  // namespace chiron::core

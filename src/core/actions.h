@@ -1,0 +1,28 @@
+// Mappings from raw Gaussian policy samples to environment actions.
+//
+// Exterior: one raw scalar → sigmoid → fraction of the total-price cap.
+// Inner: N raw logits → softmax → allocation proportions (Σ = 1), the
+// paper's a^I_k. Keeping the squash outside the policy lets PPO compute
+// densities in unconstrained space.
+#pragma once
+
+#include <vector>
+
+namespace chiron::core {
+
+double sigmoid(double x);
+
+/// Numerically stable softmax over raw logits.
+std::vector<double> softmax(const std::vector<float>& logits);
+
+/// Exterior action mapping: raw → total price in [0, price_cap].
+double map_total_price(float raw, double price_cap);
+
+/// Inner action mapping: raw logits → proportions summing to 1.
+std::vector<double> map_proportions(const std::vector<float>& logits);
+
+/// Final pricing strategy (Eqn 13): p_i = p_total · pr_i.
+std::vector<double> combine_prices(double total_price,
+                                   const std::vector<double>& proportions);
+
+}  // namespace chiron::core

@@ -1,0 +1,255 @@
+#include "core/env.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chiron::core {
+
+namespace {
+
+std::unique_ptr<AccuracyBackend> make_backend(const EnvConfig& c, Rng rng) {
+  RealBackendOptions options;
+  options.local = c.local;
+  options.noniid = c.noniid;
+  options.dirichlet_alpha = c.dirichlet_alpha;
+  options.aggregator = c.aggregator;
+  options.server_momentum = c.server_momentum;
+  switch (c.backend) {
+    case BackendKind::kSurrogate: {
+      const double total_weight =
+          static_cast<double>(c.num_nodes) * c.data_bits_per_node;
+      return std::make_unique<SurrogateBackend>(surrogate_curve_for(c.task),
+                                                total_weight, rng);
+    }
+    case BackendKind::kRealVision:
+      return std::make_unique<RealVisionBackend>(
+          c.task, c.num_nodes, c.samples_per_node, c.test_samples, options,
+          rng);
+    case BackendKind::kRealBlobs:
+      return std::make_unique<RealBlobsBackend>(
+          c.num_nodes, c.samples_per_node, c.test_samples, c.blob_dims,
+          c.blob_classes, c.blob_noise, options, rng);
+  }
+  CHIRON_CHECK_MSG(false, "unknown backend");
+  return nullptr;
+}
+
+}  // namespace
+
+EdgeLearnEnv::EdgeLearnEnv(const EnvConfig& config)
+    : config_(config), rng_(config.seed) {
+  CHIRON_CHECK(config_.num_nodes >= 1);
+  CHIRON_CHECK(config_.budget > 0.0);
+  CHIRON_CHECK(config_.local_epochs >= 1);
+  CHIRON_CHECK(config_.history >= 1);
+  CHIRON_CHECK(config_.max_rounds >= 1);
+  CHIRON_CHECK(config_.time_norm > 0.0);
+  CHIRON_CHECK(config_.node_availability > 0.0 &&
+               config_.node_availability <= 1.0);
+  Rng dev_rng = rng_.split();
+  devices_ = sysmodel::sample_devices(config_.population, config_.num_nodes,
+                                      config_.data_bits_per_node, dev_rng);
+  for (const auto& d : devices_)
+    price_cap_ += sysmodel::saturation_price(d, config_.local_epochs);
+  price_norm_ = price_cap_ / static_cast<double>(config_.num_nodes);
+  backend_ = make_backend(config_, rng_.split());
+}
+
+std::vector<float> EdgeLearnEnv::reset() {
+  budget_remaining_ = config_.budget;
+  round_ = 0;
+  done_ = false;
+  last_accuracy_ = backend_->reset();
+  history_.clear();
+  return exterior_state();
+}
+
+StepResult EdgeLearnEnv::step(const std::vector<double>& prices) {
+  CHIRON_CHECK_MSG(!done_, "step() on a finished episode; call reset()");
+  CHIRON_CHECK(static_cast<int>(prices.size()) == config_.num_nodes);
+
+  StepResult res;
+  // Availability extension: an offline node never sees the posted price,
+  // which is equivalent to posting it a zero price (no payment, counted as
+  // fully idle by Eqns 15–16).
+  std::vector<double> effective_prices = prices;
+  if (config_.node_availability < 1.0) {
+    for (auto& p : effective_prices) {
+      if (!rng_.bernoulli(config_.node_availability)) {
+        p = 0.0;
+        ++res.offline;
+      }
+    }
+  }
+  res.outcome =
+      sysmodel::run_round(devices_, effective_prices, config_.local_epochs);
+
+  // Paper §V-A: if paying this round would overdraw the budget, the round
+  // is discarded (no training, no recording) and learning stops.
+  if (res.outcome.total_payment > budget_remaining_) {
+    res.done = true;
+    res.aborted = true;
+    done_ = true;
+    res.accuracy = last_accuracy_;
+    return res;
+  }
+
+  budget_remaining_ -= res.outcome.total_payment;
+  ++round_;
+
+  std::vector<int> participants;
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < res.outcome.nodes.size(); ++i) {
+    if (!res.outcome.nodes[i].participates) continue;
+    participants.push_back(static_cast<int>(i));
+    weights.push_back(devices_[i].data_bits);
+  }
+
+  const double prev_accuracy = last_accuracy_;
+  const double accuracy = backend_->train_round(participants, weights);
+  last_accuracy_ = accuracy;
+
+  res.participants = res.outcome.participants;
+  res.round_time = res.outcome.round_time;
+  res.payment = res.outcome.total_payment;
+  res.idle_time = res.outcome.idle_time;
+  res.time_efficiency = res.outcome.time_efficiency;
+  res.accuracy = accuracy;
+  res.accuracy_gain = accuracy - prev_accuracy;
+
+  // Exterior reward (Eqn 14; see DESIGN.md on the λ placement).
+  const double time_term = config_.lambda_on_time
+                               ? config_.lambda_pref * res.round_time
+                               : res.round_time;
+  res.raw_exterior_reward =
+      config_.lambda_pref * res.accuracy_gain - time_term;
+  if (res.participants == 0) {
+    res.reward_exterior = -config_.empty_round_penalty;
+    res.reward_inner = -config_.empty_round_penalty;
+  } else {
+    res.reward_exterior = res.raw_exterior_reward / config_.time_norm;
+    // Inner reward (Eqn 15): negative total idle time.
+    res.reward_inner =
+        -res.idle_time /
+        (static_cast<double>(config_.num_nodes) * config_.time_norm);
+  }
+
+  // Record history for the exterior state.
+  RoundProfile profile;
+  profile.zeta.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
+  profile.price = effective_prices;
+  profile.time.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
+  for (std::size_t i = 0; i < res.outcome.nodes.size(); ++i) {
+    profile.zeta[i] = res.outcome.nodes[i].zeta;
+    profile.time[i] = res.outcome.nodes[i].total_time;
+  }
+  history_.push_back(std::move(profile));
+  if (static_cast<int>(history_.size()) > config_.history)
+    history_.erase(history_.begin());
+
+  if (budget_remaining_ <= 0.0 || round_ >= config_.max_rounds) done_ = true;
+  res.done = done_;
+  return res;
+}
+
+std::int64_t EdgeLearnEnv::exterior_state_dim() const {
+  return static_cast<std::int64_t>(config_.history) * 3 * config_.num_nodes +
+         2;
+}
+
+std::vector<float> EdgeLearnEnv::exterior_state() const {
+  // Layout: for each of the L most recent rounds (oldest first, zero-padded
+  // at episode start): ζ_i/ζ_hi, p_i/price_norm, T_i/time_norm for every
+  // node; then remaining-budget fraction and round-index fraction.
+  std::vector<float> s;
+  s.reserve(static_cast<std::size_t>(exterior_state_dim()));
+  const double zeta_norm = config_.population.zeta_max_hi;
+  const int pad = config_.history - static_cast<int>(history_.size());
+  for (int h = 0; h < config_.history; ++h) {
+    if (h < pad) {
+      for (int i = 0; i < 3 * config_.num_nodes; ++i) s.push_back(0.f);
+      continue;
+    }
+    const RoundProfile& p = history_[static_cast<std::size_t>(h - pad)];
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      const std::size_t ii = static_cast<std::size_t>(i);
+      s.push_back(static_cast<float>(p.zeta[ii] / zeta_norm));
+      s.push_back(static_cast<float>(p.price[ii] / price_norm_));
+      s.push_back(static_cast<float>(p.time[ii] / config_.time_norm));
+    }
+  }
+  s.push_back(static_cast<float>(budget_remaining_ / config_.budget));
+  s.push_back(static_cast<float>(static_cast<double>(round_) /
+                                 static_cast<double>(config_.max_rounds)));
+  CHIRON_CHECK(static_cast<std::int64_t>(s.size()) == exterior_state_dim());
+  return s;
+}
+
+double EdgeLearnEnv::per_node_price_cap(int i) const {
+  CHIRON_CHECK(i >= 0 && i < config_.num_nodes);
+  return sysmodel::saturation_price(devices_[static_cast<std::size_t>(i)],
+                                    config_.local_epochs);
+}
+
+std::vector<double> EdgeLearnEnv::equal_time_proportions(
+    double total_price) const {
+  CHIRON_CHECK(total_price > 0.0);
+  // Bisection on a common target time T: each node needs price
+  // p_i(T) = 2σα_i c_i d_i · ζ_i(T) with ζ_i(T) = σ c_i d_i / (T − T^com_i),
+  // clamped to the feasible frequency range. Σ p_i(T) is decreasing in T,
+  // so bisect until the prices exhaust total_price.
+  const int sigma = config_.local_epochs;
+  auto price_for_time = [&](const sysmodel::DeviceProfile& d, double T) {
+    const double t_cmp = std::max(T - d.comm_time, 1e-9);
+    double zeta = static_cast<double>(sigma) * d.cycles_per_bit * d.data_bits /
+                  t_cmp;
+    zeta = std::clamp(zeta, d.zeta_min, d.zeta_max);
+    const double coeff = 2.0 * static_cast<double>(sigma) * d.capacitance *
+                         d.cycles_per_bit * d.data_bits;
+    double price = coeff * zeta;
+    // Participation floor: in the interior regime u = p²/(2·coeff) − E_com,
+    // so the node declines below p_min = sqrt(2·coeff·(μ + E_com)). Paying
+    // less buys nothing (Lemma 1's feasibility bound on training time).
+    const double e_com = d.comm_energy_rate * d.comm_time;
+    const double p_min =
+        std::sqrt(2.0 * coeff * (d.reserve_utility + e_com)) * 1.02;
+    return std::max(price, p_min);
+  };
+  double lo = 0.0, hi = 0.0;  // T range: fastest possible .. slowest possible
+  for (const auto& d : devices_) {
+    const double t_fast = static_cast<double>(sigma) * d.cycles_per_bit *
+                              d.data_bits / d.zeta_max +
+                          d.comm_time;
+    const double t_slow = static_cast<double>(sigma) * d.cycles_per_bit *
+                              d.data_bits / d.zeta_min +
+                          d.comm_time;
+    lo = std::min(lo == 0.0 ? t_fast : lo, t_fast);
+    hi = std::max(hi, t_slow);
+  }
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    double sum = 0.0;
+    for (const auto& d : devices_) sum += price_for_time(d, mid);
+    if (sum > total_price) {
+      lo = mid;  // too expensive → allow more time
+    } else {
+      hi = mid;
+    }
+  }
+  std::vector<double> prices;
+  prices.reserve(devices_.size());
+  double sum = 0.0;
+  for (const auto& d : devices_) {
+    prices.push_back(price_for_time(d, hi));
+    sum += prices.back();
+  }
+  std::vector<double> proportions(prices.size());
+  for (std::size_t i = 0; i < prices.size(); ++i)
+    proportions[i] = sum > 0.0 ? prices[i] / sum
+                               : 1.0 / static_cast<double>(prices.size());
+  return proportions;
+}
+
+}  // namespace chiron::core

@@ -1,0 +1,152 @@
+// EdgeLearnEnv: the edge-learning incentive MDP (paper §III and §V-A).
+//
+// One step = one training round k: the caller posts per-node prices, nodes
+// play their best responses (sysmodel), participating nodes train
+// (accuracy backend), the server pays Σ p_i ζ_i from the budget, and the
+// environment emits the exterior and inner rewards (Eqns 14–15). The
+// episode ends when the budget is exhausted — including the paper's rule
+// that a round whose payment would overdraw the budget is *discarded* and
+// learning stops immediately.
+//
+// Economic note: the device d_i (bits per epoch) is configured explicitly
+// (default ≈ a 500-image MNIST shard) and is deliberately decoupled from
+// the sample count the real-training backend uses, so that time/energy/
+// payment scales stay at paper scale even in fast training modes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/accuracy_backend.h"
+#include "sysmodel/economics.h"
+
+namespace chiron::core {
+
+enum class BackendKind { kSurrogate, kRealVision, kRealBlobs };
+
+struct EnvConfig {
+  int num_nodes = 5;
+  data::VisionTask task = data::VisionTask::kMnistLike;
+  double budget = 100.0;         // η
+  double lambda_pref = 2000.0;   // λ (paper §VI-A)
+  int local_epochs = 5;          // σ
+  int history = 2;               // L rounds of history in the exterior state
+  int max_rounds = 120;          // safety cap (episodes end on budget)
+  bool lambda_on_time = false;   // ablation: literal Eqn (14) form
+  double empty_round_penalty = 1.0;  // normalized penalty when nobody joins
+  double time_norm = 60.0;       // seconds; state/reward normalization
+
+  sysmodel::DevicePopulation population;
+  /// d_i bits per epoch per node; 1e8 ≈ 4,000 MNIST images (float32).
+  /// At this scale slow (cheap) rounds genuinely cost wall-clock — compute
+  /// time ranges ~3–100 s against 10–20 s communication — which is what
+  /// makes the pricing/time tradeoff of the paper meaningful. Scale-100
+  /// experiments divide a fixed corpus across nodes (see bench configs).
+  double data_bits_per_node = 1e8;
+
+  /// Per-round probability that a node is online at all. Offline nodes
+  /// never see the posted price (robustness extension; 1.0 = paper model).
+  double node_availability = 1.0;
+
+  BackendKind backend = BackendKind::kSurrogate;
+  // Real-training knobs (vision & blobs backends).
+  int samples_per_node = 64;
+  int test_samples = 256;
+  fl::LocalTrainConfig local;
+  /// Label-skewed (Dirichlet) shards instead of IID — real backends only.
+  bool noniid = false;
+  double dirichlet_alpha = 0.5;
+  /// Server aggregation rule for real backends (FedAvg or FedAvgM).
+  fl::Aggregator aggregator = fl::Aggregator::kFedAvg;
+  double server_momentum = 0.9;
+  // Blobs backend shape.
+  int blob_dims = 16;
+  int blob_classes = 5;
+  double blob_noise = 0.9;
+
+  std::uint64_t seed = 1;
+};
+
+/// Everything observable about one executed round.
+struct StepResult {
+  bool done = false;
+  bool aborted = false;        // payment would overdraw: round discarded
+  double reward_exterior = 0;  // normalized r^E
+  double reward_inner = 0;     // normalized r^I
+  // Raw metrics.
+  double raw_exterior_reward = 0;  // λΔA − T_k (paper units)
+  double round_time = 0;           // T_k
+  double accuracy = 0;             // A(ω_k)
+  double accuracy_gain = 0;        // ΔA
+  double payment = 0;              // Σ p_i ζ_i this round
+  double idle_time = 0;
+  double time_efficiency = 0;      // Eqn (16)
+  int participants = 0;
+  int offline = 0;                 // nodes unavailable this round
+  sysmodel::RoundOutcome outcome;  // per-node detail
+};
+
+class EdgeLearnEnv {
+ public:
+  explicit EdgeLearnEnv(const EnvConfig& config);
+
+  /// Starts a new episode: fresh model, full budget, zeroed history.
+  /// Device profiles persist across episodes (the node population is a
+  /// fixed market the mechanism learns about). Returns the exterior state.
+  std::vector<float> reset();
+
+  /// Executes round k with posted per-node prices.
+  StepResult step(const std::vector<double>& prices);
+
+  /// Exterior observation s^E_k (normalized): L rounds of (ζ, p, T) per
+  /// node + remaining budget fraction + round index fraction.
+  std::vector<float> exterior_state() const;
+
+  std::int64_t exterior_state_dim() const;
+  int num_nodes() const { return config_.num_nodes; }
+
+  /// Σ_i saturation price — prices above this buy no extra speed, so the
+  /// exterior action range is [0, price_cap()].
+  double price_cap() const { return price_cap_; }
+  /// Mean per-node saturation price (baseline per-node action cap).
+  double per_node_price_cap(int i) const;
+
+  double budget_remaining() const { return budget_remaining_; }
+  double budget_initial() const { return config_.budget; }
+  int round() const { return round_; }
+  double accuracy() const { return backend_->accuracy(); }
+  bool done() const { return done_; }
+
+  const EnvConfig& config() const { return config_; }
+  const std::vector<sysmodel::DeviceProfile>& devices() const {
+    return devices_;
+  }
+
+  /// Oracle helper (tests & ablations): proportions that equalize total
+  /// times across nodes for a given total price, found numerically; the
+  /// time-consistent allocation of Lemma 1.
+  std::vector<double> equal_time_proportions(double total_price) const;
+
+ private:
+  EnvConfig config_;
+  Rng rng_;
+  std::vector<sysmodel::DeviceProfile> devices_;
+  std::unique_ptr<AccuracyBackend> backend_;
+  double price_cap_ = 0.0;
+  double price_norm_ = 1.0;  // per-node price normalizer for states
+
+  // Episode state.
+  double budget_remaining_ = 0.0;
+  int round_ = 0;
+  bool done_ = true;
+  double last_accuracy_ = 0.0;
+  // History ring (most recent last), each entry = one round's profile.
+  struct RoundProfile {
+    std::vector<double> zeta;
+    std::vector<double> price;
+    std::vector<double> time;
+  };
+  std::vector<RoundProfile> history_;
+};
+
+}  // namespace chiron::core

@@ -1,0 +1,55 @@
+#include "core/episode.h"
+
+#include "common/error.h"
+
+namespace chiron::core {
+
+void accumulate(EpisodeStats& stats, const StepResult& step) {
+  CHIRON_CHECK_MSG(!step.aborted, "aborted rounds are not recorded");
+  ++stats.rounds;
+  stats.exterior_reward_sum += step.reward_exterior;
+  stats.raw_reward_sum += step.raw_exterior_reward;
+  stats.inner_reward_sum += step.reward_inner;
+  stats.final_accuracy = step.accuracy;
+  stats.total_time += step.round_time;
+  stats.spent += step.payment;
+  if (step.participants > 0) {
+    stats.efficiency_sum += step.time_efficiency;
+    ++stats.active_rounds;
+  }
+}
+
+void finalize(EpisodeStats& stats) {
+  if (stats.active_rounds > 0)
+    stats.mean_time_efficiency =
+        stats.efficiency_sum / static_cast<double>(stats.active_rounds);
+}
+
+EpisodeStats mean_stats(const std::vector<EpisodeStats>& episodes) {
+  CHIRON_CHECK(!episodes.empty());
+  EpisodeStats m;
+  const double n = static_cast<double>(episodes.size());
+  double rounds = 0;
+  for (const auto& e : episodes) {
+    rounds += e.rounds;
+    m.exterior_reward_sum += e.exterior_reward_sum / n;
+    m.raw_reward_sum += e.raw_reward_sum / n;
+    m.inner_reward_sum += e.inner_reward_sum / n;
+    m.final_accuracy += e.final_accuracy / n;
+    m.total_time += e.total_time / n;
+    m.spent += e.spent / n;
+    m.mean_time_efficiency += e.mean_time_efficiency / n;
+  }
+  m.rounds = static_cast<int>(rounds / n + 0.5);
+  return m;
+}
+
+double mean_raw_reward(const std::vector<EpisodeStats>& episodes,
+                       std::size_t from, std::size_t to) {
+  CHIRON_CHECK(from < to && to <= episodes.size());
+  double acc = 0.0;
+  for (std::size_t i = from; i < to; ++i) acc += episodes[i].raw_reward_sum;
+  return acc / static_cast<double>(to - from);
+}
+
+}  // namespace chiron::core

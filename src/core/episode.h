@@ -1,0 +1,41 @@
+// Per-episode metrics shared by Chiron and the baselines — exactly the
+// quantities the paper's figures/tables report (final accuracy, completed
+// rounds, time efficiency, spend, episode reward).
+#pragma once
+
+#include <vector>
+
+#include "core/env.h"
+
+namespace chiron::core {
+
+struct EpisodeStats {
+  int rounds = 0;
+  double exterior_reward_sum = 0.0;  // normalized reward units
+  double raw_reward_sum = 0.0;       // paper units: Σ (λΔA − T_k)
+  double inner_reward_sum = 0.0;
+  double final_accuracy = 0.0;
+  double total_time = 0.0;           // Σ T_k
+  double spent = 0.0;                // Σ payments
+  double mean_time_efficiency = 0.0; // mean of Eqn (16) over active rounds
+
+  // Accumulation scratch (valid before finalize()).
+  double efficiency_sum = 0.0;
+  int active_rounds = 0;
+};
+
+/// Adds one executed (non-aborted) step to the stats.
+void accumulate(EpisodeStats& stats, const StepResult& step);
+
+/// Computes the derived means; call once after the episode ends.
+void finalize(EpisodeStats& stats);
+
+/// Column-mean of a window of episode stats (used by convergence plots).
+double mean_raw_reward(const std::vector<EpisodeStats>& episodes,
+                       std::size_t from, std::size_t to);
+
+/// Field-wise mean over finalized episode stats (rounds rounded to the
+/// nearest integer). Used by stochastic-policy evaluation.
+EpisodeStats mean_stats(const std::vector<EpisodeStats>& episodes);
+
+}  // namespace chiron::core

@@ -1,0 +1,188 @@
+#include "core/mechanism.h"
+
+#include "common/error.h"
+#include "nn/serialize.h"
+
+namespace chiron::core {
+
+namespace {
+
+rl::PpoConfig agent_config(const ChironConfig& c, std::int64_t obs_dim,
+                           std::int64_t act_dim, bool inner = false) {
+  rl::PpoConfig p;
+  p.obs_dim = obs_dim;
+  p.act_dim = act_dim;
+  p.hidden = c.hidden;
+  p.actor_lr = c.actor_lr;
+  p.critic_lr = c.critic_lr;
+  p.clip_ratio = c.clip_ratio;
+  p.gamma = c.gamma;
+  p.gae_lambda = c.gae_lambda;
+  p.update_epochs = c.update_epochs;
+  p.entropy_coef = c.entropy_coef;
+  p.init_log_std = c.init_log_std;
+  if (inner) {
+    if (c.inner_actor_lr > 0.0) p.actor_lr = c.inner_actor_lr;
+    if (c.inner_critic_lr > 0.0) p.critic_lr = c.inner_critic_lr;
+    p.init_log_std = c.inner_init_log_std;
+    p.gamma = c.inner_gamma;
+  }
+  return p;
+}
+
+}  // namespace
+
+ChironConfig paper_scale_config() {
+  ChironConfig c;
+  c.episodes = 500;
+  c.actor_lr = 3e-5;
+  c.critic_lr = 3e-5;
+  c.lr_decay = 0.95;
+  c.lr_decay_every = 20;
+  c.gamma = 0.95;
+  return c;
+}
+
+HierarchicalMechanism::HierarchicalMechanism(EdgeLearnEnv& env,
+                                             const ChironConfig& config)
+    : env_(env),
+      config_(config),
+      rng_(config.seed),
+      exterior_(agent_config(config, env.exterior_state_dim(), 1), rng_),
+      inner_(agent_config(config, 1, env.num_nodes(), /*inner=*/true), rng_),
+      ext_buffer_(env.exterior_state_dim(), 1),
+      inner_buffer_(1, env.num_nodes()) {
+  CHIRON_CHECK(config_.episodes >= 1);
+}
+
+std::vector<EpisodeStats> HierarchicalMechanism::train(int episodes) {
+  const int n = episodes >= 0 ? episodes : config_.episodes;
+  std::vector<EpisodeStats> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int e = 0; e < n; ++e) {
+    out.push_back(run_episode(/*learn=*/true, /*stochastic=*/true));
+  }
+  return out;
+}
+
+EpisodeStats HierarchicalMechanism::evaluate(int episodes) {
+  CHIRON_CHECK(episodes >= 1);
+  std::vector<EpisodeStats> stats;
+  stats.reserve(static_cast<std::size_t>(episodes));
+  for (int e = 0; e < episodes; ++e)
+    stats.push_back(run_episode(/*learn=*/false, /*stochastic=*/true));
+  return mean_stats(stats);
+}
+
+void HierarchicalMechanism::save(const std::string& path) {
+  nn::CheckpointWriter w(path);
+  w.write_block(nn::get_flat_params(exterior_.policy().params()));
+  w.write_block(nn::get_flat_params(exterior_.critic().params()));
+  w.write_block(nn::get_flat_params(inner_.policy().params()));
+  w.write_block(nn::get_flat_params(inner_.critic().params()));
+}
+
+void HierarchicalMechanism::load(const std::string& path) {
+  nn::CheckpointReader r(path);
+  auto restore = [&r](std::vector<nn::Param*> params) {
+    const std::size_t n = static_cast<std::size_t>(
+        nn::parameter_count(params));
+    nn::set_flat_params(params, r.read_block(n));
+  };
+  restore(exterior_.policy().params());
+  restore(exterior_.critic().params());
+  restore(inner_.policy().params());
+  restore(inner_.critic().params());
+}
+
+EpisodeStats HierarchicalMechanism::run_episode(bool learn, bool stochastic) {
+  EpisodeStats stats;
+  std::vector<float> s_ext = env_.reset();
+  while (!env_.done()) {
+    // Exterior agent: total price.
+    rl::ActResult ext_act;
+    if (stochastic) {
+      ext_act = exterior_.act(s_ext, rng_);
+    } else {
+      ext_act.action = exterior_.act_mean(s_ext);
+    }
+    const double p_total = map_total_price(ext_act.action[0],
+                                           env_.price_cap());
+
+    // Inner agent: allocation proportions. Its state is the (normalized)
+    // exterior action, per §V-A.
+    const std::vector<float> s_inner = {
+        static_cast<float>(p_total / env_.price_cap())};
+    rl::ActResult inner_act;
+    std::vector<double> proportions;
+    if (config_.uniform_inner) {
+      proportions.assign(static_cast<std::size_t>(env_.num_nodes()),
+                         1.0 / env_.num_nodes());
+    } else if (config_.oracle_inner) {
+      proportions = env_.equal_time_proportions(std::max(p_total, 1e-9));
+    } else if (stochastic) {
+      inner_act = inner_.act(s_inner, rng_);
+      proportions = map_proportions(inner_act.action);
+    } else {
+      inner_act.action = inner_.act_mean(s_inner);
+      proportions = map_proportions(inner_act.action);
+    }
+
+    StepResult res = env_.step(combine_prices(p_total, proportions));
+    if (res.aborted) break;  // discarded round (paper §V-A)
+
+    accumulate(stats, res);
+    if (learn) {
+      rl::Transition te;
+      te.obs = s_ext;
+      te.action = ext_act.action;
+      te.log_prob = ext_act.log_prob;
+      te.reward = static_cast<float>(res.reward_exterior);
+      te.value = ext_act.value;
+      ext_buffer_.add(std::move(te));
+      if (!config_.oracle_inner && !config_.uniform_inner) {
+        rl::Transition ti;
+        ti.obs = s_inner;
+        ti.action = inner_act.action;
+        ti.log_prob = inner_act.log_prob;
+        ti.reward = static_cast<float>(res.reward_inner);
+        ti.value = inner_act.value;
+        inner_buffer_.add(std::move(ti));
+      }
+    }
+    s_ext = env_.exterior_state();
+  }
+  finalize(stats);
+
+  if (learn) {
+    if (stats.rounds > 0) {
+      ext_buffer_.end_episode(config_.gamma, config_.gae_lambda);
+      if (!config_.oracle_inner && !config_.uniform_inner) {
+        inner_buffer_.end_episode(config_.inner_gamma, config_.gae_lambda);
+      }
+    }
+    ++episodes_done_;
+    if (episodes_done_ % std::max(config_.episodes_per_update, 1) == 0) {
+      if (ext_buffer_.size() > 0) {
+        ext_buffer_.finalize(config_.normalize_exterior_advantages);
+        exterior_.update(ext_buffer_);
+      }
+      ext_buffer_.clear();
+      if (!config_.oracle_inner && !config_.uniform_inner) {
+        if (inner_buffer_.size() > 0) {
+          inner_buffer_.finalize(config_.normalize_inner_advantages);
+          inner_.update(inner_buffer_);
+        }
+        inner_buffer_.clear();
+      }
+    }
+    if (config_.lr_decay_every > 0 &&
+        episodes_done_ % config_.lr_decay_every == 0) {
+      exterior_.decay_lr(config_.lr_decay);
+      inner_.decay_lr(config_.lr_decay);
+    }
+  }
+  return stats;
+}
+
+}  // namespace chiron::core

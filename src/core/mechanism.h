@@ -1,0 +1,107 @@
+// HierarchicalMechanism — Chiron itself (paper §V, Algorithm 1).
+//
+// Two PPO agents in the parameter server:
+//   exterior: s^E (history + budget + round) → total price p_total,k
+//   inner:    s^I = p_total,k               → allocation proportions pr_i,k
+// Per round, prices p_i = p_total · pr_i are posted; at episode end (budget
+// exhausted) both agents run M PPO epochs over their episode buffers and
+// the buffers are cleared, exactly as Algorithm 1 lines 17–27.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/actions.h"
+#include "core/episode.h"
+#include "rl/ppo.h"
+
+namespace chiron::core {
+
+struct ChironConfig {
+  int episodes = 500;          // paper §VI-A
+  std::int64_t hidden = 64;
+  // Practical defaults for the reduced-episode regime used by tests and
+  // benches; the paper's settings (3e-5, decaying ×0.95 / 20 episodes)
+  // are restored by paper_scale_config().
+  double actor_lr = 1e-3;
+  double critic_lr = 1e-3;
+  double lr_decay = 0.95;
+  int lr_decay_every = 20;
+  double gamma = 0.95;         // paper §VI-A
+  double gae_lambda = 0.95;
+  int update_epochs = 10;      // M in Algorithm 1
+  /// Episodes aggregated into one PPO batch. Algorithm 1 updates after
+  /// every episode; with tight budgets an episode can be only 2–4 rounds,
+  /// and single-episode batches are too high-variance to learn from —
+  /// batching a few episodes keeps updates on-policy but stable.
+  int episodes_per_update = 5;
+  double clip_ratio = 0.2;
+  double entropy_coef = 1e-3;
+  float init_log_std = -0.5f;
+  // Inner-agent overrides (0 / negative = inherit the shared values). The
+  // inner problem — a low-dimensional static mapping from total price to
+  // proportions — tolerates a hotter learning rate and less exploration
+  // noise than the exterior budget-pacing problem.
+  double inner_actor_lr = 3e-3;
+  double inner_critic_lr = 3e-3;
+  float inner_init_log_std = -1.0f;
+  /// The inner objective (Eqn 15, time consistency) is the paper's
+  /// *short-term* goal: each round's idle time depends only on that
+  /// round's allocation, so the inner agent receives myopic credit.
+  double inner_gamma = 0.0;
+  /// Exterior advantages are NOT re-normalized per episode: episodes can
+  /// be very short (a handful of expensive rounds), and per-episode
+  /// standardization erases the signal that one episode beat another.
+  bool normalize_exterior_advantages = false;
+  bool normalize_inner_advantages = true;
+  std::uint64_t seed = 7;
+  /// Ablation: replace the inner agent with the Lemma-1 equal-time oracle.
+  bool oracle_inner = false;
+  /// Ablation: no inner agent at all — the total price is split uniformly.
+  bool uniform_inner = false;
+};
+
+/// The paper's hyperparameters (§VI-A) verbatim.
+ChironConfig paper_scale_config();
+
+class HierarchicalMechanism {
+ public:
+  /// `env` must outlive the mechanism.
+  HierarchicalMechanism(EdgeLearnEnv& env, const ChironConfig& config);
+
+  /// Trains for config.episodes (or `episodes` if >= 0) and returns the
+  /// per-episode stats in order.
+  std::vector<EpisodeStats> train(int episodes = -1);
+
+  /// Evaluates the trained policy: mean stats over `episodes` stochastic
+  /// rollouts with learning disabled. (Stochastic, because the behaviour
+  /// policy is what interacts with the market; the deterministic mean
+  /// passes through the sigmoid/softmax squashes to a different operating
+  /// point.)
+  EpisodeStats evaluate(int episodes = 5);
+
+  /// One episode; learn=true stores transitions and updates at the end,
+  /// stochastic=true samples actions (otherwise uses policy means).
+  EpisodeStats run_episode(bool learn, bool stochastic);
+
+  rl::PpoAgent& exterior_agent() { return exterior_; }
+  rl::PpoAgent& inner_agent() { return inner_; }
+
+  /// Checkpoints both agents' actor+critic parameters to one binary file;
+  /// load() restores them into a mechanism built with identical env/config
+  /// shapes (block sizes are validated).
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  EdgeLearnEnv& env_;
+  ChironConfig config_;
+  Rng rng_;
+  rl::PpoAgent exterior_;
+  rl::PpoAgent inner_;
+  rl::RolloutBuffer ext_buffer_;
+  rl::RolloutBuffer inner_buffer_;
+  int episodes_done_ = 0;
+};
+
+}  // namespace chiron::core

@@ -1,0 +1,47 @@
+#include "core/recorder.h"
+
+#include <ostream>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace chiron::core {
+
+void RoundTrace::add(const StepResult& step) {
+  CHIRON_CHECK_MSG(!step.aborted, "aborted rounds are not recorded");
+  rounds_.push_back(step);
+}
+
+void RoundTrace::write_tsv(std::ostream& os) const {
+  TableWriter w(os);
+  w.header({"round", "accuracy", "accuracy_gain", "round_time", "payment",
+            "idle_time", "time_efficiency", "participants", "offline"});
+  for (std::size_t i = 0; i < rounds_.size(); ++i) {
+    const StepResult& r = rounds_[i];
+    w.row({std::to_string(i + 1), TableWriter::num(r.accuracy, 4),
+           TableWriter::num(r.accuracy_gain, 4),
+           TableWriter::num(r.round_time, 2),
+           TableWriter::num(r.payment, 3),
+           TableWriter::num(r.idle_time, 2),
+           TableWriter::num(r.time_efficiency, 4),
+           std::to_string(r.participants), std::to_string(r.offline)});
+  }
+}
+
+double RoundTrace::total_payment() const {
+  double acc = 0.0;
+  for (const auto& r : rounds_) acc += r.payment;
+  return acc;
+}
+
+double RoundTrace::total_time() const {
+  double acc = 0.0;
+  for (const auto& r : rounds_) acc += r.round_time;
+  return acc;
+}
+
+double RoundTrace::final_accuracy() const {
+  return rounds_.empty() ? 0.0 : rounds_.back().accuracy;
+}
+
+}  // namespace chiron::core

@@ -1,0 +1,34 @@
+// Round-by-round episode tracing: collects StepResults and writes them as
+// a TSV table — the library's introspection tool for "what did the
+// mechanism actually do this episode".
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/env.h"
+
+namespace chiron::core {
+
+class RoundTrace {
+ public:
+  void add(const StepResult& step);
+  void clear() { rounds_.clear(); }
+
+  std::size_t size() const { return rounds_.size(); }
+  const StepResult& round(std::size_t i) const { return rounds_.at(i); }
+
+  /// TSV with one row per round: round index, accuracy, gain, round time,
+  /// payment, idle time, efficiency, participants, offline count.
+  void write_tsv(std::ostream& os) const;
+
+  /// Aggregates of the recorded episode.
+  double total_payment() const;
+  double total_time() const;
+  double final_accuracy() const;
+
+ private:
+  std::vector<StepResult> rounds_;
+};
+
+}  // namespace chiron::core

@@ -1,0 +1,62 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace chiron::data {
+
+Dataset::Dataset(Tensor inputs, std::vector<int> labels,
+                 std::int64_t num_classes)
+    : inputs_(std::move(inputs)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  CHIRON_CHECK(inputs_.rank() >= 2);
+  CHIRON_CHECK_MSG(inputs_.dim(0) ==
+                       static_cast<std::int64_t>(labels_.size()),
+                   "inputs batch " << inputs_.dim(0) << " vs labels "
+                                   << labels_.size());
+  CHIRON_CHECK(num_classes_ > 0);
+  for (int y : labels_)
+    CHIRON_CHECK_MSG(y >= 0 && y < num_classes_, "label " << y);
+}
+
+tensor::Shape Dataset::sample_shape() const {
+  tensor::Shape s(inputs_.shape().begin() + 1, inputs_.shape().end());
+  return s;
+}
+
+std::int64_t Dataset::sample_elements() const {
+  return size() == 0 ? 0 : inputs_.size() / size();
+}
+
+Dataset Dataset::subset(const std::vector<int>& indices) const {
+  auto [batch, labels] = gather(indices);
+  return Dataset(std::move(batch), std::move(labels), num_classes_);
+}
+
+std::pair<Tensor, std::vector<int>> Dataset::gather(
+    const std::vector<int>& indices) const {
+  CHIRON_CHECK(!indices.empty());
+  const std::int64_t stride = sample_elements();
+  tensor::Shape shape = inputs_.shape();
+  shape[0] = static_cast<std::int64_t>(indices.size());
+  Tensor batch(shape);
+  std::vector<int> labels(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const int idx = indices[i];
+    CHIRON_CHECK_MSG(idx >= 0 && idx < size(), "sample index " << idx);
+    std::copy_n(inputs_.data() + static_cast<std::ptrdiff_t>(idx) * stride,
+                stride,
+                batch.data() + static_cast<std::ptrdiff_t>(i) *
+                                   static_cast<std::ptrdiff_t>(stride));
+    labels[i] = labels_[static_cast<std::size_t>(idx)];
+  }
+  return {std::move(batch), std::move(labels)};
+}
+
+double Dataset::size_bits() const {
+  return static_cast<double>(inputs_.size()) * 32.0;
+}
+
+}  // namespace chiron::data

@@ -1,0 +1,50 @@
+// In-memory labelled dataset: a batch-major tensor of inputs plus integer
+// class labels. Images use NCHW; feature-vector datasets use (N, D).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace chiron::data {
+
+using tensor::Tensor;
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// inputs: (N, ...) with N == labels.size(); labels in [0, num_classes).
+  Dataset(Tensor inputs, std::vector<int> labels, std::int64_t num_classes);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(labels_.size()); }
+  std::int64_t num_classes() const { return num_classes_; }
+  const Tensor& inputs() const { return inputs_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  /// Shape of one sample (inputs shape without the batch dimension).
+  tensor::Shape sample_shape() const;
+
+  /// Number of scalars in one sample.
+  std::int64_t sample_elements() const;
+
+  /// Copies the selected rows into a new dataset (indices may repeat).
+  Dataset subset(const std::vector<int>& indices) const;
+
+  /// Gathers samples `indices` into a batch tensor + labels.
+  std::pair<Tensor, std::vector<int>> gather(
+      const std::vector<int>& indices) const;
+
+  /// Size of the dataset in bits, assuming float32 inputs. This is the
+  /// `d_i` quantity of the paper's computation model (bits processed per
+  /// local epoch).
+  double size_bits() const;
+
+ private:
+  Tensor inputs_;
+  std::vector<int> labels_;
+  std::int64_t num_classes_ = 0;
+};
+
+}  // namespace chiron::data

@@ -1,0 +1,39 @@
+#include "data/loader.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace chiron::data {
+
+BatchLoader::BatchLoader(const Dataset& dataset, std::int64_t batch_size,
+                         Rng& rng)
+    : dataset_(dataset), batch_size_(batch_size), rng_(rng) {
+  CHIRON_CHECK(batch_size_ >= 1);
+  CHIRON_CHECK(dataset_.size() >= 1);
+  reset();
+}
+
+void BatchLoader::reset() {
+  order_ = rng_.permutation(static_cast<int>(dataset_.size()));
+  cursor_ = 0;
+}
+
+bool BatchLoader::has_next() const { return cursor_ < order_.size(); }
+
+std::pair<Tensor, std::vector<int>> BatchLoader::next() {
+  CHIRON_CHECK_MSG(has_next(), "epoch exhausted; call reset()");
+  const std::size_t take = std::min(static_cast<std::size_t>(batch_size_),
+                                    order_.size() - cursor_);
+  std::vector<int> indices(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                           order_.begin() +
+                               static_cast<std::ptrdiff_t>(cursor_ + take));
+  cursor_ += take;
+  return dataset_.gather(indices);
+}
+
+std::int64_t BatchLoader::batches_per_epoch() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace chiron::data

@@ -1,0 +1,37 @@
+// Mini-batch iteration over a Dataset with per-epoch shuffling.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace chiron::data {
+
+/// Yields shuffled mini-batches; the final batch of an epoch may be short.
+class BatchLoader {
+ public:
+  /// `dataset` must outlive the loader.
+  BatchLoader(const Dataset& dataset, std::int64_t batch_size, Rng& rng);
+
+  /// Starts a new epoch (reshuffles).
+  void reset();
+
+  /// True when the current epoch has more batches.
+  bool has_next() const;
+
+  /// Next mini-batch (inputs, labels). Requires has_next().
+  std::pair<Tensor, std::vector<int>> next();
+
+  std::int64_t batches_per_epoch() const;
+
+ private:
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  Rng& rng_;
+  std::vector<int> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace chiron::data

@@ -1,0 +1,79 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chiron::data {
+
+std::vector<Dataset> iid_partition(const Dataset& dataset, int nodes,
+                                   Rng& rng) {
+  CHIRON_CHECK(nodes >= 1);
+  CHIRON_CHECK_MSG(dataset.size() >= nodes,
+                   "fewer samples than nodes: " << dataset.size() << " < "
+                                                << nodes);
+  std::vector<int> order = rng.permutation(static_cast<int>(dataset.size()));
+  std::vector<std::vector<int>> buckets(static_cast<std::size_t>(nodes));
+  for (std::size_t i = 0; i < order.size(); ++i)
+    buckets[i % static_cast<std::size_t>(nodes)].push_back(order[i]);
+  std::vector<Dataset> shards;
+  shards.reserve(static_cast<std::size_t>(nodes));
+  for (const auto& b : buckets) shards.push_back(dataset.subset(b));
+  return shards;
+}
+
+std::vector<Dataset> dirichlet_partition(const Dataset& dataset, int nodes,
+                                         double alpha, Rng& rng) {
+  CHIRON_CHECK(nodes >= 1);
+  CHIRON_CHECK(alpha > 0.0);
+  CHIRON_CHECK(dataset.size() >= nodes);
+  const std::int64_t classes = dataset.num_classes();
+  // Group sample indices by class.
+  std::vector<std::vector<int>> by_class(static_cast<std::size_t>(classes));
+  for (int i = 0; i < dataset.size(); ++i)
+    by_class[static_cast<std::size_t>(dataset.labels()[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  for (auto& v : by_class) rng.shuffle(v);
+
+  std::vector<std::vector<int>> buckets(static_cast<std::size_t>(nodes));
+  std::gamma_distribution<double> gamma(alpha, 1.0);
+  for (auto& cls_indices : by_class) {
+    if (cls_indices.empty()) continue;
+    // Draw node shares ~ Dirichlet(alpha) via normalized gammas.
+    std::vector<double> shares(static_cast<std::size_t>(nodes));
+    double total = 0.0;
+    for (auto& s : shares) {
+      s = std::max(gamma(rng.engine()), 1e-12);
+      total += s;
+    }
+    std::size_t cursor = 0;
+    for (int node = 0; node < nodes; ++node) {
+      const double frac = shares[static_cast<std::size_t>(node)] / total;
+      std::size_t take = static_cast<std::size_t>(
+          std::floor(frac * static_cast<double>(cls_indices.size())));
+      if (node == nodes - 1) take = cls_indices.size() - cursor;
+      take = std::min(take, cls_indices.size() - cursor);
+      for (std::size_t j = 0; j < take; ++j)
+        buckets[static_cast<std::size_t>(node)].push_back(
+            cls_indices[cursor + j]);
+      cursor += take;
+    }
+  }
+  // Guarantee non-empty shards by stealing from the largest bucket.
+  for (std::size_t n = 0; n < buckets.size(); ++n) {
+    if (!buckets[n].empty()) continue;
+    auto largest = std::max_element(
+        buckets.begin(), buckets.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    CHIRON_CHECK(largest->size() >= 2);
+    buckets[n].push_back(largest->back());
+    largest->pop_back();
+  }
+  std::vector<Dataset> shards;
+  shards.reserve(buckets.size());
+  for (const auto& b : buckets) shards.push_back(dataset.subset(b));
+  return shards;
+}
+
+}  // namespace chiron::data

@@ -1,0 +1,26 @@
+// Federated partitioners: split one training set into per-node shards.
+//
+// The paper distributes data randomly (IID) across edge nodes; a label-skew
+// Dirichlet partitioner is included as an extension hook for non-IID
+// experiments.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace chiron::data {
+
+/// Shuffles and deals samples round-robin into `nodes` shards whose sizes
+/// differ by at most one.
+std::vector<Dataset> iid_partition(const Dataset& dataset, int nodes,
+                                   Rng& rng);
+
+/// Label-skewed partition: for each class, node shares are drawn from a
+/// Dirichlet(alpha) distribution. Small alpha → strong skew. Every node is
+/// guaranteed at least one sample.
+std::vector<Dataset> dirichlet_partition(const Dataset& dataset, int nodes,
+                                         double alpha, Rng& rng);
+
+}  // namespace chiron::data

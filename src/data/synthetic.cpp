@@ -1,0 +1,170 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace chiron::data {
+
+namespace {
+
+constexpr std::int64_t kClasses = 10;
+
+/// Difficulty knobs per task (see header).
+struct TaskParams {
+  int prototypes_per_class;
+  double angle_jitter;   // radians of per-prototype angular offset
+  int max_shift;         // translation range in pixels (±)
+  double pixel_noise;    // additive Gaussian stddev
+  double stroke_sigma;   // stroke cross-section width
+  bool color;            // per-channel weighting (CIFAR-like)
+};
+
+TaskParams task_params(VisionTask task) {
+  switch (task) {
+    case VisionTask::kMnistLike:
+      return {1, 0.0, 2, 0.15, 1.6, false};
+    case VisionTask::kFashionLike:
+      return {2, 0.12, 3, 0.30, 2.2, false};
+    case VisionTask::kCifarLike:
+      return {3, 0.16, 4, 0.40, 2.8, true};
+  }
+  CHIRON_CHECK_MSG(false, "unknown task");
+  return {};
+}
+
+/// Renders one prototype: two crossing strokes whose angles encode the
+/// class, with Gaussian intensity falloff from each stroke's center line.
+/// `phase` differentiates prototypes within a class.
+std::vector<float> render_prototype(std::int64_t h, std::int64_t w, int cls,
+                                    int proto_idx, const TaskParams& tp,
+                                    Rng& rng) {
+  std::vector<float> img(static_cast<std::size_t>(h * w), 0.f);
+  const double base = static_cast<double>(cls) * M_PI /
+                      static_cast<double>(kClasses);
+  const double jitter = tp.angle_jitter * (proto_idx - (tp.prototypes_per_class - 1) * 0.5);
+  const double theta1 = base + jitter + rng.normal(0.0, 0.02);
+  // Second stroke angle also class-dependent but with a different stride so
+  // that class identity is encoded redundantly.
+  const double theta2 =
+      M_PI / 2.0 + base * 0.7 - jitter + rng.normal(0.0, 0.02);
+  const double cy = (static_cast<double>(h) - 1.0) / 2.0;
+  const double cx = (static_cast<double>(w) - 1.0) / 2.0;
+  // Per-prototype offset of the second stroke makes prototypes distinct.
+  const double off = 0.18 * static_cast<double>(w) *
+                     (proto_idx % 2 == 0 ? 1.0 : -1.0) *
+                     (proto_idx > 0 ? 1.0 : 0.0);
+  const double s2 = 2.0 * tp.stroke_sigma * tp.stroke_sigma;
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const double dy = static_cast<double>(y) - cy;
+      const double dx = static_cast<double>(x) - cx;
+      // Perpendicular distance to each stroke's line through the center.
+      const double d1 = std::fabs(dx * std::sin(theta1) - dy * std::cos(theta1));
+      const double d2 = std::fabs((dx - off) * std::sin(theta2) -
+                                  dy * std::cos(theta2));
+      const double v = std::exp(-d1 * d1 / s2) + 0.8 * std::exp(-d2 * d2 / s2);
+      img[static_cast<std::size_t>(y * w + x)] = static_cast<float>(v);
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+const char* task_name(VisionTask task) {
+  switch (task) {
+    case VisionTask::kMnistLike: return "mnist";
+    case VisionTask::kFashionLike: return "fashion";
+    case VisionTask::kCifarLike: return "cifar";
+  }
+  return "?";
+}
+
+TaskGeometry task_geometry(VisionTask task) {
+  if (task == VisionTask::kCifarLike) return {3, 32, 32};
+  return {1, 28, 28};
+}
+
+Dataset make_vision_dataset(VisionTask task, std::int64_t n, Rng& rng) {
+  CHIRON_CHECK(n > 0);
+  const TaskGeometry g = task_geometry(task);
+  const TaskParams tp = task_params(task);
+
+  // Prototypes are derived from a task-specific deterministic stream so
+  // that train and test splits share class structure regardless of how
+  // many samples each draws.
+  Rng proto_rng(0xC41A0000u ^ static_cast<std::uint64_t>(task));
+  std::vector<std::vector<float>> protos;
+  protos.reserve(static_cast<std::size_t>(kClasses * tp.prototypes_per_class));
+  for (int cls = 0; cls < kClasses; ++cls)
+    for (int p = 0; p < tp.prototypes_per_class; ++p)
+      protos.push_back(
+          render_prototype(g.height, g.width, cls, p, tp, proto_rng));
+
+  Tensor images({n, g.channels, g.height, g.width});
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int cls = rng.randint(0, static_cast<int>(kClasses) - 1);
+    const int p = rng.randint(0, tp.prototypes_per_class - 1);
+    const auto& proto =
+        protos[static_cast<std::size_t>(cls * tp.prototypes_per_class + p)];
+    labels[static_cast<std::size_t>(i)] = cls;
+    const int sy = rng.randint(-tp.max_shift, tp.max_shift);
+    const int sx = rng.randint(-tp.max_shift, tp.max_shift);
+    const double contrast = rng.uniform(0.7, 1.3);
+    // Per-channel weights: grayscale tasks use 1; the color task modulates
+    // channels by class so color carries (noisy) signal too.
+    for (std::int64_t c = 0; c < g.channels; ++c) {
+      double cw = 1.0;
+      if (tp.color) {
+        cw = 0.5 + 0.5 * std::sin(1.7 * static_cast<double>(cls) +
+                                  2.1 * static_cast<double>(c));
+        cw = 0.4 + 0.6 * cw + rng.normal(0.0, 0.05);
+      }
+      for (std::int64_t y = 0; y < g.height; ++y) {
+        for (std::int64_t x = 0; x < g.width; ++x) {
+          const std::int64_t py = y - sy;
+          const std::int64_t px = x - sx;
+          float v = 0.f;
+          if (py >= 0 && py < g.height && px >= 0 && px < g.width) {
+            v = proto[static_cast<std::size_t>(py * g.width + px)];
+          }
+          const double noisy =
+              contrast * cw * v + rng.normal(0.0, tp.pixel_noise);
+          images.at4(i, c, y, x) = static_cast<float>(noisy);
+        }
+      }
+    }
+  }
+  return Dataset(std::move(images), std::move(labels), kClasses);
+}
+
+Dataset make_gaussian_blobs(std::int64_t n, std::int64_t dims,
+                            std::int64_t classes, double noise, Rng& rng) {
+  CHIRON_CHECK(n > 0 && dims > 0 && classes > 1);
+  // Deterministic class centers: unit-ish directions from a fixed stream.
+  Rng center_rng(0xB10B5000u ^ static_cast<std::uint64_t>(dims * 131 + classes));
+  std::vector<std::vector<float>> centers(
+      static_cast<std::size_t>(classes));
+  for (auto& c : centers) {
+    c.resize(static_cast<std::size_t>(dims));
+    for (auto& v : c) v = static_cast<float>(center_rng.normal(0.0, 1.0));
+  }
+  Tensor x({n, dims});
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int cls = rng.randint(0, static_cast<int>(classes) - 1);
+    labels[static_cast<std::size_t>(i)] = cls;
+    const auto& c = centers[static_cast<std::size_t>(cls)];
+    for (std::int64_t d = 0; d < dims; ++d) {
+      x.at2(i, d) =
+          c[static_cast<std::size_t>(d)] +
+          static_cast<float>(rng.normal(0.0, noise));
+    }
+  }
+  return Dataset(std::move(x), std::move(labels), classes);
+}
+
+}  // namespace chiron::data

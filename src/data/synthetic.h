@@ -1,0 +1,47 @@
+// Procedural synthetic datasets standing in for MNIST, Fashion-MNIST and
+// CIFAR-10 (the evaluation datasets of the paper). See DESIGN.md §3: the
+// incentive mechanism consumes only the *accuracy trajectory* of federated
+// training, so what matters is that these sets (1) are learnable by real
+// SGD on the paper's model architectures, (2) are not trivially separable,
+// and (3) are ordered in difficulty MNIST < Fashion < CIFAR.
+//
+// Each class is a small set of structured prototypes (oriented strokes with
+// Gaussian cross-sections); a sample is a randomly chosen prototype under a
+// random translation, contrast jitter and additive pixel noise. Difficulty
+// is raised by shrinking the angular separation between classes and
+// increasing prototype count, shift range and noise.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace chiron::data {
+
+/// Which of the paper's three vision tasks to synthesize.
+enum class VisionTask { kMnistLike, kFashionLike, kCifarLike };
+
+const char* task_name(VisionTask task);
+
+/// Image geometry of a task: 28×28×1 for the MNIST-like pair, 32×32×3 for
+/// the CIFAR-like task (matching the paper's model input shapes).
+struct TaskGeometry {
+  std::int64_t channels;
+  std::int64_t height;
+  std::int64_t width;
+};
+TaskGeometry task_geometry(VisionTask task);
+
+/// Generates `n` labelled samples of the given task. All randomness comes
+/// from `rng`, so train/test splits are made by calling this twice with the
+/// same task and different rng states.
+Dataset make_vision_dataset(VisionTask task, std::int64_t n, Rng& rng);
+
+/// Low-dimensional Gaussian-blob classification set: k class centers on a
+/// scaled simplex in d dimensions, samples = center + noise. Used by fast
+/// unit tests and the quick real-training environment mode.
+Dataset make_gaussian_blobs(std::int64_t n, std::int64_t dims,
+                            std::int64_t classes, double noise, Rng& rng);
+
+}  // namespace chiron::data

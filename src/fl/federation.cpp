@@ -1,0 +1,62 @@
+#include "fl/federation.h"
+
+#include "common/error.h"
+#include "data/partition.h"
+
+namespace chiron::fl {
+
+Federation::Federation(const FederationConfig& config,
+                       const ModelFactory& factory,
+                       const data::Dataset& train, data::Dataset test,
+                       Rng& rng) {
+  auto shards = data::iid_partition(train, config.num_nodes, rng);
+  init(config, factory, std::move(shards), std::move(test), rng);
+}
+
+Federation::Federation(const FederationConfig& config,
+                       const ModelFactory& factory,
+                       std::vector<data::Dataset> shards, data::Dataset test,
+                       Rng& rng) {
+  init(config, factory, std::move(shards), std::move(test), rng);
+}
+
+void Federation::init(const FederationConfig& config,
+                      const ModelFactory& factory,
+                      std::vector<data::Dataset> shards, data::Dataset test,
+                      Rng& rng) {
+  CHIRON_CHECK(static_cast<int>(shards.size()) == config.num_nodes);
+  Rng server_rng = rng.split();
+  server_ = std::make_unique<ParameterServer>(
+      factory(server_rng), std::move(test), config.eval_batch_size,
+      config.aggregator, config.server_momentum);
+  nodes_.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    nodes_.push_back(std::make_unique<EdgeNode>(
+        static_cast<int>(i), std::move(shards[i]), factory, config.local,
+        rng.split()));
+  }
+}
+
+double Federation::run_round(const std::vector<int>& participants) {
+  if (participants.empty()) return accuracy();
+  std::vector<std::vector<float>> uploads;
+  std::vector<double> weights;
+  uploads.reserve(participants.size());
+  weights.reserve(participants.size());
+  for (int id : participants) {
+    CHIRON_CHECK_MSG(id >= 0 && id < num_nodes(), "node id " << id);
+    EdgeNode& n = node(id);
+    uploads.push_back(n.local_train(server_->global_params()));
+    weights.push_back(static_cast<double>(n.data_size()));
+  }
+  server_->aggregate(uploads, weights);
+  last_accuracy_ = server_->evaluate();
+  return last_accuracy_;
+}
+
+double Federation::accuracy() {
+  if (last_accuracy_ < 0.0) last_accuracy_ = server_->evaluate();
+  return last_accuracy_;
+}
+
+}  // namespace chiron::fl

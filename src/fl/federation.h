@@ -1,0 +1,58 @@
+// Federation: wires a parameter server to a set of edge nodes and runs
+// synchronous FedAvg rounds over a chosen participant subset. This is the
+// real-training accuracy backend of the incentive environment and is also
+// usable standalone (see examples/quickstart.cpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "fl/node.h"
+#include "fl/server.h"
+
+namespace chiron::fl {
+
+struct FederationConfig {
+  int num_nodes = 5;
+  LocalTrainConfig local;
+  std::int64_t eval_batch_size = 100;
+  Aggregator aggregator = Aggregator::kFedAvg;
+  double server_momentum = 0.9;
+};
+
+class Federation {
+ public:
+  /// Partitions `train` IID across the nodes and installs `test` at the
+  /// server. The factory defines the shared architecture.
+  Federation(const FederationConfig& config, const ModelFactory& factory,
+             const data::Dataset& train, data::Dataset test, Rng& rng);
+
+  /// Pre-partitioned variant (e.g. for non-IID shards).
+  Federation(const FederationConfig& config, const ModelFactory& factory,
+             std::vector<data::Dataset> shards, data::Dataset test, Rng& rng);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  EdgeNode& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+  ParameterServer& server() { return *server_; }
+
+  /// Runs one synchronous round over the given participants (node ids);
+  /// aggregates with D_i weights and returns the new global test accuracy.
+  /// With no participants the global model is unchanged and the previous
+  /// accuracy is returned.
+  double run_round(const std::vector<int>& participants);
+
+  /// Accuracy of the current global model (cached after each round).
+  double accuracy();
+
+ private:
+  void init(const FederationConfig& config, const ModelFactory& factory,
+            std::vector<data::Dataset> shards, data::Dataset test, Rng& rng);
+
+  std::vector<std::unique_ptr<EdgeNode>> nodes_;
+  std::unique_ptr<ParameterServer> server_;
+  double last_accuracy_ = -1.0;  // <0 = not yet evaluated
+};
+
+}  // namespace chiron::fl

@@ -1,0 +1,48 @@
+#include "fl/node.h"
+
+#include "common/error.h"
+#include "data/loader.h"
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "nn/serialize.h"
+
+namespace chiron::fl {
+
+EdgeNode::EdgeNode(int id, data::Dataset shard, const ModelFactory& factory,
+                   LocalTrainConfig config, Rng rng)
+    : id_(id),
+      shard_(std::move(shard)),
+      config_(config),
+      rng_(rng),
+      model_(factory(rng_)) {
+  CHIRON_CHECK(shard_.size() > 0);
+  CHIRON_CHECK(config_.epochs >= 1 && config_.batch_size >= 1);
+  CHIRON_CHECK(config_.lr > 0.0);
+}
+
+std::vector<float> EdgeNode::local_train(const std::vector<float>& global,
+                                         double* out_loss) {
+  nn::set_flat_params(*model_, global);
+  nn::Sgd opt(model_->params(), config_.lr, config_.momentum);
+  nn::SoftmaxCrossEntropy loss;
+  data::BatchLoader loader(shard_, config_.batch_size, rng_);
+  double loss_sum = 0.0;
+  std::int64_t steps = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    loader.reset();
+    while (loader.has_next()) {
+      auto [x, y] = loader.next();
+      opt.zero_grad();
+      nn::Tensor logits = model_->forward(x, /*train=*/true);
+      loss_sum += loss.forward(logits, y);
+      model_->backward(loss.backward());
+      opt.step();
+      ++steps;
+    }
+  }
+  if (out_loss != nullptr && steps > 0)
+    *out_loss = loss_sum / static_cast<double>(steps);
+  return nn::get_flat_params(*model_);
+}
+
+}  // namespace chiron::fl

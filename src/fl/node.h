@@ -1,0 +1,51 @@
+// An edge node of the learning federation: owns a private data shard and a
+// local model replica, and performs σ epochs of local SGD per round
+// (paper §II-A).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace chiron::fl {
+
+/// Builds a fresh model replica; all replicas in a federation must share
+/// the architecture (parameter layout).
+using ModelFactory =
+    std::function<std::unique_ptr<nn::Sequential>(chiron::Rng&)>;
+
+struct LocalTrainConfig {
+  int epochs = 5;        // σ
+  std::int64_t batch_size = 10;
+  double lr = 0.01;      // local SGD step size μ
+  double momentum = 0.0;
+};
+
+class EdgeNode {
+ public:
+  EdgeNode(int id, data::Dataset shard, const ModelFactory& factory,
+           LocalTrainConfig config, Rng rng);
+
+  int id() const { return id_; }
+  std::int64_t data_size() const { return shard_.size(); }  // D_i
+  double data_bits() const { return shard_.size_bits(); }   // d_i
+
+  /// Downloads `global` parameters, runs σ local epochs of SGD on the
+  /// shard, and returns the updated flat parameter vector (the "upload").
+  /// Returns the mean training loss across the run via out_loss if set.
+  std::vector<float> local_train(const std::vector<float>& global,
+                                 double* out_loss = nullptr);
+
+ private:
+  int id_;
+  data::Dataset shard_;
+  LocalTrainConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Sequential> model_;
+};
+
+}  // namespace chiron::fl

@@ -1,0 +1,72 @@
+#include "fl/server.h"
+
+#include <numeric>
+
+#include "common/error.h"
+#include "nn/loss.h"
+#include "nn/serialize.h"
+
+namespace chiron::fl {
+
+ParameterServer::ParameterServer(std::unique_ptr<nn::Sequential> model,
+                                 data::Dataset test_set,
+                                 std::int64_t eval_batch_size,
+                                 Aggregator aggregator,
+                                 double server_momentum)
+    : model_(std::move(model)),
+      test_(std::move(test_set)),
+      eval_batch_(eval_batch_size),
+      aggregator_(aggregator),
+      server_momentum_(server_momentum) {
+  CHIRON_CHECK(model_ != nullptr);
+  CHIRON_CHECK(test_.size() > 0);
+  CHIRON_CHECK(eval_batch_ >= 1);
+  CHIRON_CHECK(server_momentum_ >= 0.0 && server_momentum_ < 1.0);
+  global_ = nn::get_flat_params(*model_);
+}
+
+void ParameterServer::set_global_params(std::vector<float> params) {
+  CHIRON_CHECK(static_cast<std::int64_t>(params.size()) == parameter_count());
+  global_ = std::move(params);
+}
+
+void ParameterServer::aggregate(
+    const std::vector<std::vector<float>>& uploads,
+    const std::vector<double>& data_sizes) {
+  std::vector<float> target = nn::weighted_average(uploads, data_sizes);
+  if (aggregator_ == Aggregator::kFedAvg) {
+    global_ = std::move(target);
+    return;
+  }
+  // FedAvgM: m ← β·m + (ω − ω_avg); ω ← ω − m.
+  if (momentum_.empty()) momentum_.assign(global_.size(), 0.f);
+  const float beta = static_cast<float>(server_momentum_);
+  for (std::size_t i = 0; i < global_.size(); ++i) {
+    momentum_[i] = beta * momentum_[i] + (global_[i] - target[i]);
+    global_[i] -= momentum_[i];
+  }
+}
+
+double ParameterServer::evaluate() {
+  nn::set_flat_params(*model_, global_);
+  std::int64_t correct_weighted = 0;
+  std::int64_t total = 0;
+  for (std::int64_t start = 0; start < test_.size(); start += eval_batch_) {
+    const std::int64_t end = std::min(start + eval_batch_, test_.size());
+    std::vector<int> idx(static_cast<std::size_t>(end - start));
+    std::iota(idx.begin(), idx.end(), static_cast<int>(start));
+    auto [x, y] = test_.gather(idx);
+    nn::Tensor logits = model_->forward(x, /*train=*/false);
+    const double acc = nn::accuracy(logits, y);
+    correct_weighted +=
+        static_cast<std::int64_t>(acc * static_cast<double>(end - start) + 0.5);
+    total += end - start;
+  }
+  return static_cast<double>(correct_weighted) / static_cast<double>(total);
+}
+
+std::int64_t ParameterServer::parameter_count() const {
+  return static_cast<std::int64_t>(global_.size());
+}
+
+}  // namespace chiron::fl

@@ -1,0 +1,50 @@
+// The parameter server: holds the global model, aggregates uploads via
+// data-size-weighted FedAvg (Eqn 4), and measures global test accuracy —
+// the A(ω_k) that enters the exterior reward.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace chiron::fl {
+
+/// Server-side aggregation rule. kFedAvg is Eqn (4); kFedAvgMomentum adds
+/// a server momentum buffer over the aggregate update (FedAvgM — the
+/// momentum-accelerated federated learning the paper cites as [16]).
+enum class Aggregator { kFedAvg, kFedAvgMomentum };
+
+class ParameterServer {
+ public:
+  ParameterServer(std::unique_ptr<nn::Sequential> model,
+                  data::Dataset test_set,
+                  std::int64_t eval_batch_size = 100,
+                  Aggregator aggregator = Aggregator::kFedAvg,
+                  double server_momentum = 0.9);
+
+  /// Current global parameters ω_k (what nodes download).
+  const std::vector<float>& global_params() const { return global_; }
+  void set_global_params(std::vector<float> params);
+
+  /// FedAvg (Eqn 4): ω ← Σ (D_i / D) ω_i over the uploads.
+  void aggregate(const std::vector<std::vector<float>>& uploads,
+                 const std::vector<double>& data_sizes);
+
+  /// Global model accuracy on the held-out test set.
+  double evaluate();
+
+  std::int64_t parameter_count() const;
+
+ private:
+  std::unique_ptr<nn::Sequential> model_;
+  data::Dataset test_;
+  std::int64_t eval_batch_;
+  Aggregator aggregator_;
+  double server_momentum_;
+  std::vector<float> global_;
+  std::vector<float> momentum_;  // FedAvgM buffer (lazily sized)
+};
+
+}  // namespace chiron::fl

@@ -1,0 +1,28 @@
+// Stateless element-wise activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace chiron::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor input_;
+};
+
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor output_;
+};
+
+}  // namespace chiron::nn

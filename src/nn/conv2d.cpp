@@ -1,0 +1,66 @@
+#include "nn/conv2d.h"
+
+#include "common/error.h"
+#include "nn/init.h"
+
+namespace chiron::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, Rng& rng, std::int64_t stride,
+               std::int64_t pad)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(he_normal({in_channels * kernel * kernel, out_channels},
+                        in_channels * kernel * kernel, rng)),
+      bias_(Tensor::zeros({out_channels})) {
+  CHIRON_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0);
+  CHIRON_CHECK(stride >= 1 && pad >= 0);
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  CHIRON_CHECK_MSG(x.rank() == 4 && x.dim(1) == in_c_,
+                   "Conv2d expects (B, " << in_c_ << ", H, W), got " << x);
+  batch_ = x.dim(0);
+  geom_ = tensor::ConvGeom{in_c_, x.dim(2), x.dim(3), kernel_, stride_, pad_};
+  cols_ = tensor::im2col(x, geom_);
+  // (B·OH·OW, patch) × (patch, out_c) = (B·OH·OW, out_c).
+  Tensor flat = tensor::matmul(cols_, weight_.value);
+  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+  Tensor y({batch_, out_c_, oh, ow});
+  for (std::int64_t n = 0; n < batch_; ++n)
+    for (std::int64_t yix = 0; yix < oh; ++yix)
+      for (std::int64_t x_ = 0; x_ < ow; ++x_) {
+        const std::int64_t r = (n * oh + yix) * ow + x_;
+        for (std::int64_t c = 0; c < out_c_; ++c)
+          y.at4(n, c, yix, x_) = flat.at2(r, c) + bias_.value[c];
+      }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  CHIRON_CHECK_MSG(cols_.size() > 0, "backward before forward");
+  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+  CHIRON_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == batch_ &&
+               grad_out.dim(1) == out_c_ && grad_out.dim(2) == oh &&
+               grad_out.dim(3) == ow);
+  // NCHW grad -> row-major (B·OH·OW, out_c) to match the forward matmul.
+  Tensor gmat({batch_ * oh * ow, out_c_});
+  for (std::int64_t n = 0; n < batch_; ++n)
+    for (std::int64_t yix = 0; yix < oh; ++yix)
+      for (std::int64_t x_ = 0; x_ < ow; ++x_) {
+        const std::int64_t r = (n * oh + yix) * ow + x_;
+        for (std::int64_t c = 0; c < out_c_; ++c)
+          gmat.at2(r, c) = grad_out.at4(n, c, yix, x_);
+      }
+  weight_.grad += tensor::matmul_at(cols_, gmat);
+  for (std::int64_t r = 0; r < gmat.dim(0); ++r)
+    for (std::int64_t c = 0; c < out_c_; ++c)
+      bias_.grad[c] += gmat.at2(r, c);
+  Tensor grad_cols = tensor::matmul_bt(gmat, weight_.value);
+  return tensor::col2im(grad_cols, batch_, geom_);
+}
+
+}  // namespace chiron::nn

@@ -1,0 +1,38 @@
+// 2-D convolution (square kernel, no padding by default) via im2col.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace chiron::nn {
+
+class Conv2d final : public Layer {
+ public:
+  /// He-initialized convolution mapping (B, in_c, H, W) ->
+  /// (B, out_c, H', W') with H' = (H + 2·pad − kernel)/stride + 1.
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, Rng& rng, std::int64_t stride = 1,
+         std::int64_t pad = 0);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Conv2d"; }
+
+  std::int64_t out_channels() const { return out_c_; }
+
+ private:
+  std::int64_t in_c_;
+  std::int64_t out_c_;
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+  Param weight_;  // (in_c·k·k, out_c) — matmul-ready layout
+  Param bias_;    // (out_c)
+  // Forward caches.
+  tensor::ConvGeom geom_;
+  Tensor cols_;          // im2col of the last input
+  std::int64_t batch_ = 0;
+};
+
+}  // namespace chiron::nn

@@ -1,0 +1,49 @@
+#include "nn/dropout.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chiron::nn {
+
+Dropout::Dropout(double rate, Rng rng) : rate_(rate), rng_(rng) {
+  CHIRON_CHECK_MSG(rate >= 0.0 && rate < 1.0, "dropout rate " << rate);
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  last_train_ = train;
+  if (!train || rate_ == 0.0) return x;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  mask_ = Tensor(x.shape());
+  Tensor y = x;
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    const bool keep = !rng_.bernoulli(rate_);
+    mask_[i] = keep ? keep_scale : 0.f;
+    y[i] *= mask_[i];
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (!last_train_ || rate_ == 0.0) return grad_out;
+  CHIRON_CHECK(grad_out.shape() == mask_.shape());
+  return grad_out.hadamard(mask_);
+}
+
+Tensor Sigmoid::forward(const Tensor& x, bool /*train*/) {
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.size(); ++i)
+    y[i] = 1.f / (1.f + std::exp(-y[i]));
+  output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  CHIRON_CHECK(grad_out.shape() == output_.shape());
+  Tensor g = grad_out;
+  for (std::int64_t i = 0; i < g.size(); ++i)
+    g[i] *= output_[i] * (1.f - output_[i]);
+  return g;
+}
+
+}  // namespace chiron::nn

@@ -1,0 +1,42 @@
+// Inverted dropout: active only in training mode; at inference the layer
+// is the identity. Used by extension experiments on regularized local
+// training.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace chiron::nn {
+
+class Dropout final : public Layer {
+ public:
+  /// Drops each activation with probability `rate` (0 <= rate < 1) and
+  /// scales survivors by 1/(1-rate). The layer owns its RNG stream so that
+  /// training remains reproducible per layer.
+  Dropout(double rate, Rng rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Dropout"; }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  Tensor mask_;       // scaled keep-mask of the last training forward
+  bool last_train_ = false;
+};
+
+/// Logistic sigmoid activation.
+class Sigmoid final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor output_;
+};
+
+}  // namespace chiron::nn

@@ -1,0 +1,19 @@
+#include "nn/flatten.h"
+
+#include "common/error.h"
+
+namespace chiron::nn {
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  CHIRON_CHECK(x.rank() >= 2);
+  input_shape_ = x.shape();
+  const std::int64_t batch = x.dim(0);
+  return x.reshape({batch, x.size() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  CHIRON_CHECK(!input_shape_.empty());
+  return grad_out.reshape(input_shape_);
+}
+
+}  // namespace chiron::nn

@@ -1,0 +1,18 @@
+// Flattens (B, ...) to (B, prod(...)).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace chiron::nn {
+
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  tensor::Shape input_shape_;
+};
+
+}  // namespace chiron::nn

@@ -1,0 +1,26 @@
+// Weight initialization schemes.
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace chiron::nn {
+
+/// Kaiming/He normal init for ReLU fan-in.
+inline tensor::Tensor he_normal(tensor::Shape shape, std::int64_t fan_in,
+                                chiron::Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return tensor::Tensor::normal(std::move(shape), rng, 0.f, stddev);
+}
+
+/// Xavier/Glorot uniform init for tanh/linear layers.
+inline tensor::Tensor xavier_uniform(tensor::Shape shape, std::int64_t fan_in,
+                                     std::int64_t fan_out, chiron::Rng& rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::Tensor::uniform(std::move(shape), rng, -bound, bound);
+}
+
+}  // namespace chiron::nn

@@ -1,0 +1,11 @@
+#include "nn/layer.h"
+
+namespace chiron::nn {
+
+std::int64_t parameter_count(const std::vector<Param*>& params) {
+  std::int64_t n = 0;
+  for (const Param* p : params) n += p->size();
+  return n;
+}
+
+}  // namespace chiron::nn

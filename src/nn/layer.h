@@ -1,0 +1,54 @@
+// Layer abstraction for the manual-backprop neural network library.
+//
+// Each layer owns its parameters (value + gradient tensors). forward()
+// caches whatever the matching backward() needs; a layer therefore
+// processes one batch at a time (sufficient for both federated local
+// training and PPO updates, which are strictly sequential here).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace chiron::nn {
+
+using tensor::Tensor;
+
+/// A trainable parameter: value and accumulated gradient of equal shape.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+  void zero_grad() { grad.fill(0.f); }
+  std::int64_t size() const { return value.size(); }
+};
+
+/// Base class of all network layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for input x, caching activations needed by
+  /// backward(). `train` distinguishes training from inference (unused by
+  /// the current layers but part of the contract).
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input). Must be called after a matching forward().
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// The layer's trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Sum of parameter element counts across a parameter list.
+std::int64_t parameter_count(const std::vector<Param*>& params);
+
+}  // namespace chiron::nn

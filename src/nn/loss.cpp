@@ -1,0 +1,73 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace chiron::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<int>& labels) {
+  CHIRON_CHECK(logits.rank() == 2);
+  const std::int64_t batch = logits.dim(0), classes = logits.dim(1);
+  CHIRON_CHECK_MSG(static_cast<std::int64_t>(labels.size()) == batch,
+                   "labels size " << labels.size() << " vs batch " << batch);
+  probs_ = tensor::softmax_rows(logits);
+  labels_ = labels;
+  double loss = 0.0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const int y = labels[static_cast<std::size_t>(b)];
+    CHIRON_CHECK_MSG(y >= 0 && y < classes, "label " << y << " out of range");
+    loss += -std::log(std::max(probs_.at2(b, y), 1e-12f));
+  }
+  return static_cast<float>(loss / static_cast<double>(batch));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  CHIRON_CHECK_MSG(probs_.size() > 0, "backward before forward");
+  Tensor g = probs_;
+  const std::int64_t batch = g.dim(0);
+  const float inv_b = 1.f / static_cast<float>(batch);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    g.at2(b, labels_[static_cast<std::size_t>(b)]) -= 1.f;
+  }
+  g *= inv_b;
+  return g;
+}
+
+float MeanSquaredError::forward(const Tensor& pred, const Tensor& target) {
+  CHIRON_CHECK_MSG(pred.shape() == target.shape(), "MSE shape mismatch");
+  pred_ = pred;
+  target_ = target;
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < pred.size(); ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc / static_cast<double>(pred.size()));
+}
+
+Tensor MeanSquaredError::backward() const {
+  CHIRON_CHECK_MSG(pred_.size() > 0, "backward before forward");
+  Tensor g = pred_;
+  g -= target_;
+  g *= 2.f / static_cast<float>(pred_.size());
+  return g;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  CHIRON_CHECK(logits.rank() == 2);
+  const std::int64_t batch = logits.dim(0), classes = logits.dim(1);
+  CHIRON_CHECK(static_cast<std::int64_t>(labels.size()) == batch);
+  std::int64_t correct = 0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < classes; ++c)
+      if (logits.at2(b, c) > logits.at2(b, best)) best = c;
+    if (best == labels[static_cast<std::size_t>(b)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace chiron::nn

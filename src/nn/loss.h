@@ -1,0 +1,48 @@
+// Loss functions. SoftmaxCrossEntropy is fused (stable log-softmax) and is
+// the training loss of every classification model in the simulator; MSE is
+// used by the PPO critic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace chiron::nn {
+
+using tensor::Tensor;
+
+/// Fused softmax + cross-entropy over a batch of logits.
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: (B, C); labels: B class indices in [0, C).
+  /// Returns the mean loss and caches what backward() needs.
+  float forward(const Tensor& logits, const std::vector<int>& labels);
+
+  /// dL/d(logits) = (softmax − one_hot) / B for the cached batch.
+  Tensor backward() const;
+
+  /// Cached softmax probabilities (B, C) from the last forward.
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+/// Mean squared error 1/B · Σ (pred − target)².
+class MeanSquaredError {
+ public:
+  /// pred and target: (B, 1) or any matching shapes.
+  float forward(const Tensor& pred, const Tensor& target);
+  Tensor backward() const;
+
+ private:
+  Tensor pred_;
+  Tensor target_;
+};
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace chiron::nn

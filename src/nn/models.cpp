@@ -1,0 +1,64 @@
+#include "nn/models.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/flatten.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+
+namespace chiron::nn {
+
+std::unique_ptr<Sequential> make_mnist_cnn(Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(1, 10, 5, rng);   // 28 -> 24
+  net->emplace<MaxPool2d>(2);            // 24 -> 12
+  net->emplace<ReLU>();
+  net->emplace<Conv2d>(10, 20, 5, rng);  // 12 -> 8
+  net->emplace<MaxPool2d>(2);            // 8 -> 4
+  net->emplace<ReLU>();
+  net->emplace<Flatten>();               // 20·4·4 = 320
+  net->emplace<Linear>(320, 50, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(50, 10, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_lenet_cifar(Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(3, 6, 5, rng);    // 32 -> 28
+  net->emplace<MaxPool2d>(2);            // 28 -> 14
+  net->emplace<ReLU>();
+  net->emplace<Conv2d>(6, 16, 5, rng);   // 14 -> 10
+  net->emplace<MaxPool2d>(2);            // 10 -> 5
+  net->emplace<ReLU>();
+  net->emplace<Flatten>();               // 16·5·5 = 400
+  net->emplace<Linear>(400, 120, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(120, 84, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(84, 10, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_mlp_classifier(std::int64_t in,
+                                                std::int64_t hidden,
+                                                std::int64_t out, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Linear>(in, hidden, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(hidden, out, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_tanh_mlp(std::int64_t in, std::int64_t hidden,
+                                          std::int64_t out, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Linear>(in, hidden, rng);
+  net->emplace<Tanh>();
+  net->emplace<Linear>(hidden, hidden, rng);
+  net->emplace<Tanh>();
+  net->emplace<Linear>(hidden, out, rng);
+  return net;
+}
+
+}  // namespace chiron::nn

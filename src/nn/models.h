@@ -1,0 +1,32 @@
+// Factory functions for the model architectures the paper evaluates, plus
+// the MLPs used by the PPO agents.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace chiron::nn {
+
+/// The paper's MNIST / Fashion-MNIST CNN (§VI-A): 5×5 conv (10 ch) → 2×2
+/// max pool → ReLU → 5×5 conv (20 ch) → 2×2 max pool → ReLU → FC 320→50 →
+/// ReLU → FC 50→10. Exactly 21,840 trainable parameters.
+std::unique_ptr<Sequential> make_mnist_cnn(Rng& rng);
+
+/// The paper's CIFAR-10 LeNet (§VI-A): 5×5 conv (6 ch) → pool → ReLU →
+/// 5×5 conv (16 ch) → pool → ReLU → FC 400→120 → ReLU → FC 120→84 → ReLU →
+/// FC 84→10. Exactly 62,006 trainable parameters.
+std::unique_ptr<Sequential> make_lenet_cifar(Rng& rng);
+
+/// Small MLP classifier for fast tests/examples: in → hidden (ReLU) → out.
+std::unique_ptr<Sequential> make_mlp_classifier(std::int64_t in,
+                                                std::int64_t hidden,
+                                                std::int64_t out, Rng& rng);
+
+/// Tanh MLP used as PPO actor/critic trunk: in → h → h → out.
+std::unique_ptr<Sequential> make_tanh_mlp(std::int64_t in, std::int64_t hidden,
+                                          std::int64_t out, Rng& rng);
+
+}  // namespace chiron::nn

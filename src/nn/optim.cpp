@@ -1,0 +1,101 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chiron::nn {
+
+Optimizer::Optimizer(std::vector<Param*> params)
+    : params_(std::move(params)) {
+  CHIRON_CHECK_MSG(!params_.empty(), "optimizer over no parameters");
+  for (const Param* p : params_) CHIRON_CHECK(p != nullptr);
+}
+
+void Optimizer::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<Param*> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_)
+    velocity_.emplace_back(Tensor::zeros(p->value.shape()));
+}
+
+void Sgd::step() {
+  const float lr = static_cast<float>(lr_);
+  const float m = static_cast<float>(momentum_);
+  const float wd = static_cast<float>(weight_decay_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    for (std::int64_t j = 0; j < p.size(); ++j) {
+      v[j] = m * v[j] + p.grad[j] + wd * p.value[j];
+      p.value[j] -= lr * v[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(Tensor::zeros(p->value.shape()));
+    v_.emplace_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double b1t = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double b2t = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float lr = static_cast<float>(lr_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::int64_t j = 0; j < p.size(); ++j) {
+      const float g = p.grad[j];
+      m[j] = static_cast<float>(beta1_) * m[j] +
+             static_cast<float>(1.0 - beta1_) * g;
+      v[j] = static_cast<float>(beta2_) * v[j] +
+             static_cast<float>(1.0 - beta2_) * g * g;
+      const double mhat = m[j] / b1t;
+      const double vhat = v[j] / b2t;
+      p.value[j] -=
+          lr * static_cast<float>(mhat / (std::sqrt(vhat) + eps_));
+      if (weight_decay_ != 0.0)
+        p.value[j] -= lr * static_cast<float>(weight_decay_) * p.value[j];
+    }
+  }
+}
+
+double clip_grad_norm(const std::vector<Param*>& params, double max_norm) {
+  CHIRON_CHECK(max_norm > 0.0);
+  double sq = 0.0;
+  for (const Param* p : params)
+    for (std::int64_t j = 0; j < p->size(); ++j)
+      sq += static_cast<double>(p->grad[j]) * p->grad[j];
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (const Param* p : params)
+      for (std::int64_t j = 0; j < p->size(); ++j)
+        const_cast<Param*>(p)->grad[j] *= scale;
+  }
+  return norm;
+}
+
+}  // namespace chiron::nn

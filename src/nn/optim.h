@@ -1,0 +1,61 @@
+// First-order optimizers over a parameter list.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace chiron::nn {
+
+/// Common optimizer interface. Owners keep the parameter list stable for
+/// the optimizer's lifetime (per-parameter state is positional).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients.
+  virtual void step() = 0;
+
+  void zero_grad();
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ protected:
+  std::vector<Param*> params_;
+  double lr_ = 1e-2;
+};
+
+/// Plain SGD with optional momentum and L2 weight decay:
+/// v = m·v + (g + wd·w); w -= lr·v.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+  void step() override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction and decoupled weight
+/// decay (AdamW-style: decay applied directly to the weights).
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+  void step() override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Global gradient-norm clipping; returns the pre-clip norm.
+double clip_grad_norm(const std::vector<Param*>& params, double max_norm);
+
+}  // namespace chiron::nn

@@ -1,0 +1,24 @@
+#include "nn/pool.h"
+
+#include "common/error.h"
+
+namespace chiron::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride)
+    : window_(window), stride_(stride < 0 ? window : stride) {
+  CHIRON_CHECK(window_ >= 1 && stride_ >= 1);
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+  input_shape_ = x.shape();
+  auto res = tensor::maxpool_forward(x, window_, stride_);
+  argmax_ = std::move(res.argmax);
+  return std::move(res.output);
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  CHIRON_CHECK_MSG(!argmax_.empty(), "backward before forward");
+  return tensor::maxpool_backward(grad_out, input_shape_, argmax_);
+}
+
+}  // namespace chiron::nn

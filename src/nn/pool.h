@@ -1,0 +1,24 @@
+// Max-pooling layer.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace chiron::nn {
+
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::int64_t window, std::int64_t stride = -1);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::int64_t window_;
+  std::int64_t stride_;
+  tensor::Shape input_shape_;
+  std::vector<std::int64_t> argmax_;
+};
+
+}  // namespace chiron::nn

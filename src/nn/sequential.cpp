@@ -1,0 +1,42 @@
+#include "nn/sequential.h"
+
+#include "common/error.h"
+
+namespace chiron::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  CHIRON_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  CHIRON_CHECK_MSG(!layers_.empty(), "empty Sequential");
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_)
+    for (Param* p : l->params()) out.push_back(p);
+  return out;
+}
+
+void Sequential::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+std::int64_t Sequential::parameter_count() {
+  return chiron::nn::parameter_count(params());
+}
+
+}  // namespace chiron::nn

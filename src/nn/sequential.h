@@ -1,0 +1,43 @@
+// Sequential container of layers — the network type used by both the
+// federated models and the PPO actor/critic networks.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "nn/layer.h"
+
+namespace chiron::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(LayerPtr layer);
+
+  /// Convenience: constructs the layer in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "Sequential"; }
+
+  /// Sets every parameter gradient to zero.
+  void zero_grad();
+
+  /// Total number of trainable scalars.
+  std::int64_t parameter_count();
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace chiron::nn

@@ -1,0 +1,137 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace chiron::nn {
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x43484952;  // "CHIR"
+}
+
+std::vector<float> get_flat_params(Sequential& net) {
+  std::vector<float> flat;
+  for (Param* p : net.params()) {
+    flat.insert(flat.end(), p->value.vec().begin(), p->value.vec().end());
+  }
+  return flat;
+}
+
+void set_flat_params(Sequential& net, const std::vector<float>& flat) {
+  std::size_t offset = 0;
+  for (Param* p : net.params()) {
+    const std::size_t n = p->value.vec().size();
+    CHIRON_CHECK_MSG(offset + n <= flat.size(),
+                     "flat parameter vector too short");
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                static_cast<std::ptrdiff_t>(n), p->value.vec().begin());
+    offset += n;
+  }
+  CHIRON_CHECK_MSG(offset == flat.size(),
+                   "flat parameter vector has " << flat.size()
+                                                << " values, network needs "
+                                                << offset);
+}
+
+std::vector<float> get_flat_params(const std::vector<Param*>& params) {
+  std::vector<float> flat;
+  for (Param* p : params) {
+    CHIRON_CHECK(p != nullptr);
+    flat.insert(flat.end(), p->value.vec().begin(), p->value.vec().end());
+  }
+  return flat;
+}
+
+void set_flat_params(const std::vector<Param*>& params,
+                     const std::vector<float>& flat) {
+  std::size_t offset = 0;
+  for (Param* p : params) {
+    CHIRON_CHECK(p != nullptr);
+    const std::size_t n = p->value.vec().size();
+    CHIRON_CHECK_MSG(offset + n <= flat.size(),
+                     "flat parameter vector too short");
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                static_cast<std::ptrdiff_t>(n), p->value.vec().begin());
+    offset += n;
+  }
+  CHIRON_CHECK_MSG(offset == flat.size(), "flat parameter vector too long");
+}
+
+struct CheckpointWriter::Impl {
+  std::ofstream os;
+};
+
+CheckpointWriter::CheckpointWriter(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->os.open(path, std::ios::binary | std::ios::trunc);
+  CHIRON_CHECK_MSG(impl_->os.good(), "cannot open checkpoint " << path);
+  const std::uint32_t magic = kCheckpointMagic;
+  impl_->os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+}
+
+CheckpointWriter::~CheckpointWriter() = default;
+
+void CheckpointWriter::write_block(const std::vector<float>& values) {
+  const std::uint64_t n = values.size();
+  impl_->os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  impl_->os.write(reinterpret_cast<const char*>(values.data()),
+                  static_cast<std::streamsize>(n * sizeof(float)));
+  CHIRON_CHECK_MSG(impl_->os.good(), "checkpoint write failed");
+}
+
+struct CheckpointReader::Impl {
+  std::ifstream is;
+};
+
+CheckpointReader::CheckpointReader(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->is.open(path, std::ios::binary);
+  CHIRON_CHECK_MSG(impl_->is.good(), "cannot open checkpoint " << path);
+  std::uint32_t magic = 0;
+  impl_->is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  CHIRON_CHECK_MSG(impl_->is.good() && magic == kCheckpointMagic,
+                   "not a chiron checkpoint: " << path);
+}
+
+CheckpointReader::~CheckpointReader() = default;
+
+std::vector<float> CheckpointReader::read_block(std::size_t expected_size) {
+  std::uint64_t n = 0;
+  impl_->is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  CHIRON_CHECK_MSG(impl_->is.good(), "truncated checkpoint");
+  CHIRON_CHECK_MSG(n == expected_size, "checkpoint block has " << n
+                                           << " values, expected "
+                                           << expected_size);
+  std::vector<float> values(static_cast<std::size_t>(n));
+  impl_->is.read(reinterpret_cast<char*>(values.data()),
+                 static_cast<std::streamsize>(n * sizeof(float)));
+  CHIRON_CHECK_MSG(impl_->is.good(), "truncated checkpoint block");
+  return values;
+}
+
+std::vector<float> weighted_average(
+    const std::vector<std::vector<float>>& models,
+    const std::vector<double>& weights) {
+  CHIRON_CHECK(!models.empty());
+  CHIRON_CHECK(models.size() == weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    CHIRON_CHECK_MSG(w >= 0.0, "negative aggregation weight");
+    total += w;
+  }
+  CHIRON_CHECK_MSG(total > 0.0, "aggregation weights sum to zero");
+  const std::size_t n = models.front().size();
+  std::vector<double> acc(n, 0.0);
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    CHIRON_CHECK_MSG(models[m].size() == n, "model size mismatch in FedAvg");
+    const double w = weights[m] / total;
+    for (std::size_t i = 0; i < n; ++i) acc[i] += w * models[m][i];
+  }
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<float>(acc[i]);
+  return out;
+}
+
+}  // namespace chiron::nn

@@ -1,0 +1,67 @@
+// Flat parameter vectors — the wire format of the edge-learning simulator.
+//
+// FedAvg (Eqn 4) averages model parameters across nodes; we represent an
+// uploaded/downloaded model as a single std::vector<float> and copy it in
+// and out of a network's Param list in declaration order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace chiron::nn {
+
+/// Copies all parameters of `net` into one flat vector (declaration order).
+std::vector<float> get_flat_params(Sequential& net);
+
+/// Loads a flat vector produced by get_flat_params back into `net`.
+/// Sizes must match exactly.
+void set_flat_params(Sequential& net, const std::vector<float>& flat);
+
+/// Generic variants over an explicit parameter list (used for PPO agents,
+/// whose trainables are a network plus a standalone log-std vector).
+std::vector<float> get_flat_params(const std::vector<Param*>& params);
+void set_flat_params(const std::vector<Param*>& params,
+                     const std::vector<float>& flat);
+
+/// Binary checkpoint format: a magic tag, then length-prefixed float
+/// blocks. Blocks are written/read in order; loading validates the magic
+/// and block sizes and throws InvariantError on any mismatch.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(const std::string& path);
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  void write_block(const std::vector<float>& values);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(const std::string& path);
+  ~CheckpointReader();
+  CheckpointReader(const CheckpointReader&) = delete;
+  CheckpointReader& operator=(const CheckpointReader&) = delete;
+
+  /// Reads the next block; `expected_size` must match the stored length.
+  std::vector<float> read_block(std::size_t expected_size);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Weighted average Σ w_i·flat_i with Σ w_i normalized to 1.
+/// All vectors must be the same length; weights must be non-negative with a
+/// positive sum.
+std::vector<float> weighted_average(
+    const std::vector<std::vector<float>>& models,
+    const std::vector<double>& weights);
+
+}  // namespace chiron::nn

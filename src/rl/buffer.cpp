@@ -1,0 +1,103 @@
+#include "rl/buffer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace chiron::rl {
+
+RolloutBuffer::RolloutBuffer(std::int64_t obs_dim, std::int64_t act_dim)
+    : obs_dim_(obs_dim), act_dim_(act_dim) {
+  CHIRON_CHECK(obs_dim_ > 0 && act_dim_ > 0);
+}
+
+void RolloutBuffer::add(Transition t) {
+  CHIRON_CHECK_MSG(!finished_, "add after finish(); call clear() first");
+  CHIRON_CHECK(static_cast<std::int64_t>(t.obs.size()) == obs_dim_);
+  CHIRON_CHECK(static_cast<std::int64_t>(t.action.size()) == act_dim_);
+  transitions_.push_back(std::move(t));
+}
+
+void RolloutBuffer::end_episode(double gamma, double gae_lambda) {
+  CHIRON_CHECK(!finished_);
+  const std::size_t n = transitions_.size();
+  CHIRON_CHECK_MSG(segment_start_ < n, "end_episode() with no transitions");
+  advantages_.resize(n, 0.f);
+  returns_.resize(n, 0.f);
+  log_probs_.resize(n);
+  for (std::size_t i = segment_start_; i < n; ++i)
+    log_probs_[i] = transitions_[i].log_prob;
+
+  // Terminal episode segment: V(s_T) = 0.
+  double gae = 0.0;
+  double ret = 0.0;
+  for (std::size_t i = n; i-- > segment_start_;) {
+    const double next_value =
+        (i + 1 < n) ? transitions_[i + 1].value : 0.0;
+    const double delta =
+        transitions_[i].reward + gamma * next_value - transitions_[i].value;
+    gae = delta + gamma * gae_lambda * gae;
+    advantages_[i] = static_cast<float>(gae);
+    ret = transitions_[i].reward + gamma * ret;
+    returns_[i] = static_cast<float>(ret);
+  }
+  segment_start_ = n;
+}
+
+void RolloutBuffer::finalize(bool normalize) {
+  CHIRON_CHECK(!finished_);
+  CHIRON_CHECK_MSG(!transitions_.empty(), "finalize() on empty buffer");
+  CHIRON_CHECK_MSG(segment_start_ == transitions_.size(),
+                   "open episode segment; call end_episode() first");
+  const std::size_t n = transitions_.size();
+  if (normalize && n > 1) {
+    RunningStat rs;
+    for (float a : advantages_) rs.push(a);
+    const double std = rs.stddev();
+    const double mean = rs.mean();
+    if (std > 1e-8) {
+      for (auto& a : advantages_)
+        a = static_cast<float>((a - mean) / std);
+    } else {
+      for (auto& a : advantages_) a = static_cast<float>(a - mean);
+    }
+  }
+  finished_ = true;
+}
+
+void RolloutBuffer::finish(double gamma, double gae_lambda, bool normalize) {
+  if (segment_start_ < transitions_.size()) end_episode(gamma, gae_lambda);
+  finalize(normalize);
+}
+
+void RolloutBuffer::clear() {
+  transitions_.clear();
+  log_probs_.clear();
+  advantages_.clear();
+  returns_.clear();
+  segment_start_ = 0;
+  finished_ = false;
+}
+
+Tensor RolloutBuffer::observations() const {
+  const std::int64_t n = static_cast<std::int64_t>(transitions_.size());
+  Tensor t({n, obs_dim_});
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < obs_dim_; ++j)
+      t.at2(i, j) = transitions_[static_cast<std::size_t>(i)]
+                        .obs[static_cast<std::size_t>(j)];
+  return t;
+}
+
+Tensor RolloutBuffer::actions() const {
+  const std::int64_t n = static_cast<std::int64_t>(transitions_.size());
+  Tensor t({n, act_dim_});
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < act_dim_; ++j)
+      t.at2(i, j) = transitions_[static_cast<std::size_t>(i)]
+                        .action[static_cast<std::size_t>(j)];
+  return t;
+}
+
+}  // namespace chiron::rl

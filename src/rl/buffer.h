@@ -1,0 +1,75 @@
+// On-policy rollout storage with GAE(λ) advantage computation.
+//
+// Both hierarchical agents (and the single-agent baseline) store one
+// episode per buffer, matching the paper's Algorithm 1 which updates when
+// the budget runs out and then clears the buffers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace chiron::rl {
+
+using tensor::Tensor;
+
+/// One environment interaction as seen by a PPO agent.
+struct Transition {
+  std::vector<float> obs;
+  std::vector<float> action;  // raw (pre-squash) policy sample
+  float log_prob = 0.f;
+  float reward = 0.f;
+  float value = 0.f;  // V(s) predicted at acting time
+};
+
+class RolloutBuffer {
+ public:
+  RolloutBuffer(std::int64_t obs_dim, std::int64_t act_dim);
+
+  void add(Transition t);
+
+  /// Closes the current episode segment: computes GAE advantages and
+  /// discounted return targets for every transition added since the last
+  /// boundary. The segment is treated as terminal (bootstrap value 0),
+  /// matching budget-exhaustion termination. A buffer may hold several
+  /// episodes; call end_episode() after each, then finalize() once.
+  void end_episode(double gamma, double gae_lambda);
+
+  /// Marks the buffer ready for consumption. With `normalize` the
+  /// advantages are standardized over the whole batch — appropriate for
+  /// large batches, harmful for a single short episode, where re-centering
+  /// erases the cross-episode signal that the whole episode was good or
+  /// bad (the critic serves as baseline instead).
+  void finalize(bool normalize);
+
+  /// Single-episode convenience: end_episode() on any pending transitions,
+  /// then finalize(normalize).
+  void finish(double gamma, double gae_lambda, bool normalize = true);
+
+  std::size_t size() const { return transitions_.size(); }
+  bool finished() const { return finished_; }
+  void clear();
+
+  /// Batched views (valid after finish()).
+  Tensor observations() const;   // (T, obs_dim)
+  Tensor actions() const;        // (T, act_dim)
+  const std::vector<float>& log_probs() const { return log_probs_; }
+  const std::vector<float>& advantages() const { return advantages_; }
+  const std::vector<float>& returns() const { return returns_; }
+
+  std::int64_t obs_dim() const { return obs_dim_; }
+  std::int64_t act_dim() const { return act_dim_; }
+
+ private:
+  std::int64_t obs_dim_;
+  std::int64_t act_dim_;
+  std::vector<Transition> transitions_;
+  std::vector<float> log_probs_;
+  std::vector<float> advantages_;
+  std::vector<float> returns_;
+  std::size_t segment_start_ = 0;  // first transition of the open episode
+  bool finished_ = false;
+};
+
+}  // namespace chiron::rl

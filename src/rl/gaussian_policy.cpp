@@ -1,0 +1,119 @@
+#include "rl/gaussian_policy.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "nn/models.h"
+
+namespace chiron::rl {
+
+namespace {
+constexpr double kLogSqrt2Pi = 0.9189385332046727;  // log sqrt(2π)
+}
+
+GaussianPolicy::GaussianPolicy(std::int64_t obs_dim, std::int64_t act_dim,
+                               std::int64_t hidden, Rng& rng,
+                               float init_log_std)
+    : obs_dim_(obs_dim),
+      act_dim_(act_dim),
+      net_(nn::make_tanh_mlp(obs_dim, hidden, act_dim, rng)),
+      log_std_(Tensor::full({act_dim}, init_log_std)) {
+  CHIRON_CHECK(obs_dim > 0 && act_dim > 0 && hidden > 0);
+}
+
+std::vector<float> GaussianPolicy::mean(const std::vector<float>& obs) {
+  CHIRON_CHECK(static_cast<std::int64_t>(obs.size()) == obs_dim_);
+  Tensor x({1, obs_dim_}, std::vector<float>(obs));
+  Tensor mu = net_->forward(x, /*train=*/false);
+  return mu.vec();
+}
+
+PolicySample GaussianPolicy::sample(const std::vector<float>& obs, Rng& rng) {
+  std::vector<float> mu = mean(obs);
+  PolicySample s;
+  s.action.resize(static_cast<std::size_t>(act_dim_));
+  double logp = 0.0;
+  for (std::int64_t j = 0; j < act_dim_; ++j) {
+    const double sigma = std::exp(log_std_.value[j]);
+    const double a = rng.normal(mu[static_cast<std::size_t>(j)], sigma);
+    s.action[static_cast<std::size_t>(j)] = static_cast<float>(a);
+    const double z = (a - mu[static_cast<std::size_t>(j)]) / sigma;
+    logp += -0.5 * z * z - log_std_.value[j] - kLogSqrt2Pi;
+  }
+  s.log_prob = static_cast<float>(logp);
+  return s;
+}
+
+std::vector<float> GaussianPolicy::log_prob_batch(const Tensor& obs,
+                                                  const Tensor& actions,
+                                                  Tensor* out_means) {
+  CHIRON_CHECK(obs.rank() == 2 && obs.dim(1) == obs_dim_);
+  CHIRON_CHECK(actions.rank() == 2 && actions.dim(1) == act_dim_);
+  CHIRON_CHECK(obs.dim(0) == actions.dim(0));
+  Tensor mu = net_->forward(obs, /*train=*/true);
+  const std::int64_t batch = obs.dim(0);
+  std::vector<float> out(static_cast<std::size_t>(batch));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    double logp = 0.0;
+    for (std::int64_t j = 0; j < act_dim_; ++j) {
+      const double sigma = std::exp(log_std_.value[j]);
+      const double z = (actions.at2(b, j) - mu.at2(b, j)) / sigma;
+      logp += -0.5 * z * z - log_std_.value[j] - kLogSqrt2Pi;
+    }
+    out[static_cast<std::size_t>(b)] = static_cast<float>(logp);
+  }
+  if (out_means != nullptr) *out_means = mu;
+  return out;
+}
+
+double GaussianPolicy::entropy() const {
+  // H = Σ_j (logσ_j + ½ log(2πe)).
+  double h = 0.0;
+  for (std::int64_t j = 0; j < act_dim_; ++j)
+    h += log_std_.value[j] + kLogSqrt2Pi + 0.5;
+  return h;
+}
+
+void GaussianPolicy::backward_log_prob(const Tensor& obs,
+                                       const Tensor& actions,
+                                       const Tensor& means,
+                                       const std::vector<float>& dloss_dlogp) {
+  const std::int64_t batch = obs.dim(0);
+  CHIRON_CHECK(static_cast<std::int64_t>(dloss_dlogp.size()) == batch);
+  CHIRON_CHECK(means.rank() == 2 && means.dim(0) == batch &&
+               means.dim(1) == act_dim_);
+  // dlogp/dμ_j = (a_j − μ_j)/σ_j² ; dlogp/dlogσ_j = z_j² − 1.
+  Tensor grad_mu({batch, act_dim_});
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float g = dloss_dlogp[static_cast<std::size_t>(b)];
+    for (std::int64_t j = 0; j < act_dim_; ++j) {
+      const double sigma = std::exp(log_std_.value[j]);
+      const double diff = actions.at2(b, j) - means.at2(b, j);
+      grad_mu.at2(b, j) = static_cast<float>(g * diff / (sigma * sigma));
+      const double z2 = (diff / sigma) * (diff / sigma);
+      log_std_.grad[j] += static_cast<float>(g * (z2 - 1.0));
+    }
+  }
+  // Forward state in net_ corresponds to the last log_prob_batch call.
+  net_->backward(grad_mu);
+}
+
+void GaussianPolicy::add_entropy_grad(float coef) {
+  for (std::int64_t j = 0; j < act_dim_; ++j) log_std_.grad[j] += coef;
+}
+
+std::vector<Param*> GaussianPolicy::params() {
+  std::vector<Param*> p = net_->params();
+  p.push_back(&log_std_);
+  return p;
+}
+
+void GaussianPolicy::clamp_log_std(float lo, float hi) {
+  CHIRON_CHECK(lo <= hi);
+  for (std::int64_t j = 0; j < act_dim_; ++j) {
+    if (log_std_.value[j] < lo) log_std_.value[j] = lo;
+    if (log_std_.value[j] > hi) log_std_.value[j] = hi;
+  }
+}
+
+}  // namespace chiron::rl

@@ -1,0 +1,75 @@
+// Diagonal-Gaussian stochastic policy with a tanh-MLP mean network and a
+// state-independent learned log-std vector (standard PPO parameterization).
+//
+// The policy samples *raw* (unsquashed) actions; squashing (sigmoid for the
+// exterior price scalar, softmax for the inner allocation vector) is part
+// of the environment mapping, so PPO ratios are computed in raw space.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace chiron::rl {
+
+using nn::Param;
+using nn::Sequential;
+using tensor::Tensor;
+
+struct PolicySample {
+  std::vector<float> action;  // raw sample
+  float log_prob = 0.f;
+};
+
+class GaussianPolicy {
+ public:
+  /// obs_dim → hidden → hidden → act_dim tanh MLP; log_std initialized to
+  /// `init_log_std` for every dimension.
+  GaussianPolicy(std::int64_t obs_dim, std::int64_t act_dim,
+                 std::int64_t hidden, Rng& rng, float init_log_std = -0.5f);
+
+  std::int64_t obs_dim() const { return obs_dim_; }
+  std::int64_t act_dim() const { return act_dim_; }
+
+  /// Mean action for a single observation (deterministic evaluation).
+  std::vector<float> mean(const std::vector<float>& obs);
+
+  /// Samples an action and returns its log density.
+  PolicySample sample(const std::vector<float>& obs, Rng& rng);
+
+  /// Log densities of a batch of actions under the current policy.
+  /// obs: (B, obs_dim), actions: (B, act_dim); also returns the batch of
+  /// means via out_means when non-null (used by the PPO update).
+  std::vector<float> log_prob_batch(const Tensor& obs, const Tensor& actions,
+                                    Tensor* out_means = nullptr);
+
+  /// Policy entropy (depends only on log_std for a diagonal Gaussian).
+  double entropy() const;
+
+  /// Backward pass for the PPO loss: given dL/d(log_prob) per sample and
+  /// the batch used in the last log_prob_batch call, accumulates gradients
+  /// into the mean network and log_std. Caller must zero grads first.
+  void backward_log_prob(const Tensor& obs, const Tensor& actions,
+                         const Tensor& means,
+                         const std::vector<float>& dloss_dlogp);
+
+  /// Adds `coef` to every log_std gradient (entropy-bonus contribution:
+  /// dH/dlogσ_j = 1, so a loss term −c·H contributes −c to each).
+  void add_entropy_grad(float coef);
+
+  /// All trainable parameters (mean net + log_std).
+  std::vector<Param*> params();
+
+  const Tensor& log_std() const { return log_std_.value; }
+  void clamp_log_std(float lo, float hi);
+
+ private:
+  std::int64_t obs_dim_;
+  std::int64_t act_dim_;
+  std::unique_ptr<Sequential> net_;
+  Param log_std_;
+};
+
+}  // namespace chiron::rl

@@ -1,0 +1,98 @@
+#include "rl/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chiron::rl {
+
+PpoAgent::PpoAgent(const PpoConfig& config, Rng& rng)
+    : config_(config),
+      policy_(config.obs_dim, config.act_dim, config.hidden, rng,
+              config.init_log_std),
+      critic_(config.obs_dim, config.hidden, rng),
+      actor_opt_(policy_.params(), config.actor_lr),
+      critic_opt_(critic_.params(), config.critic_lr) {
+  CHIRON_CHECK(config.obs_dim > 0 && config.act_dim > 0);
+  CHIRON_CHECK(config.clip_ratio > 0.0);
+  CHIRON_CHECK(config.update_epochs >= 1);
+}
+
+ActResult PpoAgent::act(const std::vector<float>& obs, Rng& rng) {
+  PolicySample s = policy_.sample(obs, rng);
+  ActResult r;
+  r.action = std::move(s.action);
+  r.log_prob = s.log_prob;
+  r.value = critic_.value(obs);
+  return r;
+}
+
+std::vector<float> PpoAgent::act_mean(const std::vector<float>& obs) {
+  return policy_.mean(obs);
+}
+
+double PpoAgent::update(RolloutBuffer& buffer) {
+  CHIRON_CHECK_MSG(buffer.finished(), "buffer must be finish()ed");
+  const Tensor obs = buffer.observations();
+  const Tensor actions = buffer.actions();
+  const std::vector<float>& logp_old = buffer.log_probs();
+  const std::vector<float>& adv = buffer.advantages();
+  const std::vector<float>& ret = buffer.returns();
+  const std::int64_t batch = obs.dim(0);
+  const float clip = static_cast<float>(config_.clip_ratio);
+
+  double last_objective = 0.0;
+  for (int epoch = 0; epoch < config_.update_epochs; ++epoch) {
+    // ---- Actor: clipped surrogate. ----
+    Tensor means;
+    std::vector<float> logp = policy_.log_prob_batch(obs, actions, &means);
+    std::vector<float> dloss_dlogp(static_cast<std::size_t>(batch), 0.f);
+    double objective = 0.0;
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const std::size_t i = static_cast<std::size_t>(b);
+      const float ratio = std::exp(std::clamp(logp[i] - logp_old[i],
+                                              -20.f, 20.f));
+      const float a = adv[i];
+      const float unclipped = ratio * a;
+      const float clipped = std::clamp(ratio, 1.f - clip, 1.f + clip) * a;
+      objective += std::min(unclipped, clipped);
+      // Gradient flows only through the unclipped branch when it is the
+      // active minimum (standard PPO subgradient).
+      if (unclipped <= clipped) {
+        // dL/dlogp = −a·ratio (loss = −objective).
+        dloss_dlogp[i] = -a * ratio / static_cast<float>(batch);
+      }
+    }
+    objective /= static_cast<double>(batch);
+    last_objective = objective;
+
+    actor_opt_.zero_grad();
+    policy_.backward_log_prob(obs, actions, means, dloss_dlogp);
+    policy_.add_entropy_grad(static_cast<float>(-config_.entropy_coef));
+    nn::clip_grad_norm(policy_.params(), config_.max_grad_norm);
+    actor_opt_.step();
+    policy_.clamp_log_std(config_.min_log_std, config_.max_log_std);
+
+    // ---- Critic: MSE to discounted returns. ----
+    critic_opt_.zero_grad();
+    Tensor v = critic_.forward_batch(obs);
+    Tensor grad_v({batch, 1});
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const float err = v.at2(b, 0) - ret[static_cast<std::size_t>(b)];
+      grad_v.at2(b, 0) = 2.f * err / static_cast<float>(batch);
+    }
+    critic_.backward(grad_v);
+    nn::clip_grad_norm(critic_.params(), config_.max_grad_norm);
+    critic_opt_.step();
+  }
+  return last_objective;
+}
+
+void PpoAgent::decay_lr(double factor) {
+  CHIRON_CHECK(factor > 0.0);
+  actor_opt_.set_lr(actor_opt_.lr() * factor);
+  critic_opt_.set_lr(critic_opt_.lr() * factor);
+}
+
+}  // namespace chiron::rl

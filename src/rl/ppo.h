@@ -1,0 +1,76 @@
+// Proximal Policy Optimization (clipped surrogate) over a GaussianPolicy
+// and a ValueNet — the learning algorithm of both Chiron agents and the
+// single-agent DRL baseline (paper §V-B).
+//
+// Following the paper's Algorithm 1, updates run when an episode ends
+// (budget exhausted): M optimization epochs over the whole episode batch
+// ("the update batch of agent is equal to the step number of each
+// episode", §VI-A), then the old policy snapshot is implicitly refreshed
+// because the buffer is cleared and new ratios start from the updated
+// policy.
+#pragma once
+
+#include <memory>
+
+#include "rl/buffer.h"
+#include "rl/gaussian_policy.h"
+#include "rl/value_net.h"
+#include "nn/optim.h"
+
+namespace chiron::rl {
+
+struct PpoConfig {
+  std::int64_t obs_dim = 0;
+  std::int64_t act_dim = 0;
+  std::int64_t hidden = 64;
+  double actor_lr = 3e-5;    // paper §VI-A: lr_a = lr_c = 3e-5
+  double critic_lr = 3e-5;
+  double clip_ratio = 0.2;
+  double gamma = 0.95;       // paper §VI-A
+  double gae_lambda = 0.95;
+  int update_epochs = 10;    // M in Algorithm 1
+  double entropy_coef = 1e-3;
+  double max_grad_norm = 5.0;
+  float init_log_std = -0.5f;
+  float min_log_std = -3.0f;
+  float max_log_std = 1.0f;
+};
+
+/// Result of one action query.
+struct ActResult {
+  std::vector<float> action;  // raw Gaussian sample
+  float log_prob = 0.f;
+  float value = 0.f;
+};
+
+class PpoAgent {
+ public:
+  PpoAgent(const PpoConfig& config, Rng& rng);
+
+  /// Samples an action with its log-prob and V(s).
+  ActResult act(const std::vector<float>& obs, Rng& rng);
+
+  /// Deterministic (mean) action for evaluation runs.
+  std::vector<float> act_mean(const std::vector<float>& obs);
+
+  /// PPO update over a finished episode buffer; the caller clears the
+  /// buffer afterwards. Returns the final-epoch mean surrogate objective
+  /// (diagnostic).
+  double update(RolloutBuffer& buffer);
+
+  /// Multiplies both learning rates (paper: ×0.95 every 20 episodes).
+  void decay_lr(double factor);
+
+  const PpoConfig& config() const { return config_; }
+  GaussianPolicy& policy() { return policy_; }
+  ValueNet& critic() { return critic_; }
+
+ private:
+  PpoConfig config_;
+  GaussianPolicy policy_;
+  ValueNet critic_;
+  nn::Adam actor_opt_;
+  nn::Adam critic_opt_;
+};
+
+}  // namespace chiron::rl

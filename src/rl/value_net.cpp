@@ -1,0 +1,26 @@
+#include "rl/value_net.h"
+
+#include "common/error.h"
+#include "nn/models.h"
+
+namespace chiron::rl {
+
+ValueNet::ValueNet(std::int64_t obs_dim, std::int64_t hidden, Rng& rng)
+    : obs_dim_(obs_dim), net_(nn::make_tanh_mlp(obs_dim, hidden, 1, rng)) {
+  CHIRON_CHECK(obs_dim > 0 && hidden > 0);
+}
+
+float ValueNet::value(const std::vector<float>& obs) {
+  CHIRON_CHECK(static_cast<std::int64_t>(obs.size()) == obs_dim_);
+  Tensor x({1, obs_dim_}, std::vector<float>(obs));
+  return net_->forward(x, /*train=*/false)[0];
+}
+
+Tensor ValueNet::forward_batch(const Tensor& obs) {
+  CHIRON_CHECK(obs.rank() == 2 && obs.dim(1) == obs_dim_);
+  return net_->forward(obs, /*train=*/true);
+}
+
+void ValueNet::backward(const Tensor& grad_out) { net_->backward(grad_out); }
+
+}  // namespace chiron::rl

@@ -1,0 +1,35 @@
+// State-value estimator V(s): tanh MLP with scalar output.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace chiron::rl {
+
+using nn::Param;
+using tensor::Tensor;
+
+class ValueNet {
+ public:
+  ValueNet(std::int64_t obs_dim, std::int64_t hidden, Rng& rng);
+
+  /// V(s) for one observation.
+  float value(const std::vector<float>& obs);
+
+  /// Batched forward (B, obs_dim) → (B, 1), keeping backward state.
+  Tensor forward_batch(const Tensor& obs);
+
+  /// Backward from dL/d(output) of the last forward_batch.
+  void backward(const Tensor& grad_out);
+
+  std::vector<Param*> params() { return net_->params(); }
+
+ private:
+  std::int64_t obs_dim_;
+  std::unique_ptr<nn::Sequential> net_;
+};
+
+}  // namespace chiron::rl

@@ -1,0 +1,33 @@
+#include "sysmodel/device.h"
+
+#include "common/error.h"
+
+namespace chiron::sysmodel {
+
+DeviceProfile sample_device(const DevicePopulation& pop, double data_bits,
+                            Rng& rng) {
+  CHIRON_CHECK(data_bits > 0.0);
+  DeviceProfile d;
+  d.cycles_per_bit = pop.cycles_per_bit;
+  d.data_bits = data_bits;
+  d.capacitance = pop.capacitance;
+  d.zeta_min = pop.zeta_min;
+  d.zeta_max = rng.uniform(pop.zeta_max_lo, pop.zeta_max_hi);
+  d.comm_time = rng.uniform(pop.comm_time_lo, pop.comm_time_hi);
+  d.comm_energy_rate = pop.comm_energy_rate;
+  d.reserve_utility = rng.uniform(pop.reserve_lo, pop.reserve_hi);
+  CHIRON_CHECK(d.zeta_min < d.zeta_max);
+  return d;
+}
+
+std::vector<DeviceProfile> sample_devices(const DevicePopulation& pop, int n,
+                                          double data_bits_each, Rng& rng) {
+  CHIRON_CHECK(n >= 1);
+  std::vector<DeviceProfile> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    out.push_back(sample_device(pop, data_bits_each, rng));
+  return out;
+}
+
+}  // namespace chiron::sysmodel

@@ -1,0 +1,47 @@
+// Edge-node hardware/economic profile (paper §III and §VI-A).
+//
+// These are the node's *private* parameters: the parameter server never
+// reads them directly — only the DRL agents' observations of realized
+// frequencies/times leak information, exactly as in the paper.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace chiron::sysmodel {
+
+struct DeviceProfile {
+  double cycles_per_bit = 20.0;    // c_i [cycles/bit]
+  double data_bits = 0.0;          // d_i [bits per local epoch]
+  double capacitance = 2e-28;      // α_i, effective switched capacitance
+  double zeta_min = 0.1e9;         // minimal CPU frequency [Hz]
+  double zeta_max = 1.5e9;         // maximal CPU frequency [Hz]
+  double comm_time = 15.0;         // T^com_i [s] (fixed per node, paper §VI-A)
+  double comm_energy_rate = 0.001; // ε_i [J/s]
+  double reserve_utility = 0.0;    // μ_i, participation threshold
+};
+
+/// Parameters of the random device population (defaults = paper §VI-A).
+struct DevicePopulation {
+  double cycles_per_bit = 20.0;
+  double capacitance = 2e-28;
+  double zeta_min = 0.1e9;
+  double zeta_max_lo = 1.0e9;   // ζ_max ~ U[1.0, 2.0] GHz
+  double zeta_max_hi = 2.0e9;
+  double comm_time_lo = 10.0;   // T^com ~ U[10, 20] s
+  double comm_time_hi = 20.0;
+  double comm_energy_rate = 0.001;
+  double reserve_lo = 0.005;    // μ_i ~ U[lo, hi]
+  double reserve_hi = 0.02;
+};
+
+/// Samples one device; `data_bits` is the size of its local shard per epoch.
+DeviceProfile sample_device(const DevicePopulation& pop, double data_bits,
+                            Rng& rng);
+
+/// Samples n devices with the same shard size each (IID partition case).
+std::vector<DeviceProfile> sample_devices(const DevicePopulation& pop, int n,
+                                          double data_bits_each, Rng& rng);
+
+}  // namespace chiron::sysmodel

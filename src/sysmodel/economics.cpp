@@ -1,0 +1,99 @@
+#include "sysmodel/economics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace chiron::sysmodel {
+
+namespace {
+/// σ α c d — the coefficient of ζ² in computing energy.
+double energy_coeff(const DeviceProfile& d, int local_epochs) {
+  return static_cast<double>(local_epochs) * d.capacitance *
+         d.cycles_per_bit * d.data_bits;
+}
+}  // namespace
+
+double unconstrained_optimal_zeta(const DeviceProfile& device, double price,
+                                  int local_epochs) {
+  CHIRON_CHECK(local_epochs >= 1);
+  const double k = 2.0 * energy_coeff(device, local_epochs);
+  CHIRON_CHECK(k > 0.0);
+  return price / k;
+}
+
+double saturation_price(const DeviceProfile& device, int local_epochs) {
+  return 2.0 * energy_coeff(device, local_epochs) * device.zeta_max;
+}
+
+double utility_at(const DeviceProfile& device, double price, double zeta,
+                  int local_epochs) {
+  const double e_cmp = energy_coeff(device, local_epochs) * zeta * zeta;
+  const double e_com = device.comm_energy_rate * device.comm_time;
+  return price * zeta - e_cmp - e_com;
+}
+
+NodeDecision best_response(const DeviceProfile& device, double price,
+                           int local_epochs) {
+  CHIRON_CHECK(local_epochs >= 1);
+  NodeDecision d;
+  d.price = price;
+  d.comm_time = device.comm_time;
+  if (price <= 0.0) return d;  // no bonus, no participation
+
+  const double zeta_star = std::clamp(
+      unconstrained_optimal_zeta(device, price, local_epochs),
+      device.zeta_min, device.zeta_max);
+  const double utility = utility_at(device, price, zeta_star, local_epochs);
+  if (utility < device.reserve_utility) return d;  // reserve not met
+
+  d.participates = true;
+  d.zeta = zeta_star;
+  d.compute_time = static_cast<double>(local_epochs) * device.cycles_per_bit *
+                   device.data_bits / zeta_star;
+  d.total_time = d.compute_time + d.comm_time;
+  d.compute_energy = energy_coeff(device, local_epochs) * zeta_star * zeta_star;
+  d.comm_energy = device.comm_energy_rate * device.comm_time;
+  d.utility = utility;
+  d.payment = price * zeta_star;
+  return d;
+}
+
+RoundOutcome run_round(const std::vector<DeviceProfile>& devices,
+                       const std::vector<double>& prices, int local_epochs) {
+  CHIRON_CHECK_MSG(devices.size() == prices.size(),
+                   "devices " << devices.size() << " vs prices "
+                              << prices.size());
+  RoundOutcome out;
+  out.nodes.reserve(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    NodeDecision d = best_response(devices[i], prices[i], local_epochs);
+    if (d.participates) {
+      ++out.participants;
+      out.round_time = std::max(out.round_time, d.total_time);
+      out.total_payment += d.payment;
+      out.total_energy += d.compute_energy + d.comm_energy;
+    }
+    out.nodes.push_back(std::move(d));
+  }
+  if (out.participants > 0 && out.round_time > 0.0) {
+    // Eqns (15)–(16) sum over ALL N nodes; a node that declined trains for
+    // zero time, so it contributes a full round of idle time. This is what
+    // makes concentrating the budget on few nodes unattractive to the
+    // inner agent.
+    double time_sum = 0.0;
+    for (const auto& d : out.nodes) {
+      const double t = d.participates ? d.total_time : 0.0;
+      out.idle_time += out.round_time - t;
+      time_sum += t;
+    }
+    out.time_efficiency =
+        time_sum /
+        (static_cast<double>(out.nodes.size()) * out.round_time);
+  } else {
+    out.time_efficiency = 0.0;
+  }
+  return out;
+}
+
+}  // namespace chiron::sysmodel

@@ -1,0 +1,225 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace chiron::tensor {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  CHIRON_CHECK(a.rank() == 2 && b.rank() == 2);
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  CHIRON_CHECK_MSG(b.dim(0) == k, "matmul inner dims " << k << " vs " << b.dim(0));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order: streams B rows, accumulates into C rows.
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b_t) {
+  CHIRON_CHECK(a.rank() == 2 && b_t.rank() == 2);
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b_t.dim(0);
+  CHIRON_CHECK_MSG(b_t.dim(1) == k,
+                   "matmul_bt inner dims " << k << " vs " << b_t.dim(1));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b_t.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  CHIRON_CHECK(a.rank() == 2 && b.rank() == 2);
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  CHIRON_CHECK_MSG(b.dim(0) == k,
+                   "matmul_at inner dims " << k << " vs " << b.dim(0));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aik = arow[i];
+      if (aik == 0.f) continue;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  CHIRON_CHECK(a.rank() == 2);
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) t.at2(j, i) = a.at2(i, j);
+  return t;
+}
+
+Tensor im2col(const Tensor& input, const ConvGeom& g) {
+  CHIRON_CHECK(input.rank() == 4);
+  CHIRON_CHECK(input.dim(1) == g.in_c && input.dim(2) == g.in_h &&
+               input.dim(3) == g.in_w);
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  CHIRON_CHECK_MSG(oh > 0 && ow > 0, "conv output is empty");
+  const std::int64_t patch = g.in_c * g.kernel * g.kernel;
+  Tensor cols({batch * oh * ow, patch});
+  float* pc = cols.data();
+  const float* pin = input.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float* dst = pc + ((n * oh + y) * ow + x) * patch;
+        for (std::int64_t c = 0; c < g.in_c; ++c) {
+          for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+            const std::int64_t iy = y * g.stride + ky - g.pad;
+            for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+              const std::int64_t ix = x * g.stride + kx - g.pad;
+              float v = 0.f;
+              if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+                v = pin[((n * g.in_c + c) * g.in_h + iy) * g.in_w + ix];
+              }
+              *dst++ = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, std::int64_t batch, const ConvGeom& g) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t patch = g.in_c * g.kernel * g.kernel;
+  CHIRON_CHECK(cols.rank() == 2);
+  CHIRON_CHECK(cols.dim(0) == batch * oh * ow && cols.dim(1) == patch);
+  Tensor grad({batch, g.in_c, g.in_h, g.in_w});
+  float* pg = grad.data();
+  const float* pc = cols.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        const float* src = pc + ((n * oh + y) * ow + x) * patch;
+        for (std::int64_t c = 0; c < g.in_c; ++c) {
+          for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+            const std::int64_t iy = y * g.stride + ky - g.pad;
+            for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+              const std::int64_t ix = x * g.stride + kx - g.pad;
+              const float v = *src++;
+              if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+                pg[((n * g.in_c + c) * g.in_h + iy) * g.in_w + ix] += v;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+PoolResult maxpool_forward(const Tensor& input, std::int64_t window,
+                           std::int64_t stride) {
+  CHIRON_CHECK(input.rank() == 4);
+  CHIRON_CHECK(window >= 1 && stride >= 1);
+  const std::int64_t batch = input.dim(0), ch = input.dim(1);
+  const std::int64_t h = input.dim(2), w = input.dim(3);
+  const std::int64_t oh = (h - window) / stride + 1;
+  const std::int64_t ow = (w - window) / stride + 1;
+  CHIRON_CHECK_MSG(oh > 0 && ow > 0, "pool output is empty");
+  PoolResult res{Tensor({batch, ch, oh, ow}), {}};
+  res.argmax.resize(static_cast<std::size_t>(res.output.size()));
+  const float* pin = input.data();
+  float* pout = res.output.data();
+  std::int64_t out_idx = 0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (std::int64_t ky = 0; ky < window; ++ky) {
+            for (std::int64_t kx = 0; kx < window; ++kx) {
+              const std::int64_t iy = y * stride + ky;
+              const std::int64_t ix = x * stride + kx;
+              const std::int64_t idx = ((n * ch + c) * h + iy) * w + ix;
+              if (pin[idx] > best) {
+                best = pin[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          pout[out_idx] = best;
+          res.argmax[static_cast<std::size_t>(out_idx)] = best_idx;
+          ++out_idx;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+Tensor maxpool_backward(const Tensor& grad_out, const Shape& input_shape,
+                        const std::vector<std::int64_t>& argmax) {
+  CHIRON_CHECK(static_cast<std::int64_t>(argmax.size()) == grad_out.size());
+  Tensor grad_in(input_shape);
+  float* pg = grad_in.data();
+  const float* po = grad_out.data();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    pg[argmax[i]] += po[i];
+  }
+  return grad_in;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  CHIRON_CHECK(logits.rank() == 2);
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out({rows, cols});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, logits.at2(r, c));
+    float denom = 0.f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp(logits.at2(r, c) - mx);
+      out.at2(r, c) = e;
+      denom += e;
+    }
+    for (std::int64_t c = 0; c < cols; ++c) out.at2(r, c) /= denom;
+  }
+  return out;
+}
+
+Tensor softmax(const Tensor& logits) {
+  CHIRON_CHECK(logits.rank() == 1);
+  return softmax_rows(logits.reshape({1, logits.size()}))
+      .reshape({logits.size()});
+}
+
+}  // namespace chiron::tensor

@@ -1,0 +1,61 @@
+// Hot numeric kernels on Tensor: matmul, im2col convolution support,
+// pooling, softmax. These are the only routines whose inner loops matter
+// for simulator throughput, so they are written against raw float* spans.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace chiron::tensor {
+
+/// C = A(m×k) · B(k×n). Shapes are validated.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A(m×k) · B(k×n)^T given B as (n×k). Used for backward passes.
+Tensor matmul_bt(const Tensor& a, const Tensor& b_t);
+
+/// C = A^T · B where A is (k×m) and B is (k×n); result is (m×n).
+/// Used for weight-gradient accumulation.
+Tensor matmul_at(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor.
+Tensor transpose(const Tensor& a);
+
+/// Geometry of one 2-D convolution / pooling window sweep.
+struct ConvGeom {
+  std::int64_t in_c = 0, in_h = 0, in_w = 0;
+  std::int64_t kernel = 0;   // square kernel
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+};
+
+/// Unfolds input (N, C, H, W) into columns (N * out_h * out_w, C*k*k) so a
+/// convolution becomes a matmul against reshaped weights.
+Tensor im2col(const Tensor& input, const ConvGeom& g);
+
+/// Folds gradient columns (N * out_h * out_w, C*k*k) back into an input
+/// gradient tensor (N, C, H, W). Adjoint of im2col.
+Tensor col2im(const Tensor& cols, std::int64_t batch, const ConvGeom& g);
+
+/// 2×2-style max pooling forward; records argmax indices for backward.
+struct PoolResult {
+  Tensor output;                    // (N, C, out_h, out_w)
+  std::vector<std::int64_t> argmax; // flat input index per output element
+};
+PoolResult maxpool_forward(const Tensor& input, std::int64_t window,
+                           std::int64_t stride);
+
+/// Scatter-adds pooled gradients back to input positions.
+Tensor maxpool_backward(const Tensor& grad_out, const Shape& input_shape,
+                        const std::vector<std::int64_t>& argmax);
+
+/// Row-wise softmax of a rank-2 tensor (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+
+/// Softmax of a rank-1 tensor.
+Tensor softmax(const Tensor& logits);
+
+}  // namespace chiron::tensor

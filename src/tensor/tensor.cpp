@@ -1,0 +1,182 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace chiron::tensor {
+
+std::int64_t shape_size(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    CHIRON_CHECK_MSG(d >= 0, "negative dimension " << d);
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_size(shape_)), 0.f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  CHIRON_CHECK_MSG(shape_size(shape_) == static_cast<std::int64_t>(data_.size()),
+                   "shape implies " << shape_size(shape_) << " elements, got "
+                                    << data_.size());
+}
+
+Tensor Tensor::of(std::initializer_list<float> values) {
+  return Tensor({static_cast<std::int64_t>(values.size())},
+                std::vector<float>(values));
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+std::int64_t Tensor::dim(std::int64_t axis) const {
+  CHIRON_CHECK_MSG(axis >= 0 && axis < rank(),
+                   "axis " << axis << " out of range for rank " << rank());
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+float& Tensor::at2(std::int64_t r, std::int64_t c) {
+  CHIRON_CHECK(rank() == 2);
+  return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+}
+
+float Tensor::at2(std::int64_t r, std::int64_t c) const {
+  CHIRON_CHECK(rank() == 2);
+  return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+}
+
+float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                   std::int64_t w) {
+  CHIRON_CHECK(rank() == 4);
+  const std::int64_t idx =
+      ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  return data_[static_cast<std::size_t>(idx)];
+}
+
+float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) const {
+  CHIRON_CHECK(rank() == 4);
+  const std::int64_t idx =
+      ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  return data_[static_cast<std::size_t>(idx)];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  CHIRON_CHECK_MSG(shape_size(new_shape) == size(),
+                   "reshape to " << shape_size(new_shape)
+                                 << " elements from " << size());
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  CHIRON_CHECK_MSG(shape_ == other.shape_, "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  CHIRON_CHECK_MSG(shape_ == other.shape_, "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+Tensor Tensor::hadamard(const Tensor& other) const {
+  CHIRON_CHECK_MSG(shape_ == other.shape_, "shape mismatch in hadamard");
+  Tensor out(shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] * other.data_[i];
+  return out;
+}
+
+void Tensor::apply(const std::function<float(float)>& f) {
+  for (auto& x : data_) x = f(x);
+}
+
+float Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.f);
+}
+
+float Tensor::mean() const {
+  CHIRON_CHECK(!data_.empty());
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::max() const {
+  CHIRON_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::int64_t Tensor::argmax() const {
+  CHIRON_CHECK(!data_.empty());
+  return static_cast<std::int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::norm() const {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  return true;
+}
+
+Tensor Tensor::row(std::int64_t r) const {
+  CHIRON_CHECK(rank() == 2);
+  CHIRON_CHECK(r >= 0 && r < shape_[0]);
+  const std::int64_t cols = shape_[1];
+  std::vector<float> out(static_cast<std::size_t>(cols));
+  std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(r * cols),
+              static_cast<std::ptrdiff_t>(cols), out.begin());
+  return Tensor({cols}, std::move(out));
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  os << "f32[";
+  for (std::int64_t i = 0; i < t.rank(); ++i) {
+    if (i) os << ", ";
+    os << t.shape()[static_cast<std::size_t>(i)];
+  }
+  os << "]";
+  return os;
+}
+
+}  // namespace chiron::tensor

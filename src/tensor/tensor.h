@@ -1,0 +1,119 @@
+// Dense row-major float tensor.
+//
+// This is the numeric substrate for the neural-network library: contiguous
+// float32 storage with a small shape vector. It favours clarity and
+// correctness (bounds checks via CHIRON_CHECK on shape logic) over
+// micro-optimizations; the hot paths (matmul, im2col) live in ops.h and are
+// written loop-wise to be cache-friendly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace chiron::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Contiguous row-major float tensor of arbitrary rank (rank 0 = scalar).
+class Tensor {
+ public:
+  /// Empty tensor (rank 1, zero elements).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor with the given shape and explicit contents (size must match).
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// 1-D tensor from an initializer list.
+  static Tensor of(std::initializer_list<float> values);
+
+  /// Filled constructors.
+  static Tensor zeros(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.f, float hi = 1.f);
+  /// I.i.d. normal entries.
+  static Tensor normal(Shape shape, Rng& rng, float mean = 0.f,
+                       float stddev = 1.f);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  std::int64_t dim(std::int64_t axis) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// 2-D element access (requires rank 2).
+  float& at2(std::int64_t r, std::int64_t c);
+  float at2(std::int64_t r, std::int64_t c) const;
+
+  /// 4-D element access (requires rank 4, NCHW convention in the nn layer).
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+  /// Returns a tensor with the same data viewed under a new shape
+  /// (element count must match).
+  Tensor reshape(Shape new_shape) const;
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// Element-wise in-place operations (shapes must match exactly).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+
+  /// Element-wise out-of-place operations.
+  friend Tensor operator+(Tensor a, const Tensor& b) { return a += b; }
+  friend Tensor operator-(Tensor a, const Tensor& b) { return a -= b; }
+  friend Tensor operator*(Tensor a, float s) { return a *= s; }
+  friend Tensor operator*(float s, Tensor a) { return a *= s; }
+
+  /// Hadamard (element-wise) product.
+  Tensor hadamard(const Tensor& other) const;
+
+  /// Applies f to every element in place.
+  void apply(const std::function<float(float)>& f);
+
+  /// Reductions over all elements.
+  float sum() const;
+  float mean() const;
+  float max() const;
+  /// Index of the maximum element (first on ties); requires size() > 0.
+  std::int64_t argmax() const;
+
+  /// L2 norm of all elements.
+  float norm() const;
+
+  /// True when shapes are identical and all elements differ by <= tol.
+  bool allclose(const Tensor& other, float tol = 1e-5f) const;
+
+  /// Row `r` of a rank-2 tensor as a rank-1 copy.
+  Tensor row(std::int64_t r) const;
+
+ private:
+  Shape shape_{0};
+  std::vector<float> data_;
+};
+
+/// Total element count implied by a shape.
+std::int64_t shape_size(const Shape& shape);
+
+/// Human-readable "f32[2, 3]" string.
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace chiron::tensor

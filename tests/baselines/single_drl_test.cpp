@@ -1,0 +1,86 @@
+#include "baselines/single_drl.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace chiron::baselines {
+namespace {
+
+core::EnvConfig fast_env() {
+  core::EnvConfig c;
+  c.num_nodes = 4;
+  c.budget = 40.0;
+  c.backend = core::BackendKind::kSurrogate;
+  c.seed = 44;
+  c.max_rounds = 60;
+  return c;
+}
+
+SingleDrlConfig fast_config() {
+  SingleDrlConfig c;
+  c.hidden = 32;
+  c.actor_lr = 1e-3;
+  c.critic_lr = 2e-3;
+  c.update_epochs = 6;
+  return c;
+}
+
+TEST(SingleDrl, EpisodesRespectBudget) {
+  EdgeLearnEnv env(fast_env());
+  SingleAgentDrlMechanism drl(env, fast_config());
+  auto eps = drl.train(5);
+  ASSERT_EQ(eps.size(), 5u);
+  for (const auto& e : eps) {
+    EXPECT_GT(e.rounds, 0);
+    EXPECT_LE(e.spent, 40.0 + 1e-6);
+  }
+}
+
+TEST(SingleDrl, MyopicObservationDimensions) {
+  EdgeLearnEnv env(fast_env());
+  SingleAgentDrlMechanism drl(env, fast_config());
+  // Observation = 3N (no budget, no round index) — the myopia the paper
+  // criticizes. Indirectly verified through the agent config.
+  EXPECT_EQ(drl.agent().config().obs_dim, 3 * 4);
+  EXPECT_EQ(drl.agent().config().act_dim, 4);
+}
+
+TEST(SingleDrl, DefaultGammaIsMyopic) {
+  SingleDrlConfig c;
+  EXPECT_DOUBLE_EQ(c.gamma, 0.0);
+}
+
+TEST(SingleDrl, EvaluateAveragesStochasticEpisodes) {
+  EdgeLearnEnv env(fast_env());
+  SingleAgentDrlMechanism drl(env, fast_config());
+  drl.train(5);
+  EpisodeStats s = drl.evaluate(4);
+  EXPECT_GT(s.rounds, 0);
+  EXPECT_LE(s.spent, 40.0 + 1e-6);
+  EXPECT_THROW(drl.evaluate(0), chiron::InvariantError);
+}
+
+TEST(SingleDrl, LearnsToReduceMyopicCost) {
+  EdgeLearnEnv env(fast_env());
+  SingleDrlConfig cfg = fast_config();
+  SingleAgentDrlMechanism drl(env, cfg);
+  auto eps = drl.train(60);
+  // The myopic objective penalizes round time; average per-round time
+  // should not grow as training proceeds.
+  auto mean_round_time = [&](std::size_t from, std::size_t to) {
+    double t = 0;
+    int rounds = 0;
+    for (std::size_t i = from; i < to; ++i) {
+      t += eps[i].total_time;
+      rounds += eps[i].rounds;
+    }
+    return t / std::max(rounds, 1);
+  };
+  const double early = mean_round_time(0, 10);
+  const double late = mean_round_time(eps.size() - 10, eps.size());
+  EXPECT_LT(late, early * 1.25);
+}
+
+}  // namespace
+}  // namespace chiron::baselines

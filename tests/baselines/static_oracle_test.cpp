@@ -1,0 +1,96 @@
+#include "baselines/static_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/mechanism.h"
+
+namespace chiron::baselines {
+namespace {
+
+core::EnvConfig market() {
+  core::EnvConfig c;
+  c.num_nodes = 5;
+  c.budget = 80.0;
+  c.backend = core::BackendKind::kSurrogate;
+  c.seed = 61;
+  return c;
+}
+
+TEST(StaticOracle, SearchFindsAFraction) {
+  EdgeLearnEnv env(market());
+  StaticOracleMechanism oracle(env, {});
+  EpisodeStats best = oracle.search();
+  EXPECT_GT(oracle.best_fraction(), 0.0);
+  EXPECT_LE(oracle.best_fraction(), 1.0);
+  EXPECT_GT(best.rounds, 0);
+}
+
+TEST(StaticOracle, EvaluateBeforeSearchThrows) {
+  EdgeLearnEnv env(market());
+  StaticOracleMechanism oracle(env, {});
+  EXPECT_THROW(oracle.evaluate(), chiron::InvariantError);
+}
+
+TEST(StaticOracle, BestBeatsExtremeCandidates) {
+  // The searched optimum must weakly beat the cheapest and the most
+  // expensive stationary policies it considered.
+  EdgeLearnEnv env(market());
+  StaticOracleConfig cfg;
+  cfg.episodes_per_candidate = 3;
+  StaticOracleMechanism oracle(env, cfg);
+  EpisodeStats best = oracle.search();
+  EXPECT_GT(best.raw_reward_sum, 0.0);
+  EXPECT_GT(best.final_accuracy, 0.3);
+}
+
+TEST(StaticOracle, HighTimeEfficiencyViaEqualTimeSplit) {
+  EdgeLearnEnv env(market());
+  StaticOracleMechanism oracle(env, {});
+  oracle.search();
+  EpisodeStats s = oracle.evaluate(3);
+  EXPECT_GT(s.mean_time_efficiency, 0.85)
+      << "the Lemma-1 allocation should be near time-consistent";
+}
+
+TEST(StaticOracle, RespectsBudget) {
+  core::EnvConfig ec = market();
+  EdgeLearnEnv env(ec);
+  StaticOracleMechanism oracle(env, {});
+  oracle.search();
+  EpisodeStats s = oracle.evaluate(3);
+  EXPECT_LE(s.spent, ec.budget + 1e-6);
+}
+
+TEST(StaticOracle, InvalidConfigThrows) {
+  EdgeLearnEnv env(market());
+  StaticOracleConfig cfg;
+  cfg.candidates = 1;
+  EXPECT_THROW(StaticOracleMechanism(env, cfg), chiron::InvariantError);
+  cfg = {};
+  cfg.min_fraction = 0.0;
+  EXPECT_THROW(StaticOracleMechanism(env, cfg), chiron::InvariantError);
+}
+
+TEST(StaticOracle, UpperBoundReferenceForChiron) {
+  // Chiron (incomplete information) should come within a reasonable
+  // factor of the complete-information stationary optimum.
+  core::EnvConfig ec = market();
+  EdgeLearnEnv env_o(ec);
+  StaticOracleMechanism oracle(env_o, {});
+  oracle.search();
+  EpisodeStats o = oracle.evaluate(4);
+
+  EdgeLearnEnv env_c(ec);
+  core::ChironConfig cc;
+  cc.episodes = 200;
+  core::HierarchicalMechanism chiron(env_c, cc);
+  chiron.train();
+  EpisodeStats c = chiron.evaluate(4);
+
+  EXPECT_GT(c.final_accuracy, 0.5 * o.final_accuracy)
+      << "chiron=" << c.final_accuracy << " oracle=" << o.final_accuracy;
+}
+
+}  // namespace
+}  // namespace chiron::baselines

@@ -1,0 +1,56 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace chiron {
+namespace {
+
+TEST(TableWriter, WritesHeaderAndRows) {
+  std::ostringstream os;
+  TableWriter w(os);
+  w.header({"a", "b"});
+  w.row({"1", "2"});
+  EXPECT_EQ(os.str(), "a\tb\n1\t2\n");
+}
+
+TEST(TableWriter, CustomDelimiter) {
+  std::ostringstream os;
+  TableWriter w(os, ',');
+  w.header({"x", "y", "z"});
+  w.row({"1", "2", "3"});
+  EXPECT_EQ(os.str(), "x,y,z\n1,2,3\n");
+}
+
+TEST(TableWriter, RejectsWrongColumnCount) {
+  std::ostringstream os;
+  TableWriter w(os);
+  w.header({"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), InvariantError);
+}
+
+TEST(TableWriter, RejectsDoubleHeader) {
+  std::ostringstream os;
+  TableWriter w(os);
+  w.header({"a"});
+  EXPECT_THROW(w.header({"b"}), InvariantError);
+}
+
+TEST(TableWriter, RowWithoutHeaderAllowed) {
+  std::ostringstream os;
+  TableWriter w(os);
+  w.row({"free", "form"});
+  EXPECT_EQ(os.str(), "free\tform\n");
+}
+
+TEST(TableWriter, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TableWriter::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TableWriter::num(2.0, 3), "2.000");
+  EXPECT_EQ(TableWriter::num(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace chiron

@@ -1,0 +1,41 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace chiron {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(CHIRON_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsInvariantError) {
+  EXPECT_THROW(CHIRON_CHECK(false), InvariantError);
+}
+
+TEST(Check, MessageIncludesExpressionAndDetail) {
+  try {
+    int x = -3;
+    CHIRON_CHECK_MSG(x >= 0, "x=" << x);
+    FAIL() << "expected throw";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x >= 0"), std::string::npos);
+    EXPECT_NE(what.find("x=-3"), std::string::npos);
+  }
+}
+
+TEST(Check, InvariantErrorIsLogicError) {
+  try {
+    CHIRON_CHECK(false);
+  } catch (const std::logic_error&) {
+    SUCCEED();
+    return;
+  }
+  FAIL();
+}
+
+}  // namespace
+}  // namespace chiron

@@ -1,0 +1,76 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace chiron {
+namespace {
+
+TEST(Flags, PositionalsInOrder) {
+  FlagParser p({"train", "extra"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "train");
+  EXPECT_EQ(p.positional()[1], "extra");
+}
+
+TEST(Flags, EqualsSyntax) {
+  FlagParser p({"--budget=80.5", "--nodes=5"});
+  EXPECT_DOUBLE_EQ(p.get_double("budget", 0), 80.5);
+  EXPECT_EQ(p.get_int("nodes", 0), 5);
+}
+
+TEST(Flags, SpaceSyntax) {
+  FlagParser p({"--task", "cifar", "run"});
+  EXPECT_EQ(p.get("task"), "cifar");
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "run");
+}
+
+TEST(Flags, BareSwitchBeforeFlag) {
+  FlagParser p({"--verbose", "--nodes=3"});
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_EQ(p.get("verbose"), "");
+  EXPECT_EQ(p.get_int("nodes", 0), 3);
+}
+
+TEST(Flags, BareSwitchAtEnd) {
+  FlagParser p({"--real"});
+  EXPECT_TRUE(p.has("real"));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  FlagParser p({});
+  EXPECT_EQ(p.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(p.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(p.get_int("missing", 7), 7);
+  EXPECT_FALSE(p.has("missing"));
+}
+
+TEST(Flags, MalformedNumbersThrow) {
+  FlagParser p({"--n=abc", "--x=1.2.3"});
+  EXPECT_THROW(p.get_int("n", 0), InvariantError);
+  EXPECT_THROW(p.get_double("x", 0), InvariantError);
+}
+
+TEST(Flags, BareDoubleDashThrows) {
+  EXPECT_THROW(FlagParser({"--"}), InvariantError);
+}
+
+TEST(Flags, UnknownFlagDetection) {
+  FlagParser p({"--nodes=3", "--typo=1"});
+  auto unknown = p.unknown_flags({"nodes", "budget"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "cmd", "--n=1"};
+  FlagParser p(3, argv);
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "cmd");
+  EXPECT_EQ(p.get_int("n", 0), 1);
+}
+
+}  // namespace
+}  // namespace chiron

@@ -1,0 +1,83 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace chiron {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.push(4.2);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.2);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.push(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(RunningStat, ShiftInvariantVariance) {
+  RunningStat a, b;
+  for (double x : {1.0, 2.0, 3.0, 10.0}) {
+    a.push(x);
+    b.push(x + 1e6);
+  }
+  EXPECT_NEAR(a.variance(), b.variance(), 1e-4);
+}
+
+TEST(Summarize, EmptyVector) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, Basic) {
+  Summary s = summarize({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  std::vector<double> v{1, 5, 2, 8};
+  EXPECT_EQ(moving_average(v, 1), v);
+}
+
+TEST(MovingAverage, PrefixAveraging) {
+  std::vector<double> v{2, 4, 6, 8};
+  auto m = moving_average(v, 2);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);   // prefix of length 1
+  EXPECT_DOUBLE_EQ(m[1], 3.0);
+  EXPECT_DOUBLE_EQ(m[2], 5.0);
+  EXPECT_DOUBLE_EQ(m[3], 7.0);
+}
+
+TEST(MovingAverage, WindowLargerThanInput) {
+  std::vector<double> v{3, 5};
+  auto m = moving_average(v, 10);
+  EXPECT_DOUBLE_EQ(m[0], 3.0);
+  EXPECT_DOUBLE_EQ(m[1], 4.0);
+}
+
+TEST(MovingAverage, ZeroWindowThrows) {
+  EXPECT_THROW(moving_average({1.0}, 0), InvariantError);
+}
+
+}  // namespace
+}  // namespace chiron

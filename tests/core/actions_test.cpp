@@ -1,0 +1,68 @@
+#include "core/actions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chiron::core {
+namespace {
+
+TEST(Sigmoid, KnownValues) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(100.0), 1.0, 1e-9);
+  EXPECT_NEAR(sigmoid(-100.0), 0.0, 1e-9);
+  EXPECT_NEAR(sigmoid(1.0), 1.0 / (1.0 + std::exp(-1.0)), 1e-12);
+}
+
+TEST(Softmax, SumsToOne) {
+  auto p = softmax({1.f, 2.f, 3.f});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  auto p = softmax({500.f, 500.f});
+  EXPECT_NEAR(p[0], 0.5, 1e-9);
+}
+
+TEST(Softmax, EmptyThrows) {
+  EXPECT_THROW(softmax({}), chiron::InvariantError);
+}
+
+TEST(MapTotalPrice, RangeIsZeroToCap) {
+  EXPECT_NEAR(map_total_price(0.f, 10.0), 5.0, 1e-9);
+  EXPECT_NEAR(map_total_price(50.f, 10.0), 10.0, 1e-6);
+  EXPECT_NEAR(map_total_price(-50.f, 10.0), 0.0, 1e-6);
+  EXPECT_THROW(map_total_price(0.f, 0.0), chiron::InvariantError);
+}
+
+TEST(MapProportions, IsSoftmax) {
+  auto pr = map_proportions({0.f, 0.f, 0.f, 0.f});
+  for (double v : pr) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(CombinePrices, Eqn13) {
+  auto prices = combine_prices(10.0, {0.2, 0.3, 0.5});
+  EXPECT_DOUBLE_EQ(prices[0], 2.0);
+  EXPECT_DOUBLE_EQ(prices[1], 3.0);
+  EXPECT_DOUBLE_EQ(prices[2], 5.0);
+}
+
+TEST(CombinePrices, RejectsNegatives) {
+  EXPECT_THROW(combine_prices(-1.0, {1.0}), chiron::InvariantError);
+  EXPECT_THROW(combine_prices(1.0, {-0.1, 1.1}), chiron::InvariantError);
+}
+
+TEST(CombinePrices, PreservesTotal) {
+  auto pr = softmax({0.3f, -1.2f, 2.0f, 0.7f});
+  auto prices = combine_prices(7.5, pr);
+  double sum = 0;
+  for (double p : prices) sum += p;
+  EXPECT_NEAR(sum, 7.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace chiron::core

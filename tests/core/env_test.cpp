@@ -1,0 +1,317 @@
+#include "core/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "sysmodel/economics.h"
+
+namespace chiron::core {
+namespace {
+
+EnvConfig small_config() {
+  EnvConfig c;
+  c.num_nodes = 4;
+  c.budget = 50.0;
+  c.backend = BackendKind::kSurrogate;
+  c.seed = 42;
+  return c;
+}
+
+std::vector<double> saturation_prices(const EdgeLearnEnv& env) {
+  std::vector<double> p;
+  for (int i = 0; i < env.num_nodes(); ++i)
+    p.push_back(env.per_node_price_cap(i));
+  return p;
+}
+
+TEST(EdgeLearnEnv, StateDimFormula) {
+  EnvConfig c = small_config();
+  c.history = 3;
+  EdgeLearnEnv env(c);
+  EXPECT_EQ(env.exterior_state_dim(), 3 * 3 * 4 + 2);
+  EXPECT_EQ(static_cast<std::int64_t>(env.reset().size()),
+            env.exterior_state_dim());
+}
+
+TEST(EdgeLearnEnv, InitialStateIsZeroHistoryFullBudget) {
+  EdgeLearnEnv env(small_config());
+  std::vector<float> s = env.reset();
+  // All history slots zero.
+  for (std::size_t i = 0; i + 2 < s.size(); ++i) EXPECT_EQ(s[i], 0.f);
+  EXPECT_FLOAT_EQ(s[s.size() - 2], 1.f);  // budget fraction
+  EXPECT_FLOAT_EQ(s[s.size() - 1], 0.f);  // round fraction
+}
+
+TEST(EdgeLearnEnv, StepWithoutResetThrows) {
+  EdgeLearnEnv env(small_config());
+  EXPECT_THROW(env.step({1, 1, 1, 1}), chiron::InvariantError);
+}
+
+TEST(EdgeLearnEnv, WrongPriceCountThrows) {
+  EdgeLearnEnv env(small_config());
+  env.reset();
+  EXPECT_THROW(env.step({1.0}), chiron::InvariantError);
+}
+
+TEST(EdgeLearnEnv, PriceCapIsSumOfSaturationPrices) {
+  EdgeLearnEnv env(small_config());
+  double sum = 0;
+  for (int i = 0; i < env.num_nodes(); ++i) sum += env.per_node_price_cap(i);
+  EXPECT_NEAR(env.price_cap(), sum, sum * 1e-12);
+}
+
+TEST(EdgeLearnEnv, BudgetDecreasesByPayment) {
+  EdgeLearnEnv env(small_config());
+  env.reset();
+  auto prices = saturation_prices(env);
+  for (auto& p : prices) p *= 0.3;
+  StepResult r = env.step(prices);
+  ASSERT_FALSE(r.aborted);
+  EXPECT_NEAR(env.budget_remaining(), env.budget_initial() - r.payment,
+              1e-9);
+  EXPECT_GT(r.payment, 0.0);
+}
+
+TEST(EdgeLearnEnv, OverdraftAbortsAndDiscardsRound) {
+  EnvConfig c = small_config();
+  c.budget = 1e-3;  // far below one full-price round
+  EdgeLearnEnv env(c);
+  env.reset();
+  const double acc0 = env.accuracy();
+  StepResult r = env.step(saturation_prices(env));
+  EXPECT_TRUE(r.aborted);
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(env.done());
+  EXPECT_EQ(env.round(), 0);                       // round not recorded
+  EXPECT_DOUBLE_EQ(env.budget_remaining(), 1e-3);  // nothing paid
+  EXPECT_DOUBLE_EQ(env.accuracy(), acc0);          // no training happened
+}
+
+TEST(EdgeLearnEnv, EpisodeEndsWhenBudgetExhausted) {
+  EdgeLearnEnv env(small_config());
+  env.reset();
+  int rounds = 0;
+  while (!env.done()) {
+    StepResult r = env.step(saturation_prices(env));
+    if (r.aborted) break;
+    ++rounds;
+    ASSERT_LT(rounds, 1000);
+  }
+  EXPECT_TRUE(env.done());
+  EXPECT_GT(rounds, 0);
+}
+
+TEST(EdgeLearnEnv, CheaperPricesBuyMoreRounds) {
+  auto rounds_at = [](double scale) {
+    EnvConfig c = small_config();
+    EdgeLearnEnv env(c);
+    env.reset();
+    int rounds = 0;
+    while (!env.done()) {
+      std::vector<double> prices;
+      for (int i = 0; i < env.num_nodes(); ++i)
+        prices.push_back(scale * env.per_node_price_cap(i));
+      if (env.step(prices).aborted) break;
+      ++rounds;
+    }
+    return rounds;
+  };
+  EXPECT_GT(rounds_at(0.3), rounds_at(1.0));
+}
+
+TEST(EdgeLearnEnv, AccuracyImprovesOverEpisode) {
+  EdgeLearnEnv env(small_config());
+  env.reset();
+  const double a0 = env.accuracy();
+  while (!env.done()) {
+    auto prices = saturation_prices(env);
+    for (auto& p : prices) p *= 0.5;
+    if (env.step(prices).aborted) break;
+  }
+  EXPECT_GT(env.accuracy(), a0 + 0.1);
+}
+
+TEST(EdgeLearnEnv, ExteriorRewardMatchesEqn14) {
+  EdgeLearnEnv env(small_config());
+  env.reset();
+  auto prices = saturation_prices(env);
+  for (auto& p : prices) p *= 0.4;
+  StepResult r = env.step(prices);
+  ASSERT_GT(r.participants, 0);
+  const double expect =
+      env.config().lambda_pref * r.accuracy_gain - r.round_time;
+  EXPECT_NEAR(r.raw_exterior_reward, expect, 1e-9);
+  EXPECT_NEAR(r.reward_exterior, expect / env.config().time_norm, 1e-9);
+}
+
+TEST(EdgeLearnEnv, LambdaOnTimeAblation) {
+  EnvConfig c = small_config();
+  c.lambda_on_time = true;
+  EdgeLearnEnv env(c);
+  env.reset();
+  auto prices = saturation_prices(env);
+  for (auto& p : prices) p *= 0.4;
+  StepResult r = env.step(prices);
+  ASSERT_GT(r.participants, 0);
+  const double expect = c.lambda_pref * (r.accuracy_gain - r.round_time);
+  EXPECT_NEAR(r.raw_exterior_reward, expect, std::fabs(expect) * 1e-9);
+}
+
+TEST(EdgeLearnEnv, InnerRewardIsNegativeIdle) {
+  EdgeLearnEnv env(small_config());
+  env.reset();
+  auto prices = saturation_prices(env);
+  for (auto& p : prices) p *= 0.6;
+  StepResult r = env.step(prices);
+  ASSERT_GT(r.participants, 0);
+  EXPECT_NEAR(r.reward_inner,
+              -r.idle_time / (4 * env.config().time_norm), 1e-9);
+  EXPECT_LE(r.reward_inner, 0.0);
+}
+
+TEST(EdgeLearnEnv, EmptyRoundPenalized) {
+  EdgeLearnEnv env(small_config());
+  env.reset();
+  StepResult r = env.step({0, 0, 0, 0});
+  EXPECT_EQ(r.participants, 0);
+  EXPECT_LT(r.reward_exterior, 0.0);
+  EXPECT_DOUBLE_EQ(env.budget_remaining(), env.budget_initial());
+}
+
+TEST(EdgeLearnEnv, HistoryAppearsInState) {
+  EdgeLearnEnv env(small_config());
+  env.reset();
+  auto prices = saturation_prices(env);
+  for (auto& p : prices) p *= 0.5;
+  env.step(prices);
+  std::vector<float> s = env.exterior_state();
+  // Most recent round occupies the last history block; it must be nonzero.
+  const std::size_t block = static_cast<std::size_t>(3 * env.num_nodes());
+  float sum = 0;
+  for (std::size_t i = block * (env.config().history - 1);
+       i < block * env.config().history; ++i)
+    sum += std::fabs(s[i]);
+  EXPECT_GT(sum, 0.f);
+  // Oldest block still zero (only one round played).
+  float old_sum = 0;
+  for (std::size_t i = 0; i < block; ++i) old_sum += std::fabs(s[i]);
+  EXPECT_EQ(old_sum, 0.f);
+}
+
+TEST(EdgeLearnEnv, RoundFractionAdvances) {
+  EdgeLearnEnv env(small_config());
+  env.reset();
+  auto prices = saturation_prices(env);
+  for (auto& p : prices) p *= 0.4;
+  env.step(prices);
+  std::vector<float> s = env.exterior_state();
+  EXPECT_GT(s.back(), 0.f);
+  EXPECT_LT(s[s.size() - 2], 1.f);  // some budget spent
+}
+
+TEST(EdgeLearnEnv, DeterministicUnderSeed) {
+  EnvConfig c = small_config();
+  EdgeLearnEnv e1(c), e2(c);
+  e1.reset();
+  e2.reset();
+  auto prices = saturation_prices(e1);
+  for (auto& p : prices) p *= 0.5;
+  StepResult r1 = e1.step(prices);
+  StepResult r2 = e2.step(prices);
+  EXPECT_DOUBLE_EQ(r1.accuracy, r2.accuracy);
+  EXPECT_DOUBLE_EQ(r1.round_time, r2.round_time);
+  EXPECT_DOUBLE_EQ(r1.payment, r2.payment);
+}
+
+TEST(EdgeLearnEnv, DevicesPersistAcrossEpisodes) {
+  EdgeLearnEnv env(small_config());
+  env.reset();
+  const double cap1 = env.price_cap();
+  const double comm0 = env.devices()[0].comm_time;
+  env.reset();
+  EXPECT_DOUBLE_EQ(env.price_cap(), cap1);
+  EXPECT_DOUBLE_EQ(env.devices()[0].comm_time, comm0);
+}
+
+TEST(EdgeLearnEnv, MaxRoundsCapsStalling) {
+  EnvConfig c = small_config();
+  c.max_rounds = 5;
+  EdgeLearnEnv env(c);
+  env.reset();
+  int rounds = 0;
+  while (!env.done()) {
+    env.step({0, 0, 0, 0});  // nobody participates, nothing spent
+    ++rounds;
+    ASSERT_LE(rounds, 5);
+  }
+  EXPECT_EQ(rounds, 5);
+}
+
+TEST(EdgeLearnEnv, EqualTimeOracleEqualizesTimes) {
+  EnvConfig c = small_config();
+  EdgeLearnEnv env(c);
+  env.reset();
+  const double total = 0.5 * env.price_cap();
+  auto pr = env.equal_time_proportions(total);
+  double sum = 0;
+  for (double v : pr) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  std::vector<double> prices;
+  for (double v : pr) prices.push_back(total * v);
+  StepResult r = env.step(prices);
+  ASSERT_EQ(r.participants, env.num_nodes());
+  // Time efficiency should approach 1 (Lemma 1 target); participation
+  // floors can keep a node faster than the common finish time, so allow
+  // modest slack.
+  EXPECT_GT(r.time_efficiency, 0.85);
+}
+
+TEST(EdgeLearnEnv, OracleBeatsUniformSplitOnIdleTime) {
+  EnvConfig c = small_config();
+  EdgeLearnEnv env(c);
+  env.reset();
+  const double total = 0.5 * env.price_cap();
+  std::vector<double> uniform(
+      4, total / 4.0);
+  StepResult r_uniform = env.step(uniform);
+
+  EdgeLearnEnv env2(c);
+  env2.reset();
+  auto pr = env2.equal_time_proportions(total);
+  std::vector<double> prices;
+  for (double v : pr) prices.push_back(total * v);
+  StepResult r_oracle = env2.step(prices);
+
+  ASSERT_GT(r_uniform.participants, 0);
+  ASSERT_GT(r_oracle.participants, 0);
+  EXPECT_LE(r_oracle.idle_time, r_uniform.idle_time + 1e-9);
+}
+
+TEST(EdgeLearnEnv, RealBlobsBackendEndToEnd) {
+  EnvConfig c = small_config();
+  c.backend = BackendKind::kRealBlobs;
+  c.samples_per_node = 30;
+  c.test_samples = 60;
+  c.local.epochs = 2;
+  c.local.batch_size = 10;
+  c.local.lr = 0.05;
+  c.budget = 20.0;
+  EdgeLearnEnv env(c);
+  env.reset();
+  const double a0 = env.accuracy();
+  int rounds = 0;
+  while (!env.done() && rounds < 10) {
+    std::vector<double> prices;
+    for (int i = 0; i < env.num_nodes(); ++i)
+      prices.push_back(0.5 * env.per_node_price_cap(i));
+    if (env.step(prices).aborted) break;
+    ++rounds;
+  }
+  EXPECT_GT(rounds, 0);
+  EXPECT_GT(env.accuracy(), a0);
+}
+
+}  // namespace
+}  // namespace chiron::core

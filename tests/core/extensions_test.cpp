@@ -1,0 +1,153 @@
+// Extension features of the environment: node availability (random
+// offline nodes) and non-IID shards / FedAvgM for the real backends.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/env.h"
+#include "core/mechanism.h"
+
+namespace chiron::core {
+namespace {
+
+EnvConfig base_config() {
+  EnvConfig c;
+  c.num_nodes = 6;
+  c.budget = 100.0;
+  c.backend = BackendKind::kSurrogate;
+  c.seed = 55;
+  return c;
+}
+
+std::vector<double> saturation_prices(const EdgeLearnEnv& env,
+                                      double scale = 1.0) {
+  std::vector<double> p;
+  for (int i = 0; i < env.num_nodes(); ++i)
+    p.push_back(scale * env.per_node_price_cap(i));
+  return p;
+}
+
+TEST(Availability, FullAvailabilityNeverOffline) {
+  EnvConfig c = base_config();
+  c.node_availability = 1.0;
+  EdgeLearnEnv env(c);
+  env.reset();
+  StepResult r = env.step(saturation_prices(env, 0.6));
+  EXPECT_EQ(r.offline, 0);
+  EXPECT_EQ(r.participants, 6);
+}
+
+TEST(Availability, PartialAvailabilityTakesNodesOffline) {
+  EnvConfig c = base_config();
+  c.node_availability = 0.5;
+  c.max_rounds = 200;
+  c.budget = 1e9;
+  EdgeLearnEnv env(c);
+  env.reset();
+  int offline_total = 0, rounds = 0;
+  for (int k = 0; k < 100; ++k) {
+    StepResult r = env.step(saturation_prices(env, 0.6));
+    offline_total += r.offline;
+    ++rounds;
+    EXPECT_EQ(r.participants + r.offline, 6)
+        << "online nodes at 0.6·saturation all participate";
+  }
+  const double offline_rate =
+      static_cast<double>(offline_total) / (6.0 * rounds);
+  EXPECT_NEAR(offline_rate, 0.5, 0.1);
+}
+
+TEST(Availability, OfflineNodesCostNothing) {
+  EnvConfig c = base_config();
+  c.node_availability = 0.3;
+  c.budget = 1e9;
+  c.max_rounds = 50;
+  EdgeLearnEnv env(c);
+  env.reset();
+  StepResult r = env.step(saturation_prices(env, 0.6));
+  double expected_payment = 0.0;
+  for (const auto& n : r.outcome.nodes)
+    if (n.participates) expected_payment += n.payment;
+  EXPECT_NEAR(r.payment, expected_payment, 1e-9);
+}
+
+TEST(Availability, LowersTimeEfficiency) {
+  // Offline nodes count as fully idle under Eqn (16).
+  EnvConfig c = base_config();
+  c.budget = 1e9;
+  c.max_rounds = 100;
+  EdgeLearnEnv full(c);
+  full.reset();
+  c.node_availability = 0.5;
+  c.seed = 56;
+  EdgeLearnEnv flaky(c);
+  flaky.reset();
+  double eff_full = 0, eff_flaky = 0;
+  for (int k = 0; k < 40; ++k) {
+    eff_full += full.step(saturation_prices(full, 0.6)).time_efficiency;
+    eff_flaky += flaky.step(saturation_prices(flaky, 0.6)).time_efficiency;
+  }
+  EXPECT_GT(eff_full, eff_flaky + 0.1 * 40);
+}
+
+TEST(Availability, InvalidValueThrows) {
+  EnvConfig c = base_config();
+  c.node_availability = 0.0;
+  EXPECT_THROW(EdgeLearnEnv{c}, chiron::InvariantError);
+  c.node_availability = 1.5;
+  EXPECT_THROW(EdgeLearnEnv{c}, chiron::InvariantError);
+}
+
+TEST(Availability, MechanismTrainsUnderChurn) {
+  EnvConfig c = base_config();
+  c.node_availability = 0.8;
+  c.budget = 60.0;
+  EdgeLearnEnv env(c);
+  ChironConfig cc;
+  cc.episodes = 10;
+  HierarchicalMechanism mech(env, cc);
+  auto eps = mech.train();
+  ASSERT_EQ(eps.size(), 10u);
+  for (const auto& e : eps) EXPECT_LE(e.spent, 60.0 + 1e-6);
+}
+
+TEST(NonIid, RealBlobsBackendLearnsOnSkewedShards) {
+  EnvConfig c = base_config();
+  c.backend = BackendKind::kRealBlobs;
+  c.noniid = true;
+  c.dirichlet_alpha = 0.3;
+  c.samples_per_node = 40;
+  c.test_samples = 80;
+  c.local.epochs = 2;
+  c.local.batch_size = 10;
+  c.local.lr = 0.05;
+  c.budget = 1e9;
+  c.max_rounds = 12;
+  EdgeLearnEnv env(c);
+  env.reset();
+  const double a0 = env.accuracy();
+  for (int k = 0; k < 10; ++k) env.step(saturation_prices(env, 0.6));
+  EXPECT_GT(env.accuracy(), a0 + 0.1)
+      << "federated training must still learn under label skew";
+}
+
+TEST(NonIid, FedAvgMomentumBackendRuns) {
+  EnvConfig c = base_config();
+  c.backend = BackendKind::kRealBlobs;
+  c.aggregator = fl::Aggregator::kFedAvgMomentum;
+  c.server_momentum = 0.5;
+  c.samples_per_node = 30;
+  c.test_samples = 60;
+  c.local.epochs = 2;
+  c.local.batch_size = 10;
+  c.local.lr = 0.05;
+  c.budget = 1e9;
+  c.max_rounds = 8;
+  EdgeLearnEnv env(c);
+  env.reset();
+  const double a0 = env.accuracy();
+  for (int k = 0; k < 6; ++k) env.step(saturation_prices(env, 0.6));
+  EXPECT_GT(env.accuracy(), a0);
+}
+
+}  // namespace
+}  // namespace chiron::core

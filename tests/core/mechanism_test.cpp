@@ -1,0 +1,163 @@
+#include "core/mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace chiron::core {
+namespace {
+
+EnvConfig fast_env(int nodes = 4, double budget = 40.0) {
+  EnvConfig c;
+  c.num_nodes = nodes;
+  c.budget = budget;
+  c.backend = BackendKind::kSurrogate;
+  c.seed = 21;
+  c.max_rounds = 60;
+  return c;
+}
+
+ChironConfig fast_chiron() {
+  ChironConfig c;
+  c.episodes = 30;
+  c.hidden = 32;
+  c.actor_lr = 1e-3;
+  c.critic_lr = 2e-3;
+  c.update_epochs = 6;
+  c.seed = 5;
+  return c;
+}
+
+TEST(PaperScaleConfig, MatchesPaperHyperparameters) {
+  ChironConfig c = paper_scale_config();
+  EXPECT_EQ(c.episodes, 500);
+  EXPECT_DOUBLE_EQ(c.actor_lr, 3e-5);
+  EXPECT_DOUBLE_EQ(c.critic_lr, 3e-5);
+  EXPECT_DOUBLE_EQ(c.lr_decay, 0.95);
+  EXPECT_EQ(c.lr_decay_every, 20);
+  EXPECT_DOUBLE_EQ(c.gamma, 0.95);
+}
+
+TEST(HierarchicalMechanism, EpisodeProducesSaneStats) {
+  EnvConfig ec = fast_env();
+  EdgeLearnEnv env(ec);
+  HierarchicalMechanism mech(env, fast_chiron());
+  EpisodeStats s = mech.run_episode(/*learn=*/false, /*stochastic=*/true);
+  EXPECT_GT(s.rounds, 0);
+  EXPECT_GE(s.final_accuracy, 0.0);
+  EXPECT_LE(s.final_accuracy, 1.0);
+  EXPECT_LE(s.spent, ec.budget + 1e-6);
+  EXPECT_GE(s.mean_time_efficiency, 0.0);
+  EXPECT_LE(s.mean_time_efficiency, 1.0 + 1e-9);
+}
+
+TEST(HierarchicalMechanism, SpendNeverExceedsBudget) {
+  EnvConfig ec = fast_env();
+  EdgeLearnEnv env(ec);
+  HierarchicalMechanism mech(env, fast_chiron());
+  auto episodes = mech.train(10);
+  for (const auto& s : episodes) {
+    EXPECT_LE(s.spent, ec.budget + 1e-6);
+  }
+}
+
+TEST(HierarchicalMechanism, TrainReturnsRequestedEpisodeCount) {
+  EdgeLearnEnv env(fast_env());
+  HierarchicalMechanism mech(env, fast_chiron());
+  EXPECT_EQ(mech.train(7).size(), 7u);
+}
+
+TEST(HierarchicalMechanism, TrainingImprovesEpisodeReward) {
+  EdgeLearnEnv env(fast_env());
+  ChironConfig cc = fast_chiron();
+  cc.episodes = 80;
+  HierarchicalMechanism mech(env, cc);
+  auto episodes = mech.train();
+  // Compare early vs late window of the (raw) episode reward.
+  const double early = mean_raw_reward(episodes, 0, 15);
+  const double late =
+      mean_raw_reward(episodes, episodes.size() - 15, episodes.size());
+  EXPECT_GT(late, early - 20.0)
+      << "reward must not collapse; early=" << early << " late=" << late;
+  // Time efficiency should be learned upward by the inner agent.
+  double eff_early = 0, eff_late = 0;
+  for (int i = 0; i < 15; ++i) {
+    eff_early += episodes[static_cast<std::size_t>(i)].mean_time_efficiency;
+    eff_late += episodes[episodes.size() - 1 - static_cast<std::size_t>(i)]
+                    .mean_time_efficiency;
+  }
+  EXPECT_GT(eff_late, eff_early - 0.1);
+}
+
+TEST(HierarchicalMechanism, EvaluateAveragesStochasticEpisodes) {
+  EnvConfig ec = fast_env();
+  EdgeLearnEnv env(ec);
+  HierarchicalMechanism mech(env, fast_chiron());
+  mech.train(5);
+  EpisodeStats s = mech.evaluate(4);
+  EXPECT_GT(s.rounds, 0);
+  EXPECT_LE(s.spent, ec.budget + 1e-6);
+  EXPECT_GE(s.final_accuracy, 0.0);
+  EXPECT_LE(s.final_accuracy, 1.0);
+  EXPECT_THROW(mech.evaluate(0), chiron::InvariantError);
+}
+
+TEST(HierarchicalMechanism, OracleInnerAchievesHighEfficiency) {
+  EnvConfig ec = fast_env();
+  EdgeLearnEnv env(ec);
+  ChironConfig cc = fast_chiron();
+  cc.oracle_inner = true;
+  HierarchicalMechanism mech(env, cc);
+  auto eps = mech.train(10);
+  double eff = 0;
+  for (const auto& e : eps) eff += e.mean_time_efficiency;
+  eff /= static_cast<double>(eps.size());
+  EXPECT_GT(eff, 0.9) << "Lemma-1 oracle must equalize completion times";
+}
+
+TEST(HierarchicalMechanism, InnerAgentImprovesTimeEfficiencyOverRandom) {
+  // Compare learned inner allocations with the episode-0 (random init)
+  // behaviour after some training.
+  EdgeLearnEnv env(fast_env());
+  ChironConfig cc = fast_chiron();
+  cc.episodes = 60;
+  HierarchicalMechanism mech(env, cc);
+  auto eps = mech.train();
+  double first5 = 0, last5 = 0;
+  for (int i = 0; i < 5; ++i) {
+    first5 += eps[static_cast<std::size_t>(i)].mean_time_efficiency;
+    last5 += eps[eps.size() - 1 - static_cast<std::size_t>(i)]
+                 .mean_time_efficiency;
+  }
+  EXPECT_GE(last5, first5 - 0.25);
+}
+
+TEST(HierarchicalMechanism, WorksWithRealBlobsBackend) {
+  EnvConfig ec = fast_env(3, 15.0);
+  // Small-market economics so the tiny budget still buys several rounds.
+  ec.data_bits_per_node = 1e7;
+  ec.backend = BackendKind::kRealBlobs;
+  ec.samples_per_node = 25;
+  ec.test_samples = 50;
+  ec.local.epochs = 2;
+  ec.local.batch_size = 10;
+  ec.local.lr = 0.05;
+  EdgeLearnEnv env(ec);
+  ChironConfig cc = fast_chiron();
+  HierarchicalMechanism mech(env, cc);
+  auto eps = mech.train(3);
+  ASSERT_EQ(eps.size(), 3u);
+  for (const auto& e : eps) EXPECT_GT(e.rounds, 0);
+}
+
+TEST(HierarchicalMechanism, LargeNodeCountConstructs) {
+  EnvConfig ec = fast_env(50, 300.0);
+  EdgeLearnEnv env(ec);
+  HierarchicalMechanism mech(env, fast_chiron());
+  EpisodeStats s = mech.run_episode(false, true);
+  EXPECT_GT(s.rounds, 0);
+}
+
+}  // namespace
+}  // namespace chiron::core

@@ -1,0 +1,170 @@
+// Property-style sweeps (TEST_P) over market configurations: the
+// environment's core invariants must hold for every combination of node
+// count, budget, task, and availability — not just the scenarios the
+// other suites happen to pick.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/env.h"
+
+namespace chiron::core {
+namespace {
+
+struct MarketCase {
+  int nodes;
+  double budget;
+  data::VisionTask task;
+  double availability;
+  std::uint64_t seed;
+};
+
+void PrintTo(const MarketCase& m, std::ostream* os) {
+  *os << "n" << m.nodes << "_b" << m.budget << "_t"
+      << data::task_name(m.task) << "_a" << m.availability;
+}
+
+EnvConfig to_config(const MarketCase& m) {
+  EnvConfig c;
+  c.num_nodes = m.nodes;
+  c.budget = m.budget;
+  c.task = m.task;
+  c.node_availability = m.availability;
+  c.backend = BackendKind::kSurrogate;
+  c.seed = m.seed;
+  c.max_rounds = 100;
+  c.data_bits_per_node = 5e8 / m.nodes;
+  return c;
+}
+
+class MarketInvariants : public ::testing::TestWithParam<MarketCase> {};
+
+TEST_P(MarketInvariants, EpisodeConservesBudgetAndBounds) {
+  EdgeLearnEnv env(to_config(GetParam()));
+  Rng rng(GetParam().seed + 1);
+  env.reset();
+  const double initial = env.budget_remaining();
+  double paid = 0.0;
+  int rounds = 0;
+  while (!env.done()) {
+    std::vector<double> prices;
+    for (int i = 0; i < env.num_nodes(); ++i)
+      prices.push_back(rng.uniform(0.0, env.per_node_price_cap(i)));
+    StepResult r = env.step(prices);
+    if (r.aborted) break;
+    ++rounds;
+    paid += r.payment;
+
+    // Per-round invariants.
+    EXPECT_GE(r.payment, 0.0);
+    EXPECT_GE(r.round_time, 0.0);
+    EXPECT_GE(r.idle_time, -1e-9);
+    EXPECT_GE(r.time_efficiency, 0.0);
+    EXPECT_LE(r.time_efficiency, 1.0 + 1e-9);
+    EXPECT_GE(r.accuracy, 0.0);
+    EXPECT_LE(r.accuracy, 1.0);
+    EXPECT_GE(r.participants, 0);
+    EXPECT_LE(r.participants + r.offline, env.num_nodes());
+    EXPECT_TRUE(std::isfinite(r.reward_exterior));
+    EXPECT_TRUE(std::isfinite(r.reward_inner));
+    // Eqn (16) identity against Eqn (15):
+    //   efficiency = 1 − idle / (N · T_k)  whenever someone participated.
+    if (r.participants > 0 && r.round_time > 0) {
+      const double from_idle =
+          1.0 - r.idle_time / (env.num_nodes() * r.round_time);
+      EXPECT_NEAR(r.time_efficiency, from_idle, 1e-9);
+    }
+    // The state stays well-formed every round.
+    const auto s = env.exterior_state();
+    EXPECT_EQ(static_cast<std::int64_t>(s.size()),
+              env.exterior_state_dim());
+    for (float v : s) EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GT(rounds, 0);
+  // Budget conservation: what left the wallet equals what was paid out.
+  EXPECT_NEAR(initial - env.budget_remaining(), paid, 1e-6);
+  EXPECT_GE(env.budget_remaining(), -1e-9);
+}
+
+TEST_P(MarketInvariants, ResetRestoresFullBudgetAndMarket) {
+  EdgeLearnEnv env(to_config(GetParam()));
+  env.reset();
+  const double cap = env.price_cap();
+  std::vector<double> prices;
+  for (int i = 0; i < env.num_nodes(); ++i)
+    prices.push_back(0.5 * env.per_node_price_cap(i));
+  env.step(prices);
+  env.reset();
+  EXPECT_DOUBLE_EQ(env.budget_remaining(), GetParam().budget);
+  EXPECT_EQ(env.round(), 0);
+  EXPECT_DOUBLE_EQ(env.price_cap(), cap);  // same device population
+}
+
+TEST_P(MarketInvariants, EqualTimeProportionsAreADistribution) {
+  EdgeLearnEnv env(to_config(GetParam()));
+  env.reset();
+  for (double frac : {0.1, 0.3, 0.7}) {
+    auto pr = env.equal_time_proportions(frac * env.price_cap());
+    ASSERT_EQ(static_cast<int>(pr.size()), env.num_nodes());
+    double sum = 0.0;
+    for (double v : pr) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Markets, MarketInvariants,
+    ::testing::Values(
+        MarketCase{2, 30.0, data::VisionTask::kMnistLike, 1.0, 11},
+        MarketCase{5, 60.0, data::VisionTask::kMnistLike, 1.0, 12},
+        MarketCase{5, 200.0, data::VisionTask::kFashionLike, 1.0, 13},
+        MarketCase{8, 45.0, data::VisionTask::kCifarLike, 1.0, 14},
+        MarketCase{5, 60.0, data::VisionTask::kMnistLike, 0.7, 15},
+        MarketCase{20, 150.0, data::VisionTask::kMnistLike, 1.0, 16},
+        MarketCase{50, 120.0, data::VisionTask::kFashionLike, 0.9, 17},
+        MarketCase{100, 300.0, data::VisionTask::kMnistLike, 1.0, 18}),
+    [](const ::testing::TestParamInfo<MarketCase>& info) {
+      std::ostringstream os;
+      PrintTo(info.param, &os);
+      std::string s = os.str();
+      for (auto& ch : s)
+        if (ch == '.' || ch == '-') ch = '_';
+      return s;
+    });
+
+// Economics monotonicity across a budget sweep: a strictly larger budget
+// can never buy fewer rounds under the same stationary prices.
+class BudgetMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetMonotonicity, MoreBudgetMoreRounds) {
+  auto rounds_at = [](double budget) {
+    EnvConfig c;
+    c.num_nodes = 4;
+    c.budget = budget;
+    c.backend = BackendKind::kSurrogate;
+    c.seed = 31;
+    c.max_rounds = 1000;
+    EdgeLearnEnv env(c);
+    env.reset();
+    int rounds = 0;
+    while (!env.done()) {
+      std::vector<double> prices;
+      for (int i = 0; i < env.num_nodes(); ++i)
+        prices.push_back(0.5 * env.per_node_price_cap(i));
+      if (env.step(prices).aborted) break;
+      ++rounds;
+    }
+    return rounds;
+  };
+  const double b = GetParam();
+  EXPECT_LE(rounds_at(b), rounds_at(b * 1.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetMonotonicity,
+                         ::testing::Values(20.0, 40.0, 80.0, 160.0));
+
+}  // namespace
+}  // namespace chiron::core

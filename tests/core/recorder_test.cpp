@@ -1,0 +1,72 @@
+#include "core/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace chiron::core {
+namespace {
+
+EdgeLearnEnv make_env() {
+  EnvConfig c;
+  c.num_nodes = 3;
+  c.budget = 40.0;
+  c.backend = BackendKind::kSurrogate;
+  c.seed = 81;
+  return EdgeLearnEnv(c);
+}
+
+TEST(RoundTrace, RecordsEpisode) {
+  EdgeLearnEnv env = make_env();
+  env.reset();
+  RoundTrace trace;
+  while (!env.done()) {
+    std::vector<double> prices;
+    for (int i = 0; i < env.num_nodes(); ++i)
+      prices.push_back(0.5 * env.per_node_price_cap(i));
+    StepResult r = env.step(prices);
+    if (r.aborted) break;
+    trace.add(r);
+  }
+  ASSERT_GT(trace.size(), 0u);
+  EXPECT_NEAR(trace.total_payment(), 40.0, 40.0);  // ≤ budget, > 0
+  EXPECT_GT(trace.total_time(), 0.0);
+  EXPECT_GT(trace.final_accuracy(), 0.1);
+}
+
+TEST(RoundTrace, RejectsAbortedRounds) {
+  RoundTrace trace;
+  StepResult aborted;
+  aborted.aborted = true;
+  EXPECT_THROW(trace.add(aborted), chiron::InvariantError);
+}
+
+TEST(RoundTrace, TsvHasHeaderAndRows) {
+  EdgeLearnEnv env = make_env();
+  env.reset();
+  RoundTrace trace;
+  std::vector<double> prices;
+  for (int i = 0; i < env.num_nodes(); ++i)
+    prices.push_back(0.5 * env.per_node_price_cap(i));
+  trace.add(env.step(prices));
+  std::ostringstream os;
+  trace.write_tsv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("round\taccuracy"), std::string::npos);
+  EXPECT_NE(out.find("\n1\t"), std::string::npos);
+}
+
+TEST(RoundTrace, ClearResets) {
+  RoundTrace trace;
+  StepResult r;
+  r.payment = 3.0;
+  trace.add(r);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_payment(), 0.0);
+}
+
+}  // namespace
+}  // namespace chiron::core

@@ -1,0 +1,71 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace chiron::data {
+namespace {
+
+Dataset tiny() {
+  Tensor x({3, 2}, {1, 2, 3, 4, 5, 6});
+  return Dataset(std::move(x), {0, 1, 0}, 2);
+}
+
+TEST(Dataset, BasicAccessors) {
+  Dataset d = tiny();
+  EXPECT_EQ(d.size(), 3);
+  EXPECT_EQ(d.num_classes(), 2);
+  EXPECT_EQ(d.sample_elements(), 2);
+  EXPECT_EQ(d.sample_shape(), (tensor::Shape{2}));
+}
+
+TEST(Dataset, LabelBatchMismatchThrows) {
+  Tensor x({2, 2});
+  EXPECT_THROW(Dataset(std::move(x), {0}, 2), chiron::InvariantError);
+}
+
+TEST(Dataset, LabelOutOfRangeThrows) {
+  Tensor x({1, 2});
+  EXPECT_THROW(Dataset(std::move(x), {5}, 2), chiron::InvariantError);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  Dataset d = tiny();
+  Dataset s = d.subset({2, 0});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.labels()[0], 0);
+  EXPECT_FLOAT_EQ(s.inputs().at2(0, 0), 5.f);
+  EXPECT_FLOAT_EQ(s.inputs().at2(1, 1), 2.f);
+}
+
+TEST(Dataset, SubsetAllowsRepeats) {
+  Dataset d = tiny();
+  Dataset s = d.subset({1, 1});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_FLOAT_EQ(s.inputs().at2(0, 0), 3.f);
+  EXPECT_FLOAT_EQ(s.inputs().at2(1, 0), 3.f);
+}
+
+TEST(Dataset, GatherOutOfRangeThrows) {
+  Dataset d = tiny();
+  EXPECT_THROW(d.gather({3}), chiron::InvariantError);
+  EXPECT_THROW(d.gather({-1}), chiron::InvariantError);
+}
+
+TEST(Dataset, GatherPreservesNchw) {
+  Tensor x({2, 1, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Dataset d(std::move(x), {0, 1}, 2);
+  auto [batch, labels] = d.gather({1});
+  EXPECT_EQ(batch.shape(), (tensor::Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(batch.at4(0, 0, 0, 0), 5.f);
+  EXPECT_EQ(labels[0], 1);
+}
+
+TEST(Dataset, SizeBitsIsFloat32Bits) {
+  Dataset d = tiny();
+  EXPECT_DOUBLE_EQ(d.size_bits(), 6.0 * 32.0);
+}
+
+}  // namespace
+}  // namespace chiron::data

@@ -1,0 +1,85 @@
+#include "data/loader.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+#include "data/synthetic.h"
+
+namespace chiron::data {
+namespace {
+
+TEST(BatchLoader, YieldsWholeEpoch) {
+  chiron::Rng rng(1);
+  Dataset d = make_gaussian_blobs(25, 4, 2, 0.5, rng);
+  BatchLoader loader(d, 10, rng);
+  EXPECT_EQ(loader.batches_per_epoch(), 3);
+  std::int64_t seen = 0;
+  while (loader.has_next()) {
+    auto [x, y] = loader.next();
+    seen += x.dim(0);
+    EXPECT_EQ(static_cast<std::int64_t>(y.size()), x.dim(0));
+  }
+  EXPECT_EQ(seen, 25);
+}
+
+TEST(BatchLoader, LastBatchMayBeShort) {
+  chiron::Rng rng(2);
+  Dataset d = make_gaussian_blobs(25, 4, 2, 0.5, rng);
+  BatchLoader loader(d, 10, rng);
+  std::vector<std::int64_t> sizes;
+  while (loader.has_next()) sizes.push_back(loader.next().first.dim(0));
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 10);
+  EXPECT_EQ(sizes[2], 5);
+}
+
+TEST(BatchLoader, ExhaustedNextThrows) {
+  chiron::Rng rng(3);
+  Dataset d = make_gaussian_blobs(5, 4, 2, 0.5, rng);
+  BatchLoader loader(d, 5, rng);
+  loader.next();
+  EXPECT_FALSE(loader.has_next());
+  EXPECT_THROW(loader.next(), chiron::InvariantError);
+}
+
+TEST(BatchLoader, ResetStartsNewEpoch) {
+  chiron::Rng rng(4);
+  Dataset d = make_gaussian_blobs(10, 4, 2, 0.5, rng);
+  BatchLoader loader(d, 4, rng);
+  while (loader.has_next()) loader.next();
+  loader.reset();
+  EXPECT_TRUE(loader.has_next());
+}
+
+TEST(BatchLoader, ShufflesBetweenEpochs) {
+  chiron::Rng rng(5);
+  Dataset d = make_gaussian_blobs(64, 4, 2, 0.5, rng);
+  BatchLoader loader(d, 64, rng);
+  auto [x1, y1] = loader.next();
+  loader.reset();
+  auto [x2, y2] = loader.next();
+  EXPECT_FALSE(x1.allclose(x2));  // different order with high probability
+}
+
+TEST(BatchLoader, EveryEpochCoversEverySample) {
+  chiron::Rng rng(6);
+  Dataset d = make_gaussian_blobs(30, 2, 2, 0.5, rng);
+  BatchLoader loader(d, 7, rng);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    loader.reset();
+    std::map<float, int> first_dim_counts;
+    while (loader.has_next()) {
+      auto [x, y] = loader.next();
+      for (std::int64_t i = 0; i < x.dim(0); ++i)
+        ++first_dim_counts[x.at2(i, 0)];
+    }
+    std::int64_t total = 0;
+    for (auto& [v, c] : first_dim_counts) total += c;
+    EXPECT_EQ(total, 30);
+  }
+}
+
+}  // namespace
+}  // namespace chiron::data

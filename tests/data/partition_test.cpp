@@ -1,0 +1,114 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "common/error.h"
+#include "data/synthetic.h"
+
+namespace chiron::data {
+namespace {
+
+Dataset blob_set(std::int64_t n, chiron::Rng& rng) {
+  return make_gaussian_blobs(n, 4, 5, 0.5, rng);
+}
+
+TEST(IidPartition, CoversAllSamplesOnce) {
+  chiron::Rng rng(1);
+  Dataset d = blob_set(103, rng);
+  auto shards = iid_partition(d, 5, rng);
+  ASSERT_EQ(shards.size(), 5u);
+  std::int64_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  EXPECT_EQ(total, 103);
+}
+
+TEST(IidPartition, BalancedWithinOne) {
+  chiron::Rng rng(2);
+  Dataset d = blob_set(103, rng);
+  auto shards = iid_partition(d, 5, rng);
+  std::int64_t mn = shards[0].size(), mx = shards[0].size();
+  for (const auto& s : shards) {
+    mn = std::min(mn, s.size());
+    mx = std::max(mx, s.size());
+  }
+  EXPECT_LE(mx - mn, 1);
+}
+
+TEST(IidPartition, SingleNodeGetsEverything) {
+  chiron::Rng rng(3);
+  Dataset d = blob_set(20, rng);
+  auto shards = iid_partition(d, 1, rng);
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0].size(), 20);
+}
+
+TEST(IidPartition, MoreNodesThanSamplesThrows) {
+  chiron::Rng rng(4);
+  Dataset d = blob_set(3, rng);
+  EXPECT_THROW(iid_partition(d, 10, rng), chiron::InvariantError);
+}
+
+TEST(IidPartition, ClassMixRoughlyUniform) {
+  chiron::Rng rng(5);
+  Dataset d = blob_set(1000, rng);
+  auto shards = iid_partition(d, 4, rng);
+  for (const auto& s : shards) {
+    std::map<int, int> counts;
+    for (int y : s.labels()) ++counts[y];
+    // Every class present on every shard, no class dominating (IID).
+    EXPECT_EQ(counts.size(), 5u);
+    for (const auto& [cls, c] : counts) {
+      EXPECT_GT(c, s.size() / 5 / 3) << "class " << cls;
+    }
+  }
+}
+
+TEST(DirichletPartition, CoversAllSamples) {
+  chiron::Rng rng(6);
+  Dataset d = blob_set(200, rng);
+  auto shards = dirichlet_partition(d, 4, 0.5, rng);
+  std::int64_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  EXPECT_EQ(total, 200);
+}
+
+TEST(DirichletPartition, NoEmptyShards) {
+  chiron::Rng rng(7);
+  Dataset d = blob_set(100, rng);
+  for (double alpha : {0.05, 0.5, 5.0}) {
+    auto shards = dirichlet_partition(d, 8, alpha, rng);
+    for (const auto& s : shards) EXPECT_GE(s.size(), 1);
+  }
+}
+
+TEST(DirichletPartition, SmallAlphaSkewsLabels) {
+  chiron::Rng rng(8);
+  Dataset d = blob_set(2000, rng);
+  auto skewed = dirichlet_partition(d, 5, 0.05, rng);
+  auto uniform = dirichlet_partition(d, 5, 100.0, rng);
+  // Measure max class share on each shard; skewed should concentrate more.
+  auto mean_max_share = [](const std::vector<Dataset>& shards) {
+    double acc = 0;
+    for (const auto& s : shards) {
+      std::map<int, int> counts;
+      for (int y : s.labels()) ++counts[y];
+      int mx = 0;
+      for (const auto& [c, n] : counts) mx = std::max(mx, n);
+      acc += static_cast<double>(mx) / static_cast<double>(s.size());
+    }
+    return acc / static_cast<double>(shards.size());
+  };
+  EXPECT_GT(mean_max_share(skewed), mean_max_share(uniform) + 0.1);
+}
+
+TEST(DirichletPartition, InvalidAlphaThrows) {
+  chiron::Rng rng(9);
+  Dataset d = blob_set(50, rng);
+  EXPECT_THROW(dirichlet_partition(d, 2, 0.0, rng), chiron::InvariantError);
+}
+
+}  // namespace
+}  // namespace chiron::data

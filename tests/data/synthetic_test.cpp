@@ -1,0 +1,218 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/error.h"
+
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "nn/optim.h"
+#include "data/loader.h"
+
+namespace chiron::data {
+namespace {
+
+class VisionTaskTest : public ::testing::TestWithParam<VisionTask> {};
+
+TEST_P(VisionTaskTest, GeometryMatchesPaperModelInput) {
+  const TaskGeometry g = task_geometry(GetParam());
+  if (GetParam() == VisionTask::kCifarLike) {
+    EXPECT_EQ(g.channels, 3);
+    EXPECT_EQ(g.height, 32);
+  } else {
+    EXPECT_EQ(g.channels, 1);
+    EXPECT_EQ(g.height, 28);
+  }
+}
+
+TEST_P(VisionTaskTest, ShapesAndLabels) {
+  chiron::Rng rng(1);
+  Dataset d = make_vision_dataset(GetParam(), 50, rng);
+  const TaskGeometry g = task_geometry(GetParam());
+  EXPECT_EQ(d.size(), 50);
+  EXPECT_EQ(d.num_classes(), 10);
+  EXPECT_EQ(d.inputs().shape(),
+            (tensor::Shape{50, g.channels, g.height, g.width}));
+  for (int y : d.labels()) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 10);
+  }
+}
+
+TEST_P(VisionTaskTest, CoversManyClasses) {
+  chiron::Rng rng(2);
+  Dataset d = make_vision_dataset(GetParam(), 300, rng);
+  std::set<int> seen(d.labels().begin(), d.labels().end());
+  EXPECT_GE(seen.size(), 9u);
+}
+
+TEST_P(VisionTaskTest, DeterministicUnderSeed) {
+  chiron::Rng a(5), b(5);
+  Dataset da = make_vision_dataset(GetParam(), 10, a);
+  Dataset db = make_vision_dataset(GetParam(), 10, b);
+  EXPECT_TRUE(da.inputs().allclose(db.inputs()));
+  EXPECT_EQ(da.labels(), db.labels());
+}
+
+TEST_P(VisionTaskTest, SamplesWithinClassDiffer) {
+  chiron::Rng rng(6);
+  Dataset d = make_vision_dataset(GetParam(), 200, rng);
+  // Find two samples of the same class; they must not be identical.
+  for (int i = 0; i < d.size(); ++i) {
+    for (int j = i + 1; j < d.size(); ++j) {
+      if (d.labels()[static_cast<std::size_t>(i)] ==
+          d.labels()[static_cast<std::size_t>(j)]) {
+        auto [a, la] = d.gather({i});
+        auto [b, lb] = d.gather({j});
+        EXPECT_FALSE(a.allclose(b));
+        return;
+      }
+    }
+  }
+  FAIL() << "no same-class pair found";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, VisionTaskTest,
+                         ::testing::Values(VisionTask::kMnistLike,
+                                           VisionTask::kFashionLike,
+                                           VisionTask::kCifarLike),
+                         [](const auto& info) {
+                           return task_name(info.param);
+                         });
+
+TEST(SyntheticVision, TrainAndTestShareClassStructure) {
+  // A linear probe trained on one draw must transfer to a fresh draw —
+  // this is what makes separate train/test splits meaningful.
+  chiron::Rng rng(7);
+  Dataset train = make_vision_dataset(VisionTask::kMnistLike, 300, rng);
+  Dataset test = make_vision_dataset(VisionTask::kMnistLike, 150, rng);
+  const std::int64_t dim = train.sample_elements();
+  auto net = nn::make_mlp_classifier(dim, 16, 10, rng);
+  nn::Sgd opt(net->params(), 0.03);
+  nn::SoftmaxCrossEntropy loss;
+  BatchLoader loader(train, 32, rng);
+  for (int e = 0; e < 12; ++e) {
+    loader.reset();
+    while (loader.has_next()) {
+      auto [x, y] = loader.next();
+      opt.zero_grad();
+      loss.forward(net->forward(x.reshape({x.dim(0), dim}), true), y);
+      net->backward(loss.backward());
+      opt.step();
+    }
+  }
+  std::vector<int> all(static_cast<std::size_t>(test.size()));
+  for (int i = 0; i < test.size(); ++i) all[static_cast<std::size_t>(i)] = i;
+  auto [x, y] = test.gather(all);
+  const double acc =
+      nn::accuracy(net->forward(x.reshape({x.dim(0), dim}), false), y);
+  EXPECT_GT(acc, 0.45) << "train/test prototypes must align (chance=0.1)";
+}
+
+TEST(SyntheticVision, DifficultyOrderingMnistEasierThanCifar) {
+  // Same linear probe budget on each task: MNIST-like should be clearly
+  // easier than CIFAR-like (DESIGN.md difficulty ordering).
+  auto probe_acc = [](VisionTask task, std::uint64_t seed) {
+    chiron::Rng rng(seed);
+    Dataset train = make_vision_dataset(task, 250, rng);
+    Dataset test = make_vision_dataset(task, 150, rng);
+    const std::int64_t dim = train.sample_elements();
+    auto net = nn::make_mlp_classifier(dim, 12, 10, rng);
+    nn::Sgd opt(net->params(), 0.02);
+    nn::SoftmaxCrossEntropy loss;
+    BatchLoader loader(train, 32, rng);
+    for (int e = 0; e < 8; ++e) {
+      loader.reset();
+      while (loader.has_next()) {
+        auto [x, y] = loader.next();
+        opt.zero_grad();
+        loss.forward(net->forward(x.reshape({x.dim(0), dim}), true), y);
+        net->backward(loss.backward());
+        opt.step();
+      }
+    }
+    std::vector<int> all(static_cast<std::size_t>(test.size()));
+    for (int i = 0; i < test.size(); ++i)
+      all[static_cast<std::size_t>(i)] = i;
+    auto [x, y] = test.gather(all);
+    return nn::accuracy(net->forward(x.reshape({x.dim(0), dim}), false), y);
+  };
+  const double mnist = probe_acc(VisionTask::kMnistLike, 11);
+  const double cifar = probe_acc(VisionTask::kCifarLike, 11);
+  EXPECT_GT(mnist, cifar + 0.05);
+}
+
+TEST(GaussianBlobs, ShapeAndLabels) {
+  chiron::Rng rng(8);
+  Dataset d = make_gaussian_blobs(100, 6, 3, 0.5, rng);
+  EXPECT_EQ(d.size(), 100);
+  EXPECT_EQ(d.num_classes(), 3);
+  EXPECT_EQ(d.inputs().shape(), (tensor::Shape{100, 6}));
+}
+
+TEST(GaussianBlobs, CentersSharedAcrossDraws) {
+  chiron::Rng a(9), b(10);  // different sampling rngs, same center stream
+  Dataset da = make_gaussian_blobs(2000, 4, 2, 0.1, a);
+  Dataset db = make_gaussian_blobs(2000, 4, 2, 0.1, b);
+  // Per-class means should agree across draws (centers are deterministic).
+  auto class_mean = [](const Dataset& d, int cls, int dim) {
+    double sum = 0;
+    int n = 0;
+    for (int i = 0; i < d.size(); ++i) {
+      if (d.labels()[static_cast<std::size_t>(i)] != cls) continue;
+      sum += d.inputs().at2(i, dim);
+      ++n;
+    }
+    return sum / n;
+  };
+  EXPECT_NEAR(class_mean(da, 0, 0), class_mean(db, 0, 0), 0.05);
+  EXPECT_NEAR(class_mean(da, 1, 2), class_mean(db, 1, 2), 0.05);
+}
+
+TEST(GaussianBlobs, NoiseControlsOverlap) {
+  chiron::Rng rng(11);
+  Dataset clean = make_gaussian_blobs(300, 4, 2, 0.05, rng);
+  // With tiny noise the nearest-class-center classifier is near perfect —
+  // verify samples sit close to their class center.
+  double within = 0, across = 0;
+  int nw = 0, na = 0;
+  for (int i = 0; i < 100; ++i) {
+    for (int j = i + 1; j < 100; ++j) {
+      double dist = 0;
+      for (int d = 0; d < 4; ++d) {
+        const double diff =
+            clean.inputs().at2(i, d) - clean.inputs().at2(j, d);
+        dist += diff * diff;
+      }
+      if (clean.labels()[static_cast<std::size_t>(i)] ==
+          clean.labels()[static_cast<std::size_t>(j)]) {
+        within += dist;
+        ++nw;
+      } else {
+        across += dist;
+        ++na;
+      }
+    }
+  }
+  EXPECT_LT(within / nw, across / na);
+}
+
+TEST(GaussianBlobs, InvalidArgsThrow) {
+  chiron::Rng rng(12);
+  EXPECT_THROW(make_gaussian_blobs(0, 4, 2, 0.5, rng),
+               chiron::InvariantError);
+  EXPECT_THROW(make_gaussian_blobs(10, 4, 1, 0.5, rng),
+               chiron::InvariantError);
+}
+
+TEST(TaskNames, Distinct) {
+  EXPECT_STREQ(task_name(VisionTask::kMnistLike), "mnist");
+  EXPECT_STREQ(task_name(VisionTask::kFashionLike), "fashion");
+  EXPECT_STREQ(task_name(VisionTask::kCifarLike), "cifar");
+}
+
+}  // namespace
+}  // namespace chiron::data

@@ -1,0 +1,126 @@
+// Cross-module integration: Chiron vs baselines under one shared market,
+// exercising the full stack the way the benchmark harnesses do (reduced
+// scale). Assertions target the paper's qualitative claims, loosely.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.h"
+#include "baselines/single_drl.h"
+#include "core/mechanism.h"
+
+namespace chiron {
+namespace {
+
+core::EnvConfig market(double budget, std::uint64_t seed = 77,
+                       int nodes = 5) {
+  core::EnvConfig c;
+  c.num_nodes = nodes;
+  c.budget = budget;
+  c.task = data::VisionTask::kMnistLike;
+  c.backend = core::BackendKind::kSurrogate;
+  c.seed = seed;
+  c.max_rounds = 80;
+  return c;
+}
+
+core::ChironConfig chiron_cfg(int episodes) {
+  core::ChironConfig c;
+  c.episodes = episodes;
+  c.hidden = 32;
+  c.actor_lr = 1e-3;
+  c.critic_lr = 2e-3;
+  c.update_epochs = 6;
+  c.seed = 3;
+  return c;
+}
+
+TEST(EndToEnd, ChironSustainsMoreRoundsThanGreedy) {
+  // Fig 4(b): under the same budget Chiron trains for more rounds.
+  core::EnvConfig ec = market(60.0);
+  core::EdgeLearnEnv env_c(ec);
+  core::HierarchicalMechanism chiron(env_c, chiron_cfg(60));
+  chiron.train();
+  auto c_stats = chiron.evaluate();
+
+  core::EdgeLearnEnv env_g(ec);
+  baselines::GreedyMechanism greedy(env_g, {});
+  greedy.train(20);
+  auto g_stats = greedy.evaluate();
+
+  EXPECT_GT(c_stats.rounds, g_stats.rounds)
+      << "chiron=" << c_stats.rounds << " greedy=" << g_stats.rounds;
+}
+
+TEST(EndToEnd, ChironAccuracyAtLeastGreedy) {
+  // Fig 4(a): Chiron's final accuracy should not be below Greedy's.
+  core::EnvConfig ec = market(60.0, 78);
+  core::EdgeLearnEnv env_c(ec);
+  core::HierarchicalMechanism chiron(env_c, chiron_cfg(60));
+  chiron.train();
+  auto c_stats = chiron.evaluate();
+
+  core::EdgeLearnEnv env_g(ec);
+  baselines::GreedyMechanism greedy(env_g, {});
+  greedy.train(20);
+  auto g_stats = greedy.evaluate();
+
+  EXPECT_GE(c_stats.final_accuracy, g_stats.final_accuracy - 0.03);
+}
+
+TEST(EndToEnd, AllMechanismsStayWithinBudget) {
+  core::EnvConfig ec = market(45.0, 79);
+  core::EdgeLearnEnv e1(ec), e2(ec), e3(ec);
+  core::HierarchicalMechanism chiron(e1, chiron_cfg(10));
+  baselines::GreedyMechanism greedy(e2, {});
+  baselines::SingleAgentDrlMechanism drl(e3, {});
+  for (const auto& s : chiron.train()) EXPECT_LE(s.spent, 45.0 + 1e-6);
+  for (const auto& s : greedy.train(10)) EXPECT_LE(s.spent, 45.0 + 1e-6);
+  for (const auto& s : drl.train(10)) EXPECT_LE(s.spent, 45.0 + 1e-6);
+}
+
+TEST(EndToEnd, BiggerBudgetNeverHurtsChironAccuracy) {
+  // Fig 4(a) x-axis direction: accuracy grows with budget.
+  auto final_acc = [](double budget) {
+    core::EnvConfig ec = market(budget, 80);
+    core::EdgeLearnEnv env(ec);
+    core::HierarchicalMechanism chiron(env, chiron_cfg(40));
+    chiron.train();
+    return chiron.evaluate().final_accuracy;
+  };
+  const double lo = final_acc(25.0);
+  const double hi = final_acc(100.0);
+  EXPECT_GE(hi, lo - 0.02);
+}
+
+TEST(EndToEnd, RealTrainingPipelineWorksWithChiron) {
+  // Full stack including real federated SGD (blobs backend, tiny scale).
+  core::EnvConfig ec = market(15.0, 81, 3);
+  ec.backend = core::BackendKind::kRealBlobs;
+  ec.samples_per_node = 20;
+  ec.test_samples = 40;
+  ec.local.epochs = 2;
+  ec.local.batch_size = 10;
+  ec.local.lr = 0.05;
+  core::EdgeLearnEnv env(ec);
+  core::HierarchicalMechanism chiron(env, chiron_cfg(3));
+  auto eps = chiron.train();
+  ASSERT_EQ(eps.size(), 3u);
+  for (const auto& e : eps) {
+    EXPECT_GT(e.rounds, 0);
+    EXPECT_GE(e.final_accuracy, 0.0);
+  }
+}
+
+TEST(EndToEnd, ScaleHundredNodesOneEpisode) {
+  // Fig 7 / Table I regime: N = 100 must run end to end. A fixed corpus is
+  // split across the 100 nodes (5e8 bits total), as in the bench configs.
+  core::EnvConfig ec = market(140.0, 82, 100);
+  ec.data_bits_per_node = 5e6;
+  core::EdgeLearnEnv env(ec);
+  core::HierarchicalMechanism chiron(env, chiron_cfg(2));
+  auto eps = chiron.train();
+  ASSERT_EQ(eps.size(), 2u);
+  EXPECT_GT(eps[0].rounds, 0);
+}
+
+}  // namespace
+}  // namespace chiron

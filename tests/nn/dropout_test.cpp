@@ -1,0 +1,127 @@
+#include "nn/dropout.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "nn/optim.h"
+
+namespace chiron::nn {
+namespace {
+
+TEST(Dropout, IdentityAtInference) {
+  Dropout d(0.5, Rng(1));
+  Tensor x = Tensor::of({1, 2, 3, 4});
+  EXPECT_TRUE(d.forward(x, /*train=*/false).allclose(x));
+}
+
+TEST(Dropout, ZeroRateIsIdentityInTraining) {
+  Dropout d(0.0, Rng(2));
+  Tensor x = Tensor::of({1, 2, 3});
+  EXPECT_TRUE(d.forward(x, true).allclose(x));
+}
+
+TEST(Dropout, DropsApproximatelyRateFraction) {
+  Dropout d(0.3, Rng(3));
+  Tensor x = Tensor::full({10000}, 1.f);
+  Tensor y = d.forward(x, true);
+  int dropped = 0;
+  for (std::int64_t i = 0; i < y.size(); ++i)
+    if (y[i] == 0.f) ++dropped;
+  EXPECT_NEAR(static_cast<double>(dropped) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Dropout, SurvivorsAreInverseScaled) {
+  Dropout d(0.5, Rng(4));
+  Tensor x = Tensor::full({1000}, 3.f);
+  Tensor y = d.forward(x, true);
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] != 0.f) {
+      EXPECT_FLOAT_EQ(y[i], 6.f);  // 3 / (1 − 0.5)
+    }
+  }
+  // Expectation preserved.
+  EXPECT_NEAR(y.mean(), 3.f, 0.5f);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout d(0.5, Rng(5));
+  Tensor x = Tensor::full({100}, 1.f);
+  Tensor y = d.forward(x, true);
+  Tensor g = Tensor::full({100}, 1.f);
+  Tensor gin = d.backward(g);
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_FLOAT_EQ(gin[i], y[i]);  // grad flows exactly where output did
+  }
+}
+
+TEST(Dropout, InvalidRateThrows) {
+  EXPECT_THROW(Dropout(1.0, Rng(6)), chiron::InvariantError);
+  EXPECT_THROW(Dropout(-0.1, Rng(7)), chiron::InvariantError);
+}
+
+TEST(Sigmoid, KnownValues) {
+  Sigmoid s;
+  Tensor x = Tensor::of({0.f, 100.f, -100.f});
+  Tensor y = s.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+  EXPECT_NEAR(y[1], 1.f, 1e-6f);
+  EXPECT_NEAR(y[2], 0.f, 1e-6f);
+}
+
+TEST(Sigmoid, GradientMatchesNumeric) {
+  Sigmoid s;
+  Rng rng(8);
+  Tensor x = Tensor::uniform({2, 5}, rng, -2.f, 2.f);
+  Tensor y = s.forward(x, true);
+  Tensor w = Tensor::uniform(y.shape(), rng, -1.f, 1.f);
+  Tensor gin = s.backward(w);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    Sigmoid s2;
+    double lp = 0, lm = 0;
+    Tensor yp = s2.forward(xp, true);
+    for (std::int64_t j = 0; j < yp.size(); ++j) lp += yp[j] * w[j];
+    Tensor ym = s2.forward(xm, true);
+    for (std::int64_t j = 0; j < ym.size(); ++j) lm += ym[j] * w[j];
+    EXPECT_NEAR(gin[i], (lp - lm) / (2 * eps), 2e-3);
+  }
+}
+
+TEST(WeightDecay, SgdShrinksWeightsWithZeroGrad) {
+  Param p(Tensor::of({10.f}));
+  Sgd opt({&p}, /*lr=*/0.1, /*momentum=*/0.0, /*weight_decay=*/0.5);
+  p.grad = Tensor::of({0.f});
+  opt.step();
+  // w -= lr·wd·w = 10 − 0.1·0.5·10 = 9.5
+  EXPECT_FLOAT_EQ(p.value[0], 9.5f);
+}
+
+TEST(WeightDecay, AdamDecoupledDecay) {
+  Param p(Tensor::of({10.f}));
+  Adam opt({&p}, /*lr=*/0.1, 0.9, 0.999, 1e-8, /*weight_decay=*/0.5);
+  p.grad = Tensor::of({0.f});
+  opt.step();
+  // No gradient → only the decoupled decay applies.
+  EXPECT_NEAR(p.value[0], 10.f - 0.1f * 0.5f * 10.f, 1e-4f);
+}
+
+TEST(WeightDecay, RegularizedTrainingHasSmallerWeights) {
+  auto run = [](double wd) {
+    Rng rng(9);
+    Param p(Tensor::of({0.f}));
+    Sgd opt({&p}, 0.05, 0.0, wd);
+    for (int i = 0; i < 200; ++i) {
+      p.grad = Tensor::of({2.f * (p.value[0] - 3.f)});  // pulls toward 3
+      opt.step();
+    }
+    return p.value[0];
+  };
+  EXPECT_LT(run(1.0), run(0.0));
+  EXPECT_NEAR(run(0.0), 3.f, 1e-2f);
+}
+
+}  // namespace
+}  // namespace chiron::nn

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/flatten.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+#include "nn/sequential.h"
+
+namespace chiron::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Linear, OutputShape) {
+  Rng rng(1);
+  Linear l(4, 3, rng);
+  Tensor x({2, 4});
+  Tensor y = l.forward(x, true);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 3);
+}
+
+TEST(Linear, ZeroInputGivesBias) {
+  Rng rng(2);
+  Linear l(3, 2, rng);
+  l.bias().value[0] = 1.5f;
+  l.bias().value[1] = -0.5f;
+  Tensor x({1, 3});
+  Tensor y = l.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), -0.5f);
+}
+
+TEST(Linear, KnownMatrix) {
+  Rng rng(3);
+  Linear l(2, 2, rng);
+  // W = [[1,2],[3,4]], b = [10, 20].
+  l.weight().value = Tensor({2, 2}, {1, 2, 3, 4});
+  l.bias().value = Tensor::of({10, 20});
+  Tensor x({1, 2}, {1, 1});
+  Tensor y = l.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 14.f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 26.f);
+}
+
+TEST(Linear, WrongInputWidthThrows) {
+  Rng rng(4);
+  Linear l(4, 3, rng);
+  Tensor x({2, 5});
+  EXPECT_THROW(l.forward(x, true), InvariantError);
+}
+
+TEST(Linear, BackwardBeforeForwardThrows) {
+  Rng rng(5);
+  Linear l(2, 2, rng);
+  Tensor g({1, 2});
+  EXPECT_THROW(l.backward(g), InvariantError);
+}
+
+TEST(Linear, ParamsExposeWeightAndBias) {
+  Rng rng(6);
+  Linear l(7, 3, rng);
+  auto ps = l.params();
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0]->size(), 21);
+  EXPECT_EQ(ps[1]->size(), 3);
+  EXPECT_EQ(parameter_count(ps), 24);
+}
+
+TEST(Conv2d, OutputShapeNoPad) {
+  Rng rng(7);
+  Conv2d c(1, 10, 5, rng);
+  Tensor x({2, 1, 28, 28});
+  Tensor y = c.forward(x, true);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 10);
+  EXPECT_EQ(y.dim(2), 24);
+  EXPECT_EQ(y.dim(3), 24);
+}
+
+TEST(Conv2d, OutputShapeWithPadStride) {
+  Rng rng(8);
+  Conv2d c(3, 4, 3, rng, /*stride=*/2, /*pad=*/1);
+  Tensor x({1, 3, 8, 8});
+  Tensor y = c.forward(x, true);
+  EXPECT_EQ(y.dim(2), 4);
+  EXPECT_EQ(y.dim(3), 4);
+}
+
+TEST(Conv2d, IdentityKernelCopiesInput) {
+  Rng rng(9);
+  Conv2d c(1, 1, 1, rng);  // 1×1 kernel
+  auto ps = c.params();
+  ps[0]->value.fill(1.f);  // weight = 1
+  ps[1]->value.fill(0.f);  // bias = 0
+  Tensor x({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor y = c.forward(x, true);
+  EXPECT_TRUE(y.allclose(x));
+}
+
+TEST(Conv2d, AveragingKernel) {
+  Rng rng(10);
+  Conv2d c(1, 1, 2, rng);
+  auto ps = c.params();
+  ps[0]->value.fill(0.25f);
+  ps[1]->value.fill(0.f);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = c.forward(x, true);
+  EXPECT_EQ(y.size(), 1);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(Conv2d, WrongChannelCountThrows) {
+  Rng rng(11);
+  Conv2d c(3, 2, 3, rng);
+  Tensor x({1, 1, 8, 8});
+  EXPECT_THROW(c.forward(x, true), InvariantError);
+}
+
+TEST(MaxPool2d, Halves28) {
+  MaxPool2d p(2);
+  Tensor x({1, 3, 28, 28});
+  Tensor y = p.forward(x, true);
+  EXPECT_EQ(y.dim(2), 14);
+  EXPECT_EQ(y.dim(3), 14);
+}
+
+TEST(MaxPool2d, PicksMaximum) {
+  MaxPool2d p(2);
+  Tensor x({1, 1, 2, 2}, {1, 7, 3, 2});
+  Tensor y = p.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 7.f);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU r;
+  Tensor x({1, 4}, {-1, 0, 2, -3});
+  Tensor y = r.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.f);
+  EXPECT_FLOAT_EQ(y[1], 0.f);
+  EXPECT_FLOAT_EQ(y[2], 2.f);
+  EXPECT_FLOAT_EQ(y[3], 0.f);
+}
+
+TEST(ReLU, BackwardMasks) {
+  ReLU r;
+  Tensor x({1, 3}, {-1, 0.5f, 2});
+  r.forward(x, true);
+  Tensor g({1, 3}, {10, 10, 10});
+  Tensor gin = r.backward(g);
+  EXPECT_FLOAT_EQ(gin[0], 0.f);
+  EXPECT_FLOAT_EQ(gin[1], 10.f);
+  EXPECT_FLOAT_EQ(gin[2], 10.f);
+}
+
+TEST(Tanh, Saturates) {
+  Tanh t;
+  Tensor x({1, 3}, {-100, 0, 100});
+  Tensor y = t.forward(x, true);
+  EXPECT_NEAR(y[0], -1.f, 1e-5f);
+  EXPECT_FLOAT_EQ(y[1], 0.f);
+  EXPECT_NEAR(y[2], 1.f, 1e-5f);
+}
+
+TEST(Flatten, CollapsesTrailingDims) {
+  Flatten f;
+  Tensor x({2, 3, 4, 5});
+  Tensor y = f.forward(x, true);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 60);
+  Tensor g({2, 60});
+  Tensor gin = f.backward(g);
+  EXPECT_EQ(gin.shape(), x.shape());
+}
+
+TEST(Sequential, ChainsLayers) {
+  Rng rng(12);
+  Sequential net;
+  net.emplace<Linear>(4, 8, rng);
+  net.emplace<ReLU>();
+  net.emplace<Linear>(8, 2, rng);
+  Tensor x({3, 4});
+  Tensor y = net.forward(x, true);
+  EXPECT_EQ(y.dim(0), 3);
+  EXPECT_EQ(y.dim(1), 2);
+  EXPECT_EQ(net.layer_count(), 3u);
+}
+
+TEST(Sequential, ParamAggregation) {
+  Rng rng(13);
+  Sequential net;
+  net.emplace<Linear>(4, 8, rng);
+  net.emplace<Linear>(8, 2, rng);
+  EXPECT_EQ(net.parameter_count(), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(Sequential, ZeroGradClears) {
+  Rng rng(14);
+  Sequential net;
+  net.emplace<Linear>(2, 2, rng);
+  for (auto* p : net.params()) p->grad.fill(3.f);
+  net.zero_grad();
+  for (auto* p : net.params()) EXPECT_EQ(p->grad.sum(), 0.f);
+}
+
+TEST(Sequential, EmptyBackwardThrows) {
+  Sequential net;
+  Tensor g({1, 1});
+  EXPECT_THROW(net.backward(g), InvariantError);
+}
+
+TEST(Sequential, AddNullThrows) {
+  Sequential net;
+  EXPECT_THROW(net.add(nullptr), InvariantError);
+}
+
+}  // namespace
+}  // namespace chiron::nn

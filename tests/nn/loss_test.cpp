@@ -1,0 +1,124 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace chiron::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 4});
+  const float l = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsNearZero) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3}, {20.f, 0.f, 0.f});
+  EXPECT_LT(loss.forward(logits, {0}), 1e-4f);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentWrongIsLarge) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3}, {20.f, 0.f, 0.f});
+  EXPECT_GT(loss.forward(logits, {1}), 10.f);
+}
+
+TEST(SoftmaxCrossEntropy, BackwardIsProbsMinusOneHot) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3}, {1.f, 2.f, 3.f});
+  loss.forward(logits, {2});
+  Tensor g = loss.backward();
+  const Tensor& p = loss.probabilities();
+  EXPECT_NEAR(g.at2(0, 0), p.at2(0, 0), 1e-6f);
+  EXPECT_NEAR(g.at2(0, 2), p.at2(0, 2) - 1.f, 1e-6f);
+  // Gradient rows sum to zero.
+  EXPECT_NEAR(g.at2(0, 0) + g.at2(0, 1) + g.at2(0, 2), 0.f, 1e-6f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesNumeric) {
+  Rng rng(1);
+  Tensor logits = Tensor::uniform({3, 5}, rng, -2.f, 2.f);
+  std::vector<int> labels{1, 4, 0};
+  SoftmaxCrossEntropy loss;
+  loss.forward(logits, labels);
+  Tensor g = loss.backward();
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    SoftmaxCrossEntropy l2;
+    const double num =
+        (l2.forward(lp, labels) - l2.forward(lm, labels)) / (2.0 * eps);
+    EXPECT_NEAR(g[i], num, 2e-3) << "coord " << i;
+  }
+}
+
+TEST(SoftmaxCrossEntropy, LabelOutOfRangeThrows) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  EXPECT_THROW(loss.forward(logits, {3}), chiron::InvariantError);
+  EXPECT_THROW(loss.forward(logits, {-1}), chiron::InvariantError);
+}
+
+TEST(SoftmaxCrossEntropy, BatchSizeMismatchThrows) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3});
+  EXPECT_THROW(loss.forward(logits, {0}), chiron::InvariantError);
+}
+
+TEST(MeanSquaredError, KnownValue) {
+  MeanSquaredError mse;
+  Tensor pred({2, 1}, {1.f, 3.f});
+  Tensor target({2, 1}, {0.f, 0.f});
+  EXPECT_FLOAT_EQ(mse.forward(pred, target), 5.f);  // (1 + 9) / 2
+}
+
+TEST(MeanSquaredError, ZeroAtTarget) {
+  MeanSquaredError mse;
+  Tensor t({3, 1}, {1, 2, 3});
+  EXPECT_FLOAT_EQ(mse.forward(t, t), 0.f);
+}
+
+TEST(MeanSquaredError, GradientMatchesNumeric) {
+  Rng rng(2);
+  Tensor pred = Tensor::uniform({4, 1}, rng);
+  Tensor target = Tensor::uniform({4, 1}, rng);
+  MeanSquaredError mse;
+  mse.forward(pred, target);
+  Tensor g = mse.backward();
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < pred.size(); ++i) {
+    Tensor pp = pred, pm = pred;
+    pp[i] += eps;
+    pm[i] -= eps;
+    MeanSquaredError m2;
+    const double num =
+        (m2.forward(pp, target) - m2.forward(pm, target)) / (2.0 * eps);
+    EXPECT_NEAR(g[i], num, 2e-3);
+  }
+}
+
+TEST(Accuracy, AllCorrect) {
+  Tensor logits({2, 3}, {9, 0, 0, 0, 0, 9});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 2}), 1.0);
+}
+
+TEST(Accuracy, Half) {
+  Tensor logits({2, 2}, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1}), 0.5);
+}
+
+TEST(Accuracy, NoneCorrect) {
+  Tensor logits({2, 2}, {0, 1, 0, 1});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace chiron::nn

@@ -1,0 +1,75 @@
+#include "nn/models.h"
+
+#include <gtest/gtest.h>
+
+namespace chiron::nn {
+namespace {
+
+TEST(Models, MnistCnnHasPaperParameterCount) {
+  // Paper §VI-A: "a total of 21,840 trainable parameters".
+  Rng rng(1);
+  auto net = make_mnist_cnn(rng);
+  EXPECT_EQ(net->parameter_count(), 21840);
+}
+
+TEST(Models, LenetCifarHasPaperParameterCount) {
+  // Paper §VI-A: "a total of 62,006 trainable parameters".
+  Rng rng(2);
+  auto net = make_lenet_cifar(rng);
+  EXPECT_EQ(net->parameter_count(), 62006);
+}
+
+TEST(Models, MnistCnnForwardShape) {
+  Rng rng(3);
+  auto net = make_mnist_cnn(rng);
+  Tensor x({2, 1, 28, 28});
+  Tensor y = net->forward(x, false);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 10);
+}
+
+TEST(Models, LenetForwardShape) {
+  Rng rng(4);
+  auto net = make_lenet_cifar(rng);
+  Tensor x({2, 3, 32, 32});
+  Tensor y = net->forward(x, false);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 10);
+}
+
+TEST(Models, MlpClassifierShape) {
+  Rng rng(5);
+  auto net = make_mlp_classifier(16, 32, 5, rng);
+  Tensor x({3, 16});
+  Tensor y = net->forward(x, false);
+  EXPECT_EQ(y.dim(1), 5);
+  EXPECT_EQ(net->parameter_count(), 16 * 32 + 32 + 32 * 5 + 5);
+}
+
+TEST(Models, TanhMlpShape) {
+  Rng rng(6);
+  auto net = make_tanh_mlp(10, 64, 3, rng);
+  Tensor x({1, 10});
+  EXPECT_EQ(net->forward(x, false).dim(1), 3);
+}
+
+TEST(Models, DifferentSeedsDifferentWeights) {
+  Rng a(7), b(8);
+  auto na = make_mlp_classifier(4, 8, 2, a);
+  auto nb = make_mlp_classifier(4, 8, 2, b);
+  Rng xr(9);
+  Tensor x = Tensor::uniform({1, 4}, xr);
+  EXPECT_FALSE(na->forward(x, false).allclose(nb->forward(x, false)));
+}
+
+TEST(Models, SameSeedSameWeights) {
+  Rng a(7), b(7);
+  auto na = make_mnist_cnn(a);
+  auto nb = make_mnist_cnn(b);
+  Rng xr(9);
+  Tensor x = Tensor::uniform({1, 1, 28, 28}, xr);
+  EXPECT_TRUE(na->forward(x, false).allclose(nb->forward(x, false)));
+}
+
+}  // namespace
+}  // namespace chiron::nn

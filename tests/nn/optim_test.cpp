@@ -1,0 +1,120 @@
+#include "nn/optim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/linear.h"
+
+namespace chiron::nn {
+namespace {
+
+TEST(Sgd, SingleStepDescends) {
+  Param p(Tensor::of({1.f, 2.f}));
+  p.grad = Tensor::of({0.5f, -1.f});
+  Sgd opt({&p}, /*lr=*/0.1);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.95f);
+  EXPECT_FLOAT_EQ(p.value[1], 2.1f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p(Tensor::of({0.f}));
+  Sgd opt({&p}, 0.1, 0.9);
+  p.grad = Tensor::of({1.f});
+  opt.step();  // v=1, w=-0.1
+  EXPECT_NEAR(p.value[0], -0.1f, 1e-6f);
+  opt.step();  // v=1.9, w=-0.29
+  EXPECT_NEAR(p.value[0], -0.29f, 1e-6f);
+}
+
+TEST(Sgd, ZeroGradClears) {
+  Param p(Tensor::of({0.f}));
+  p.grad = Tensor::of({5.f});
+  Sgd opt({&p}, 0.1);
+  opt.zero_grad();
+  EXPECT_EQ(p.grad[0], 0.f);
+}
+
+TEST(Sgd, MinimizesQuadratic) {
+  // f(w) = (w − 3)², grad = 2(w − 3).
+  Param p(Tensor::of({0.f}));
+  Sgd opt({&p}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    p.grad = Tensor::of({2.f * (p.value[0] - 3.f)});
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.f, 1e-3f);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  Param p(Tensor::of({-4.f}));
+  Adam opt({&p}, 0.05);
+  for (int i = 0; i < 2000; ++i) {
+    p.grad = Tensor::of({2.f * (p.value[0] - 3.f)});
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.f, 1e-2f);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  // With bias correction the first Adam step ≈ lr·sign(grad).
+  Param p(Tensor::of({0.f}));
+  Adam opt({&p}, 0.01);
+  p.grad = Tensor::of({123.f});
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-4f);
+}
+
+TEST(Adam, HandlesZeroGradient) {
+  Param p(Tensor::of({1.f}));
+  Adam opt({&p}, 0.01);
+  p.grad = Tensor::of({0.f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.f);
+}
+
+TEST(Optimizer, SetLrTakesEffect) {
+  Param p(Tensor::of({0.f}));
+  Sgd opt({&p}, 1.0);
+  opt.set_lr(0.5);
+  p.grad = Tensor::of({1.f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], -0.5f);
+}
+
+TEST(Optimizer, EmptyParamsThrows) {
+  EXPECT_THROW(Sgd({}, 0.1), chiron::InvariantError);
+}
+
+TEST(ClipGradNorm, NoopBelowThreshold) {
+  Param p(Tensor::of({3.f, 4.f}));
+  p.grad = Tensor::of({3.f, 4.f});  // norm 5
+  const double n = clip_grad_norm({&p}, 10.0);
+  EXPECT_NEAR(n, 5.0, 1e-6);
+  EXPECT_FLOAT_EQ(p.grad[0], 3.f);
+}
+
+TEST(ClipGradNorm, ScalesAboveThreshold) {
+  Param p(Tensor::of({0.f, 0.f}));
+  p.grad = Tensor::of({3.f, 4.f});  // norm 5
+  const double n = clip_grad_norm({&p}, 1.0);
+  EXPECT_NEAR(n, 5.0, 1e-6);
+  const double after =
+      std::sqrt(p.grad[0] * p.grad[0] + p.grad[1] * p.grad[1]);
+  EXPECT_NEAR(after, 1.0, 1e-4);
+}
+
+TEST(ClipGradNorm, SpansMultipleParams) {
+  Param a(Tensor::of({0.f}));
+  Param b(Tensor::of({0.f}));
+  a.grad = Tensor::of({3.f});
+  b.grad = Tensor::of({4.f});
+  clip_grad_norm({&a, &b}, 1.0);
+  EXPECT_NEAR(a.grad[0] / b.grad[0], 0.75f, 1e-4f);  // direction kept
+}
+
+}  // namespace
+}  // namespace chiron::nn

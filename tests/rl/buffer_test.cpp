@@ -1,0 +1,169 @@
+#include "rl/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chiron::rl {
+namespace {
+
+Transition make_t(float obs, float act, float reward, float value) {
+  Transition t;
+  t.obs = {obs};
+  t.action = {act};
+  t.reward = reward;
+  t.value = value;
+  t.log_prob = -1.f;
+  return t;
+}
+
+TEST(RolloutBuffer, RejectsWrongDims) {
+  RolloutBuffer b(2, 1);
+  Transition t;
+  t.obs = {1.f};  // should be 2
+  t.action = {0.f};
+  EXPECT_THROW(b.add(std::move(t)), chiron::InvariantError);
+}
+
+TEST(RolloutBuffer, ReturnsAreDiscountedSums) {
+  RolloutBuffer b(1, 1);
+  b.add(make_t(0, 0, 1.f, 0.f));
+  b.add(make_t(0, 0, 2.f, 0.f));
+  b.add(make_t(0, 0, 4.f, 0.f));
+  b.finish(/*gamma=*/0.5, /*gae_lambda=*/1.0);
+  const auto& ret = b.returns();
+  // R2 = 4, R1 = 2 + 0.5·4 = 4, R0 = 1 + 0.5·4 = 3.
+  EXPECT_FLOAT_EQ(ret[2], 4.f);
+  EXPECT_FLOAT_EQ(ret[1], 4.f);
+  EXPECT_FLOAT_EQ(ret[0], 3.f);
+}
+
+TEST(RolloutBuffer, GaeMatchesHandComputation) {
+  // Two steps, γ=0.9, λ=0.8, values V0=1, V1=2, rewards r0=1, r1=3,
+  // terminal after step 1.
+  RolloutBuffer b(1, 1);
+  b.add(make_t(0, 0, 1.f, 1.f));
+  b.add(make_t(0, 0, 3.f, 2.f));
+  b.finish(0.9, 0.8);
+  // δ1 = 3 + 0.9·0 − 2 = 1 ;  A1 = 1.
+  // δ0 = 1 + 0.9·2 − 1 = 1.8 ; A0 = 1.8 + 0.9·0.8·1 = 2.52.
+  // After normalization (mean 1.76, pop-std 0.76): A0 = +1, A1 = −1.
+  const auto& adv = b.advantages();
+  EXPECT_NEAR(adv[0], 1.f, 1e-4f);
+  EXPECT_NEAR(adv[1], -1.f, 1e-4f);
+}
+
+TEST(RolloutBuffer, SingleStepAdvantageUnnormalized) {
+  RolloutBuffer b(1, 1);
+  b.add(make_t(0, 0, 2.f, 0.5f));
+  b.finish(0.9, 0.95);
+  EXPECT_NEAR(b.advantages()[0], 1.5f, 1e-5f);  // δ = 2 − 0.5
+  EXPECT_FLOAT_EQ(b.returns()[0], 2.f);
+}
+
+TEST(RolloutBuffer, NormalizedAdvantagesAreStandardized) {
+  RolloutBuffer b(1, 1);
+  for (int i = 0; i < 10; ++i)
+    b.add(make_t(0, 0, static_cast<float>(i), 0.f));
+  b.finish(0.99, 0.95);
+  double mean = 0, var = 0;
+  for (float a : b.advantages()) mean += a;
+  mean /= 10.0;
+  for (float a : b.advantages()) var += (a - mean) * (a - mean);
+  var /= 10.0;
+  EXPECT_NEAR(mean, 0.0, 1e-5);
+  EXPECT_NEAR(std::sqrt(var), 1.0, 1e-4);
+}
+
+TEST(RolloutBuffer, FinishOnEmptyThrows) {
+  RolloutBuffer b(1, 1);
+  EXPECT_THROW(b.finish(0.9, 0.9), chiron::InvariantError);
+}
+
+TEST(RolloutBuffer, AddAfterFinishThrows) {
+  RolloutBuffer b(1, 1);
+  b.add(make_t(0, 0, 1, 0));
+  b.finish(0.9, 0.9);
+  EXPECT_THROW(b.add(make_t(0, 0, 1, 0)), chiron::InvariantError);
+}
+
+TEST(RolloutBuffer, ClearAllowsReuse) {
+  RolloutBuffer b(1, 1);
+  b.add(make_t(0, 0, 1, 0));
+  b.finish(0.9, 0.9);
+  b.clear();
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_FALSE(b.finished());
+  b.add(make_t(0, 0, 2, 0));
+  b.finish(0.9, 0.9);
+  EXPECT_FLOAT_EQ(b.returns()[0], 2.f);
+}
+
+TEST(RolloutBuffer, MultiEpisodeSegmentsDoNotLeakCredit) {
+  // Two episodes in one batch: the first episode's returns must not
+  // include the second episode's rewards (terminal boundaries).
+  RolloutBuffer b(1, 1);
+  b.add(make_t(0, 0, 1.f, 0.f));
+  b.add(make_t(0, 0, 1.f, 0.f));
+  b.end_episode(/*gamma=*/1.0, /*gae_lambda=*/1.0);
+  b.add(make_t(0, 0, 100.f, 0.f));
+  b.end_episode(1.0, 1.0);
+  b.finalize(/*normalize=*/false);
+  const auto& ret = b.returns();
+  ASSERT_EQ(ret.size(), 3u);
+  EXPECT_FLOAT_EQ(ret[0], 2.f);    // episode 1: 1 + 1, no leak from 100
+  EXPECT_FLOAT_EQ(ret[1], 1.f);
+  EXPECT_FLOAT_EQ(ret[2], 100.f);  // episode 2 alone
+}
+
+TEST(RolloutBuffer, EndEpisodeOnEmptySegmentThrows) {
+  RolloutBuffer b(1, 1);
+  EXPECT_THROW(b.end_episode(0.9, 0.9), chiron::InvariantError);
+  b.add(make_t(0, 0, 1, 0));
+  b.end_episode(0.9, 0.9);
+  EXPECT_THROW(b.end_episode(0.9, 0.9), chiron::InvariantError);
+}
+
+TEST(RolloutBuffer, FinalizeRequiresClosedSegment) {
+  RolloutBuffer b(1, 1);
+  b.add(make_t(0, 0, 1, 0));
+  EXPECT_THROW(b.finalize(false), chiron::InvariantError);
+}
+
+TEST(RolloutBuffer, NormalizationSpansAllSegments) {
+  RolloutBuffer b(1, 1);
+  b.add(make_t(0, 0, 1.f, 0.f));
+  b.end_episode(0.9, 0.9);
+  b.add(make_t(0, 0, 5.f, 0.f));
+  b.end_episode(0.9, 0.9);
+  b.finalize(/*normalize=*/true);
+  // Two advantages (1 and 5) standardized across the batch: ±1.
+  EXPECT_NEAR(b.advantages()[0], -1.f, 1e-4f);
+  EXPECT_NEAR(b.advantages()[1], 1.f, 1e-4f);
+}
+
+TEST(RolloutBuffer, BatchedViewsMatchInsertOrder) {
+  RolloutBuffer b(2, 1);
+  Transition t1;
+  t1.obs = {1.f, 2.f};
+  t1.action = {0.5f};
+  t1.log_prob = -0.3f;
+  b.add(t1);
+  Transition t2;
+  t2.obs = {3.f, 4.f};
+  t2.action = {0.7f};
+  t2.log_prob = -0.6f;
+  b.add(t2);
+  b.finish(0.9, 0.9);
+  tensor::Tensor obs = b.observations();
+  EXPECT_FLOAT_EQ(obs.at2(0, 1), 2.f);
+  EXPECT_FLOAT_EQ(obs.at2(1, 0), 3.f);
+  tensor::Tensor act = b.actions();
+  EXPECT_FLOAT_EQ(act.at2(1, 0), 0.7f);
+  EXPECT_FLOAT_EQ(b.log_probs()[0], -0.3f);
+}
+
+}  // namespace
+}  // namespace chiron::rl

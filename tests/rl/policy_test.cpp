@@ -1,0 +1,169 @@
+#include "rl/gaussian_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/optim.h"
+#include "rl/value_net.h"
+
+namespace chiron::rl {
+namespace {
+
+constexpr double kLogSqrt2Pi = 0.9189385332046727;
+
+TEST(GaussianPolicy, SampleLogProbMatchesClosedForm) {
+  Rng rng(1);
+  GaussianPolicy pi(3, 2, 16, rng, /*init_log_std=*/-0.3f);
+  std::vector<float> obs{0.1f, -0.2f, 0.4f};
+  Rng act_rng(2);
+  PolicySample s = pi.sample(obs, act_rng);
+  std::vector<float> mu = pi.mean(obs);
+  double expect = 0.0;
+  for (int j = 0; j < 2; ++j) {
+    const double sigma = std::exp(-0.3);
+    const double z = (s.action[static_cast<std::size_t>(j)] -
+                      mu[static_cast<std::size_t>(j)]) / sigma;
+    expect += -0.5 * z * z - (-0.3) - kLogSqrt2Pi;
+  }
+  EXPECT_NEAR(s.log_prob, expect, 1e-4);
+}
+
+TEST(GaussianPolicy, BatchLogProbAgreesWithSample) {
+  Rng rng(3);
+  GaussianPolicy pi(2, 2, 16, rng);
+  std::vector<float> obs{0.5f, -0.5f};
+  Rng act_rng(4);
+  PolicySample s = pi.sample(obs, act_rng);
+  tensor::Tensor obs_b({1, 2}, std::vector<float>(obs));
+  tensor::Tensor act_b({1, 2}, std::vector<float>(s.action));
+  auto logp = pi.log_prob_batch(obs_b, act_b);
+  EXPECT_NEAR(logp[0], s.log_prob, 1e-4);
+}
+
+TEST(GaussianPolicy, MeanActionHasHighestDensity) {
+  Rng rng(5);
+  GaussianPolicy pi(2, 1, 16, rng);
+  std::vector<float> obs{0.2f, 0.3f};
+  std::vector<float> mu = pi.mean(obs);
+  tensor::Tensor obs_b({1, 2}, std::vector<float>(obs));
+  tensor::Tensor at_mean({1, 1}, {mu[0]});
+  tensor::Tensor off_mean({1, 1}, {mu[0] + 1.f});
+  EXPECT_GT(pi.log_prob_batch(obs_b, at_mean)[0],
+            pi.log_prob_batch(obs_b, off_mean)[0]);
+}
+
+TEST(GaussianPolicy, EntropyGrowsWithLogStd) {
+  Rng rng(6);
+  GaussianPolicy narrow(2, 2, 8, rng, -1.f);
+  Rng rng2(6);
+  GaussianPolicy wide(2, 2, 8, rng2, 0.5f);
+  EXPECT_GT(wide.entropy(), narrow.entropy());
+}
+
+TEST(GaussianPolicy, SamplesSpreadWithStd) {
+  Rng rng(7);
+  GaussianPolicy pi(1, 1, 8, rng, /*init_log_std=*/0.f);  // σ = 1
+  std::vector<float> obs{0.f};
+  Rng act_rng(8);
+  double sum = 0, sq = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    PolicySample s = pi.sample(obs, act_rng);
+    sum += s.action[0];
+    sq += s.action[0] * s.action[0];
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(var, 1.0, 0.12);
+  EXPECT_NEAR(mean, pi.mean(obs)[0], 0.08);
+}
+
+TEST(GaussianPolicy, LogProbGradientMatchesNumeric) {
+  // d(Σ logp)/d(params) via backward_log_prob vs central differences.
+  Rng rng(9);
+  GaussianPolicy pi(2, 2, 8, rng);
+  Rng data_rng(10);
+  tensor::Tensor obs = tensor::Tensor::uniform({4, 2}, data_rng, -1.f, 1.f);
+  tensor::Tensor act = tensor::Tensor::uniform({4, 2}, data_rng, -1.f, 1.f);
+
+  for (auto* p : pi.params()) p->zero_grad();
+  tensor::Tensor means;
+  pi.log_prob_batch(obs, act, &means);
+  // dL/dlogp = 1 for every sample → gradient of the summed log-likelihood.
+  std::vector<float> ones(4, 1.f);
+  pi.backward_log_prob(obs, act, means, ones);
+
+  auto total_logp = [&]() {
+    auto lp = pi.log_prob_batch(obs, act);
+    double s = 0;
+    for (float v : lp) s += v;
+    return s;
+  };
+  const float eps = 1e-2f;
+  for (auto* p : pi.params()) {
+    const std::int64_t stride = std::max<std::int64_t>(1, p->size() / 16);
+    for (std::int64_t i = 0; i < p->size(); i += stride) {
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const double lp_hi = total_logp();
+      p->value[i] = saved - eps;
+      const double lp_lo = total_logp();
+      p->value[i] = saved;
+      const double num = (lp_hi - lp_lo) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], num, 5e-2 + 5e-2 * std::fabs(num));
+    }
+  }
+}
+
+TEST(GaussianPolicy, ClampLogStd) {
+  Rng rng(11);
+  GaussianPolicy pi(1, 3, 8, rng, 5.f);
+  pi.clamp_log_std(-2.f, 1.f);
+  for (std::int64_t j = 0; j < 3; ++j) EXPECT_LE(pi.log_std()[j], 1.f);
+}
+
+TEST(GaussianPolicy, AddEntropyGradAffectsLogStdOnly) {
+  Rng rng(12);
+  GaussianPolicy pi(1, 2, 8, rng);
+  for (auto* p : pi.params()) p->zero_grad();
+  pi.add_entropy_grad(0.5f);
+  auto params = pi.params();
+  // log_std is the last param.
+  nn::Param* log_std = params.back();
+  EXPECT_FLOAT_EQ(log_std->grad[0], 0.5f);
+  for (std::size_t i = 0; i + 1 < params.size(); ++i)
+    EXPECT_EQ(params[i]->grad.sum(), 0.f);
+}
+
+TEST(ValueNet, ScalarOutput) {
+  Rng rng(13);
+  ValueNet v(4, 16, rng);
+  const float val = v.value({0.1f, 0.2f, 0.3f, 0.4f});
+  EXPECT_TRUE(std::isfinite(val));
+  tensor::Tensor obs({2, 4});
+  tensor::Tensor out = v.forward_batch(obs);
+  EXPECT_EQ(out.dim(0), 2);
+  EXPECT_EQ(out.dim(1), 1);
+}
+
+TEST(ValueNet, LearnsConstantTarget) {
+  Rng rng(14);
+  ValueNet v(2, 16, rng);
+  nn::Adam opt(v.params(), 1e-2);
+  tensor::Tensor obs = tensor::Tensor::uniform({16, 2}, rng, -1.f, 1.f);
+  for (int it = 0; it < 300; ++it) {
+    opt.zero_grad();
+    tensor::Tensor pred = v.forward_batch(obs);
+    tensor::Tensor grad({16, 1});
+    for (std::int64_t b = 0; b < 16; ++b)
+      grad.at2(b, 0) = 2.f * (pred.at2(b, 0) - 3.f) / 16.f;
+    v.backward(grad);
+    opt.step();
+  }
+  EXPECT_NEAR(v.value({0.f, 0.f}), 3.f, 0.2f);
+}
+
+}  // namespace
+}  // namespace chiron::rl

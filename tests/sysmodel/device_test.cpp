@@ -1,0 +1,66 @@
+#include "sysmodel/device.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace chiron::sysmodel {
+namespace {
+
+TEST(Device, SampleWithinPaperRanges) {
+  DevicePopulation pop;  // defaults = paper §VI-A
+  chiron::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    DeviceProfile d = sample_device(pop, 1e7, rng);
+    EXPECT_DOUBLE_EQ(d.cycles_per_bit, 20.0);
+    EXPECT_DOUBLE_EQ(d.capacitance, 2e-28);
+    EXPECT_GE(d.zeta_max, 1.0e9);
+    EXPECT_LE(d.zeta_max, 2.0e9);
+    EXPECT_GE(d.comm_time, 10.0);
+    EXPECT_LE(d.comm_time, 20.0);
+    EXPECT_LT(d.zeta_min, d.zeta_max);
+    EXPECT_GE(d.reserve_utility, pop.reserve_lo);
+    EXPECT_LE(d.reserve_utility, pop.reserve_hi);
+  }
+}
+
+TEST(Device, HeterogeneousPopulation) {
+  DevicePopulation pop;
+  chiron::Rng rng(2);
+  auto devices = sample_devices(pop, 20, 1e7, rng);
+  ASSERT_EQ(devices.size(), 20u);
+  bool zeta_differs = false, comm_differs = false;
+  for (std::size_t i = 1; i < devices.size(); ++i) {
+    if (devices[i].zeta_max != devices[0].zeta_max) zeta_differs = true;
+    if (devices[i].comm_time != devices[0].comm_time) comm_differs = true;
+  }
+  EXPECT_TRUE(zeta_differs);
+  EXPECT_TRUE(comm_differs);
+}
+
+TEST(Device, DataBitsPropagated) {
+  DevicePopulation pop;
+  chiron::Rng rng(3);
+  DeviceProfile d = sample_device(pop, 2.5e7, rng);
+  EXPECT_DOUBLE_EQ(d.data_bits, 2.5e7);
+}
+
+TEST(Device, NonPositiveDataBitsThrows) {
+  DevicePopulation pop;
+  chiron::Rng rng(4);
+  EXPECT_THROW(sample_device(pop, 0.0, rng), chiron::InvariantError);
+}
+
+TEST(Device, DeterministicUnderSeed) {
+  DevicePopulation pop;
+  chiron::Rng a(5), b(5);
+  auto da = sample_devices(pop, 5, 1e7, a);
+  auto db = sample_devices(pop, 5, 1e7, b);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(da[i].zeta_max, db[i].zeta_max);
+    EXPECT_DOUBLE_EQ(da[i].comm_time, db[i].comm_time);
+  }
+}
+
+}  // namespace
+}  // namespace chiron::sysmodel

@@ -1,0 +1,286 @@
+// Tests of the paper's economic equations (Eqns 6–12, 15–16), including
+// property-style sweeps over prices and a Lemma-1 check: equalizing times
+// reduces both idle time and round time at equal total payment.
+#include "sysmodel/economics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace chiron::sysmodel {
+namespace {
+
+constexpr int kSigma = 5;
+
+DeviceProfile test_device() {
+  DeviceProfile d;
+  d.cycles_per_bit = 20.0;
+  d.data_bits = 1.25e7;
+  d.capacitance = 2e-28;
+  d.zeta_min = 0.1e9;
+  d.zeta_max = 1.5e9;
+  d.comm_time = 12.0;
+  d.comm_energy_rate = 0.001;
+  d.reserve_utility = 0.0;
+  return d;
+}
+
+TEST(Economics, Eqn11OptimalFrequencyClosedForm) {
+  DeviceProfile d = test_device();
+  const double p = 1e-10;
+  const double expect =
+      p / (2.0 * kSigma * d.capacitance * d.cycles_per_bit * d.data_bits);
+  EXPECT_NEAR(unconstrained_optimal_zeta(d, p, kSigma), expect,
+              expect * 1e-12);
+}
+
+TEST(Economics, Eqn11IsUtilityMaximizer) {
+  // Utility at ζ* must beat nearby frequencies (first-order optimality).
+  DeviceProfile d = test_device();
+  const double p = 5e-10;
+  const double z = unconstrained_optimal_zeta(d, p, kSigma);
+  const double u_star = utility_at(d, p, z, kSigma);
+  EXPECT_GT(u_star, utility_at(d, p, z * 0.9, kSigma));
+  EXPECT_GT(u_star, utility_at(d, p, z * 1.1, kSigma));
+}
+
+TEST(Economics, BestResponseClampsToZetaMax) {
+  DeviceProfile d = test_device();
+  const double huge_price = saturation_price(d, kSigma) * 10.0;
+  NodeDecision nd = best_response(d, huge_price, kSigma);
+  ASSERT_TRUE(nd.participates);
+  EXPECT_DOUBLE_EQ(nd.zeta, d.zeta_max);
+}
+
+TEST(Economics, BestResponseClampsToZetaMin) {
+  DeviceProfile d = test_device();
+  d.reserve_utility = -1e9;  // force participation even at tiny prices
+  const double tiny_price =
+      2.0 * kSigma * d.capacitance * d.cycles_per_bit * d.data_bits *
+      d.zeta_min * 0.01;
+  NodeDecision nd = best_response(d, tiny_price, kSigma);
+  ASSERT_TRUE(nd.participates);
+  EXPECT_DOUBLE_EQ(nd.zeta, d.zeta_min);
+}
+
+TEST(Economics, SaturationPriceYieldsZetaMax) {
+  DeviceProfile d = test_device();
+  NodeDecision nd = best_response(d, saturation_price(d, kSigma), kSigma);
+  ASSERT_TRUE(nd.participates);
+  EXPECT_NEAR(nd.zeta, d.zeta_max, d.zeta_max * 1e-9);
+}
+
+TEST(Economics, ZeroOrNegativePriceDeclines) {
+  DeviceProfile d = test_device();
+  EXPECT_FALSE(best_response(d, 0.0, kSigma).participates);
+  EXPECT_FALSE(best_response(d, -1.0, kSigma).participates);
+}
+
+TEST(Economics, ReserveUtilityGatesParticipation) {
+  DeviceProfile d = test_device();
+  d.reserve_utility = 1e18;  // unreachable
+  EXPECT_FALSE(
+      best_response(d, saturation_price(d, kSigma), kSigma).participates);
+}
+
+TEST(Economics, UtilityAtBestResponseClearsReserve) {
+  DeviceProfile d = test_device();
+  d.reserve_utility = 0.05;
+  chiron::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const double p = rng.uniform(0.0, 2.0 * saturation_price(d, kSigma));
+    NodeDecision nd = best_response(d, p, kSigma);
+    if (nd.participates) {
+      EXPECT_GE(nd.utility, d.reserve_utility);
+    }
+  }
+}
+
+TEST(Economics, Eqn6ComputeTime) {
+  DeviceProfile d = test_device();
+  NodeDecision nd = best_response(d, saturation_price(d, kSigma), kSigma);
+  const double expect = kSigma * d.cycles_per_bit * d.data_bits / d.zeta_max;
+  EXPECT_NEAR(nd.compute_time, expect, 1e-9);
+  EXPECT_NEAR(nd.total_time, expect + d.comm_time, 1e-9);
+}
+
+TEST(Economics, Eqn12OptimalComputeTime) {
+  // t* = 2 α σ² c² d² / p in the unclamped regime.
+  DeviceProfile d = test_device();
+  const double p = 0.5 * saturation_price(d, kSigma);  // interior optimum
+  NodeDecision nd = best_response(d, p, kSigma);
+  const double expect = 2.0 * d.capacitance * kSigma * kSigma *
+                        d.cycles_per_bit * d.cycles_per_bit * d.data_bits *
+                        d.data_bits / p;
+  EXPECT_NEAR(nd.compute_time, expect, expect * 1e-9);
+}
+
+TEST(Economics, EnergyModelMatchesFormulas) {
+  DeviceProfile d = test_device();
+  const double p = 0.7 * saturation_price(d, kSigma);
+  NodeDecision nd = best_response(d, p, kSigma);
+  const double e_cmp = kSigma * d.capacitance * d.cycles_per_bit *
+                       d.data_bits * nd.zeta * nd.zeta;
+  EXPECT_NEAR(nd.compute_energy, e_cmp, e_cmp * 1e-9);
+  EXPECT_NEAR(nd.comm_energy, d.comm_energy_rate * d.comm_time, 1e-12);
+  EXPECT_NEAR(nd.utility, nd.payment - e_cmp - nd.comm_energy, 1e-9);
+}
+
+TEST(Economics, PaymentIsPriceTimesFrequency) {
+  DeviceProfile d = test_device();
+  const double p = 0.4 * saturation_price(d, kSigma);
+  NodeDecision nd = best_response(d, p, kSigma);
+  EXPECT_NEAR(nd.payment, p * nd.zeta, nd.payment * 1e-12);
+}
+
+// Property sweep: frequency (and thus speed) is monotone non-decreasing in
+// price; compute time monotone non-increasing.
+class PriceMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(PriceMonotonicity, FrequencyNonDecreasingInPrice) {
+  DeviceProfile d = test_device();
+  d.reserve_utility = -1e9;  // isolate the response curve
+  const double base = GetParam() * saturation_price(d, kSigma);
+  NodeDecision lo = best_response(d, base, kSigma);
+  NodeDecision hi = best_response(d, base * 1.3, kSigma);
+  ASSERT_TRUE(lo.participates && hi.participates);
+  EXPECT_LE(lo.zeta, hi.zeta + 1e-9);
+  EXPECT_GE(lo.compute_time, hi.compute_time - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PriceMonotonicity,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4, 0.6, 0.8,
+                                           1.0, 1.5));
+
+TEST(RoundOutcome, AggregatesOverParticipants) {
+  chiron::Rng rng(2);
+  DevicePopulation pop;
+  auto devices = sample_devices(pop, 4, 1.25e7, rng);
+  std::vector<double> prices;
+  for (const auto& d : devices)
+    prices.push_back(saturation_price(d, kSigma));
+  RoundOutcome out = run_round(devices, prices, kSigma);
+  EXPECT_EQ(out.participants, 4);
+  double max_t = 0, sum_pay = 0;
+  for (const auto& n : out.nodes) {
+    max_t = std::max(max_t, n.total_time);
+    sum_pay += n.payment;
+  }
+  EXPECT_NEAR(out.round_time, max_t, 1e-9);
+  EXPECT_NEAR(out.total_payment, sum_pay, 1e-9);
+}
+
+TEST(RoundOutcome, IdleTimeDefinition) {
+  chiron::Rng rng(3);
+  DevicePopulation pop;
+  auto devices = sample_devices(pop, 3, 1.25e7, rng);
+  std::vector<double> prices;
+  for (const auto& d : devices)
+    prices.push_back(0.8 * saturation_price(d, kSigma));
+  RoundOutcome out = run_round(devices, prices, kSigma);
+  double idle = 0;
+  for (const auto& n : out.nodes) idle += out.round_time - n.total_time;
+  EXPECT_NEAR(out.idle_time, idle, 1e-9);
+}
+
+TEST(RoundOutcome, Eqn16TimeEfficiency) {
+  chiron::Rng rng(4);
+  DevicePopulation pop;
+  auto devices = sample_devices(pop, 3, 1.25e7, rng);
+  std::vector<double> prices;
+  for (const auto& d : devices)
+    prices.push_back(0.8 * saturation_price(d, kSigma));
+  RoundOutcome out = run_round(devices, prices, kSigma);
+  double sum_t = 0;
+  for (const auto& n : out.nodes) sum_t += n.total_time;
+  EXPECT_NEAR(out.time_efficiency, sum_t / (3.0 * out.round_time), 1e-9);
+  EXPECT_LE(out.time_efficiency, 1.0 + 1e-9);
+  EXPECT_GT(out.time_efficiency, 0.0);
+}
+
+TEST(RoundOutcome, NonParticipantsCountAsFullyIdle) {
+  chiron::Rng rng(5);
+  DevicePopulation pop;
+  auto devices = sample_devices(pop, 3, 1.25e7, rng);
+  std::vector<double> prices{saturation_price(devices[0], kSigma), 0.0, 0.0};
+  RoundOutcome out = run_round(devices, prices, kSigma);
+  EXPECT_EQ(out.participants, 1);
+  EXPECT_FALSE(out.nodes[1].participates);
+  EXPECT_DOUBLE_EQ(out.nodes[1].payment, 0.0);
+  // Eqns (15)–(16) run over all N nodes: the two decliners train for zero
+  // time, so they are fully idle and efficiency is 1/3.
+  EXPECT_NEAR(out.idle_time, 2.0 * out.round_time, 1e-9);
+  EXPECT_NEAR(out.time_efficiency, 1.0 / 3.0, 1e-9);
+}
+
+TEST(RoundOutcome, AllDeclinedRound) {
+  chiron::Rng rng(6);
+  DevicePopulation pop;
+  auto devices = sample_devices(pop, 3, 1.25e7, rng);
+  std::vector<double> prices{0.0, 0.0, 0.0};
+  RoundOutcome out = run_round(devices, prices, kSigma);
+  EXPECT_EQ(out.participants, 0);
+  EXPECT_DOUBLE_EQ(out.round_time, 0.0);
+  EXPECT_DOUBLE_EQ(out.time_efficiency, 0.0);
+}
+
+TEST(RoundOutcome, PriceCountMismatchThrows) {
+  chiron::Rng rng(7);
+  DevicePopulation pop;
+  auto devices = sample_devices(pop, 3, 1.25e7, rng);
+  EXPECT_THROW(run_round(devices, {1.0}, kSigma), chiron::InvariantError);
+}
+
+TEST(Lemma1, EqualizingTimesReducesIdleAtSameSpend) {
+  // Two identical nodes except comm time; an unequal-price allocation is
+  // compared with the time-equalizing one at the same total payment: the
+  // equalized allocation must have less idle time and no longer round.
+  DeviceProfile a = test_device();
+  DeviceProfile b = test_device();
+  a.comm_time = 10.0;
+  b.comm_time = 20.0;
+  const std::vector<DeviceProfile> devices{a, b};
+
+  // Unequal: same price to both → b finishes later (longer comm).
+  const double p = 0.6 * saturation_price(a, kSigma);
+  RoundOutcome unequal = run_round(devices, {p, p}, kSigma);
+  ASSERT_EQ(unequal.participants, 2);
+
+  // Shift budget from a to b until times meet (grid search at same spend).
+  const double total_pay = unequal.total_payment;
+  RoundOutcome best = unequal;
+  for (double frac = 0.01; frac <= 0.99; frac += 0.005) {
+    // Find prices hitting the payment split (payment = p·ζ(p) is monotone
+    // in p, invert by bisection).
+    auto price_for_payment = [&](const DeviceProfile& d, double target) {
+      double lo = 0.0, hi = 10.0 * saturation_price(d, kSigma);
+      for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        NodeDecision nd = best_response(d, mid, kSigma);
+        const double pay = nd.participates ? nd.payment : 0.0;
+        if (pay < target) lo = mid; else hi = mid;
+      }
+      return 0.5 * (lo + hi);
+    };
+    const double pa = price_for_payment(a, frac * total_pay);
+    const double pb = price_for_payment(b, (1.0 - frac) * total_pay);
+    RoundOutcome cand = run_round(devices, {pa, pb}, kSigma);
+    if (cand.participants == 2 &&
+        cand.total_payment <= total_pay * 1.001 &&
+        cand.idle_time < best.idle_time) {
+      best = cand;
+    }
+  }
+  // Participation constraints (reserve + comm energy) bound how slow the
+  // fast node may run, so perfect equalization may be infeasible — but a
+  // substantially better allocation must exist.
+  EXPECT_LT(best.idle_time, unequal.idle_time * 0.6)
+      << "a better (more time-consistent) allocation must exist";
+  EXPECT_LE(best.round_time, unequal.round_time + 1e-9);
+}
+
+}  // namespace
+}  // namespace chiron::sysmodel

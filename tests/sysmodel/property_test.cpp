@@ -1,0 +1,164 @@
+// Property grids over the economics layer: best-response optimality and
+// round-aggregate invariants must hold across the whole device/price
+// space, not just hand-picked examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sysmodel/economics.h"
+
+namespace chiron::sysmodel {
+namespace {
+
+constexpr int kSigma = 5;
+
+struct DeviceCase {
+  double data_bits;
+  double zeta_max;
+  double comm_time;
+  double reserve;
+};
+
+void PrintTo(const DeviceCase& c, std::ostream* os) {
+  *os << "d" << c.data_bits << "_z" << c.zeta_max << "_c" << c.comm_time;
+}
+
+DeviceProfile to_device(const DeviceCase& c) {
+  DeviceProfile d;
+  d.data_bits = c.data_bits;
+  d.zeta_max = c.zeta_max;
+  d.comm_time = c.comm_time;
+  d.reserve_utility = c.reserve;
+  return d;
+}
+
+class BestResponseProperty : public ::testing::TestWithParam<DeviceCase> {};
+
+TEST_P(BestResponseProperty, BestResponseIsGlobalMaximizerOnGrid) {
+  const DeviceProfile d = to_device(GetParam());
+  chiron::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double price =
+        rng.uniform(0.05, 1.5) * saturation_price(d, kSigma);
+    const NodeDecision nd = best_response(d, price, kSigma);
+    if (!nd.participates) {
+      // Declining must be optimal: no feasible frequency clears reserve.
+      for (double f = 0.0; f <= 1.0; f += 0.05) {
+        const double zeta = d.zeta_min + f * (d.zeta_max - d.zeta_min);
+        EXPECT_LT(utility_at(d, price, zeta, kSigma),
+                  d.reserve_utility + 1e-12);
+      }
+      continue;
+    }
+    // Participating: the chosen ζ must beat a dense grid of alternatives.
+    const double u_star = utility_at(d, price, nd.zeta, kSigma);
+    for (double f = 0.0; f <= 1.0; f += 0.02) {
+      const double zeta = d.zeta_min + f * (d.zeta_max - d.zeta_min);
+      EXPECT_GE(u_star, utility_at(d, price, zeta, kSigma) - 1e-9)
+          << "price " << price << " zeta " << zeta;
+    }
+  }
+}
+
+TEST_P(BestResponseProperty, PaymentAndTimeConsistent) {
+  const DeviceProfile d = to_device(GetParam());
+  chiron::Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double price =
+        rng.uniform(0.05, 1.5) * saturation_price(d, kSigma);
+    const NodeDecision nd = best_response(d, price, kSigma);
+    if (!nd.participates) {
+      EXPECT_EQ(nd.payment, 0.0);
+      EXPECT_EQ(nd.zeta, 0.0);
+      continue;
+    }
+    EXPECT_GE(nd.zeta, d.zeta_min);
+    EXPECT_LE(nd.zeta, d.zeta_max);
+    EXPECT_NEAR(nd.payment, price * nd.zeta, nd.payment * 1e-9);
+    EXPECT_NEAR(nd.total_time, nd.compute_time + d.comm_time, 1e-9);
+    EXPECT_NEAR(nd.compute_time,
+                kSigma * d.cycles_per_bit * d.data_bits / nd.zeta, 1e-6);
+    EXPECT_GE(nd.utility, d.reserve_utility - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Devices, BestResponseProperty,
+    ::testing::Values(DeviceCase{1e7, 1.2e9, 10.0, 0.0},
+                      DeviceCase{1e8, 1.5e9, 15.0, 0.01},
+                      DeviceCase{1e8, 2.0e9, 20.0, 0.02},
+                      DeviceCase{5e6, 1.0e9, 12.0, 0.005},
+                      DeviceCase{3e8, 1.8e9, 18.0, 0.015}),
+    [](const ::testing::TestParamInfo<DeviceCase>& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+TEST(RoundProperty, AggregatesAdditiveOverRandomMarkets) {
+  chiron::Rng rng(5);
+  DevicePopulation pop;
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = rng.randint(2, 12);
+    auto devices = sample_devices(pop, n, 1e8 / n, rng);
+    std::vector<double> prices;
+    for (const auto& d : devices)
+      prices.push_back(rng.uniform(0.0, 1.2 * saturation_price(d, kSigma)));
+    RoundOutcome out = run_round(devices, prices, kSigma);
+
+    double pay = 0, energy = 0, max_t = 0;
+    int parts = 0;
+    for (const auto& nd : out.nodes) {
+      if (!nd.participates) continue;
+      ++parts;
+      pay += nd.payment;
+      energy += nd.compute_energy + nd.comm_energy;
+      max_t = std::max(max_t, nd.total_time);
+    }
+    EXPECT_EQ(out.participants, parts);
+    EXPECT_NEAR(out.total_payment, pay, 1e-9);
+    EXPECT_NEAR(out.total_energy, energy, 1e-9);
+    EXPECT_NEAR(out.round_time, max_t, 1e-9);
+    if (parts > 0 && out.round_time > 0) {
+      // Eqns (15)/(16) identity.
+      EXPECT_NEAR(out.time_efficiency,
+                  1.0 - out.idle_time / (n * out.round_time), 1e-9);
+    }
+  }
+}
+
+TEST(RoundProperty, ScalingAllPricesNeverSlowsAnyNode) {
+  chiron::Rng rng(6);
+  DevicePopulation pop;
+  auto devices = sample_devices(pop, 6, 1e8 / 6, rng);
+  std::vector<double> base;
+  for (const auto& d : devices)
+    base.push_back(0.4 * saturation_price(d, kSigma));
+  RoundOutcome lo = run_round(devices, base, kSigma);
+  auto scaled = base;
+  for (auto& p : scaled) p *= 1.5;
+  RoundOutcome hi = run_round(devices, scaled, kSigma);
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (!lo.nodes[i].participates) continue;
+    ASSERT_TRUE(hi.nodes[i].participates);
+    EXPECT_GE(hi.nodes[i].zeta, lo.nodes[i].zeta - 1e-9);
+    EXPECT_LE(hi.nodes[i].compute_time, lo.nodes[i].compute_time + 1e-9);
+  }
+}
+
+TEST(RoundProperty, SaturationPriceIsExactBoundary) {
+  DeviceProfile d;
+  d.data_bits = 1e8;
+  const double p_sat = saturation_price(d, kSigma);
+  const NodeDecision at = best_response(d, p_sat, kSigma);
+  const NodeDecision above = best_response(d, 1.3 * p_sat, kSigma);
+  ASSERT_TRUE(at.participates && above.participates);
+  EXPECT_NEAR(at.zeta, d.zeta_max, d.zeta_max * 1e-9);
+  EXPECT_NEAR(above.zeta, d.zeta_max, d.zeta_max * 1e-9);
+  EXPECT_NEAR(at.compute_time, above.compute_time, 1e-9)
+      << "paying above saturation buys no speed";
+  EXPECT_GT(above.payment, at.payment)
+      << "...but costs strictly more";
+}
+
+}  // namespace
+}  // namespace chiron::sysmodel

@@ -1,0 +1,191 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace chiron::tensor {
+namespace {
+
+TEST(Matmul, Known2x2) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 19.f);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 22.f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 43.f);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 50.f);
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  Rng rng(1);
+  Tensor a = Tensor::uniform({3, 3}, rng);
+  Tensor id({3, 3}, {1, 0, 0, 0, 1, 0, 0, 0, 1});
+  EXPECT_TRUE(matmul(a, id).allclose(a));
+  EXPECT_TRUE(matmul(id, a).allclose(a));
+}
+
+TEST(Matmul, RectangularShapes) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 1}, {1, 1, 1});
+  Tensor c = matmul(a, b);
+  ASSERT_EQ(c.dim(0), 2);
+  ASSERT_EQ(c.dim(1), 1);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 6.f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 15.f);
+}
+
+TEST(Matmul, InnerDimMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  EXPECT_THROW(matmul(a, b), InvariantError);
+}
+
+TEST(MatmulVariants, BtMatchesExplicitTranspose) {
+  Rng rng(2);
+  Tensor a = Tensor::uniform({4, 5}, rng);
+  Tensor b = Tensor::uniform({3, 5}, rng);  // b^T is (5,3)
+  Tensor expect = matmul(a, transpose(b));
+  EXPECT_TRUE(matmul_bt(a, b).allclose(expect, 1e-4f));
+}
+
+TEST(MatmulVariants, AtMatchesExplicitTranspose) {
+  Rng rng(3);
+  Tensor a = Tensor::uniform({5, 4}, rng);  // a^T is (4,5)
+  Tensor b = Tensor::uniform({5, 3}, rng);
+  Tensor expect = matmul(transpose(a), b);
+  EXPECT_TRUE(matmul_at(a, b).allclose(expect, 1e-4f));
+}
+
+TEST(Transpose, Involution) {
+  Rng rng(4);
+  Tensor a = Tensor::uniform({3, 7}, rng);
+  EXPECT_TRUE(transpose(transpose(a)).allclose(a));
+}
+
+TEST(ConvGeom, OutputDims) {
+  ConvGeom g{1, 28, 28, 5, 1, 0};
+  EXPECT_EQ(g.out_h(), 24);
+  EXPECT_EQ(g.out_w(), 24);
+  ConvGeom padded{3, 32, 32, 3, 1, 1};
+  EXPECT_EQ(padded.out_h(), 32);
+  ConvGeom strided{1, 8, 8, 2, 2, 0};
+  EXPECT_EQ(strided.out_h(), 4);
+}
+
+TEST(Im2col, SingleWindowIsIdentityPatch) {
+  // 1×1×2×2 input, 2×2 kernel → one output position holding the patch.
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  ConvGeom g{1, 2, 2, 2, 1, 0};
+  Tensor cols = im2col(x, g);
+  ASSERT_EQ(cols.dim(0), 1);
+  ASSERT_EQ(cols.dim(1), 4);
+  EXPECT_FLOAT_EQ(cols.at2(0, 0), 1.f);
+  EXPECT_FLOAT_EQ(cols.at2(0, 3), 4.f);
+}
+
+TEST(Im2col, SlidingWindowValues) {
+  // 1×1×3×3 with 2×2 kernel stride 1 → 4 positions.
+  Tensor x({1, 1, 3, 3}, {0, 1, 2, 3, 4, 5, 6, 7, 8});
+  ConvGeom g{1, 3, 3, 2, 1, 0};
+  Tensor cols = im2col(x, g);
+  ASSERT_EQ(cols.dim(0), 4);
+  // Position (0,0): patch {0,1,3,4}; position (1,1): {4,5,7,8}.
+  EXPECT_FLOAT_EQ(cols.at2(0, 0), 0.f);
+  EXPECT_FLOAT_EQ(cols.at2(0, 3), 4.f);
+  EXPECT_FLOAT_EQ(cols.at2(3, 0), 4.f);
+  EXPECT_FLOAT_EQ(cols.at2(3, 3), 8.f);
+}
+
+TEST(Im2col, PaddingYieldsZeros) {
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  ConvGeom g{1, 2, 2, 2, 1, 1};  // pad 1 → out 3×3
+  Tensor cols = im2col(x, g);
+  ASSERT_EQ(cols.dim(0), 9);
+  // Top-left window sees mostly padding; only bottom-right cell is x(0,0).
+  EXPECT_FLOAT_EQ(cols.at2(0, 0), 0.f);
+  EXPECT_FLOAT_EQ(cols.at2(0, 3), 1.f);
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+  Rng rng(5);
+  Tensor x = Tensor::uniform({2, 3, 6, 6}, rng);
+  ConvGeom g{3, 6, 6, 3, 1, 1};
+  Tensor cols = im2col(x, g);
+  Tensor y = Tensor::uniform(cols.shape(), rng);
+  Tensor back = col2im(y, 2, g);
+  double lhs = 0, rhs = 0;
+  for (std::int64_t i = 0; i < cols.size(); ++i) lhs += cols[i] * y[i];
+  for (std::int64_t i = 0; i < x.size(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(MaxPool, ForwardValuesAndIndices) {
+  Tensor x({1, 1, 4, 4},
+           {1, 2, 0, 0,
+            3, 4, 0, 0,
+            0, 0, 5, 6,
+            0, 0, 7, 9});
+  auto res = maxpool_forward(x, 2, 2);
+  ASSERT_EQ(res.output.dim(2), 2);
+  EXPECT_FLOAT_EQ(res.output.at4(0, 0, 0, 0), 4.f);
+  EXPECT_FLOAT_EQ(res.output.at4(0, 0, 1, 1), 9.f);
+  EXPECT_EQ(res.argmax[0], 5);   // flat index of value 4
+  EXPECT_EQ(res.argmax[3], 15);  // flat index of value 9
+}
+
+TEST(MaxPool, HandlesNegativeInputs) {
+  Tensor x({1, 1, 2, 2}, {-5, -2, -9, -7});
+  auto res = maxpool_forward(x, 2, 2);
+  EXPECT_FLOAT_EQ(res.output[0], -2.f);
+}
+
+TEST(MaxPool, BackwardRoutesGradToArgmax) {
+  Tensor x({1, 1, 2, 2}, {1, 9, 2, 3});
+  auto res = maxpool_forward(x, 2, 2);
+  Tensor gout({1, 1, 1, 1}, {5.f});
+  Tensor gin = maxpool_backward(gout, x.shape(), res.argmax);
+  EXPECT_FLOAT_EQ(gin[0], 0.f);
+  EXPECT_FLOAT_EQ(gin[1], 5.f);
+  EXPECT_FLOAT_EQ(gin[2], 0.f);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(6);
+  Tensor logits = Tensor::uniform({5, 7}, rng, -3.f, 3.f);
+  Tensor p = softmax_rows(logits);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    float s = 0;
+    for (std::int64_t c = 0; c < 7; ++c) {
+      EXPECT_GT(p.at2(r, c), 0.f);
+      s += p.at2(r, c);
+    }
+    EXPECT_NEAR(s, 1.f, 1e-5f);
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  Tensor logits({1, 3}, {1000.f, 1000.f, 1000.f});
+  Tensor p = softmax_rows(logits);
+  for (int c = 0; c < 3; ++c)
+    EXPECT_NEAR(p.at2(0, c), 1.f / 3.f, 1e-5f);
+}
+
+TEST(Softmax, OrdersByLogit) {
+  Tensor p = softmax(Tensor::of({1.f, 3.f, 2.f}));
+  EXPECT_GT(p[1], p[2]);
+  EXPECT_GT(p[2], p[0]);
+}
+
+TEST(Softmax, ShiftInvariance) {
+  Tensor a = softmax(Tensor::of({1.f, 2.f, 3.f}));
+  Tensor b = softmax(Tensor::of({101.f, 102.f, 103.f}));
+  EXPECT_TRUE(a.allclose(b, 1e-5f));
+}
+
+}  // namespace
+}  // namespace chiron::tensor

@@ -1,0 +1,182 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace chiron::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.rank(), 1);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.f);
+}
+
+TEST(Tensor, ShapeSizeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.f, 2.f, 3.f}), InvariantError);
+}
+
+TEST(Tensor, NegativeDimThrows) {
+  EXPECT_THROW(Tensor({-1, 3}), InvariantError);
+}
+
+TEST(Tensor, OfInitializerList) {
+  Tensor t = Tensor::of({1.f, 2.f, 3.f});
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_EQ(t[1], 2.f);
+}
+
+TEST(Tensor, FullFills) {
+  Tensor t = Tensor::full({4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, UniformInRange) {
+  Rng rng(1);
+  Tensor t = Tensor::uniform({100}, rng, -1.f, 1.f);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -1.f);
+    EXPECT_LT(t[i], 1.f);
+  }
+}
+
+TEST(Tensor, NormalIsSpread) {
+  Rng rng(2);
+  Tensor t = Tensor::normal({1000}, rng, 0.f, 1.f);
+  EXPECT_NEAR(t.mean(), 0.f, 0.15f);
+}
+
+TEST(Tensor, At2RowMajor) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at2(0, 0), 0.f);
+  EXPECT_EQ(t.at2(0, 2), 2.f);
+  EXPECT_EQ(t.at2(1, 0), 3.f);
+  EXPECT_EQ(t.at2(1, 2), 5.f);
+}
+
+TEST(Tensor, At4NchwLayout) {
+  Tensor t({1, 2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t.at4(0, 0, 0, 0), 0.f);
+  EXPECT_EQ(t.at4(0, 0, 1, 1), 3.f);
+  EXPECT_EQ(t.at4(0, 1, 0, 0), 4.f);
+  EXPECT_EQ(t.at4(0, 1, 1, 1), 7.f);
+}
+
+TEST(Tensor, At2RequiresRank2) {
+  Tensor t({4});
+  EXPECT_THROW(t.at2(0, 0), InvariantError);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshape({3, 2});
+  EXPECT_EQ(r.at2(2, 1), 5.f);
+  EXPECT_EQ(r.size(), 6);
+}
+
+TEST(Tensor, ReshapeWrongSizeThrows) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshape({4, 2}), InvariantError);
+}
+
+TEST(Tensor, AddSubInPlace) {
+  Tensor a = Tensor::of({1, 2, 3});
+  Tensor b = Tensor::of({10, 20, 30});
+  a += b;
+  EXPECT_EQ(a[2], 33.f);
+  a -= b;
+  EXPECT_EQ(a[2], 3.f);
+}
+
+TEST(Tensor, AddShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a += b, InvariantError);
+}
+
+TEST(Tensor, ScalarMultiply) {
+  Tensor a = Tensor::of({1, -2});
+  Tensor b = a * 2.f;
+  EXPECT_EQ(b[0], 2.f);
+  EXPECT_EQ(b[1], -4.f);
+  Tensor c = 3.f * a;
+  EXPECT_EQ(c[1], -6.f);
+}
+
+TEST(Tensor, Hadamard) {
+  Tensor a = Tensor::of({2, 3});
+  Tensor b = Tensor::of({4, 5});
+  Tensor c = a.hadamard(b);
+  EXPECT_EQ(c[0], 8.f);
+  EXPECT_EQ(c[1], 15.f);
+}
+
+TEST(Tensor, ApplyElementwise) {
+  Tensor a = Tensor::of({1, 4, 9});
+  a.apply([](float x) { return x * 2; });
+  EXPECT_EQ(a[2], 18.f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor a = Tensor::of({1, -2, 5, 0});
+  EXPECT_EQ(a.sum(), 4.f);
+  EXPECT_EQ(a.mean(), 1.f);
+  EXPECT_EQ(a.max(), 5.f);
+  EXPECT_EQ(a.argmax(), 2);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+  Tensor a = Tensor::of({3, 7, 7, 1});
+  EXPECT_EQ(a.argmax(), 1);
+}
+
+TEST(Tensor, Norm) {
+  Tensor a = Tensor::of({3, 4});
+  EXPECT_FLOAT_EQ(a.norm(), 5.f);
+}
+
+TEST(Tensor, Allclose) {
+  Tensor a = Tensor::of({1.0f, 2.0f});
+  Tensor b = Tensor::of({1.0f + 1e-6f, 2.0f});
+  EXPECT_TRUE(a.allclose(b));
+  Tensor c = Tensor::of({1.1f, 2.0f});
+  EXPECT_FALSE(a.allclose(c));
+  Tensor d({1, 2}, {1.f, 2.f});
+  EXPECT_FALSE(a.allclose(d));  // shape differs
+}
+
+TEST(Tensor, RowExtraction) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.row(1);
+  EXPECT_EQ(r.rank(), 1);
+  EXPECT_EQ(r[0], 3.f);
+  EXPECT_EQ(r[2], 5.f);
+  EXPECT_THROW(t.row(2), InvariantError);
+}
+
+TEST(Tensor, StreamFormat) {
+  Tensor t({2, 3});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), "f32[2, 3]");
+}
+
+TEST(Tensor, FillOverwrites) {
+  Tensor t = Tensor::of({1, 2, 3});
+  t.fill(0.f);
+  EXPECT_EQ(t.sum(), 0.f);
+}
+
+}  // namespace
+}  // namespace chiron::tensor

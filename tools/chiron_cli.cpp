@@ -1,0 +1,265 @@
+// chiron_cli — command-line driver for the library.
+//
+//   chiron_cli market  [--nodes N] [--seed S]
+//       Print the sampled device market (private parameters, saturation
+//       prices, participation floors).
+//
+//   chiron_cli train   [--nodes N] [--budget B] [--task mnist|fashion|cifar]
+//                      [--episodes E] [--seed S] [--save PATH] [--trace]
+//       Train the Chiron hierarchical mechanism, print training progress
+//       and the evaluated policy; optionally checkpoint and trace the
+//       final evaluation episode round by round.
+//
+//   chiron_cli compare [--nodes N] [--budget B] [--task T] [--episodes E]
+//       Train Chiron, DRL-based, Greedy and the complete-information
+//       static oracle on the same market and print the comparison table.
+//
+//   chiron_cli sweep   [--task T] [--budgets 40,80,120] [--episodes E]
+//       Budget sweep for one task (the Fig. 4/5/6 row generator).
+#include <iostream>
+#include <sstream>
+
+#include "baselines/greedy.h"
+#include "baselines/single_drl.h"
+#include "baselines/static_oracle.h"
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/flags.h"
+#include "core/mechanism.h"
+#include "core/recorder.h"
+#include "core/actions.h"
+#include "sysmodel/economics.h"
+
+using namespace chiron;
+
+namespace {
+
+data::VisionTask parse_task(const std::string& name) {
+  if (name == "mnist") return data::VisionTask::kMnistLike;
+  if (name == "fashion") return data::VisionTask::kFashionLike;
+  if (name == "cifar") return data::VisionTask::kCifarLike;
+  CHIRON_CHECK_MSG(false, "unknown task '" << name
+                                           << "' (mnist|fashion|cifar)");
+  return data::VisionTask::kMnistLike;
+}
+
+core::EnvConfig env_from_flags(const FlagParser& flags) {
+  core::EnvConfig c;
+  c.num_nodes = flags.get_int("nodes", 5);
+  c.budget = flags.get_double("budget", 80.0);
+  c.task = parse_task(flags.get("task", "mnist"));
+  c.seed = static_cast<std::uint64_t>(flags.get_int("seed", 97));
+  c.data_bits_per_node = 5e8 / c.num_nodes;
+  c.node_availability = flags.get_double("availability", 1.0);
+  if (flags.has("real")) {
+    c.backend = core::BackendKind::kRealVision;
+    c.samples_per_node = 128;
+    c.test_samples = 256;
+    c.local.epochs = 5;
+    c.local.batch_size = 10;
+    c.local.lr = 0.05;
+  }
+  return c;
+}
+
+core::ChironConfig chiron_from_flags(const FlagParser& flags, int nodes) {
+  core::ChironConfig c;
+  c.episodes = flags.get_int("episodes", 300);
+  c.seed = static_cast<std::uint64_t>(flags.get_int("seed", 97)) + 1;
+  if (nodes >= 50) {
+    c.gamma = 0.99;
+    c.inner_init_log_std = -2.0f;
+  }
+  return c;
+}
+
+std::vector<double> parse_budgets(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    CHIRON_CHECK_MSG(!item.empty(), "empty budget in list");
+    out.push_back(std::stod(item));
+  }
+  CHIRON_CHECK_MSG(!out.empty(), "no budgets given");
+  return out;
+}
+
+int cmd_market(const FlagParser& flags) {
+  core::EnvConfig cfg = env_from_flags(flags);
+  core::EdgeLearnEnv env(cfg);
+  TableWriter out(std::cout);
+  out.header({"node", "zeta_max_ghz", "comm_time_s", "reserve_utility",
+              "saturation_payment", "floor_payment"});
+  for (int i = 0; i < env.num_nodes(); ++i) {
+    const auto& d = env.devices()[static_cast<std::size_t>(i)];
+    const double e_com = d.comm_energy_rate * d.comm_time;
+    // Minimum payment at which the node's best-response utility clears
+    // its reserve (interior regime): payment = 2(μ + E_com).
+    const double floor = 2.0 * (d.reserve_utility + e_com);
+    out.row({std::to_string(i), TableWriter::num(d.zeta_max / 1e9, 2),
+             TableWriter::num(d.comm_time, 1),
+             TableWriter::num(d.reserve_utility, 4),
+             TableWriter::num(env.per_node_price_cap(i) * d.zeta_max, 3),
+             TableWriter::num(floor, 3)});
+  }
+  std::cout << "# total price cap: " << env.price_cap()
+            << ", budget: " << cfg.budget << "\n";
+  return 0;
+}
+
+int cmd_train(const FlagParser& flags) {
+  core::EnvConfig cfg = env_from_flags(flags);
+  core::EdgeLearnEnv env(cfg);
+  core::ChironConfig cc = chiron_from_flags(flags, cfg.num_nodes);
+  core::HierarchicalMechanism chiron(env, cc);
+  std::cerr << "training " << cc.episodes << " episodes on " << cfg.num_nodes
+            << " nodes, budget " << cfg.budget << "...\n";
+  auto eps = chiron.train();
+  TableWriter out(std::cout);
+  out.header({"episode", "reward", "rounds", "accuracy", "efficiency"});
+  const std::size_t stride = std::max<std::size_t>(1, eps.size() / 20);
+  for (std::size_t i = 0; i < eps.size(); i += stride) {
+    out.row({std::to_string(i), TableWriter::num(eps[i].raw_reward_sum, 1),
+             std::to_string(eps[i].rounds),
+             TableWriter::num(eps[i].final_accuracy, 4),
+             TableWriter::num(eps[i].mean_time_efficiency, 4)});
+  }
+  auto s = chiron.evaluate();
+  std::cout << "# evaluated policy: accuracy=" << s.final_accuracy
+            << " rounds=" << s.rounds
+            << " efficiency=" << s.mean_time_efficiency
+            << " spent=" << s.spent << "\n";
+  if (flags.has("save")) {
+    chiron.save(flags.get("save"));
+    std::cout << "# checkpoint written to " << flags.get("save") << "\n";
+  }
+  if (flags.has("trace")) {
+    core::RoundTrace trace;
+    env.reset();
+    Rng rng(cfg.seed + 1000);
+    while (!env.done()) {
+      auto ext = chiron.exterior_agent().act(env.exterior_state(), rng);
+      const double p_total =
+          core::map_total_price(ext.action[0], env.price_cap());
+      auto inner = chiron.inner_agent().act(
+          {static_cast<float>(p_total / env.price_cap())}, rng);
+      auto res = env.step(core::combine_prices(
+          p_total, core::map_proportions(inner.action)));
+      if (res.aborted) break;
+      trace.add(res);
+    }
+    std::cout << "# final-episode trace:\n";
+    trace.write_tsv(std::cout);
+  }
+  return 0;
+}
+
+int cmd_compare(const FlagParser& flags) {
+  core::EnvConfig cfg = env_from_flags(flags);
+  const int episodes = flags.get_int("episodes", 300);
+  TableWriter out(std::cout);
+  out.header({"approach", "accuracy", "rounds", "time_efficiency", "spent"});
+  auto row = [&](const std::string& name, const core::EpisodeStats& s) {
+    out.row({name, TableWriter::num(s.final_accuracy, 4),
+             std::to_string(s.rounds),
+             TableWriter::num(s.mean_time_efficiency, 4),
+             TableWriter::num(s.spent, 2)});
+  };
+  {
+    core::EdgeLearnEnv env(cfg);
+    core::HierarchicalMechanism m(env, chiron_from_flags(flags, cfg.num_nodes));
+    m.train();
+    row("chiron", m.evaluate());
+  }
+  {
+    core::EdgeLearnEnv env(cfg);
+    baselines::SingleDrlConfig dc;
+    dc.episodes = episodes;
+    baselines::SingleAgentDrlMechanism m(env, dc);
+    m.train();
+    row("drl_based", m.evaluate());
+  }
+  {
+    core::EdgeLearnEnv env(cfg);
+    baselines::GreedyConfig gc;
+    gc.episodes = std::max(episodes / 4, 1);
+    baselines::GreedyMechanism m(env, gc);
+    m.train();
+    row("greedy", m.evaluate());
+  }
+  {
+    core::EdgeLearnEnv env(cfg);
+    baselines::StaticOracleMechanism m(env, {});
+    m.search();
+    row("static_oracle", m.evaluate());
+  }
+  return 0;
+}
+
+int cmd_sweep(const FlagParser& flags) {
+  const auto budgets = parse_budgets(flags.get("budgets", "40,80,120,160"));
+  TableWriter out(std::cout);
+  out.header({"budget", "approach", "accuracy", "rounds",
+              "time_efficiency"});
+  for (double budget : budgets) {
+    std::cerr << "budget " << budget << "...\n";
+    core::EnvConfig cfg = env_from_flags(flags);
+    cfg.budget = budget;
+    {
+      core::EdgeLearnEnv env(cfg);
+      core::HierarchicalMechanism m(env,
+                                    chiron_from_flags(flags, cfg.num_nodes));
+      m.train();
+      auto s = m.evaluate();
+      out.row({TableWriter::num(budget, 0), "chiron",
+               TableWriter::num(s.final_accuracy, 4),
+               std::to_string(s.rounds),
+               TableWriter::num(s.mean_time_efficiency, 4)});
+    }
+    {
+      core::EdgeLearnEnv env(cfg);
+      baselines::GreedyConfig gc;
+      gc.episodes = std::max(flags.get_int("episodes", 300) / 4, 1);
+      baselines::GreedyMechanism m(env, gc);
+      m.train();
+      auto s = m.evaluate();
+      out.row({TableWriter::num(budget, 0), "greedy",
+               TableWriter::num(s.final_accuracy, 4),
+               std::to_string(s.rounds),
+               TableWriter::num(s.mean_time_efficiency, 4)});
+    }
+  }
+  return 0;
+}
+
+void usage() {
+  std::cerr <<
+      "usage: chiron_cli <market|train|compare|sweep> [flags]\n"
+      "  common flags: --nodes N --budget B --task mnist|fashion|cifar\n"
+      "                --episodes E --seed S --availability P --real\n"
+      "  train:  --save PATH --trace\n"
+      "  sweep:  --budgets 40,80,120\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    FlagParser flags(argc, argv);
+    if (flags.positional().empty()) {
+      usage();
+      return 2;
+    }
+    const std::string& cmd = flags.positional().front();
+    if (cmd == "market") return cmd_market(flags);
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "compare") return cmd_compare(flags);
+    if (cmd == "sweep") return cmd_sweep(flags);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
