@@ -6,6 +6,7 @@
 
 #include "common/csv.h"
 #include "harness_common.h"
+#include "runtime/runtime.h"
 
 using namespace chiron;
 
@@ -14,6 +15,8 @@ int main() {
   core::EnvConfig env_cfg =
       bench::make_market(data::VisionTask::kMnistLike, 100, 140.0, opt);
 
+  std::cerr << "[fig7] runtime pool: " << runtime::threads()
+            << " threads (CHIRON_THREADS to override)\n";
   std::cerr << "[fig7] training Chiron (100 nodes, " << opt.chiron_episodes
             << " episodes)\n";
   core::EdgeLearnEnv env_c(env_cfg);

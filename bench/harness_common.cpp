@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/stats.h"
+#include "runtime/runtime.h"
 
 namespace chiron::bench {
 
@@ -26,6 +27,8 @@ HarnessOptions read_options() {
   opt.eval_episodes = env_int("CHIRON_EVAL_EPISODES", opt.eval_episodes);
   opt.real_training = env_flag("CHIRON_REAL_TRAINING");
   opt.seed = static_cast<std::uint64_t>(env_int("CHIRON_SEED", 97));
+  opt.threads = env_int("CHIRON_THREADS", 0);
+  runtime::set_threads(opt.threads);
   return opt;
 }
 

@@ -9,6 +9,9 @@
 //                         (paper §VI-A) instead of the calibrated
 //                         surrogate curve; see DESIGN.md §3
 //   CHIRON_SEED           base RNG seed (default 97)
+//   CHIRON_THREADS        runtime pool size; 0 or unset → all hardware
+//                         threads (results are identical either way —
+//                         see DESIGN.md "Runtime & threading model")
 #pragma once
 
 #include <string>
@@ -27,9 +30,12 @@ struct HarnessOptions {
   int eval_episodes = 5;
   bool real_training = false;
   std::uint64_t seed = 97;
+  int threads = 0;  // 0 = auto (hardware concurrency)
 };
 
-/// Reads the CHIRON_* environment overrides on top of the defaults.
+/// Reads the CHIRON_* environment overrides on top of the defaults and
+/// sizes the runtime pool (runtime::set_threads) from CHIRON_THREADS so
+/// every harness runs on the pool.
 HarnessOptions read_options();
 
 /// Market (environment) for an N-node experiment on one vision task. A

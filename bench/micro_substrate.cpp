@@ -6,9 +6,12 @@
 
 #include "core/env.h"
 #include "core/mechanism.h"
+#include "data/synthetic.h"
+#include "fl/federation.h"
 #include "nn/loss.h"
 #include "nn/models.h"
 #include "rl/ppo.h"
+#include "runtime/runtime.h"
 #include "tensor/ops.h"
 
 using namespace chiron;
@@ -111,6 +114,42 @@ static void BM_PpoUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PpoUpdate);
+
+// Wall-clock of one synchronous FedAvg round (8 nodes, paper CNN) as the
+// runtime pool grows: the perf-trajectory tracker for the parallel round
+// engine. Results are bit-identical across arguments (determinism
+// contract); only time may change. Speedup tops out at the machine's
+// physical core count.
+static void BM_ParallelRound(benchmark::State& state) {
+  runtime::set_threads(static_cast<int>(state.range(0)));
+  Rng rng(8);
+  auto train =
+      data::make_vision_dataset(data::VisionTask::kMnistLike, 160, rng);
+  auto test = data::make_vision_dataset(data::VisionTask::kMnistLike, 64, rng);
+  fl::FederationConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 10;
+  cfg.local.lr = 0.05;
+  cfg.eval_batch_size = 16;
+  fl::Federation fed(
+      cfg, [](Rng& r) { return nn::make_mnist_cnn(r); }, train,
+      std::move(test), rng);
+  const std::vector<int> everyone{0, 1, 2, 3, 4, 5, 6, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fed.run_round(everyone));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(everyone.size()));
+  runtime::set_threads(0);  // restore auto for the remaining benchmarks
+}
+BENCHMARK(BM_ParallelRound)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 static void BM_ChironEpisode(benchmark::State& state) {
   core::EnvConfig cfg;

@@ -5,11 +5,14 @@
 
 #include "common/csv.h"
 #include "harness_common.h"
+#include "runtime/runtime.h"
 
 using namespace chiron;
 
 int main() {
   bench::HarnessOptions opt = bench::read_options();
+  std::cerr << "[table1] runtime pool: " << runtime::threads()
+            << " threads (CHIRON_THREADS to override)\n";
   const std::vector<double> budgets{140, 220, 300, 380};
   TableWriter out(std::cout);
   out.header({"budget", "accuracy", "rounds", "time_efficiency"});

@@ -3,7 +3,7 @@
 // fixed budget, then compare the learned policy against the Greedy and
 // single-agent DRL baselines under the same market.
 //
-// Usage: chiron_mnist [episodes] [budget]
+// Usage: chiron_mnist [episodes] [budget] [--threads T]
 //   defaults: 200 episodes, budget 80 — about 10 s of wall clock.
 #include <cstdlib>
 #include <iomanip>
@@ -11,7 +11,9 @@
 
 #include "baselines/greedy.h"
 #include "baselines/single_drl.h"
+#include "common/flags.h"
 #include "core/mechanism.h"
+#include "runtime/runtime.h"
 
 using namespace chiron;
 
@@ -26,8 +28,11 @@ void print_row(const std::string& name, const core::EpisodeStats& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int episodes = argc > 1 ? std::atoi(argv[1]) : 200;
-  const double budget = argc > 2 ? std::atof(argv[2]) : 80.0;
+  FlagParser flags(argc, argv);
+  runtime::set_threads(threads_flag(flags));
+  const auto& pos = flags.positional();
+  const int episodes = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 200;
+  const double budget = pos.size() > 1 ? std::atof(pos[1].c_str()) : 80.0;
 
   core::EnvConfig env_cfg;
   env_cfg.num_nodes = 5;

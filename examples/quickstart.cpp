@@ -7,16 +7,22 @@
 //    small Chiron mechanism for a handful of episodes.
 //
 // Runs in well under a minute on a laptop core.
+//
+// Usage: quickstart [--threads T]   (0 = all hardware threads)
 #include <iostream>
 
+#include "common/flags.h"
 #include "core/mechanism.h"
 #include "data/synthetic.h"
 #include "fl/federation.h"
 #include "nn/models.h"
+#include "runtime/runtime.h"
 
 using namespace chiron;
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  runtime::set_threads(threads_flag(flags));
   Rng rng(7);
 
   // --- Part 1: plain federated learning -------------------------------

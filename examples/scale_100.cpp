@@ -3,18 +3,24 @@
 // policy's final evaluation episode: total price posted, participation,
 // accuracy progress and budget depletion.
 //
-// Usage: scale_100 [episodes]   (default 120 — a couple of minutes)
+// Usage: scale_100 [episodes] [--threads T]
+//   (default 120 episodes — a couple of minutes)
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
 
+#include "common/flags.h"
 #include "core/actions.h"
 #include "core/mechanism.h"
+#include "runtime/runtime.h"
 
 using namespace chiron;
 
 int main(int argc, char** argv) {
-  const int episodes = argc > 1 ? std::atoi(argv[1]) : 120;
+  FlagParser flags(argc, argv);
+  runtime::set_threads(threads_flag(flags));
+  const auto& pos = flags.positional();
+  const int episodes = pos.empty() ? 120 : std::atoi(pos[0].c_str());
 
   core::EnvConfig env_cfg;
   env_cfg.num_nodes = 100;

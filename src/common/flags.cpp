@@ -72,6 +72,12 @@ int FlagParser::get_int(const std::string& name, int fallback) const {
   return static_cast<int>(v);
 }
 
+int threads_flag(const FlagParser& flags, int fallback) {
+  const int n = flags.get_int("threads", fallback);
+  CHIRON_CHECK_MSG(n >= 0, "--threads must be >= 0 (0 = auto), got " << n);
+  return n;
+}
+
 std::vector<std::string> FlagParser::unknown_flags(
     const std::vector<std::string>& known) const {
   std::vector<std::string> out;

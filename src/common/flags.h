@@ -44,4 +44,10 @@ class FlagParser {
   std::map<std::string, std::string> flags_;
 };
 
+/// Value of the standard `--threads` flag shared by every entry point:
+/// N >= 1 is an explicit pool size, 0 (or an absent flag) means "auto"
+/// (hardware concurrency). Throws InvariantError on negative or malformed
+/// values. Callers pass the result to runtime::set_threads.
+int threads_flag(const FlagParser& flags, int fallback = 0);
+
 }  // namespace chiron

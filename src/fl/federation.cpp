@@ -1,7 +1,10 @@
 #include "fl/federation.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "data/partition.h"
+#include "runtime/parallel.h"
 
 namespace chiron::fl {
 
@@ -28,7 +31,7 @@ void Federation::init(const FederationConfig& config,
   Rng server_rng = rng.split();
   server_ = std::make_unique<ParameterServer>(
       factory(server_rng), std::move(test), config.eval_batch_size,
-      config.aggregator, config.server_momentum);
+      config.aggregator, config.server_momentum, factory);
   nodes_.reserve(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     nodes_.push_back(std::make_unique<EdgeNode>(
@@ -39,23 +42,46 @@ void Federation::init(const FederationConfig& config,
 
 double Federation::run_round(const std::vector<int>& participants) {
   if (participants.empty()) return accuracy();
-  std::vector<std::vector<float>> uploads;
-  std::vector<double> weights;
-  uploads.reserve(participants.size());
-  weights.reserve(participants.size());
-  for (int id : participants) {
+  for (int id : participants)
     CHIRON_CHECK_MSG(id >= 0 && id < num_nodes(), "node id " << id);
-    EdgeNode& n = node(id);
-    uploads.push_back(n.local_train(server_->global_params()));
-    weights.push_back(static_cast<double>(n.data_size()));
+  // A node trains on its own model replica, so the same id twice in one
+  // round would race against itself; keep that (degenerate, but
+  // historically allowed) case on the serial schedule.
+  std::vector<int> sorted = participants;
+  std::sort(sorted.begin(), sorted.end());
+  const bool unique =
+      std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+
+  const std::int64_t count = static_cast<std::int64_t>(participants.size());
+  std::vector<std::vector<float>> uploads(participants.size());
+  std::vector<double> weights(participants.size());
+  auto train_range = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      EdgeNode& n = node(participants[static_cast<std::size_t>(i)]);
+      uploads[static_cast<std::size_t>(i)] =
+          n.local_train(server_->global_params());
+      weights[static_cast<std::size_t>(i)] =
+          static_cast<double>(n.data_size());
+    }
+  };
+  if (unique) {
+    runtime::parallel_for(0, count, train_range);
+  } else {
+    train_range(0, count);
   }
+  // Aggregation consumes uploads in participant order regardless of which
+  // thread produced them — bit-identical to the serial round.
   server_->aggregate(uploads, weights);
   last_accuracy_ = server_->evaluate();
+  eval_version_ = server_->version();
   return last_accuracy_;
 }
 
 double Federation::accuracy() {
-  if (last_accuracy_ < 0.0) last_accuracy_ = server_->evaluate();
+  if (last_accuracy_ < 0.0 || eval_version_ != server_->version()) {
+    last_accuracy_ = server_->evaluate();
+    eval_version_ = server_->version();
+  }
   return last_accuracy_;
 }
 

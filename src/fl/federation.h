@@ -41,9 +41,19 @@ class Federation {
   /// aggregates with D_i weights and returns the new global test accuracy.
   /// With no participants the global model is unchanged and the previous
   /// accuracy is returned.
+  ///
+  /// Participants train concurrently on the runtime pool (paper round
+  /// model: nodes compute simultaneously, round time is the max). Each
+  /// node owns its model replica and Rng stream and uploads are aggregated
+  /// in the given participant order, so the result is bit-identical to the
+  /// serial schedule for every thread count. Duplicate participant ids
+  /// fall back to the serial schedule (a node cannot train against itself
+  /// concurrently).
   double run_round(const std::vector<int>& participants);
 
-  /// Accuracy of the current global model (cached after each round).
+  /// Accuracy of the current global model. Cached, keyed on the server's
+  /// parameter version: mutating the global model (another round, or
+  /// server().set_global_params) invalidates the cache.
   double accuracy();
 
  private:
@@ -52,7 +62,8 @@ class Federation {
 
   std::vector<std::unique_ptr<EdgeNode>> nodes_;
   std::unique_ptr<ParameterServer> server_;
-  double last_accuracy_ = -1.0;  // <0 = not yet evaluated
+  double last_accuracy_ = -1.0;        // <0 = not yet evaluated
+  std::uint64_t eval_version_ = 0;     // server version last_accuracy_ is for
 };
 
 }  // namespace chiron::fl

@@ -1,0 +1,18 @@
+// The model-replica factory shared by edge nodes and the parameter
+// server. All replicas built by one factory must share the architecture
+// (flat parameter layout); the Rng seeds the initial weights, which the
+// server overwrites before use when it builds evaluation replicas.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace chiron::fl {
+
+using ModelFactory =
+    std::function<std::unique_ptr<nn::Sequential>(chiron::Rng&)>;
+
+}  // namespace chiron::fl

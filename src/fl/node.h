@@ -3,20 +3,15 @@
 // (paper §II-A).
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "data/dataset.h"
+#include "fl/model_factory.h"
 #include "nn/sequential.h"
 
 namespace chiron::fl {
-
-/// Builds a fresh model replica; all replicas in a federation must share
-/// the architecture (parameter layout).
-using ModelFactory =
-    std::function<std::unique_ptr<nn::Sequential>(chiron::Rng&)>;
 
 struct LocalTrainConfig {
   int epochs = 5;        // σ

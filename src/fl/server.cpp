@@ -1,10 +1,13 @@
 #include "fl/server.h"
 
+#include <algorithm>
+#include <future>
 #include <numeric>
 
 #include "common/error.h"
 #include "nn/loss.h"
 #include "nn/serialize.h"
+#include "runtime/parallel.h"
 
 namespace chiron::fl {
 
@@ -12,12 +15,14 @@ ParameterServer::ParameterServer(std::unique_ptr<nn::Sequential> model,
                                  data::Dataset test_set,
                                  std::int64_t eval_batch_size,
                                  Aggregator aggregator,
-                                 double server_momentum)
+                                 double server_momentum,
+                                 ModelFactory replica_factory)
     : model_(std::move(model)),
       test_(std::move(test_set)),
       eval_batch_(eval_batch_size),
       aggregator_(aggregator),
-      server_momentum_(server_momentum) {
+      server_momentum_(server_momentum),
+      replica_factory_(std::move(replica_factory)) {
   CHIRON_CHECK(model_ != nullptr);
   CHIRON_CHECK(test_.size() > 0);
   CHIRON_CHECK(eval_batch_ >= 1);
@@ -28,12 +33,14 @@ ParameterServer::ParameterServer(std::unique_ptr<nn::Sequential> model,
 void ParameterServer::set_global_params(std::vector<float> params) {
   CHIRON_CHECK(static_cast<std::int64_t>(params.size()) == parameter_count());
   global_ = std::move(params);
+  ++version_;
 }
 
 void ParameterServer::aggregate(
     const std::vector<std::vector<float>>& uploads,
     const std::vector<double>& data_sizes) {
   std::vector<float> target = nn::weighted_average(uploads, data_sizes);
+  ++version_;
   if (aggregator_ == Aggregator::kFedAvg) {
     global_ = std::move(target);
     return;
@@ -47,22 +54,70 @@ void ParameterServer::aggregate(
   }
 }
 
-double ParameterServer::evaluate() {
-  nn::set_flat_params(*model_, global_);
-  std::int64_t correct_weighted = 0;
-  std::int64_t total = 0;
-  for (std::int64_t start = 0; start < test_.size(); start += eval_batch_) {
+std::int64_t ParameterServer::evaluate_batches(nn::Sequential& net,
+                                               std::int64_t first_batch,
+                                               std::int64_t last_batch) const {
+  nn::set_flat_params(net, global_);
+  std::int64_t correct = 0;
+  for (std::int64_t b = first_batch; b < last_batch; ++b) {
+    const std::int64_t start = b * eval_batch_;
     const std::int64_t end = std::min(start + eval_batch_, test_.size());
     std::vector<int> idx(static_cast<std::size_t>(end - start));
     std::iota(idx.begin(), idx.end(), static_cast<int>(start));
     auto [x, y] = test_.gather(idx);
-    nn::Tensor logits = model_->forward(x, /*train=*/false);
+    nn::Tensor logits = net.forward(x, /*train=*/false);
     const double acc = nn::accuracy(logits, y);
-    correct_weighted +=
+    correct +=
         static_cast<std::int64_t>(acc * static_cast<double>(end - start) + 0.5);
-    total += end - start;
   }
-  return static_cast<double>(correct_weighted) / static_cast<double>(total);
+  return correct;
+}
+
+double ParameterServer::evaluate() {
+  const std::int64_t num_batches =
+      (test_.size() + eval_batch_ - 1) / eval_batch_;
+  // Shard count is capped by batches; correct counts are integers summed
+  // in shard order, so any shard count gives the serial result exactly.
+  std::int64_t shards = std::min<std::int64_t>(
+      runtime::threads(), num_batches);
+  if (replica_factory_ == nullptr || runtime::in_parallel_section())
+    shards = 1;
+  std::int64_t correct = 0;
+  if (shards <= 1) {
+    correct = evaluate_batches(*model_, 0, num_batches);
+  } else {
+    while (static_cast<std::int64_t>(replicas_.size()) < shards - 1) {
+      Rng throwaway(0);  // init weights are immediately overwritten
+      replicas_.push_back(replica_factory_(throwaway));
+    }
+    auto bound = [&](std::int64_t s) { return s * num_batches / shards; };
+    std::vector<std::future<std::int64_t>> futures;
+    runtime::ThreadPool* pool = runtime::Runtime::instance().pool();
+    CHIRON_CHECK(pool != nullptr);
+    for (std::int64_t s = 1; s < shards; ++s) {
+      nn::Sequential* net = replicas_[static_cast<std::size_t>(s - 1)].get();
+      futures.push_back(pool->submit([this, net, lo = bound(s),
+                                      hi = bound(s + 1)] {
+        return evaluate_batches(*net, lo, hi);
+      }));
+    }
+    std::exception_ptr error;
+    try {
+      runtime::CallerLane lane;
+      correct = evaluate_batches(*model_, 0, bound(1));
+    } catch (...) {
+      error = std::current_exception();
+    }
+    for (auto& f : futures) {  // join every shard before any rethrow
+      try {
+        correct += f.get();
+      } catch (...) {
+        if (error == nullptr) error = std::current_exception();
+      }
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+  return static_cast<double>(correct) / static_cast<double>(test_.size());
 }
 
 std::int64_t ParameterServer::parameter_count() const {

@@ -3,10 +3,12 @@
 // the A(ω_k) that enters the exterior reward.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "data/dataset.h"
+#include "fl/model_factory.h"
 #include "nn/sequential.h"
 
 namespace chiron::fl {
@@ -18,11 +20,16 @@ enum class Aggregator { kFedAvg, kFedAvgMomentum };
 
 class ParameterServer {
  public:
+  /// `replica_factory`, when given, lets evaluate() shard the test set
+  /// across the runtime pool: each shard runs forward passes on its own
+  /// model replica (layer activation caches are not shareable between
+  /// threads). Without a factory evaluation is always serial.
   ParameterServer(std::unique_ptr<nn::Sequential> model,
                   data::Dataset test_set,
                   std::int64_t eval_batch_size = 100,
                   Aggregator aggregator = Aggregator::kFedAvg,
-                  double server_momentum = 0.9);
+                  double server_momentum = 0.9,
+                  ModelFactory replica_factory = nullptr);
 
   /// Current global parameters ω_k (what nodes download).
   const std::vector<float>& global_params() const { return global_; }
@@ -32,19 +39,34 @@ class ParameterServer {
   void aggregate(const std::vector<std::vector<float>>& uploads,
                  const std::vector<double>& data_sizes);
 
-  /// Global model accuracy on the held-out test set.
+  /// Global model accuracy on the held-out test set. Sharded across the
+  /// runtime pool when a replica factory is available; per-batch correct
+  /// counts are integers, so the result is identical for any thread count.
   double evaluate();
+
+  /// Monotone counter bumped on every global-parameter mutation
+  /// (aggregate / set_global_params). Lets callers cache evaluation
+  /// results without going stale — see Federation::accuracy().
+  std::uint64_t version() const { return version_; }
 
   std::int64_t parameter_count() const;
 
  private:
+  /// Correct-prediction count over test batches [first_batch, last_batch)
+  /// using `net` (which receives the current global parameters first).
+  std::int64_t evaluate_batches(nn::Sequential& net, std::int64_t first_batch,
+                                std::int64_t last_batch) const;
+
   std::unique_ptr<nn::Sequential> model_;
   data::Dataset test_;
   std::int64_t eval_batch_;
   Aggregator aggregator_;
   double server_momentum_;
+  ModelFactory replica_factory_;  // may be null: serial evaluation only
+  std::vector<std::unique_ptr<nn::Sequential>> replicas_;  // lazily grown
   std::vector<float> global_;
   std::vector<float> momentum_;  // FedAvgM buffer (lazily sized)
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace chiron::fl

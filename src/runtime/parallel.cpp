@@ -1,0 +1,71 @@
+#include "runtime/parallel.h"
+
+#include <algorithm>
+#include <future>
+
+#include "common/error.h"
+
+namespace chiron::runtime {
+
+namespace {
+// Depth of caller-lane chunks running on this thread. Pool workers carry
+// their own flag (ThreadPool::on_worker_thread).
+thread_local int t_caller_lane_depth = 0;
+}  // namespace
+
+bool in_parallel_section() {
+  return t_caller_lane_depth > 0 || ThreadPool::on_worker_thread();
+}
+
+CallerLane::CallerLane() { ++t_caller_lane_depth; }
+CallerLane::~CallerLane() { --t_caller_lane_depth; }
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& body,
+                  std::int64_t grain) {
+  CHIRON_CHECK(grain >= 1);
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+
+  ThreadPool* pool =
+      in_parallel_section() ? nullptr : Runtime::instance().pool();
+  const std::int64_t max_lanes =
+      pool == nullptr ? 1 : static_cast<std::int64_t>(pool->size()) + 1;
+  // Floor division: every chunk keeps at least `grain` elements.
+  const std::int64_t chunks =
+      std::min(max_lanes, std::max<std::int64_t>(1, n / grain));
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  // Fixed even split: chunk c covers [begin + c*n/chunks, begin + (c+1)*n/chunks).
+  auto bound = [&](std::int64_t c) { return begin + c * n / chunks; };
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(chunks) - 1);
+  for (std::int64_t c = 1; c < chunks; ++c) {
+    const std::int64_t lo = bound(c), hi = bound(c + 1);
+    futures.push_back(pool->submit([&body, lo, hi] { body(lo, hi); }));
+  }
+
+  // The caller is lane 0; its exception (if any) outranks the workers'.
+  std::exception_ptr first_error;
+  try {
+    CallerLane lane;  // nested parallel_for in this chunk runs inline
+    body(bound(0), bound(1));
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  // Join every chunk before rethrowing — the body may capture caller stack
+  // state that must stay alive until all workers are done.
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace chiron::runtime

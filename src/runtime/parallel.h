@@ -1,0 +1,69 @@
+// Deterministic data-parallel loop helpers over the process Runtime.
+//
+// parallel_for splits [begin, end) into at most threads() contiguous
+// chunks (respecting a minimum grain), submits chunks 1..k-1 to the pool
+// in index order, runs chunk 0 on the calling thread, then joins the
+// futures in the same fixed order. Because every output element is
+// produced entirely inside one chunk by the same serial code a
+// single-threaded run would execute, results are bit-identical for every
+// thread count; only wall-clock changes.
+//
+// Nested parallel sections (a body that itself calls parallel_for, e.g. a
+// parallel Federation round whose local training hits the parallel matmul)
+// run inline serially on the worker — no pool re-entry, no deadlock, same
+// values.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace chiron::runtime {
+
+/// True when the current thread is already executing a chunk of some
+/// parallel section — as a pool worker or as the caller lane. Nested
+/// parallel loops run inline then.
+bool in_parallel_section();
+
+/// RAII marker for a caller thread executing its own shard of a manually
+/// fanned-out section (e.g. ParameterServer::evaluate): while alive,
+/// parallel_for on this thread runs inline instead of waiting on a pool
+/// that is busy with the sibling shards.
+class CallerLane {
+ public:
+  CallerLane();
+  ~CallerLane();
+  CallerLane(const CallerLane&) = delete;
+  CallerLane& operator=(const CallerLane&) = delete;
+};
+
+/// Calls body(lo, hi) over disjoint sub-ranges covering [begin, end).
+/// `grain` is the minimum chunk size; ranges smaller than 2*grain (or a
+/// serial-mode runtime) run inline on the caller. If any chunk throws, all
+/// chunks still complete and the exception of the lowest-index failing
+/// chunk is rethrown.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& body,
+                  std::int64_t grain = 1);
+
+/// Maps fn over [0, n) into a vector, in parallel. Element i of the result
+/// is always fn(i) computed on exactly one thread; order of the returned
+/// vector is the index order.
+template <typename T>
+std::vector<T> parallel_map(std::int64_t n,
+                            const std::function<T(std::int64_t)>& fn,
+                            std::int64_t grain = 1) {
+  std::vector<T> out(static_cast<std::size_t>(n));
+  parallel_for(
+      0, n,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+          out[static_cast<std::size_t>(i)] = fn(i);
+      },
+      grain);
+  return out;
+}
+
+}  // namespace chiron::runtime

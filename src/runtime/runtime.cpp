@@ -1,0 +1,46 @@
+#include "runtime/runtime.h"
+
+#include "common/error.h"
+
+namespace chiron::runtime {
+
+namespace {
+int auto_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+}  // namespace
+
+Runtime& Runtime::instance() {
+  static Runtime rt;
+  return rt;
+}
+
+Runtime::Runtime() : threads_(auto_threads()) {}
+
+void Runtime::set_threads(int n) {
+  CHIRON_CHECK_MSG(n >= 0, "--threads must be >= 0 (0 = auto), got " << n);
+  CHIRON_CHECK_MSG(!ThreadPool::on_worker_thread(),
+                   "set_threads called from inside a parallel section");
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_ = n == 0 ? auto_threads() : n;
+  pool_.reset();  // rebuilt lazily at the new size
+}
+
+int Runtime::threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_;
+}
+
+ThreadPool* Runtime::pool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (threads_ <= 1) return nullptr;
+  // threads_ - 1 workers: the caller of parallel_for is the remaining lane.
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+  return pool_.get();
+}
+
+void set_threads(int n) { Runtime::instance().set_threads(n); }
+int threads() { return Runtime::instance().threads(); }
+
+}  // namespace chiron::runtime

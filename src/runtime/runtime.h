@@ -1,0 +1,50 @@
+// Process-wide parallel execution context.
+//
+// Every parallel hot path (Federation rounds, server evaluation, tensor
+// kernels, the bench harnesses) draws its concurrency from this single
+// context so one `--threads` flag (or CHIRON_THREADS env var) sizes the
+// whole process. `threads() == 1` is an exact serial fallback: no pool is
+// created and every parallel helper degenerates to the plain loop.
+//
+// Determinism contract: for all code in this repo, results are required to
+// be bit-identical across thread counts. Parallel loops only ever split
+// work whose per-element computation is self-contained (disjoint output
+// ranges, per-node RNG streams) and reductions are summed in fixed chunk
+// order, so the thread count changes wall-clock only — never values.
+#pragma once
+
+#include "runtime/thread_pool.h"
+
+namespace chiron::runtime {
+
+class Runtime {
+ public:
+  /// The process-wide context.
+  static Runtime& instance();
+
+  /// Sizes the execution context: n >= 1 is an explicit thread count,
+  /// n == 0 means "auto" (hardware_concurrency, at least 1). Destroys and
+  /// rebuilds the pool; must not be called while parallel work is running.
+  void set_threads(int n);
+
+  /// Current total concurrency (callers + workers), >= 1.
+  int threads() const;
+
+  /// The worker pool behind parallel_for, or nullptr in serial mode
+  /// (threads() == 1). The pool has threads() - 1 workers because the
+  /// calling thread executes the first chunk of every parallel section.
+  ThreadPool* pool();
+
+ private:
+  Runtime();
+
+  mutable std::mutex mu_;
+  int threads_ = 0;  // resolved in ctor
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Convenience wrappers around Runtime::instance().
+void set_threads(int n);
+int threads();
+
+}  // namespace chiron::runtime

@@ -1,0 +1,47 @@
+#include "runtime/thread_pool.h"
+
+#include "common/error.h"
+
+namespace chiron::runtime {
+
+namespace {
+// Set for the lifetime of each worker thread; queried by parallel_for to
+// detect nested parallel sections.
+thread_local bool t_on_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  CHIRON_CHECK_MSG(num_threads >= 1,
+                   "ThreadPool needs >= 1 worker, got " << num_threads);
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the future
+  }
+}
+
+}  // namespace chiron::runtime

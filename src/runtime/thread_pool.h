@@ -1,0 +1,71 @@
+// Fixed-size worker pool used by the deterministic parallel runtime.
+//
+// The pool is a plain task queue: `submit` hands a callable to one of the
+// workers and returns a std::future carrying the result (or the thrown
+// exception — exception propagation is first-class so callers see worker
+// failures at the `get()` site, not as std::terminate).
+//
+// Determinism contract (see DESIGN.md "Runtime & threading model"): the
+// pool itself never reorders results — higher-level helpers
+// (runtime::parallel_for) assign work in fixed chunk order and join in
+// fixed chunk order, so any value computed through the pool is independent
+// of how the OS schedules the workers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace chiron::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains nothing: outstanding tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result. If `fn` throws,
+  /// the exception is captured and rethrown from future::get().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Used by
+  /// parallel_for to run nested parallel sections inline (serially) instead
+  /// of re-entering the pool, which both avoids deadlock and keeps the
+  /// nested reduction order fixed.
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace chiron::runtime

@@ -5,8 +5,24 @@
 #include <limits>
 
 #include "common/error.h"
+#include "runtime/parallel.h"
 
 namespace chiron::tensor {
+
+namespace {
+// Row-blocked parallelism: a chunk owns a contiguous block of output rows
+// and computes each of them with the exact serial inner loops, so results
+// are bit-identical for every thread count. The grain keeps small
+// matrices (PPO-sized) on the calling thread where fan-out costs more
+// than it saves; kParallelWork is the approximate flop count worth one
+// task dispatch.
+constexpr std::int64_t kParallelWork = 16384;
+
+std::int64_t row_grain(std::int64_t work_per_row) {
+  return std::max<std::int64_t>(1, kParallelWork / std::max<std::int64_t>(
+                                                       1, work_per_row));
+}
+}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   CHIRON_CHECK(a.rank() == 2 && b.rank() == 2);
@@ -17,15 +33,20 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* pc = c.data();
   // i-k-j loop order: streams B rows, accumulates into C rows.
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  runtime::parallel_for(
+      0, m,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float aik = pa[i * k + kk];
+            if (aik == 0.f) continue;
+            const float* brow = pb + kk * n;
+            float* crow = pc + i * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      },
+      row_grain(k * n));
   return c;
 }
 
@@ -38,15 +59,20 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b_t) {
   const float* pa = a.data();
   const float* pb = b_t.data();
   float* pc = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.f;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      pc[i * n + j] = acc;
-    }
-  }
+  runtime::parallel_for(
+      0, m,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const float* arow = pa + i * k;
+          for (std::int64_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            float acc = 0.f;
+            for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            pc[i * n + j] = acc;
+          }
+        }
+      },
+      row_grain(k * n));
   return c;
 }
 
@@ -59,16 +85,23 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aik = arow[i];
-      if (aik == 0.f) continue;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  // Output-row blocks: each c[i][j] accumulates over kk in increasing
+  // order, exactly as the serial kk-outer formulation did, so the float
+  // reduction order (and thus the result bits) is unchanged.
+  runtime::parallel_for(
+      0, m,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          float* crow = pc + i * n;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float aik = pa[kk * m + i];
+            if (aik == 0.f) continue;
+            const float* brow = pb + kk * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      },
+      row_grain(k * n));
   return c;
 }
 
@@ -92,26 +125,32 @@ Tensor im2col(const Tensor& input, const ConvGeom& g) {
   Tensor cols({batch * oh * ow, patch});
   float* pc = cols.data();
   const float* pin = input.data();
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t y = 0; y < oh; ++y) {
-      for (std::int64_t x = 0; x < ow; ++x) {
-        float* dst = pc + ((n * oh + y) * ow + x) * patch;
-        for (std::int64_t c = 0; c < g.in_c; ++c) {
-          for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
-            const std::int64_t iy = y * g.stride + ky - g.pad;
-            for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
-              const std::int64_t ix = x * g.stride + kx - g.pad;
-              float v = 0.f;
-              if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
-                v = pin[((n * g.in_c + c) * g.in_h + iy) * g.in_w + ix];
+  // One task chunk owns a contiguous block of output patch rows; writes
+  // are disjoint per row.
+  runtime::parallel_for(
+      0, batch * oh * ow,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t r = lo; r < hi; ++r) {
+          const std::int64_t x = r % ow;
+          const std::int64_t y = (r / ow) % oh;
+          const std::int64_t n = r / (oh * ow);
+          float* dst = pc + r * patch;
+          for (std::int64_t c = 0; c < g.in_c; ++c) {
+            for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+              const std::int64_t iy = y * g.stride + ky - g.pad;
+              for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+                const std::int64_t ix = x * g.stride + kx - g.pad;
+                float v = 0.f;
+                if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+                  v = pin[((n * g.in_c + c) * g.in_h + iy) * g.in_w + ix];
+                }
+                *dst++ = v;
               }
-              *dst++ = v;
             }
           }
         }
-      }
-    }
-  }
+      },
+      row_grain(patch));
   return cols;
 }
 
@@ -123,7 +162,11 @@ Tensor col2im(const Tensor& cols, std::int64_t batch, const ConvGeom& g) {
   Tensor grad({batch, g.in_c, g.in_h, g.in_w});
   float* pg = grad.data();
   const float* pc = cols.data();
-  for (std::int64_t n = 0; n < batch; ++n) {
+  // Parallel over batch images: every scatter-add of image n lands inside
+  // grad[n], so blocks of n never alias and the per-element add order is
+  // the serial one.
+  runtime::parallel_for(0, batch, [&](std::int64_t n_lo, std::int64_t n_hi) {
+  for (std::int64_t n = n_lo; n < n_hi; ++n) {
     for (std::int64_t y = 0; y < oh; ++y) {
       for (std::int64_t x = 0; x < ow; ++x) {
         const float* src = pc + ((n * oh + y) * ow + x) * patch;
@@ -142,6 +185,7 @@ Tensor col2im(const Tensor& cols, std::int64_t batch, const ConvGeom& g) {
       }
     }
   }
+  });
   return grad;
 }
 

@@ -132,6 +132,34 @@ TEST(Federation, InvalidNodeIdThrows) {
   EXPECT_THROW(fed.run_round({5}), chiron::InvariantError);
 }
 
+TEST(Federation, SetGlobalParamsInvalidatesAccuracyCache) {
+  // Regression: accuracy() caches the last evaluation, but mutating the
+  // global model through server().set_global_params used to keep serving
+  // the stale cached value.
+  Rng rng(42);
+  Federation fed = make_blob_federation(3, rng);
+  double trained = fed.accuracy();
+  for (int round = 0; round < 6; ++round) trained = fed.run_round({0, 1, 2});
+  EXPECT_DOUBLE_EQ(fed.accuracy(), trained);
+
+  // Wipe the trained model: accuracy must be re-evaluated, not cached.
+  const std::size_t n = fed.server().global_params().size();
+  fed.server().set_global_params(std::vector<float>(n, 0.f));
+  const double wiped = fed.accuracy();
+  EXPECT_NE(wiped, trained);
+  EXPECT_DOUBLE_EQ(wiped, fed.server().evaluate());
+}
+
+TEST(Federation, DuplicateParticipantsStillTrainSerially) {
+  // Duplicate ids take the serial schedule (a node cannot train against
+  // itself concurrently) but remain a valid round.
+  Rng rng(43);
+  Federation fed = make_blob_federation(3, rng);
+  const double acc = fed.run_round({1, 1, 2});
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
 TEST(Federation, MoreParticipantsLearnFasterEarly) {
   // Same seeds; full participation should reach a higher accuracy than a
   // single node after the same number of rounds (more data per round).

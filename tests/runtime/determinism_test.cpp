@@ -1,0 +1,77 @@
+// The determinism contract of the parallel runtime, end to end: a
+// federated training episode must produce bit-identical round accuracies
+// and global parameters for every thread count (DESIGN.md "Runtime &
+// threading model"). This is what makes `--threads` a pure wall-clock
+// knob rather than an experiment parameter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fl/federation.h"
+#include "nn/models.h"
+#include "runtime/runtime.h"
+
+namespace chiron::runtime {
+namespace {
+
+struct EpisodeResult {
+  std::vector<double> round_accuracies;
+  std::vector<float> final_params;
+};
+
+/// Runs the same seeded 5-round MNIST-synthetic episode (paper CNN, 4
+/// nodes) under the given runtime size.
+EpisodeResult run_episode(int threads_count) {
+  set_threads(threads_count);
+  Rng rng(1234);
+  auto train =
+      data::make_vision_dataset(data::VisionTask::kMnistLike, 120, rng);
+  auto test = data::make_vision_dataset(data::VisionTask::kMnistLike, 48, rng);
+  fl::FederationConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 10;
+  cfg.local.lr = 0.05;
+  cfg.eval_batch_size = 16;  // several eval shards when threads allow
+  fl::Federation fed(
+      cfg, [](Rng& r) { return nn::make_mnist_cnn(r); }, train,
+      std::move(test), rng);
+
+  EpisodeResult out;
+  out.round_accuracies.push_back(fed.accuracy());
+  for (int round = 0; round < 5; ++round)
+    out.round_accuracies.push_back(fed.run_round({0, 1, 2, 3}));
+  out.final_params = fed.server().global_params();
+  return out;
+}
+
+TEST(Determinism, RoundAccuraciesBitIdenticalAcrossThreadCounts) {
+  const EpisodeResult serial = run_episode(1);
+  const EpisodeResult parallel8 = run_episode(8);
+  set_threads(0);  // restore auto for other tests
+
+  ASSERT_EQ(serial.round_accuracies.size(), parallel8.round_accuracies.size());
+  for (std::size_t r = 0; r < serial.round_accuracies.size(); ++r) {
+    // EXPECT_EQ on doubles: bit-identical, not approximately equal.
+    EXPECT_EQ(serial.round_accuracies[r], parallel8.round_accuracies[r])
+        << "round " << r << " diverged between threads=1 and threads=8";
+  }
+  ASSERT_EQ(serial.final_params.size(), parallel8.final_params.size());
+  for (std::size_t i = 0; i < serial.final_params.size(); ++i) {
+    ASSERT_EQ(serial.final_params[i], parallel8.final_params[i])
+        << "global parameter " << i << " diverged";
+  }
+  // The episode must have actually trained, or the comparison is vacuous.
+  EXPECT_GT(serial.round_accuracies.back(), serial.round_accuracies.front());
+}
+
+TEST(Determinism, IntermediateThreadCountAgreesToo) {
+  const EpisodeResult serial = run_episode(1);
+  const EpisodeResult parallel3 = run_episode(3);
+  set_threads(0);
+  EXPECT_EQ(serial.round_accuracies, parallel3.round_accuracies);
+}
+
+}  // namespace
+}  // namespace chiron::runtime

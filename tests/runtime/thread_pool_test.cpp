@@ -1,0 +1,183 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.h"
+#include "runtime/parallel.h"
+#include "runtime/runtime.h"
+
+namespace chiron::runtime {
+namespace {
+
+/// Restores the previous runtime size on scope exit so tests do not leak
+/// their thread configuration into each other.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) : prev_(threads()) { set_threads(n); }
+  ~ScopedThreads() { set_threads(prev_); }
+
+ private:
+  int prev_;
+};
+
+TEST(ThreadPool, CompletesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter, i] {
+      counter.fetch_add(1);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit(
+      []() -> int { throw std::runtime_error("worker failure"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, RejectsNonPositiveSize) {
+  EXPECT_THROW(ThreadPool(0), InvariantError);
+  EXPECT_THROW(ThreadPool(-3), InvariantError);
+}
+
+TEST(ThreadPool, NestedSubmissionFromWorkerCompletes) {
+  ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 21; });
+    return 2 * inner.get();  // a second worker picks the inner task up
+  });
+  EXPECT_EQ(outer.get(), 42);
+}
+
+TEST(ParallelFor, EmptyRangeNeverCallsBody) {
+  ScopedThreads guard(4);
+  bool called = false;
+  parallel_for(5, 5, [&](std::int64_t, std::int64_t) { called = true; });
+  parallel_for(7, 3, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SizeOneRangeRunsInline) {
+  ScopedThreads guard(4);
+  std::vector<int> hits(1, 0);
+  parallel_for(0, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ScopedThreads guard(8);
+  const std::int64_t n = 1000;
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);  // disjoint writes
+  parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), n);
+  EXPECT_EQ(*std::min_element(hits.begin(), hits.end()), 1);
+  EXPECT_EQ(*std::max_element(hits.begin(), hits.end()), 1);
+}
+
+TEST(ParallelFor, GrainKeepsSmallRangesSerial) {
+  ScopedThreads guard(8);
+  // n < 2 * grain → a single inline chunk spanning the whole range.
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  parallel_for(
+      0, 10,
+      [&](std::int64_t lo, std::int64_t hi) { chunks.push_back({lo, hi}); },
+      /*grain=*/8);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::int64_t, std::int64_t>{0, 10}));
+}
+
+TEST(ParallelFor, ExceptionInBodyPropagates) {
+  ScopedThreads guard(4);
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::int64_t lo, std::int64_t) {
+                     if (lo >= 0) throw std::runtime_error("chunk failure");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedParallelForRunsInlineAndIsCorrect) {
+  ScopedThreads guard(4);
+  const std::int64_t rows = 32, cols = 64;
+  std::vector<int> cells(static_cast<std::size_t>(rows * cols), 0);
+  parallel_for(0, rows, [&](std::int64_t rlo, std::int64_t rhi) {
+    for (std::int64_t r = rlo; r < rhi; ++r) {
+      EXPECT_TRUE(in_parallel_section());
+      parallel_for(0, cols, [&](std::int64_t clo, std::int64_t chi) {
+        for (std::int64_t c = clo; c < chi; ++c)
+          cells[static_cast<std::size_t>(r * cols + c)]++;
+      });
+    }
+  });
+  EXPECT_EQ(std::accumulate(cells.begin(), cells.end(), 0), rows * cols);
+  EXPECT_FALSE(in_parallel_section());
+}
+
+TEST(ParallelFor, SerialModeMatchesParallelMode) {
+  auto run = [](int threads) {
+    ScopedThreads guard(threads);
+    std::vector<double> out(257);
+    parallel_for(0, 257, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i)
+        out[static_cast<std::size_t>(i)] = static_cast<double>(i) * 1.5;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ParallelMap, ProducesIndexOrderedResults) {
+  ScopedThreads guard(4);
+  auto out = parallel_map<std::int64_t>(
+      100, [](std::int64_t i) { return i * 3; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(out[i], i * 3);
+}
+
+TEST(Runtime, SerialModeHasNoPool) {
+  ScopedThreads guard(1);
+  EXPECT_EQ(Runtime::instance().threads(), 1);
+  EXPECT_EQ(Runtime::instance().pool(), nullptr);
+}
+
+TEST(Runtime, AutoResolvesToAtLeastOne) {
+  ScopedThreads guard(0);
+  EXPECT_GE(threads(), 1);
+}
+
+TEST(Runtime, PoolSizeIsThreadsMinusCaller) {
+  ScopedThreads guard(5);
+  ThreadPool* pool = Runtime::instance().pool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->size(), 4);
+}
+
+}  // namespace
+}  // namespace chiron::runtime

@@ -28,6 +28,7 @@
 #include "core/mechanism.h"
 #include "core/recorder.h"
 #include "core/actions.h"
+#include "runtime/runtime.h"
 #include "sysmodel/economics.h"
 
 using namespace chiron;
@@ -238,6 +239,7 @@ void usage() {
       "usage: chiron_cli <market|train|compare|sweep> [flags]\n"
       "  common flags: --nodes N --budget B --task mnist|fashion|cifar\n"
       "                --episodes E --seed S --availability P --real\n"
+      "                --threads T (0 = all hardware threads)\n"
       "  train:  --save PATH --trace\n"
       "  sweep:  --budgets 40,80,120\n";
 }
@@ -251,6 +253,7 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
+    runtime::set_threads(threads_flag(flags));
     const std::string& cmd = flags.positional().front();
     if (cmd == "market") return cmd_market(flags);
     if (cmd == "train") return cmd_train(flags);
