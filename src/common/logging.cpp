@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <iostream>
+#include <mutex>
 
 namespace chiron {
 
@@ -23,6 +24,10 @@ LogLevel log_level() { return g_level; }
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  // One mutex around the emit: pool threads log concurrently since the
+  // parallel runtime landed, and interleaved stderr writes would tear.
+  static std::mutex emit_mutex;
+  std::lock_guard<std::mutex> lock(emit_mutex);
   std::cerr << "[" << level_name(level) << "] " << message << '\n';
 }
 

@@ -1,8 +1,11 @@
 // Minimal leveled logging to stderr.
 //
 // The simulator is mostly silent; INFO lines narrate long experiment runs,
-// DEBUG is compiled in but off by default. Not thread-safe by design — the
-// simulator is single-threaded per run.
+// DEBUG is compiled in but off by default. Emission is thread-safe: a
+// single mutex serializes log_line, so concurrent LOG calls from runtime
+// pool workers (e.g. inside Federation::run_round) never interleave or
+// tear. set_log_level is a plain write — configure it before going
+// parallel.
 #pragma once
 
 #include <sstream>

@@ -8,6 +8,44 @@
 
 namespace chiron::core {
 
+fl::TolerantRoundReport AccuracyBackend::train_round_tolerant(
+    const std::vector<int>& participants, const std::vector<double>& weights,
+    const std::vector<fl::RoundDelivery>& delivery) {
+  CHIRON_CHECK(participants.size() == weights.size());
+  CHIRON_CHECK(participants.size() == delivery.size());
+  fl::TolerantRoundReport rep;
+  rep.status.resize(participants.size());
+  std::vector<int> surviving;
+  std::vector<double> surviving_weights;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    if (delivery[i].crash) {
+      rep.status[i] = fl::DeliveryStatus::kCrashed;
+      ++rep.crashed;
+    } else if (delivery[i].late) {
+      rep.status[i] = fl::DeliveryStatus::kLate;
+      ++rep.late;
+    } else if (delivery[i].corruption != faults::Corruption::kNone) {
+      // An always-on validator catches both corruption modes by
+      // construction (see faults::corrupt_upload) — matching what the
+      // real backends' parameter server does.
+      rep.status[i] = fl::DeliveryStatus::kRejected;
+      ++rep.rejected;
+    } else {
+      rep.status[i] = fl::DeliveryStatus::kDelivered;
+      ++rep.delivered;
+      surviving.push_back(participants[i]);
+      surviving_weights.push_back(weights[i]);
+    }
+  }
+  if (rep.delivered > 0) {
+    rep.accuracy = train_round(surviving, surviving_weights);
+    rep.aggregated = true;
+  } else {
+    rep.accuracy = accuracy();
+  }
+  return rep;
+}
+
 SurrogateCurve surrogate_curve_for(data::VisionTask task) {
   // Rates/ceilings calibrated to the real-training backends on the
   // synthetic vision tasks: MNIST-like saturates fast and high, the
@@ -85,6 +123,7 @@ void RealVisionBackend::rebuild() {
   cfg.local = options_.local;
   cfg.aggregator = options_.aggregator;
   cfg.server_momentum = options_.server_momentum;
+  cfg.validation = options_.validation;
   const fl::ModelFactory factory =
       task_ == data::VisionTask::kCifarLike
           ? fl::ModelFactory([](Rng& r) { return nn::make_lenet_cifar(r); })
@@ -111,6 +150,16 @@ double RealVisionBackend::train_round(const std::vector<int>& participants,
   CHIRON_CHECK(participants.size() == weights.size());
   accuracy_ = federation_->run_round(participants);
   return accuracy_;
+}
+
+fl::TolerantRoundReport RealVisionBackend::train_round_tolerant(
+    const std::vector<int>& participants, const std::vector<double>& weights,
+    const std::vector<fl::RoundDelivery>& delivery) {
+  CHIRON_CHECK(participants.size() == weights.size());
+  fl::TolerantRoundReport rep =
+      federation_->run_round_tolerant(participants, delivery);
+  accuracy_ = rep.accuracy;
+  return rep;
 }
 
 // ---------------------------------------------------------------------------
@@ -144,6 +193,7 @@ void RealBlobsBackend::rebuild() {
   cfg.local = options_.local;
   cfg.aggregator = options_.aggregator;
   cfg.server_momentum = options_.server_momentum;
+  cfg.validation = options_.validation;
   const std::int64_t in = dims_;
   const std::int64_t out = classes_;
   const fl::ModelFactory factory = [in, out](Rng& r) {
@@ -171,6 +221,16 @@ double RealBlobsBackend::train_round(const std::vector<int>& participants,
   CHIRON_CHECK(participants.size() == weights.size());
   accuracy_ = federation_->run_round(participants);
   return accuracy_;
+}
+
+fl::TolerantRoundReport RealBlobsBackend::train_round_tolerant(
+    const std::vector<int>& participants, const std::vector<double>& weights,
+    const std::vector<fl::RoundDelivery>& delivery) {
+  CHIRON_CHECK(participants.size() == weights.size());
+  fl::TolerantRoundReport rep =
+      federation_->run_round_tolerant(participants, delivery);
+  accuracy_ = rep.accuracy;
+  return rep;
 }
 
 }  // namespace chiron::core

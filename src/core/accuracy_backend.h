@@ -30,6 +30,19 @@ class AccuracyBackend {
   virtual double train_round(const std::vector<int>& participants,
                              const std::vector<double>& weights) = 0;
 
+  /// Fault-injected round: `delivery` (aligned with participants) says
+  /// which uploads crash, arrive late or are corrupted. The default
+  /// implementation models an always-validating server analytically —
+  /// crashed/late/corrupt uploads are dropped and the survivors train via
+  /// train_round — which is exact for the surrogate. Real backends
+  /// override it to inject the faults into the actual fl:: round so the
+  /// server's deadline/validation defenses run for real. The returned
+  /// per-node statuses are the ground truth for pay-on-delivery.
+  virtual fl::TolerantRoundReport train_round_tolerant(
+      const std::vector<int>& participants,
+      const std::vector<double>& weights,
+      const std::vector<fl::RoundDelivery>& delivery);
+
   virtual double accuracy() const = 0;
 };
 
@@ -71,6 +84,8 @@ struct RealBackendOptions {
   double dirichlet_alpha = 0.5;
   fl::Aggregator aggregator = fl::Aggregator::kFedAvg;
   double server_momentum = 0.9;
+  /// Upload acceptance policy of the parameter server (tolerant rounds).
+  fl::UploadValidation validation;
 };
 
 /// Real federated training on one of the synthetic vision tasks.
@@ -83,6 +98,10 @@ class RealVisionBackend final : public AccuracyBackend {
   double reset() override;
   double train_round(const std::vector<int>& participants,
                      const std::vector<double>& weights) override;
+  fl::TolerantRoundReport train_round_tolerant(
+      const std::vector<int>& participants,
+      const std::vector<double>& weights,
+      const std::vector<fl::RoundDelivery>& delivery) override;
   double accuracy() const override { return accuracy_; }
 
  private:
@@ -109,6 +128,10 @@ class RealBlobsBackend final : public AccuracyBackend {
   double reset() override;
   double train_round(const std::vector<int>& participants,
                      const std::vector<double>& weights) override;
+  fl::TolerantRoundReport train_round_tolerant(
+      const std::vector<int>& participants,
+      const std::vector<double>& weights,
+      const std::vector<fl::RoundDelivery>& delivery) override;
   double accuracy() const override { return accuracy_; }
 
  private:

@@ -16,6 +16,7 @@ std::unique_ptr<AccuracyBackend> make_backend(const EnvConfig& c, Rng rng) {
   options.dirichlet_alpha = c.dirichlet_alpha;
   options.aggregator = c.aggregator;
   options.server_momentum = c.server_momentum;
+  options.validation.norm_bound = c.upload_norm_bound;
   switch (c.backend) {
     case BackendKind::kSurrogate: {
       const double total_weight =
@@ -48,6 +49,11 @@ EdgeLearnEnv::EdgeLearnEnv(const EnvConfig& config)
   CHIRON_CHECK(config_.time_norm > 0.0);
   CHIRON_CHECK(config_.node_availability > 0.0 &&
                config_.node_availability <= 1.0);
+  CHIRON_CHECK(config_.round_deadline >= 0.0);
+  // FaultPlan's constructor validates the fault probabilities; constructed
+  // unconditionally so a bad config fails fast even with faults unused.
+  fault_plan_ = std::make_unique<faults::FaultPlan>(config_.faults,
+                                                    config_.num_nodes);
   Rng dev_rng = rng_.split();
   devices_ = sysmodel::sample_devices(config_.population, config_.num_nodes,
                                       config_.data_bits_per_node, dev_rng);
@@ -62,6 +68,7 @@ std::vector<float> EdgeLearnEnv::reset() {
   round_ = 0;
   done_ = false;
   last_accuracy_ = backend_->reset();
+  fault_plan_->reset();
   history_.clear();
   return exterior_state();
 }
@@ -69,6 +76,9 @@ std::vector<float> EdgeLearnEnv::reset() {
 StepResult EdgeLearnEnv::step(const std::vector<double>& prices) {
   CHIRON_CHECK_MSG(!done_, "step() on a finished episode; call reset()");
   CHIRON_CHECK(static_cast<int>(prices.size()) == config_.num_nodes);
+
+  if (config_.faults.any() || config_.round_deadline > 0.0)
+    return step_faulty(prices);
 
   StepResult res;
   // Availability extension: an offline node never sees the posted price,
@@ -112,6 +122,7 @@ StepResult EdgeLearnEnv::step(const std::vector<double>& prices) {
   last_accuracy_ = accuracy;
 
   res.participants = res.outcome.participants;
+  res.delivered = res.outcome.participants;  // fault-free: all uploads land
   res.round_time = res.outcome.round_time;
   res.payment = res.outcome.total_payment;
   res.idle_time = res.outcome.idle_time;
@@ -137,6 +148,130 @@ StepResult EdgeLearnEnv::step(const std::vector<double>& prices) {
   }
 
   // Record history for the exterior state.
+  RoundProfile profile;
+  profile.zeta.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
+  profile.price = effective_prices;
+  profile.time.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
+  for (std::size_t i = 0; i < res.outcome.nodes.size(); ++i) {
+    profile.zeta[i] = res.outcome.nodes[i].zeta;
+    profile.time[i] = res.outcome.nodes[i].total_time;
+  }
+  history_.push_back(std::move(profile));
+  if (static_cast<int>(history_.size()) > config_.history)
+    history_.erase(history_.begin());
+
+  if (budget_remaining_ <= 0.0 || round_ >= config_.max_rounds) done_ = true;
+  res.done = done_;
+  return res;
+}
+
+StepResult EdgeLearnEnv::step_faulty(const std::vector<double>& prices) {
+  // The fault-tolerant round pipeline (DESIGN.md "Fault model & tolerance"):
+  //   1. draw this round's fault schedule (deterministic in seed/round/node),
+  //   2. run the market on the promised (fault-free) terms,
+  //   3. train with faults injected; the server's defenses decide delivery,
+  //   4. realize the economics: pay-on-delivery, deadline-cut round time.
+  // The overdraw-abort rule stays on the *promised* payment — the mechanism
+  // commits to the round before knowing who will fail, and realized payment
+  // never exceeds promised, so the budget still never overdraws.
+  StepResult res;
+  const std::vector<faults::FaultEvent> events =
+      fault_plan_->plan_round(round_);
+
+  // Persistent outages behave exactly like unavailable nodes: the posted
+  // price never reaches them. Availability draws follow for the rest.
+  std::vector<double> effective_prices = prices;
+  for (std::size_t i = 0; i < effective_prices.size(); ++i) {
+    if (events[i].down) {
+      effective_prices[i] = 0.0;
+      ++res.offline;
+    } else if (config_.node_availability < 1.0 &&
+               !rng_.bernoulli(config_.node_availability)) {
+      effective_prices[i] = 0.0;
+      ++res.offline;
+    }
+  }
+  const sysmodel::RoundOutcome promised =
+      sysmodel::run_round(devices_, effective_prices, config_.local_epochs);
+
+  if (promised.total_payment > budget_remaining_) {
+    res.done = true;
+    res.aborted = true;
+    done_ = true;
+    res.accuracy = last_accuracy_;
+    return res;
+  }
+  ++round_;
+
+  // Per-participant delivery outlook. A crash wins over lateness (the
+  // upload never exists to be late); corruption only matters if the upload
+  // arrives at all.
+  std::vector<int> participants;
+  std::vector<double> weights;
+  std::vector<fl::RoundDelivery> delivery;
+  std::vector<double> realized_times(promised.nodes.size(), 0.0);
+  for (std::size_t i = 0; i < promised.nodes.size(); ++i) {
+    const sysmodel::NodeDecision& nd = promised.nodes[i];
+    if (!nd.participates) continue;
+    const faults::FaultEvent& e = events[i];
+    realized_times[i] = sysmodel::realized_node_time(nd, e.slowdown,
+                                                     config_.round_deadline);
+    fl::RoundDelivery d;
+    d.crash = e.crash;
+    const double full_time = nd.compute_time * e.slowdown + nd.comm_time;
+    d.late = config_.round_deadline > 0.0 && full_time > config_.round_deadline;
+    d.corruption = e.corruption;
+    participants.push_back(static_cast<int>(i));
+    weights.push_back(devices_[i].data_bits);
+    delivery.push_back(d);
+  }
+
+  const double prev_accuracy = last_accuracy_;
+  const fl::TolerantRoundReport rep =
+      backend_->train_round_tolerant(participants, weights, delivery);
+  last_accuracy_ = rep.accuracy;
+
+  // Pay-on-delivery: only nodes whose upload was actually aggregated earn
+  // their promised p·ζ; everyone else trained for free.
+  std::vector<bool> paid(promised.nodes.size(), false);
+  for (std::size_t s = 0; s < participants.size(); ++s) {
+    if (rep.status[s] == fl::DeliveryStatus::kDelivered)
+      paid[static_cast<std::size_t>(participants[s])] = true;
+  }
+  res.outcome = sysmodel::realize_round(promised, realized_times, paid);
+  budget_remaining_ -= res.outcome.total_payment;
+
+  res.participants = res.outcome.participants;
+  res.delivered = rep.delivered;
+  res.crashed = rep.crashed;
+  res.late = rep.late;
+  res.rejected = rep.rejected;
+  res.round_time = res.outcome.round_time;
+  res.payment = res.outcome.total_payment;
+  res.idle_time = res.outcome.idle_time;
+  res.time_efficiency = res.outcome.time_efficiency;
+  res.accuracy = rep.accuracy;
+  res.accuracy_gain = rep.accuracy - prev_accuracy;
+
+  // Rewards on realized quantities: the agents feel crashes and stragglers
+  // as lost ΔA and stretched T_k, which is the point of the extension.
+  const double time_term = config_.lambda_on_time
+                               ? config_.lambda_pref * res.round_time
+                               : res.round_time;
+  res.raw_exterior_reward =
+      config_.lambda_pref * res.accuracy_gain - time_term;
+  if (res.participants == 0) {
+    res.reward_exterior = -config_.empty_round_penalty;
+    res.reward_inner = -config_.empty_round_penalty;
+  } else {
+    res.reward_exterior = res.raw_exterior_reward / config_.time_norm;
+    res.reward_inner =
+        -res.idle_time /
+        (static_cast<double>(config_.num_nodes) * config_.time_norm);
+  }
+
+  // History records the realized times — the exterior state should reflect
+  // the node speeds the mechanism actually observed.
   RoundProfile profile;
   profile.zeta.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
   profile.price = effective_prices;

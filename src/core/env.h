@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/accuracy_backend.h"
+#include "faults/fault_plan.h"
 #include "sysmodel/economics.h"
 
 namespace chiron::core {
@@ -47,6 +48,21 @@ struct EnvConfig {
   /// Per-round probability that a node is online at all. Offline nodes
   /// never see the posted price (robustness extension; 1.0 = paper model).
   double node_availability = 1.0;
+
+  /// Mid-round fault injection (crash / straggler / corrupt-upload, see
+  /// src/faults). All probabilities default to zero = the paper model.
+  /// When any is non-zero the round runs the fault-tolerant pipeline:
+  /// pay-on-delivery (crashed/late/rejected nodes earn nothing and don't
+  /// drain η), realized times, and StepResult delivery counts.
+  faults::FaultConfig faults;
+  /// Server round deadline in seconds; uploads arriving later are
+  /// discarded (their nodes unpaid). 0 = no deadline (paper model). A
+  /// deadline alone also engages the fault-tolerant pipeline — naturally
+  /// slow nodes can miss it even without injected stragglers.
+  double round_deadline = 0.0;
+  /// L2 norm bound of the server's upload validation (real backends);
+  /// <= 0 keeps only the all-finite check.
+  double upload_norm_bound = 1e8;
 
   BackendKind backend = BackendKind::kSurrogate;
   // Real-training knobs (vision & blobs backends).
@@ -82,8 +98,16 @@ struct StepResult {
   double idle_time = 0;
   double time_efficiency = 0;      // Eqn (16)
   int participants = 0;
-  int offline = 0;                 // nodes unavailable this round
-  sysmodel::RoundOutcome outcome;  // per-node detail
+  int offline = 0;                 // nodes unavailable this round (includes
+                                   // persistent fault outages)
+  // Fault-tolerant pipeline: realized delivery of this round. With no
+  // faults configured every participant delivers.
+  int delivered = 0;               // uploads aggregated (and paid)
+  int crashed = 0;                 // mid-round crashes: upload never arrived
+  int late = 0;                    // missed the round deadline
+  int rejected = 0;                // failed the server's upload validation
+  sysmodel::RoundOutcome outcome;  // per-node detail (realized under faults:
+                                   // deadline-cut times, delivery-only pay)
 };
 
 class EdgeLearnEnv {
@@ -128,10 +152,15 @@ class EdgeLearnEnv {
   std::vector<double> equal_time_proportions(double total_price) const;
 
  private:
+  /// The fault-injected variant of step(); step() dispatches here when a
+  /// fault config or a round deadline is active.
+  StepResult step_faulty(const std::vector<double>& prices);
+
   EnvConfig config_;
   Rng rng_;
   std::vector<sysmodel::DeviceProfile> devices_;
   std::unique_ptr<AccuracyBackend> backend_;
+  std::unique_ptr<faults::FaultPlan> fault_plan_;
   double price_cap_ = 0.0;
   double price_norm_ = 1.0;  // per-node price normalizer for states
 

@@ -93,6 +93,7 @@ void HierarchicalMechanism::load(const std::string& path) {
   restore(exterior_.critic().params());
   restore(inner_.policy().params());
   restore(inner_.critic().params());
+  r.expect_eof();  // trailing garbage means this is not our checkpoint
 }
 
 EpisodeStats HierarchicalMechanism::run_episode(bool learn, bool stochastic) {

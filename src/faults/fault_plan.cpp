@@ -1,0 +1,107 @@
+#include "faults/fault_plan.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace chiron::faults {
+
+namespace {
+
+/// splitmix64 finalizer — decorrelates the (seed, round, node) counter
+/// into a full 64-bit stream seed.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t stream_seed(std::uint64_t seed, int round, int node) {
+  std::uint64_t z = mix(seed ^ 0xC2B2AE3D27D4EB4Full);
+  z = mix(z ^ (static_cast<std::uint64_t>(round) * 0xFF51AFD7ED558CCDull));
+  z = mix(z ^ (static_cast<std::uint64_t>(node) * 0xC4CEB9FE1A85EC53ull));
+  return z;
+}
+
+void check_prob(double p, const char* name) {
+  CHIRON_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                   name << " must be a probability, got " << p);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultConfig& config, int num_nodes)
+    : config_(config), down_(static_cast<std::size_t>(num_nodes), false) {
+  CHIRON_CHECK(num_nodes >= 1);
+  check_prob(config_.crash_prob, "crash_prob");
+  check_prob(config_.straggler_prob, "straggler_prob");
+  check_prob(config_.corrupt_prob, "corrupt_prob");
+  check_prob(config_.persistent_prob, "persistent_prob");
+  CHIRON_CHECK_MSG(config_.straggler_min >= 1.0 &&
+                       config_.straggler_max >= config_.straggler_min,
+                   "straggler factor range [" << config_.straggler_min << ", "
+                                              << config_.straggler_max
+                                              << "] invalid");
+}
+
+void FaultPlan::reset() { down_.assign(down_.size(), false); }
+
+std::vector<FaultEvent> FaultPlan::plan_round(int round) {
+  CHIRON_CHECK(round >= 0);
+  std::vector<FaultEvent> events(down_.size());
+  for (std::size_t i = 0; i < down_.size(); ++i) {
+    FaultEvent& e = events[i];
+    if (down_[i]) {
+      e.down = true;
+      continue;
+    }
+    // Each (round, node) cell gets its own stream: the draw is identical
+    // whether or not other nodes / rounds consumed theirs.
+    Rng rng(stream_seed(config_.seed, round, static_cast<int>(i)));
+    if (rng.bernoulli(config_.crash_prob)) {
+      e.crash = true;
+      if (rng.bernoulli(config_.persistent_prob)) down_[i] = true;
+    } else if (rng.bernoulli(config_.straggler_prob)) {
+      e.slowdown = rng.uniform(config_.straggler_min, config_.straggler_max);
+    } else if (rng.bernoulli(config_.corrupt_prob)) {
+      e.corruption =
+          rng.bernoulli(0.5) ? Corruption::kNaN : Corruption::kNormBlowup;
+    }
+  }
+  return events;
+}
+
+int FaultPlan::down_count() const {
+  int n = 0;
+  for (bool d : down_)
+    if (d) ++n;
+  return n;
+}
+
+void corrupt_upload(std::vector<float>& upload, Corruption mode) {
+  if (mode == Corruption::kNone || upload.empty()) return;
+  // Every 7th entry starting at 0 — enough damage that no validation can
+  // miss it, deterministic so replays are exact.
+  constexpr std::size_t kStride = 7;
+  if (mode == Corruption::kNaN) {
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    for (std::size_t i = 0; i < upload.size(); i += kStride) upload[i] = nan;
+  } else {
+    for (std::size_t i = 0; i < upload.size(); i += kStride)
+      upload[i] += 1e12f;
+  }
+}
+
+bool upload_is_valid(const std::vector<float>& upload, double norm_bound) {
+  double sq = 0.0;
+  for (float v : upload) {
+    if (!std::isfinite(v)) return false;
+    sq += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return norm_bound <= 0.0 || std::sqrt(sq) <= norm_bound;
+}
+
+}  // namespace chiron::faults

@@ -32,6 +32,7 @@ void Federation::init(const FederationConfig& config,
   server_ = std::make_unique<ParameterServer>(
       factory(server_rng), std::move(test), config.eval_batch_size,
       config.aggregator, config.server_momentum, factory);
+  server_->set_validation(config.validation);
   nodes_.reserve(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     nodes_.push_back(std::make_unique<EdgeNode>(
@@ -41,7 +42,25 @@ void Federation::init(const FederationConfig& config,
 }
 
 double Federation::run_round(const std::vector<int>& participants) {
-  if (participants.empty()) return accuracy();
+  // The plain round is the tolerant round with nothing injected: every
+  // upload arrives on time, uncorrupted, and passes validation, so this
+  // is bit-identical to the pre-fault-tolerance schedule.
+  return run_round_tolerant(participants,
+                            std::vector<RoundDelivery>(participants.size()))
+      .accuracy;
+}
+
+TolerantRoundReport Federation::run_round_tolerant(
+    const std::vector<int>& participants,
+    const std::vector<RoundDelivery>& delivery) {
+  CHIRON_CHECK_MSG(participants.size() == delivery.size(),
+                   "participants " << participants.size() << " vs delivery "
+                                   << delivery.size());
+  TolerantRoundReport rep;
+  if (participants.empty()) {
+    rep.accuracy = accuracy();
+    return rep;
+  }
   for (int id : participants)
     CHIRON_CHECK_MSG(id >= 0 && id < num_nodes(), "node id " << id);
   // A node trains on its own model replica, so the same id twice in one
@@ -55,13 +74,21 @@ double Federation::run_round(const std::vector<int>& participants) {
   const std::int64_t count = static_cast<std::int64_t>(participants.size());
   std::vector<std::vector<float>> uploads(participants.size());
   std::vector<double> weights(participants.size());
+  std::vector<std::exception_ptr> errors(participants.size());
   auto train_range = [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
-      EdgeNode& n = node(participants[static_cast<std::size_t>(i)]);
-      uploads[static_cast<std::size_t>(i)] =
-          n.local_train(server_->global_params());
-      weights[static_cast<std::size_t>(i)] =
-          static_cast<double>(n.data_size());
+      const std::size_t s = static_cast<std::size_t>(i);
+      EdgeNode& n = node(participants[s]);
+      // Containment: a throwing local_train is this node's crash, not the
+      // round's — its upload is dropped and the other lanes proceed.
+      errors[s] = runtime::run_contained(
+          [&] { uploads[s] = n.local_train(server_->global_params()); });
+      weights[s] = static_cast<double>(n.data_size());
+      if (errors[s] != nullptr || delivery[s].crash) {
+        uploads[s].clear();  // compute happened; the upload never arrives
+      } else {
+        faults::corrupt_upload(uploads[s], delivery[s].corruption);
+      }
     }
   };
   if (unique) {
@@ -69,12 +96,41 @@ double Federation::run_round(const std::vector<int>& participants) {
   } else {
     train_range(0, count);
   }
-  // Aggregation consumes uploads in participant order regardless of which
-  // thread produced them — bit-identical to the serial round.
-  server_->aggregate(uploads, weights);
+  // Deliveries resolve in participant order regardless of which thread
+  // produced them — bit-identical to the serial schedule.
+  rep.status.resize(participants.size());
+  std::vector<std::vector<float>> accepted;
+  std::vector<double> accepted_weights;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    if (errors[i] != nullptr || delivery[i].crash) {
+      rep.status[i] = DeliveryStatus::kCrashed;
+      ++rep.crashed;
+    } else if (delivery[i].late) {
+      rep.status[i] = DeliveryStatus::kLate;
+      ++rep.late;
+    } else if (!server_->validate_upload(uploads[i])) {
+      rep.status[i] = DeliveryStatus::kRejected;
+      ++rep.rejected;
+    } else {
+      rep.status[i] = DeliveryStatus::kDelivered;
+      ++rep.delivered;
+      accepted.push_back(std::move(uploads[i]));
+      accepted_weights.push_back(weights[i]);
+    }
+  }
+  if (rep.delivered == 0) {
+    // Graceful degradation: nothing survived, so the global model and the
+    // accuracy cache stay exactly as they were.
+    rep.accuracy = accuracy();
+    return rep;
+  }
+  // Partial FedAvg: weighted_average renormalizes the surviving D_i.
+  server_->aggregate(accepted, accepted_weights);
+  rep.aggregated = true;
   last_accuracy_ = server_->evaluate();
   eval_version_ = server_->version();
-  return last_accuracy_;
+  rep.accuracy = last_accuracy_;
+  return rep;
 }
 
 double Federation::accuracy() {

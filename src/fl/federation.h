@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "data/dataset.h"
+#include "faults/fault_plan.h"
 #include "fl/node.h"
 #include "fl/server.h"
 
@@ -20,6 +21,32 @@ struct FederationConfig {
   std::int64_t eval_batch_size = 100;
   Aggregator aggregator = Aggregator::kFedAvg;
   double server_momentum = 0.9;
+  UploadValidation validation;  // acceptance policy for the tolerant path
+};
+
+/// Per-participant delivery instruction for a fault-injected round,
+/// aligned with the participants vector of run_round_tolerant. The time
+/// model lives with the caller (sysmodel/env): `late` is decided there
+/// from the straggler slowdown and the round deadline.
+struct RoundDelivery {
+  bool crash = false;  ///< compute happens, the upload never arrives
+  bool late = false;   ///< arrived after the deadline: server discards it
+  faults::Corruption corruption = faults::Corruption::kNone;
+};
+
+/// What actually happened to each participant of a tolerant round.
+enum class DeliveryStatus { kDelivered, kCrashed, kLate, kRejected };
+
+struct TolerantRoundReport {
+  double accuracy = 0.0;
+  /// False when zero uploads survived: the global model, its version and
+  /// the accuracy cache are untouched (graceful degradation).
+  bool aggregated = false;
+  std::vector<DeliveryStatus> status;  ///< aligned with participants
+  int delivered = 0;
+  int crashed = 0;   ///< includes contained local_train exceptions
+  int late = 0;
+  int rejected = 0;  ///< failed the server's upload validation
 };
 
 class Federation {
@@ -50,6 +77,18 @@ class Federation {
   /// fall back to the serial schedule (a node cannot train against itself
   /// concurrently).
   double run_round(const std::vector<int>& participants);
+
+  /// Fault-tolerant variant of run_round: participants train as usual
+  /// (crashed and late nodes still compute — the failure hits delivery),
+  /// corruption is applied to the affected uploads, and the server keeps
+  /// only on-time, valid uploads, FedAvg-reweighting D_i over that
+  /// surviving subset. A node whose local_train throws is contained and
+  /// counted as crashed instead of aborting the round. With zero
+  /// survivors the global model and cached accuracy are unchanged. With
+  /// all-default deliveries the result is bit-identical to run_round.
+  TolerantRoundReport run_round_tolerant(
+      const std::vector<int>& participants,
+      const std::vector<RoundDelivery>& delivery);
 
   /// Accuracy of the current global model. Cached, keyed on the server's
   /// parameter version: mutating the global model (another round, or

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "faults/fault_plan.h"
 #include "nn/loss.h"
 #include "nn/serialize.h"
 #include "runtime/parallel.h"
@@ -52,6 +53,26 @@ void ParameterServer::aggregate(
     momentum_[i] = beta * momentum_[i] + (global_[i] - target[i]);
     global_[i] -= momentum_[i];
   }
+}
+
+bool ParameterServer::validate_upload(const std::vector<float>& upload) const {
+  return static_cast<std::int64_t>(upload.size()) == parameter_count() &&
+         faults::upload_is_valid(upload, validation_.norm_bound);
+}
+
+int ParameterServer::aggregate_surviving(
+    const std::vector<std::vector<float>>& uploads,
+    const std::vector<double>& data_sizes) {
+  CHIRON_CHECK(uploads.size() == data_sizes.size());
+  std::vector<std::vector<float>> accepted;
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    if (!validate_upload(uploads[i])) continue;
+    accepted.push_back(uploads[i]);
+    weights.push_back(data_sizes[i]);
+  }
+  if (!accepted.empty()) aggregate(accepted, weights);
+  return static_cast<int>(accepted.size());
 }
 
 std::int64_t ParameterServer::evaluate_batches(nn::Sequential& net,

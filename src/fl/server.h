@@ -13,6 +13,14 @@
 
 namespace chiron::fl {
 
+/// Server-side acceptance policy for node uploads (the defense against
+/// corrupted models): every value must be finite and, when norm_bound is
+/// positive, the L2 norm must stay within the bound. Applied by the
+/// fault-tolerant round path; the legacy aggregate() trusts its callers.
+struct UploadValidation {
+  double norm_bound = 1e8;  ///< L2 bound; <= 0 disables the norm check
+};
+
 /// Server-side aggregation rule. kFedAvg is Eqn (4); kFedAvgMomentum adds
 /// a server momentum buffer over the aggregate update (FedAvgM — the
 /// momentum-accelerated federated learning the paper cites as [16]).
@@ -39,6 +47,21 @@ class ParameterServer {
   void aggregate(const std::vector<std::vector<float>>& uploads,
                  const std::vector<double>& data_sizes);
 
+  /// True when `upload` passes the acceptance policy: correct parameter
+  /// count, all values finite, L2 norm within validation().norm_bound.
+  bool validate_upload(const std::vector<float>& upload) const;
+
+  /// FedAvg over the accepted uploads only: each upload is validated and
+  /// rejected ones are dropped, with the D_i weights renormalized over the
+  /// survivors. Returns the number of uploads aggregated. Zero survivors
+  /// is graceful degradation: the global model (and version()) stay
+  /// untouched instead of aggregating garbage.
+  int aggregate_surviving(const std::vector<std::vector<float>>& uploads,
+                          const std::vector<double>& data_sizes);
+
+  const UploadValidation& validation() const { return validation_; }
+  void set_validation(UploadValidation v) { validation_ = v; }
+
   /// Global model accuracy on the held-out test set. Sharded across the
   /// runtime pool when a replica factory is available; per-batch correct
   /// counts are integers, so the result is identical for any thread count.
@@ -62,6 +85,7 @@ class ParameterServer {
   std::int64_t eval_batch_;
   Aggregator aggregator_;
   double server_momentum_;
+  UploadValidation validation_;
   ModelFactory replica_factory_;  // may be null: serial evaluation only
   std::vector<std::unique_ptr<nn::Sequential>> replicas_;  // lazily grown
   std::vector<float> global_;

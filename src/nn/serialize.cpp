@@ -1,5 +1,6 @@
 #include "nn/serialize.h"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 
@@ -111,6 +112,11 @@ std::vector<float> CheckpointReader::read_block(std::size_t expected_size) {
   return values;
 }
 
+void CheckpointReader::expect_eof() {
+  CHIRON_CHECK_MSG(impl_->is.peek() == std::ifstream::traits_type::eof(),
+                   "trailing bytes after the last checkpoint block");
+}
+
 std::vector<float> weighted_average(
     const std::vector<std::vector<float>>& models,
     const std::vector<double>& weights) {
@@ -119,6 +125,7 @@ std::vector<float> weighted_average(
   double total = 0.0;
   for (double w : weights) {
     CHIRON_CHECK_MSG(w >= 0.0, "negative aggregation weight");
+    CHIRON_CHECK_MSG(std::isfinite(w), "non-finite aggregation weight");
     total += w;
   }
   CHIRON_CHECK_MSG(total > 0.0, "aggregation weights sum to zero");
@@ -126,6 +133,10 @@ std::vector<float> weighted_average(
   std::vector<double> acc(n, 0.0);
   for (std::size_t m = 0; m < models.size(); ++m) {
     CHIRON_CHECK_MSG(models[m].size() == n, "model size mismatch in FedAvg");
+    for (std::size_t i = 0; i < n; ++i)
+      CHIRON_CHECK_MSG(std::isfinite(models[m][i]),
+                       "non-finite value in model " << m << " at index " << i
+                           << " — reject corrupt uploads before FedAvg");
     const double w = weights[m] / total;
     for (std::size_t i = 0; i < n; ++i) acc[i] += w * models[m][i];
   }

@@ -52,14 +52,21 @@ class CheckpointReader {
   /// Reads the next block; `expected_size` must match the stored length.
   std::vector<float> read_block(std::size_t expected_size);
 
+  /// Asserts that every block has been consumed: throws InvariantError if
+  /// any bytes remain (trailing garbage, or a reader that under-read).
+  /// Call after the last expected read_block.
+  void expect_eof();
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
 
 /// Weighted average Σ w_i·flat_i with Σ w_i normalized to 1.
-/// All vectors must be the same length; weights must be non-negative with a
-/// positive sum.
+/// All vectors must be the same length; weights must be non-negative and
+/// finite with a positive sum, and every model value must be finite —
+/// NaN/Inf in any input throws InvariantError instead of silently
+/// poisoning the global model.
 std::vector<float> weighted_average(
     const std::vector<std::vector<float>>& models,
     const std::vector<double>& weights);

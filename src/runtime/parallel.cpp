@@ -20,6 +20,15 @@ bool in_parallel_section() {
 CallerLane::CallerLane() { ++t_caller_lane_depth; }
 CallerLane::~CallerLane() { --t_caller_lane_depth; }
 
+std::exception_ptr run_contained(const std::function<void()>& fn) noexcept {
+  try {
+    fn();
+    return nullptr;
+  } catch (...) {
+    return std::current_exception();
+  }
+}
+
 void parallel_for(std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t, std::int64_t)>& body,
                   std::int64_t grain) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <vector>
 
@@ -38,6 +39,13 @@ class CallerLane {
   CallerLane(const CallerLane&) = delete;
   CallerLane& operator=(const CallerLane&) = delete;
 };
+
+/// Runs fn, capturing any exception instead of letting it propagate — the
+/// containment primitive for fault-tolerant fan-outs where one task's
+/// failure must not abort the whole section (Federation::run_round_tolerant
+/// drops the throwing node's upload and the round proceeds). Returns the
+/// captured exception, or nullptr on success.
+std::exception_ptr run_contained(const std::function<void()>& fn) noexcept;
 
 /// Calls body(lo, hi) over disjoint sub-ranges covering [begin, end).
 /// `grain` is the minimum chunk size; ranges smaller than 2*grain (or a

@@ -96,4 +96,52 @@ RoundOutcome run_round(const std::vector<DeviceProfile>& devices,
   return out;
 }
 
+double realized_node_time(const NodeDecision& node, double slowdown,
+                          double deadline) {
+  CHIRON_CHECK(slowdown >= 1.0);
+  if (!node.participates) return 0.0;
+  const double t = node.compute_time * slowdown + node.comm_time;
+  return deadline > 0.0 ? std::min(t, deadline) : t;
+}
+
+RoundOutcome realize_round(const RoundOutcome& promised,
+                           const std::vector<double>& realized_times,
+                           const std::vector<bool>& paid) {
+  CHIRON_CHECK(promised.nodes.size() == realized_times.size());
+  CHIRON_CHECK(promised.nodes.size() == paid.size());
+  RoundOutcome out;
+  out.nodes = promised.nodes;
+  out.participants = promised.participants;
+  out.total_energy = promised.total_energy;  // compute happened either way
+  for (std::size_t i = 0; i < out.nodes.size(); ++i) {
+    NodeDecision& d = out.nodes[i];
+    if (!d.participates) {
+      CHIRON_CHECK(!paid[i]);
+      continue;
+    }
+    d.total_time = realized_times[i];
+    out.round_time = std::max(out.round_time, d.total_time);
+    if (paid[i]) {
+      out.total_payment += d.payment;
+    } else {
+      d.payment = 0.0;  // pay-on-delivery: no upload, no payment
+    }
+  }
+  // Eqns (15)-(16) over the realized times; as in run_round, all N nodes
+  // count and a non-participant idles for the whole round.
+  if (out.participants > 0 && out.round_time > 0.0) {
+    double time_sum = 0.0;
+    for (const auto& d : out.nodes) {
+      const double t = d.participates ? d.total_time : 0.0;
+      out.idle_time += out.round_time - t;
+      time_sum += t;
+    }
+    out.time_efficiency =
+        time_sum / (static_cast<double>(out.nodes.size()) * out.round_time);
+  } else {
+    out.time_efficiency = 0.0;
+  }
+  return out;
+}
+
 }  // namespace chiron::sysmodel

@@ -61,4 +61,22 @@ struct RoundOutcome {
 RoundOutcome run_round(const std::vector<DeviceProfile>& devices,
                        const std::vector<double>& prices, int local_epochs);
 
+/// Realized wall-clock of one node under fault injection: compute time
+/// scaled by the straggler slowdown, plus communication, capped at the
+/// server's round deadline (0 = no deadline). Zero for non-participants.
+double realized_node_time(const NodeDecision& node, double slowdown,
+                          double deadline);
+
+/// Pay-on-delivery view of a faulted round. `realized_times[i]` is node
+/// i's realized wall-clock (realized_node_time; 0 for non-participants)
+/// and `paid[i]` marks the nodes whose upload was delivered and accepted.
+/// Returns a RoundOutcome whose round time, idle time and Eqn-(16)
+/// efficiency are recomputed over the realized times, and whose payments
+/// keep only the delivering nodes — crashed, late and rejected nodes earn
+/// nothing and do not drain the budget. With every participant paid at
+/// its promised time this is exactly the promised outcome.
+RoundOutcome realize_round(const RoundOutcome& promised,
+                           const std::vector<double>& realized_times,
+                           const std::vector<bool>& paid);
+
 }  // namespace chiron::sysmodel

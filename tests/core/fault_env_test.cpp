@@ -1,0 +1,280 @@
+// Fault-injected environment rounds: pay-on-delivery economics, realized
+// round times, graceful degradation and training under faults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "core/env.h"
+#include "core/mechanism.h"
+
+namespace chiron::core {
+namespace {
+
+EnvConfig base_config() {
+  EnvConfig c;
+  c.num_nodes = 6;
+  c.budget = 100.0;
+  c.backend = BackendKind::kSurrogate;
+  c.seed = 55;
+  return c;
+}
+
+std::vector<double> saturation_prices(const EdgeLearnEnv& env,
+                                      double scale = 1.0) {
+  std::vector<double> p;
+  for (int i = 0; i < env.num_nodes(); ++i)
+    p.push_back(scale * env.per_node_price_cap(i));
+  return p;
+}
+
+TEST(FaultEnv, InertFaultPathMatchesPlainPath) {
+  // A huge deadline engages the fault-tolerant pipeline without any fault
+  // ever firing; every step must stay bit-identical to the plain path.
+  EnvConfig plain_cfg = base_config();
+  EnvConfig inert_cfg = base_config();
+  inert_cfg.round_deadline = 1e12;
+  EdgeLearnEnv plain(plain_cfg);
+  EdgeLearnEnv inert(inert_cfg);
+  plain.reset();
+  inert.reset();
+  while (!plain.done() && !inert.done()) {
+    StepResult a = plain.step(saturation_prices(plain, 0.6));
+    StepResult b = inert.step(saturation_prices(inert, 0.6));
+    EXPECT_EQ(a.accuracy, b.accuracy);
+    EXPECT_EQ(a.payment, b.payment);
+    EXPECT_EQ(a.round_time, b.round_time);
+    EXPECT_EQ(a.idle_time, b.idle_time);
+    EXPECT_EQ(a.time_efficiency, b.time_efficiency);
+    EXPECT_EQ(a.reward_exterior, b.reward_exterior);
+    EXPECT_EQ(a.reward_inner, b.reward_inner);
+    EXPECT_EQ(a.participants, b.participants);
+    EXPECT_EQ(b.delivered, b.participants);
+    EXPECT_EQ(a.done, b.done);
+  }
+  EXPECT_EQ(plain.budget_remaining(), inert.budget_remaining());
+  EXPECT_EQ(plain.exterior_state(), inert.exterior_state());
+}
+
+TEST(FaultEnv, AllNodesCrashingEarnNothingAndLearnNothing) {
+  EnvConfig c = base_config();
+  c.faults.crash_prob = 1.0;
+  c.faults.seed = 7;
+  EdgeLearnEnv env(c);
+  env.reset();
+  const double a0 = env.accuracy();
+  const double budget0 = env.budget_remaining();
+  StepResult r = env.step(saturation_prices(env, 0.6));
+  EXPECT_EQ(r.participants, 6);
+  EXPECT_EQ(r.crashed, 6);
+  EXPECT_EQ(r.delivered, 0);
+  // Pay-on-delivery: the whole round trained for free...
+  EXPECT_EQ(r.payment, 0.0);
+  EXPECT_EQ(env.budget_remaining(), budget0);
+  for (const auto& n : r.outcome.nodes) EXPECT_EQ(n.payment, 0.0);
+  // ...and the global model never moved (graceful degradation).
+  EXPECT_EQ(r.accuracy, a0);
+  EXPECT_EQ(r.accuracy_gain, 0.0);
+  EXPECT_EQ(env.accuracy(), a0);
+  // Time still passed, so the exterior reward is negative.
+  EXPECT_LT(r.raw_exterior_reward, 0.0);
+}
+
+TEST(FaultEnv, DeliveryCountsPartitionParticipants) {
+  EnvConfig c = base_config();
+  c.faults.crash_prob = 0.3;
+  c.faults.straggler_prob = 0.3;
+  c.faults.corrupt_prob = 0.3;
+  c.faults.seed = 11;
+  c.round_deadline = 40.0;
+  c.budget = 1e9;
+  c.max_rounds = 60;
+  EdgeLearnEnv env(c);
+  env.reset();
+  int delivered = 0, faulted = 0;
+  for (int k = 0; k < 50; ++k) {
+    StepResult r = env.step(saturation_prices(env, 0.6));
+    EXPECT_EQ(r.delivered + r.crashed + r.late + r.rejected, r.participants);
+    delivered += r.delivered;
+    faulted += r.crashed + r.late + r.rejected;
+  }
+  EXPECT_GT(delivered, 0) << "some uploads must get through";
+  EXPECT_GT(faulted, 0) << "some faults must fire at these rates";
+}
+
+TEST(FaultEnv, PaymentOnlyForDeliveredUploads) {
+  EnvConfig c = base_config();
+  c.faults.crash_prob = 0.5;
+  c.faults.seed = 13;
+  c.budget = 1e9;
+  c.max_rounds = 30;
+  EdgeLearnEnv env(c);
+  env.reset();
+  for (int k = 0; k < 20; ++k) {
+    const double before = env.budget_remaining();
+    StepResult r = env.step(saturation_prices(env, 0.6));
+    // The budget moves by exactly the realized payment, which is the sum
+    // over the nodes that still hold a non-zero payment.
+    double per_node = 0.0;
+    int paid_nodes = 0;
+    for (const auto& n : r.outcome.nodes) {
+      per_node += n.payment;
+      if (n.payment > 0.0) ++paid_nodes;
+    }
+    EXPECT_NEAR(r.payment, per_node, 1e-9);
+    EXPECT_EQ(paid_nodes, r.delivered);
+    EXPECT_NEAR(env.budget_remaining(), before - r.payment, 1e-9);
+  }
+}
+
+TEST(FaultEnv, BudgetNeverOverdrawnUnderFaultSweep) {
+  // Property sweep: whatever the fault rates and seeds, an episode never
+  // spends more than the budget and never drives the remainder negative.
+  for (double rate : {0.0, 0.1, 0.2, 0.4}) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      EnvConfig c = base_config();
+      c.budget = 40.0;
+      c.seed = seed;
+      c.faults.crash_prob = rate;
+      c.faults.straggler_prob = rate;
+      c.faults.corrupt_prob = rate / 2;
+      c.faults.persistent_prob = 0.2;
+      c.faults.seed = seed + 100;
+      c.round_deadline = 80.0;
+      EdgeLearnEnv env(c);
+      env.reset();
+      double spent = 0.0;
+      while (!env.done()) {
+        StepResult r = env.step(saturation_prices(env, 0.5));
+        if (r.aborted) break;
+        spent += r.payment;
+        EXPECT_GE(env.budget_remaining(), -1e-9)
+            << "rate " << rate << " seed " << seed;
+      }
+      EXPECT_LE(spent, c.budget + 1e-9) << "rate " << rate << " seed " << seed;
+    }
+  }
+}
+
+TEST(FaultEnv, StragglersStretchTheRealizedRoundTime) {
+  EnvConfig c = base_config();
+  c.budget = 1e9;
+  c.max_rounds = 30;
+  EdgeLearnEnv nominal(c);
+  nominal.reset();
+  c.faults.straggler_prob = 1.0;
+  c.faults.straggler_min = 3.0;
+  c.faults.straggler_max = 3.0;
+  c.faults.seed = 17;
+  EdgeLearnEnv slowed(c);
+  slowed.reset();
+  StepResult rn = nominal.step(saturation_prices(nominal, 0.6));
+  StepResult rs = slowed.step(saturation_prices(slowed, 0.6));
+  EXPECT_GT(rs.round_time, rn.round_time * 1.5)
+      << "a 3x compute slowdown on every node must show up in T_k";
+  // Stragglers deliver (no deadline here), so they are still paid.
+  EXPECT_EQ(rs.delivered, rs.participants);
+  EXPECT_EQ(rs.payment, rn.payment);
+}
+
+TEST(FaultEnv, DeadlineCapsRoundTimeAndVoidsLatePay) {
+  EnvConfig c = base_config();
+  c.budget = 1e9;
+  c.max_rounds = 30;
+  c.faults.straggler_prob = 1.0;
+  c.faults.straggler_min = 50.0;  // far past any sane deadline
+  c.faults.straggler_max = 50.0;
+  c.faults.seed = 19;
+  c.round_deadline = 30.0;
+  EdgeLearnEnv env(c);
+  env.reset();
+  StepResult r = env.step(saturation_prices(env, 0.6));
+  EXPECT_GT(r.participants, 0);
+  EXPECT_EQ(r.late, r.participants);
+  EXPECT_EQ(r.delivered, 0);
+  EXPECT_EQ(r.payment, 0.0);
+  EXPECT_LE(r.round_time, 30.0 + 1e-9)
+      << "the server stops waiting at the deadline";
+}
+
+TEST(FaultEnv, PersistentCrashesShrinkTheMarket) {
+  EnvConfig c = base_config();
+  c.budget = 1e9;
+  c.max_rounds = 200;
+  c.faults.crash_prob = 0.4;
+  c.faults.persistent_prob = 1.0;
+  c.faults.seed = 23;
+  EdgeLearnEnv env(c);
+  env.reset();
+  int last_offline = 0;
+  for (int k = 0; k < 40 && !env.done(); ++k) {
+    StepResult r = env.step(saturation_prices(env, 0.6));
+    EXPECT_GE(r.offline, last_offline) << "persistent outages never heal";
+    last_offline = r.offline;
+    EXPECT_EQ(r.participants + r.offline, 6);
+  }
+  EXPECT_EQ(last_offline, 6) << "at 0.4/round every node is down long since";
+}
+
+TEST(FaultEnv, CorruptUploadsRejectedOnRealBackend) {
+  // End to end through real federated training: corrupted uploads must be
+  // rejected by the actual parameter-server validation, unpaid, and the
+  // model must keep learning from the clean survivors.
+  EnvConfig c = base_config();
+  c.backend = BackendKind::kRealBlobs;
+  c.samples_per_node = 30;
+  c.test_samples = 60;
+  c.local.epochs = 2;
+  c.local.batch_size = 10;
+  c.local.lr = 0.05;
+  c.budget = 1e9;
+  c.max_rounds = 12;
+  c.faults.corrupt_prob = 0.4;
+  c.faults.seed = 29;
+  EdgeLearnEnv env(c);
+  env.reset();
+  const double a0 = env.accuracy();
+  int rejected = 0;
+  for (int k = 0; k < 10; ++k) {
+    StepResult r = env.step(saturation_prices(env, 0.6));
+    rejected += r.rejected;
+    EXPECT_TRUE(std::isfinite(r.accuracy));
+  }
+  EXPECT_GT(rejected, 0) << "corruption must actually fire at 0.4/node";
+  EXPECT_GT(env.accuracy(), a0)
+      << "the clean survivors must still make progress";
+}
+
+TEST(FaultEnv, ChironTrainsThroughHeavyFaults) {
+  // The acceptance bar of the issue: training completes every episode at
+  // crash_prob 0.2 plus stragglers, never aborts and never overpays.
+  EnvConfig c = base_config();
+  c.budget = 60.0;
+  c.faults.crash_prob = 0.2;
+  c.faults.straggler_prob = 0.2;
+  c.faults.seed = 31;
+  c.round_deadline = 120.0;
+  EdgeLearnEnv env(c);
+  ChironConfig cc;
+  cc.episodes = 10;
+  HierarchicalMechanism mech(env, cc);
+  auto eps = mech.train();
+  ASSERT_EQ(eps.size(), 10u);
+  for (const auto& e : eps) EXPECT_LE(e.spent, 60.0 + 1e-6);
+  auto s = mech.evaluate();
+  EXPECT_LE(s.spent, 60.0 + 1e-6);
+  EXPECT_GE(s.final_accuracy, 0.0);
+}
+
+TEST(FaultEnv, InvalidFaultConfigRejectedAtConstruction) {
+  EnvConfig c = base_config();
+  c.faults.crash_prob = -0.1;
+  EXPECT_THROW(EdgeLearnEnv{c}, chiron::InvariantError);
+  c = base_config();
+  c.round_deadline = -1.0;
+  EXPECT_THROW(EdgeLearnEnv{c}, chiron::InvariantError);
+}
+
+}  // namespace
+}  // namespace chiron::core

@@ -1,0 +1,212 @@
+// Fault-tolerant round execution: the server's defenses (deadline cut,
+// upload validation, partial aggregation, graceful degradation) and the
+// determinism of the surviving aggregate across thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "data/synthetic.h"
+#include "fl/federation.h"
+#include "nn/models.h"
+#include "nn/serialize.h"
+#include "runtime/parallel.h"
+#include "runtime/runtime.h"
+
+namespace chiron::fl {
+namespace {
+
+ModelFactory blob_factory(int dims, int classes) {
+  return [dims, classes](Rng& r) {
+    return nn::make_mlp_classifier(dims, 16, classes, r);
+  };
+}
+
+Federation make_blob_federation(int nodes, Rng& rng, int samples = 200) {
+  auto train = data::make_gaussian_blobs(samples, 8, 4, 0.6, rng);
+  auto test = data::make_gaussian_blobs(120, 8, 4, 0.6, rng);
+  FederationConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.local.epochs = 3;
+  cfg.local.batch_size = 16;
+  cfg.local.lr = 0.05;
+  return Federation(cfg, blob_factory(8, 4), train, std::move(test), rng);
+}
+
+TEST(FaultTolerance, DefaultDeliveriesMatchPlainRound) {
+  // run_round is run_round_tolerant with all-default deliveries; two
+  // federations from the same seed must stay bit-identical through both.
+  Rng rng_a(21), rng_b(21);
+  Federation plain = make_blob_federation(4, rng_a);
+  Federation tolerant = make_blob_federation(4, rng_b);
+  for (int round = 0; round < 3; ++round) {
+    const double acc_plain = plain.run_round({0, 1, 2, 3});
+    const TolerantRoundReport rep = tolerant.run_round_tolerant(
+        {0, 1, 2, 3}, std::vector<RoundDelivery>(4));
+    EXPECT_EQ(acc_plain, rep.accuracy);
+    EXPECT_TRUE(rep.aggregated);
+    EXPECT_EQ(rep.delivered, 4);
+    for (DeliveryStatus s : rep.status)
+      EXPECT_EQ(s, DeliveryStatus::kDelivered);
+  }
+  EXPECT_EQ(plain.server().global_params(),
+            tolerant.server().global_params());
+}
+
+TEST(FaultTolerance, CrashedLateAndCorruptUploadsAreDropped) {
+  Rng rng(22);
+  Federation fed = make_blob_federation(4, rng);
+  std::vector<RoundDelivery> delivery(4);
+  delivery[0].crash = true;
+  delivery[1].late = true;
+  delivery[2].corruption = faults::Corruption::kNaN;
+  const TolerantRoundReport rep =
+      fed.run_round_tolerant({0, 1, 2, 3}, delivery);
+  EXPECT_EQ(rep.status[0], DeliveryStatus::kCrashed);
+  EXPECT_EQ(rep.status[1], DeliveryStatus::kLate);
+  EXPECT_EQ(rep.status[2], DeliveryStatus::kRejected);
+  EXPECT_EQ(rep.status[3], DeliveryStatus::kDelivered);
+  EXPECT_EQ(rep.crashed, 1);
+  EXPECT_EQ(rep.late, 1);
+  EXPECT_EQ(rep.rejected, 1);
+  EXPECT_EQ(rep.delivered, 1);
+  EXPECT_TRUE(rep.aggregated);
+}
+
+TEST(FaultTolerance, NormBlowupCorruptionRejectedByNormBound) {
+  Rng rng(23);
+  Federation fed = make_blob_federation(2, rng);
+  std::vector<RoundDelivery> delivery(2);
+  delivery[0].corruption = faults::Corruption::kNormBlowup;
+  const TolerantRoundReport rep = fed.run_round_tolerant({0, 1}, delivery);
+  EXPECT_EQ(rep.status[0], DeliveryStatus::kRejected);
+  EXPECT_EQ(rep.status[1], DeliveryStatus::kDelivered);
+  // The poisoned upload must not have leaked into the global model.
+  for (float v : fed.server().global_params()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LT(std::fabs(v), 1e6f);
+  }
+}
+
+TEST(FaultTolerance, SurvivorsMatchEquivalentPlainRound) {
+  // Dropping node 0's upload must give exactly the round that only nodes
+  // {1, 2} ran: partial FedAvg reweights D_i over the survivors.
+  Rng rng_a(24), rng_b(24);
+  Federation faulty = make_blob_federation(3, rng_a);
+  Federation control = make_blob_federation(3, rng_b);
+  std::vector<RoundDelivery> delivery(3);
+  delivery[0].crash = true;
+  const TolerantRoundReport rep =
+      faulty.run_round_tolerant({0, 1, 2}, delivery);
+  const double acc_control = control.run_round({1, 2});
+  EXPECT_EQ(rep.accuracy, acc_control);
+  EXPECT_EQ(faulty.server().global_params(),
+            control.server().global_params());
+}
+
+TEST(FaultTolerance, ZeroSurvivorsLeaveModelAndCacheUntouched) {
+  Rng rng(25);
+  Federation fed = make_blob_federation(3, rng);
+  // Train a little so the model is away from init and the cache is warm.
+  fed.run_round({0, 1, 2});
+  const double before = fed.accuracy();
+  const std::vector<float> params = fed.server().global_params();
+  std::vector<RoundDelivery> delivery(3);
+  delivery[0].crash = true;
+  delivery[1].late = true;
+  delivery[2].corruption = faults::Corruption::kNaN;
+  const TolerantRoundReport rep =
+      fed.run_round_tolerant({0, 1, 2}, delivery);
+  EXPECT_FALSE(rep.aggregated);
+  EXPECT_EQ(rep.delivered, 0);
+  EXPECT_EQ(rep.accuracy, before);
+  EXPECT_EQ(fed.server().global_params(), params);
+  // The accuracy cache must still agree with a fresh evaluation.
+  EXPECT_EQ(fed.accuracy(), fed.server().evaluate());
+}
+
+TEST(FaultTolerance, SurvivingAggregateBitIdenticalAcrossThreadCounts) {
+  // The determinism contract extends to faulted rounds: the same fault
+  // schedule must yield the same surviving aggregate at any thread count.
+  auto run = [](int threads_count) {
+    runtime::set_threads(threads_count);
+    Rng rng(26);
+    Federation fed = make_blob_federation(4, rng);
+    std::vector<RoundDelivery> delivery(4);
+    delivery[1].crash = true;
+    delivery[3].corruption = faults::Corruption::kNormBlowup;
+    std::vector<double> accs;
+    for (int round = 0; round < 3; ++round)
+      accs.push_back(fed.run_round_tolerant({0, 1, 2, 3}, delivery).accuracy);
+    return std::make_pair(accs, fed.server().global_params());
+  };
+  const auto serial = run(1);
+  const auto parallel8 = run(8);
+  runtime::set_threads(0);  // restore auto for other tests
+  EXPECT_EQ(serial.first, parallel8.first);
+  ASSERT_EQ(serial.second.size(), parallel8.second.size());
+  for (std::size_t i = 0; i < serial.second.size(); ++i)
+    ASSERT_EQ(serial.second[i], parallel8.second[i]) << "param " << i;
+}
+
+TEST(FaultTolerance, ServerAggregateSurvivingFiltersBadUploads) {
+  // The standalone-server defense: validate-and-drop inside aggregation,
+  // for callers driving ParameterServer without a Federation.
+  Rng rng(30);
+  auto test = data::make_gaussian_blobs(50, 8, 4, 0.6, rng);
+  auto model = nn::make_mlp_classifier(8, 16, 4, rng);
+  const std::size_t n = nn::get_flat_params(*model).size();
+  ParameterServer server(std::move(model), std::move(test));
+  const std::uint64_t v0 = server.version();
+
+  std::vector<float> clean_a(n, 1.f), clean_b(n, 3.f), poisoned(n, 1.f);
+  faults::corrupt_upload(poisoned, faults::Corruption::kNaN);
+  // Poisoned upload dropped; weights renormalize over the two survivors.
+  EXPECT_EQ(server.aggregate_surviving({clean_a, poisoned, clean_b},
+                                       {100.0, 500.0, 300.0}),
+            2);
+  EXPECT_NEAR(server.global_params()[0], 2.5f, 1e-6f);
+  EXPECT_EQ(server.version(), v0 + 1);
+
+  // Zero survivors: graceful degradation, no mutation, no version bump.
+  EXPECT_EQ(server.aggregate_surviving({poisoned}, {100.0}), 0);
+  EXPECT_NEAR(server.global_params()[0], 2.5f, 1e-6f);
+  EXPECT_EQ(server.version(), v0 + 1);
+}
+
+TEST(FaultTolerance, DeliverySizeMismatchThrows) {
+  Rng rng(27);
+  Federation fed = make_blob_federation(2, rng);
+  EXPECT_THROW(fed.run_round_tolerant({0, 1}, std::vector<RoundDelivery>(1)),
+               chiron::InvariantError);
+}
+
+TEST(RunContained, CapturesExceptionsAndPassesResults) {
+  // The containment primitive the tolerant round uses for throwing
+  // local_train calls: exceptions become exception_ptrs, never aborts.
+  std::exception_ptr ok = runtime::run_contained([] {});
+  EXPECT_EQ(ok, nullptr);
+  std::exception_ptr bad = runtime::run_contained(
+      [] { CHIRON_CHECK_MSG(false, "node died mid-round"); });
+  ASSERT_NE(bad, nullptr);
+  EXPECT_THROW(std::rethrow_exception(bad), chiron::InvariantError);
+}
+
+TEST(RunContained, LocalTrainSizeMismatchIsContainable) {
+  // local_train genuinely throws on malformed input; run_contained turns
+  // that into a crash status instead of tearing down the parallel round.
+  Rng rng(28);
+  auto shard = data::make_gaussian_blobs(40, 8, 4, 0.6, rng);
+  LocalTrainConfig lc;
+  EdgeNode node(0, shard, blob_factory(8, 4), lc, rng.split());
+  std::vector<float> out;
+  std::exception_ptr err = runtime::run_contained(
+      [&] { out = node.local_train(std::vector<float>(3, 0.f)); });
+  ASSERT_NE(err, nullptr);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace chiron::fl

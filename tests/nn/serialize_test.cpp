@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+
 #include "common/error.h"
 #include "nn/activations.h"
 #include "nn/linear.h"
@@ -86,6 +91,83 @@ TEST(WeightedAverage, FedAvgEquationForm) {
   // Eqn (4): ω = Σ (D_i / D) ω_i with D_1 = 100, D_2 = 300.
   auto avg = weighted_average({{8.f}, {0.f}}, {100.0, 300.0});
   EXPECT_FLOAT_EQ(avg[0], 2.f);
+}
+
+TEST(WeightedAverage, RejectsNonFiniteModelValues) {
+  // A NaN or Inf anywhere in an upload would poison every parameter of
+  // the global model; FedAvg must refuse it loudly.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(weighted_average({{1.f, nan}, {1.f, 2.f}}, {1.0, 1.0}),
+               chiron::InvariantError);
+  EXPECT_THROW(weighted_average({{1.f}, {inf}}, {1.0, 1.0}),
+               chiron::InvariantError);
+  EXPECT_THROW(weighted_average({{-inf}}, {1.0}), chiron::InvariantError);
+}
+
+TEST(WeightedAverage, RejectsNonFiniteWeights) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(weighted_average({{1.f}, {2.f}}, {1.0, nan}),
+               chiron::InvariantError);
+  EXPECT_THROW(weighted_average(
+                   {{1.f}}, {std::numeric_limits<double>::infinity()}),
+               chiron::InvariantError);
+}
+
+class CheckpointFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "serialize_checkpoint_test.bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CheckpointFile, RoundTripThenExpectEofPasses) {
+  {
+    CheckpointWriter w(path_);
+    w.write_block({1.f, 2.f, 3.f});
+    w.write_block({4.f});
+  }
+  CheckpointReader r(path_);
+  EXPECT_EQ(r.read_block(3), (std::vector<float>{1.f, 2.f, 3.f}));
+  EXPECT_EQ(r.read_block(1), (std::vector<float>{4.f}));
+  r.expect_eof();  // clean end of file: must not throw
+}
+
+TEST_F(CheckpointFile, TrailingGarbageFailsExpectEof) {
+  {
+    CheckpointWriter w(path_);
+    w.write_block({1.f, 2.f});
+  }
+  {
+    // Corrupt the file the way a bad writer (or a concatenated download)
+    // would: extra bytes after the last block.
+    std::ofstream f(path_, std::ios::binary | std::ios::app);
+    f.write("junk", 4);
+  }
+  CheckpointReader r(path_);
+  EXPECT_EQ(r.read_block(2), (std::vector<float>{1.f, 2.f}));
+  EXPECT_THROW(r.expect_eof(), chiron::InvariantError);
+}
+
+TEST_F(CheckpointFile, TruncatedBlockThrowsOnRead) {
+  {
+    CheckpointWriter w(path_);
+    w.write_block({1.f, 2.f, 3.f, 4.f});
+  }
+  {
+    // Chop the tail off the payload.
+    std::ifstream in(path_, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    bytes.resize(bytes.size() - 6);
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  CheckpointReader r(path_);
+  EXPECT_THROW(r.read_block(4), chiron::InvariantError);
 }
 
 }  // namespace

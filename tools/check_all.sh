@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# One-stop pre-merge check: plain build + full test suite, then the
+# ThreadSanitizer and AddressSanitizer passes over the concurrency-heavy
+# suites. Each stage uses its own build directory, so an up-to-date tree
+# only pays incremental rebuilds.
+#
+# Usage: tools/check_all.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== stage 1/3: build + ctest =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo "== stage 2/3: ThreadSanitizer =="
+tools/check_tsan.sh
+
+echo "== stage 3/3: AddressSanitizer =="
+tools/check_asan.sh
+
+echo "check_all: OK"

@@ -13,15 +13,15 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCHIRON_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_runtime test_fl test_tensor
+  --target test_runtime test_fl test_faults test_tensor
 
 # Force multi-threaded paths even on small CI boxes so TSan has races to
 # look for; the determinism tests set their own thread counts internally.
 export CHIRON_THREADS="${CHIRON_THREADS:-8}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
-for suite in test_runtime test_fl test_tensor; do
+for suite in test_runtime test_fl test_faults test_tensor; do
   echo "== $suite (TSan) =="
   "$BUILD_DIR/tests/$suite" || { echo "check_tsan: FAILED in $suite"; exit 1; }
 done
-echo "check_tsan: OK (runtime, fl and tensor suites are TSan-clean)"
+echo "check_tsan: OK (runtime, fl, faults and tensor suites are TSan-clean)"

@@ -16,6 +16,7 @@
 //
 //   chiron_cli sweep   [--task T] [--budgets 40,80,120] [--episodes E]
 //       Budget sweep for one task (the Fig. 4/5/6 row generator).
+#include <algorithm>
 #include <iostream>
 #include <sstream>
 
@@ -52,6 +53,16 @@ core::EnvConfig env_from_flags(const FlagParser& flags) {
   c.seed = static_cast<std::uint64_t>(flags.get_int("seed", 97));
   c.data_bits_per_node = 5e8 / c.num_nodes;
   c.node_availability = flags.get_double("availability", 1.0);
+  c.faults.crash_prob = flags.get_double("fault-crash", 0.0);
+  c.faults.straggler_prob = flags.get_double("fault-straggler", 0.0);
+  c.faults.straggler_max =
+      flags.get_double("fault-straggler-factor", c.faults.straggler_max);
+  c.faults.straggler_min =
+      std::min(c.faults.straggler_min, c.faults.straggler_max);
+  c.faults.corrupt_prob = flags.get_double("fault-corrupt", 0.0);
+  c.faults.persistent_prob = flags.get_double("fault-persistent", 0.0);
+  c.faults.seed = c.seed + 7919;  // own stream, decoupled from env draws
+  c.round_deadline = flags.get_double("deadline", 0.0);
   if (flags.has("real")) {
     c.backend = core::BackendKind::kRealVision;
     c.samples_per_node = 128;
@@ -240,6 +251,9 @@ void usage() {
       "  common flags: --nodes N --budget B --task mnist|fashion|cifar\n"
       "                --episodes E --seed S --availability P --real\n"
       "                --threads T (0 = all hardware threads)\n"
+      "  faults: --fault-crash P --fault-straggler P\n"
+      "          --fault-straggler-factor F (max slowdown, default 4)\n"
+      "          --fault-corrupt P --fault-persistent P --deadline SECONDS\n"
       "  train:  --save PATH --trace\n"
       "  sweep:  --budgets 40,80,120\n";
 }
