@@ -1,9 +1,21 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "nn/init.h"
+#include "runtime/parallel.h"
 
 namespace chiron::nn {
+
+namespace {
+// Same dispatch economics as the tensor kernels: skip fan-out when a
+// chunk would carry less than ~16k element-ops.
+std::int64_t repack_grain(std::int64_t work_per_row) {
+  return std::max<std::int64_t>(
+      1, 16384 / std::max<std::int64_t>(1, work_per_row));
+}
+}  // namespace
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t kernel, Rng& rng, std::int64_t stride,
@@ -25,18 +37,29 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
                    "Conv2d expects (B, " << in_c_ << ", H, W), got " << x);
   batch_ = x.dim(0);
   geom_ = tensor::ConvGeom{in_c_, x.dim(2), x.dim(3), kernel_, stride_, pad_};
-  cols_ = tensor::im2col(x, geom_);
+  tensor::im2col_into(x, geom_, cols_);
   // (B·OH·OW, patch) × (patch, out_c) = (B·OH·OW, out_c).
-  Tensor flat = tensor::matmul(cols_, weight_.value);
+  tensor::matmul_into(cols_, weight_.value, flat_);
   const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
   Tensor y({batch_, out_c_, oh, ow});
-  for (std::int64_t n = 0; n < batch_; ++n)
-    for (std::int64_t yix = 0; yix < oh; ++yix)
-      for (std::int64_t x_ = 0; x_ < ow; ++x_) {
-        const std::int64_t r = (n * oh + yix) * ow + x_;
-        for (std::int64_t c = 0; c < out_c_; ++c)
-          y.at4(n, c, yix, x_) = flat.at2(r, c) + bias_.value[c];
-      }
+  const float* pflat = flat_.data();
+  const float* pbias = bias_.value.data();
+  float* py = y.data();
+  // Rows-major (B·OH·OW, out_c) -> NCHW, bias folded into the repack.
+  // Each row r writes its own strided slots of y, disjoint across chunks.
+  runtime::parallel_for(
+      0, batch_ * oh * ow,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t r = lo; r < hi; ++r) {
+          const std::int64_t n = r / (oh * ow);
+          const std::int64_t pix = r % (oh * ow);
+          const float* src = pflat + r * out_c_;
+          float* dst = py + (n * out_c_) * oh * ow + pix;
+          for (std::int64_t c = 0; c < out_c_; ++c)
+            dst[c * oh * ow] = src[c] + pbias[c];
+        }
+      },
+      repack_grain(out_c_));
   return y;
 }
 
@@ -47,20 +70,28 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                grad_out.dim(1) == out_c_ && grad_out.dim(2) == oh &&
                grad_out.dim(3) == ow);
   // NCHW grad -> row-major (B·OH·OW, out_c) to match the forward matmul.
-  Tensor gmat({batch_ * oh * ow, out_c_});
-  for (std::int64_t n = 0; n < batch_; ++n)
-    for (std::int64_t yix = 0; yix < oh; ++yix)
-      for (std::int64_t x_ = 0; x_ < ow; ++x_) {
-        const std::int64_t r = (n * oh + yix) * ow + x_;
-        for (std::int64_t c = 0; c < out_c_; ++c)
-          gmat.at2(r, c) = grad_out.at4(n, c, yix, x_);
-      }
-  weight_.grad += tensor::matmul_at(cols_, gmat);
-  for (std::int64_t r = 0; r < gmat.dim(0); ++r)
+  gmat_.resize({batch_ * oh * ow, out_c_});
+  const float* pgo = grad_out.data();
+  float* pgm = gmat_.data();
+  runtime::parallel_for(
+      0, batch_ * oh * ow,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t r = lo; r < hi; ++r) {
+          const std::int64_t n = r / (oh * ow);
+          const std::int64_t pix = r % (oh * ow);
+          const float* src = pgo + (n * out_c_) * oh * ow + pix;
+          float* dst = pgm + r * out_c_;
+          for (std::int64_t c = 0; c < out_c_; ++c) dst[c] = src[c * oh * ow];
+        }
+      },
+      repack_grain(out_c_));
+  tensor::matmul_at_into(cols_, gmat_, wgrad_scratch_);
+  weight_.grad += wgrad_scratch_;
+  for (std::int64_t r = 0; r < gmat_.dim(0); ++r)
     for (std::int64_t c = 0; c < out_c_; ++c)
-      bias_.grad[c] += gmat.at2(r, c);
-  Tensor grad_cols = tensor::matmul_bt(gmat, weight_.value);
-  return tensor::col2im(grad_cols, batch_, geom_);
+      bias_.grad[c] += gmat_.at2(r, c);
+  tensor::matmul_bt_into(gmat_, weight_.value, grad_cols_);
+  return tensor::col2im(grad_cols_, batch_, geom_);
 }
 
 }  // namespace chiron::nn

@@ -29,9 +29,16 @@ class Conv2d final : public Layer {
   std::int64_t pad_;
   Param weight_;  // (in_c·k·k, out_c) — matmul-ready layout
   Param bias_;    // (out_c)
-  // Forward caches.
+  // Forward caches and per-layer scratch, reused across calls so the
+  // steady-state training loop stops allocating (see ops.h `_into`
+  // variants). Each federation node trains its own model replica, so
+  // per-layer scratch is never shared across pool threads.
   tensor::ConvGeom geom_;
   Tensor cols_;          // im2col of the last input
+  Tensor flat_;          // forward matmul output (B·OH·OW, out_c)
+  Tensor gmat_;          // backward grad repacked to rows
+  Tensor wgrad_scratch_; // matmul_at result before += into weight grad
+  Tensor grad_cols_;     // backward matmul_bt output
   std::int64_t batch_ = 0;
 };
 

@@ -30,7 +30,8 @@ Tensor Linear::backward(const Tensor& grad_out) {
   CHIRON_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_);
   CHIRON_CHECK_MSG(input_.size() > 0, "backward before forward");
   // dW += x^T · g ; db += column sums ; dx = g · W^T.
-  weight_.grad += tensor::matmul_at(input_, grad_out);
+  tensor::matmul_at_into(input_, grad_out, wgrad_scratch_);
+  weight_.grad += wgrad_scratch_;
   const std::int64_t batch = grad_out.dim(0);
   for (std::int64_t b = 0; b < batch; ++b)
     for (std::int64_t j = 0; j < out_; ++j)

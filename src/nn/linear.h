@@ -26,6 +26,7 @@ class Linear final : public Layer {
   Param weight_;  // (in, out)
   Param bias_;    // (out)
   Tensor input_;  // cached forward input
+  Tensor wgrad_scratch_;  // matmul_at result before += into weight grad
 };
 
 }  // namespace chiron::nn

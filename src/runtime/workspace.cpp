@@ -1,0 +1,60 @@
+#include "runtime/workspace.h"
+
+#include <algorithm>
+
+namespace chiron::runtime {
+
+Workspace::Buffer& Workspace::Buffer::operator=(Buffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    arena_ = other.arena_;
+    storage_ = std::move(other.storage_);
+    other.arena_ = nullptr;
+  }
+  return *this;
+}
+
+void Workspace::Buffer::release() {
+  if (arena_ != nullptr && !storage_.empty()) {
+    arena_->free_.push_back(std::move(storage_));
+  }
+  arena_ = nullptr;
+  storage_.clear();
+}
+
+std::size_t Workspace::size_class(std::size_t n) {
+  // Round up to the next power of two, with a floor that keeps tiny
+  // requests from fragmenting the freelist into many micro-classes.
+  std::size_t c = 1024;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+Workspace::Buffer Workspace::acquire(std::size_t n) {
+  const std::size_t want = size_class(n);
+  // Exact-class match: reuse returns the same storage (and capacity) that
+  // a previous same-sized acquire released.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->size() == want) {
+      std::vector<float> storage = std::move(*it);
+      free_.erase(it);
+      return Buffer(this, std::move(storage));
+    }
+  }
+  return Buffer(this, std::vector<float>(want));
+}
+
+Workspace& Workspace::tls() {
+  thread_local Workspace arena;
+  return arena;
+}
+
+std::size_t Workspace::pooled_buffers() const { return free_.size(); }
+
+std::size_t Workspace::pooled_floats() const {
+  std::size_t total = 0;
+  for (const auto& b : free_) total += b.size();
+  return total;
+}
+
+}  // namespace chiron::runtime

@@ -1,0 +1,84 @@
+// Per-thread workspace arena for kernel scratch memory.
+//
+// The packed GEMM, im2col and the conv repack paths need short-lived float
+// buffers on every layer call. Allocating them from the global heap each
+// time dominates small-matrix cost and fragments under the thread pool, so
+// each thread owns an arena of size-classed buffers that are handed out as
+// RAII handles and returned for reuse. Capacities are rounded up to powers
+// of two, so steady-state training reaches a fixed working set after the
+// first round and never touches the allocator again.
+//
+// Thread safety: `Workspace::tls()` returns a distinct arena per thread
+// (pool workers and caller lanes alike), so acquisition needs no locks and
+// two concurrent tasks can never alias each other's scratch. A Buffer must
+// be released on the thread that acquired it — kernels scope handles inside
+// the parallel_for body, which guarantees this.
+//
+// Determinism: the arena only recycles storage; it never changes what a
+// kernel computes. Buffers are handed back uncleared — every kernel fully
+// writes (or explicitly zeroes) its scratch before reading it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace chiron::runtime {
+
+class Workspace {
+ public:
+  /// RAII handle to a float buffer of at least the requested capacity.
+  /// Returns the storage to the owning arena on destruction.
+  class Buffer {
+   public:
+    Buffer() = default;
+    Buffer(Buffer&& other) noexcept
+        : arena_(other.arena_), storage_(std::move(other.storage_)) {
+      other.arena_ = nullptr;
+    }
+    Buffer& operator=(Buffer&& other) noexcept;
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+    ~Buffer() { release(); }
+
+    float* data() { return storage_.data(); }
+    const float* data() const { return storage_.data(); }
+    /// Usable capacity in floats (>= the requested size).
+    std::size_t capacity() const { return storage_.size(); }
+
+   private:
+    friend class Workspace;
+    Buffer(Workspace* arena, std::vector<float> storage)
+        : arena_(arena), storage_(std::move(storage)) {}
+    void release();
+
+    Workspace* arena_ = nullptr;
+    std::vector<float> storage_;
+  };
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Hands out a buffer of capacity >= n floats (n == 0 is allowed and
+  /// yields the smallest size class). Contents are unspecified.
+  Buffer acquire(std::size_t n);
+
+  /// The calling thread's arena. Each thread (main, caller lane, pool
+  /// worker) gets its own instance, created on first use.
+  static Workspace& tls();
+
+  /// Number of idle buffers currently pooled (for tests/telemetry).
+  std::size_t pooled_buffers() const;
+  /// Total floats held by idle pooled buffers (for tests/telemetry).
+  std::size_t pooled_floats() const;
+
+ private:
+  static std::size_t size_class(std::size_t n);
+
+  // Idle buffers, each already sized to its (power-of-two) class.
+  std::vector<std::vector<float>> free_;
+};
+
+}  // namespace chiron::runtime

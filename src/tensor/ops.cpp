@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "runtime/parallel.h"
+#include "tensor/gemm.h"
 
 namespace chiron::tensor {
 
@@ -24,84 +25,60 @@ std::int64_t row_grain(std::int64_t work_per_row) {
 }
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+// All three matmul variants route through the packed blocked GEMM
+// (tensor/gemm.h): the strided views absorb the transposes, the packing
+// makes the inner loops unit-stride regardless, and the fixed K-panel
+// order keeps results bit-identical across thread counts.
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
   CHIRON_CHECK(a.rank() == 2 && b.rank() == 2);
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   CHIRON_CHECK_MSG(b.dim(0) == k, "matmul inner dims " << k << " vs " << b.dim(0));
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j loop order: streams B rows, accumulates into C rows.
-  runtime::parallel_for(
-      0, m,
-      [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float aik = pa[i * k + kk];
-            if (aik == 0.f) continue;
-            const float* brow = pb + kk * n;
-            float* crow = pc + i * n;
-            for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-          }
-        }
-      },
-      row_grain(k * n));
+  out.resize({m, n});
+  out.fill(0.f);
+  detail::gemm_acc({a.data(), m, k, k, 1}, {b.data(), k, n, n, 1}, out.data(),
+                   n);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_into(a, b, c);
   return c;
 }
 
-Tensor matmul_bt(const Tensor& a, const Tensor& b_t) {
+void matmul_bt_into(const Tensor& a, const Tensor& b_t, Tensor& out) {
   CHIRON_CHECK(a.rank() == 2 && b_t.rank() == 2);
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b_t.dim(0);
   CHIRON_CHECK_MSG(b_t.dim(1) == k,
                    "matmul_bt inner dims " << k << " vs " << b_t.dim(1));
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b_t.data();
-  float* pc = c.data();
-  runtime::parallel_for(
-      0, m,
-      [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
-          const float* arow = pa + i * k;
-          for (std::int64_t j = 0; j < n; ++j) {
-            const float* brow = pb + j * k;
-            float acc = 0.f;
-            for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-            pc[i * n + j] = acc;
-          }
-        }
-      },
-      row_grain(k * n));
+  out.resize({m, n});
+  out.fill(0.f);
+  // B^T as a k×n view over the (n×k) storage: element (kk, j) = b_t(j, kk).
+  detail::gemm_acc({a.data(), m, k, k, 1}, {b_t.data(), k, n, 1, k},
+                   out.data(), n);
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b_t) {
+  Tensor c;
+  matmul_bt_into(a, b_t, c);
   return c;
 }
 
-Tensor matmul_at(const Tensor& a, const Tensor& b) {
+void matmul_at_into(const Tensor& a, const Tensor& b, Tensor& out) {
   CHIRON_CHECK(a.rank() == 2 && b.rank() == 2);
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   CHIRON_CHECK_MSG(b.dim(0) == k,
                    "matmul_at inner dims " << k << " vs " << b.dim(0));
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Output-row blocks: each c[i][j] accumulates over kk in increasing
-  // order, exactly as the serial kk-outer formulation did, so the float
-  // reduction order (and thus the result bits) is unchanged.
-  runtime::parallel_for(
-      0, m,
-      [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
-          float* crow = pc + i * n;
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float aik = pa[kk * m + i];
-            if (aik == 0.f) continue;
-            const float* brow = pb + kk * n;
-            for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-          }
-        }
-      },
-      row_grain(k * n));
+  out.resize({m, n});
+  out.fill(0.f);
+  // A^T as an m×k view over the (k×m) storage: element (i, kk) = a(kk, i).
+  detail::gemm_acc({a.data(), m, k, 1, m}, {b.data(), k, n, n, 1}, out.data(),
+                   n);
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_at_into(a, b, c);
   return c;
 }
 
@@ -109,12 +86,21 @@ Tensor transpose(const Tensor& a) {
   CHIRON_CHECK(a.rank() == 2);
   const std::int64_t m = a.dim(0), n = a.dim(1);
   Tensor t({n, m});
-  for (std::int64_t i = 0; i < m; ++i)
-    for (std::int64_t j = 0; j < n; ++j) t.at2(j, i) = a.at2(i, j);
+  const float* pa = a.data();
+  float* pt = t.data();
+  // Parallel over source rows: row i writes the strided column i of t,
+  // disjoint across chunks.
+  runtime::parallel_for(
+      0, m,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+          for (std::int64_t j = 0; j < n; ++j) pt[j * m + i] = pa[i * n + j];
+      },
+      row_grain(n));
   return t;
 }
 
-Tensor im2col(const Tensor& input, const ConvGeom& g) {
+void im2col_into(const Tensor& input, const ConvGeom& g, Tensor& out) {
   CHIRON_CHECK(input.rank() == 4);
   CHIRON_CHECK(input.dim(1) == g.in_c && input.dim(2) == g.in_h &&
                input.dim(3) == g.in_w);
@@ -122,11 +108,11 @@ Tensor im2col(const Tensor& input, const ConvGeom& g) {
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   CHIRON_CHECK_MSG(oh > 0 && ow > 0, "conv output is empty");
   const std::int64_t patch = g.in_c * g.kernel * g.kernel;
-  Tensor cols({batch * oh * ow, patch});
-  float* pc = cols.data();
+  out.resize({batch * oh * ow, patch});
+  float* pc = out.data();
   const float* pin = input.data();
   // One task chunk owns a contiguous block of output patch rows; writes
-  // are disjoint per row.
+  // are disjoint per row and every element is written (padding as 0).
   runtime::parallel_for(
       0, batch * oh * ow,
       [&](std::int64_t lo, std::int64_t hi) {
@@ -151,6 +137,11 @@ Tensor im2col(const Tensor& input, const ConvGeom& g) {
         }
       },
       row_grain(patch));
+}
+
+Tensor im2col(const Tensor& input, const ConvGeom& g) {
+  Tensor cols;
+  im2col_into(input, g, cols);
   return cols;
 }
 
@@ -202,31 +193,39 @@ PoolResult maxpool_forward(const Tensor& input, std::int64_t window,
   res.argmax.resize(static_cast<std::size_t>(res.output.size()));
   const float* pin = input.data();
   float* pout = res.output.data();
-  std::int64_t out_idx = 0;
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t c = 0; c < ch; ++c) {
-      for (std::int64_t y = 0; y < oh; ++y) {
-        for (std::int64_t x = 0; x < ow; ++x) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_idx = -1;
-          for (std::int64_t ky = 0; ky < window; ++ky) {
-            for (std::int64_t kx = 0; kx < window; ++kx) {
-              const std::int64_t iy = y * stride + ky;
-              const std::int64_t ix = x * stride + kx;
-              const std::int64_t idx = ((n * ch + c) * h + iy) * w + ix;
-              if (pin[idx] > best) {
-                best = pin[idx];
-                best_idx = idx;
+  std::int64_t* parg = res.argmax.data();
+  // Parallel over output rows (one row = one (n, c, y) scanline of ow
+  // windows); each output element is written exactly once from indices
+  // derived from its own position, so chunking never changes values.
+  runtime::parallel_for(
+      0, batch * ch * oh,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t row = lo; row < hi; ++row) {
+          const std::int64_t y = row % oh;
+          const std::int64_t c = (row / oh) % ch;
+          const std::int64_t n = row / (oh * ch);
+          std::int64_t out_idx = row * ow;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            float best = -std::numeric_limits<float>::infinity();
+            std::int64_t best_idx = -1;
+            for (std::int64_t ky = 0; ky < window; ++ky) {
+              for (std::int64_t kx = 0; kx < window; ++kx) {
+                const std::int64_t iy = y * stride + ky;
+                const std::int64_t ix = x * stride + kx;
+                const std::int64_t idx = ((n * ch + c) * h + iy) * w + ix;
+                if (pin[idx] > best) {
+                  best = pin[idx];
+                  best_idx = idx;
+                }
               }
             }
+            pout[out_idx] = best;
+            parg[out_idx] = best_idx;
+            ++out_idx;
           }
-          pout[out_idx] = best;
-          res.argmax[static_cast<std::size_t>(out_idx)] = best_idx;
-          ++out_idx;
         }
-      }
-    }
-  }
+      },
+      row_grain(window * window * ow));
   return res;
 }
 
@@ -246,17 +245,27 @@ Tensor softmax_rows(const Tensor& logits) {
   CHIRON_CHECK(logits.rank() == 2);
   const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
   Tensor out({rows, cols});
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, logits.at2(r, c));
-    float denom = 0.f;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const float e = std::exp(logits.at2(r, c) - mx);
-      out.at2(r, c) = e;
-      denom += e;
-    }
-    for (std::int64_t c = 0; c < cols; ++c) out.at2(r, c) /= denom;
-  }
+  const float* pin = logits.data();
+  float* pout = out.data();
+  // Rows are independent; the per-row max/exp/normalize order is serial.
+  runtime::parallel_for(
+      0, rows,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t r = lo; r < hi; ++r) {
+          const float* in = pin + r * cols;
+          float* o = pout + r * cols;
+          float mx = -std::numeric_limits<float>::infinity();
+          for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, in[c]);
+          float denom = 0.f;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const float e = std::exp(in[c] - mx);
+            o[c] = e;
+            denom += e;
+          }
+          for (std::int64_t c = 0; c < cols; ++c) o[c] /= denom;
+        }
+      },
+      row_grain(cols * 4));
   return out;
 }
 

@@ -19,6 +19,14 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b_t);
 /// Used for weight-gradient accumulation.
 Tensor matmul_at(const Tensor& a, const Tensor& b);
 
+/// Allocation-free variants: resize `out` (reusing its storage when the
+/// capacity suffices) and overwrite it with the product. Layer hot paths
+/// call these with per-layer scratch tensors so steady-state training
+/// stops hitting the allocator. `out` must not alias an operand.
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_bt_into(const Tensor& a, const Tensor& b_t, Tensor& out);
+void matmul_at_into(const Tensor& a, const Tensor& b, Tensor& out);
+
 /// Transpose of a rank-2 tensor.
 Tensor transpose(const Tensor& a);
 
@@ -35,6 +43,9 @@ struct ConvGeom {
 /// Unfolds input (N, C, H, W) into columns (N * out_h * out_w, C*k*k) so a
 /// convolution becomes a matmul against reshaped weights.
 Tensor im2col(const Tensor& input, const ConvGeom& g);
+
+/// im2col into a reused destination tensor (see matmul_into).
+void im2col_into(const Tensor& input, const ConvGeom& g, Tensor& out);
 
 /// Folds gradient columns (N * out_h * out_w, C*k*k) back into an input
 /// gradient tensor (N, C, H, W). Adjoint of im2col.

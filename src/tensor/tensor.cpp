@@ -54,6 +54,12 @@ Tensor Tensor::normal(Shape shape, Rng& rng, float mean, float stddev) {
   return t;
 }
 
+void Tensor::resize(Shape new_shape) {
+  const std::int64_t n = shape_size(new_shape);
+  shape_ = std::move(new_shape);
+  data_.resize(static_cast<std::size_t>(n));
+}
+
 std::int64_t Tensor::dim(std::int64_t axis) const {
   CHIRON_CHECK_MSG(axis >= 0 && axis < rank(),
                    "axis " << axis << " out of range for rank " << rank());

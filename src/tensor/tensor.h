@@ -72,6 +72,12 @@ class Tensor {
   /// Sets every element to `value`.
   void fill(float value);
 
+  /// Reshapes in place, reusing the existing allocation whenever its
+  /// capacity covers the new element count (the workhorse behind the
+  /// `_into` kernel variants in ops.h). Element values are unspecified
+  /// afterwards — callers overwrite (or fill) before reading.
+  void resize(Shape new_shape);
+
   /// Element-wise in-place operations (shapes must match exactly).
   Tensor& operator+=(const Tensor& other);
   Tensor& operator-=(const Tensor& other);

@@ -1,0 +1,129 @@
+// The per-thread workspace arena (runtime/workspace.h): size-classed
+// reuse, RAII release, and thread isolation — two concurrent pool tasks
+// must never see each other's scratch.
+#include "runtime/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace chiron::runtime {
+namespace {
+
+TEST(Workspace, CapacityCoversRequestAndIsSizeClassed) {
+  Workspace ws;
+  auto a = ws.acquire(10);
+  EXPECT_GE(a.capacity(), 10u);
+  auto b = ws.acquire(1500);
+  EXPECT_GE(b.capacity(), 1500u);
+  // Power-of-two classes: capacity is exactly the rounded-up class.
+  EXPECT_EQ(a.capacity(), 1024u);
+  EXPECT_EQ(b.capacity(), 2048u);
+}
+
+TEST(Workspace, ReuseReturnsSameStorageAndCapacity) {
+  Workspace ws;
+  float* ptr = nullptr;
+  std::size_t cap = 0;
+  {
+    auto buf = ws.acquire(5000);
+    ptr = buf.data();
+    cap = buf.capacity();
+    buf.data()[0] = 42.f;
+  }  // released back to the arena
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+  auto again = ws.acquire(5000);
+  EXPECT_EQ(again.data(), ptr) << "same-class acquire must reuse storage";
+  EXPECT_EQ(again.capacity(), cap);
+  EXPECT_EQ(ws.pooled_buffers(), 0u);
+}
+
+TEST(Workspace, DistinctClassesDoNotInterfere) {
+  Workspace ws;
+  { auto small = ws.acquire(100); }
+  { auto large = ws.acquire(100000); }
+  ASSERT_EQ(ws.pooled_buffers(), 2u);
+  auto small = ws.acquire(100);
+  auto large = ws.acquire(100000);
+  EXPECT_EQ(small.capacity(), 1024u);
+  EXPECT_GE(large.capacity(), 100000u);
+  EXPECT_EQ(ws.pooled_buffers(), 0u);
+}
+
+TEST(Workspace, ConcurrentAcquiresAreLive) {
+  // Two handles held at once never alias even inside one arena.
+  Workspace ws;
+  auto a = ws.acquire(2000);
+  auto b = ws.acquire(2000);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(Workspace, BufferMoveTransfersOwnership) {
+  Workspace ws;
+  auto a = ws.acquire(10);
+  float* ptr = a.data();
+  Workspace::Buffer moved = std::move(a);
+  EXPECT_EQ(moved.data(), ptr);
+  Workspace::Buffer assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.data(), ptr);
+  // Destruction of the final owner returns the storage exactly once.
+  assigned = Workspace::Buffer();
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+}
+
+TEST(Workspace, PoolThreadsNeverAliasEachOther) {
+  // Four workers simultaneously hold and fill tls() buffers; every buffer
+  // must be a distinct allocation and keep its pattern intact while the
+  // others write. ASan (tools/check_asan.sh runs this suite) would flag
+  // any overlap or lifetime bug.
+  constexpr int kTasks = 4;
+  constexpr std::size_t kFloats = 4096;
+  ThreadPool pool(kTasks);
+  std::atomic<int> arrived{0};
+  std::mutex mu;
+  std::set<const float*> pointers;
+  std::set<const Workspace*> arenas;
+  std::vector<std::future<bool>> done;
+  for (int t = 0; t < kTasks; ++t) {
+    done.push_back(pool.submit([&, t]() -> bool {
+      auto buf = Workspace::tls().acquire(kFloats);
+      for (std::size_t i = 0; i < kFloats; ++i)
+        buf.data()[i] = static_cast<float>(t);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        pointers.insert(buf.data());
+        arenas.insert(&Workspace::tls());
+      }
+      arrived.fetch_add(1);
+      // Hold the buffer until every task has written its own, so all four
+      // are live at once.
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (arrived.load() < kTasks &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+      for (std::size_t i = 0; i < kFloats; ++i) {
+        if (buf.data()[i] != static_cast<float>(t)) return false;
+      }
+      return true;
+    }));
+  }
+  for (auto& f : done) EXPECT_TRUE(f.get()) << "scratch pattern corrupted";
+  EXPECT_EQ(pointers.size(), static_cast<std::size_t>(kTasks));
+  EXPECT_EQ(arenas.size(), static_cast<std::size_t>(kTasks))
+      << "tls() must hand each thread its own arena";
+}
+
+}  // namespace
+}  // namespace chiron::runtime

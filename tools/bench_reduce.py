@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Reduces a google-benchmark JSON dump into BENCH_substrate.json.
+
+Input: the raw --benchmark_format=json output of bench/micro_substrate
+(and any other google-benchmark binary appended to the same run), plus
+the frozen pre-PR baseline (tools/bench_baseline_pre_pr.json). Output: a
+small machine-readable summary at the repo root that records the current
+numbers next to the pre-PR ones and the speedup per benchmark, so every
+later PR can be judged against the trajectory.
+
+Usage: bench_reduce.py <raw_benchmark.json> <baseline.json> <out.json>
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    raw_path, baseline_path, out_path = sys.argv[1:4]
+
+    with open(raw_path) as f:
+        raw = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    current = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        current[b["name"]] = {
+            "real_time": b["real_time"],
+            "cpu_time": b["cpu_time"],
+            "time_unit": b["time_unit"],
+        }
+    if not current:
+        print("bench_reduce: no benchmarks in " + raw_path, file=sys.stderr)
+        return 1
+
+    speedup = {}
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name, cur in current.items():
+        base = base_benchmarks.get(name)
+        if base is None or base.get("time_unit") != cur["time_unit"]:
+            continue
+        if cur["real_time"] > 0:
+            speedup[name] = round(base["real_time"] / cur["real_time"], 3)
+
+    out = {
+        "schema": 1,
+        "context": {
+            "date": raw["context"]["date"],
+            "host_name": raw["context"]["host_name"],
+            "num_cpus": raw["context"]["num_cpus"],
+            "build_type": raw["context"].get("library_build_type", "unknown"),
+        },
+        "baseline_pre_pr": baseline,
+        "current": current,
+        "speedup_vs_pre_pr": speedup,
+    }
+    with open(out_path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+
+    width = max(len(n) for n in current)
+    for name in sorted(current):
+        line = f"{name:<{width}}  {current[name]['real_time']:14.1f} {current[name]['time_unit']}"
+        if name in speedup:
+            line += f"  ({speedup[name]:.2f}x vs pre-PR)"
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
-# One-stop pre-merge check: plain build + full test suite, then the
+# One-stop pre-merge check: plain build + full test suite, the
 # ThreadSanitizer and AddressSanitizer passes over the concurrency-heavy
-# suites. Each stage uses its own build directory, so an up-to-date tree
-# only pays incremental rebuilds.
+# suites, then the substrate benchmark run that regenerates
+# BENCH_substrate.json — so a perf regression (or a silently missing
+# benchmark binary) fails the check instead of dropping out of the
+# trajectory. Each stage uses its own build directory, so an up-to-date
+# tree only pays incremental rebuilds.
 #
 # Usage: tools/check_all.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== stage 1/3: build + ctest =="
+echo "== stage 1/4: build + ctest =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
-echo "== stage 2/3: ThreadSanitizer =="
+echo "== stage 2/4: ThreadSanitizer =="
 tools/check_tsan.sh
 
-echo "== stage 3/3: AddressSanitizer =="
+echo "== stage 3/4: AddressSanitizer =="
 tools/check_asan.sh
+
+echo "== stage 4/4: substrate benchmarks -> BENCH_substrate.json =="
+tools/bench_substrate.sh
 
 echo "check_all: OK"
