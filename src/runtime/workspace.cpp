@@ -1,6 +1,9 @@
 #include "runtime/workspace.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "common/error.h"
 
 namespace chiron::runtime {
 
@@ -34,14 +37,21 @@ Workspace::Buffer Workspace::acquire(std::size_t n) {
   const std::size_t want = size_class(n);
   // Exact-class match: reuse returns the same storage (and capacity) that
   // a previous same-sized acquire released.
+  Storage storage;
   for (auto it = free_.begin(); it != free_.end(); ++it) {
     if (it->size() == want) {
-      std::vector<float> storage = std::move(*it);
+      storage = std::move(*it);
       free_.erase(it);
-      return Buffer(this, std::move(storage));
+      break;
     }
   }
-  return Buffer(this, std::vector<float>(want));
+  if (storage.empty()) storage = Storage(want);
+  // The GEMM pack panels rely on this: a panel must start on a cache-line
+  // boundary so vector loads never straddle one at panel start.
+  CHIRON_CHECK_MSG(
+      reinterpret_cast<std::uintptr_t>(storage.data()) % kAlignment == 0,
+      "workspace buffer is not " << kAlignment << "-byte aligned");
+  return Buffer(this, std::move(storage));
 }
 
 Workspace& Workspace::tls() {

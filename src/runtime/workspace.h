@@ -17,17 +17,61 @@
 // Determinism: the arena only recycles storage; it never changes what a
 // kernel computes. Buffers are handed back uncleared — every kernel fully
 // writes (or explicitly zeroes) its scratch before reading it.
+//
+// Alignment: every buffer starts on a kAlignment (cache-line / widest
+// vector) boundary, so the GEMM pack panels can be loaded with aligned
+// SIMD moves on any in-tree ISA and never straddle a line at panel start.
+// `acquire` asserts the guarantee on every handout.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <vector>
 
 namespace chiron::runtime {
 
+/// Minimal C++17 aligned allocator: storage comes from the aligned
+/// operator new, so vector<float, AlignedAllocator<float>> data() is
+/// always kAlignment-aligned.
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
 class Workspace {
  public:
+  /// Alignment (bytes) of every buffer the arena hands out: one cache
+  /// line, which also covers the widest in-tree vector width (AVX-512).
+  static constexpr std::size_t kAlignment = 64;
+
+  /// Buffer storage type: a float vector whose data() is kAlignment-aligned.
+  using Storage = std::vector<float, AlignedAllocator<float, kAlignment>>;
+
   /// RAII handle to a float buffer of at least the requested capacity.
   /// Returns the storage to the owning arena on destruction.
   class Buffer {
@@ -49,12 +93,12 @@ class Workspace {
 
    private:
     friend class Workspace;
-    Buffer(Workspace* arena, std::vector<float> storage)
+    Buffer(Workspace* arena, Storage storage)
         : arena_(arena), storage_(std::move(storage)) {}
     void release();
 
     Workspace* arena_ = nullptr;
-    std::vector<float> storage_;
+    Storage storage_;
   };
 
   Workspace() = default;
@@ -78,7 +122,7 @@ class Workspace {
   static std::size_t size_class(std::size_t n);
 
   // Idle buffers, each already sized to its (power-of-two) class.
-  std::vector<std::vector<float>> free_;
+  std::vector<Storage> free_;
 };
 
 }  // namespace chiron::runtime

@@ -126,9 +126,9 @@ INSTANTIATE_TEST_SUITE_P(
         MarketCase{20, 150.0, data::VisionTask::kMnistLike, 1.0, 16},
         MarketCase{50, 120.0, data::VisionTask::kFashionLike, 0.9, 17},
         MarketCase{100, 300.0, data::VisionTask::kMnistLike, 1.0, 18}),
-    [](const ::testing::TestParamInfo<MarketCase>& info) {
+    [](const ::testing::TestParamInfo<MarketCase>& gc) {
       std::ostringstream os;
-      PrintTo(info.param, &os);
+      PrintTo(gc.param, &os);
       std::string s = os.str();
       for (auto& ch : s)
         if (ch == '.' || ch == '-') ch = '_';

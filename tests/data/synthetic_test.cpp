@@ -79,8 +79,8 @@ INSTANTIATE_TEST_SUITE_P(AllTasks, VisionTaskTest,
                          ::testing::Values(VisionTask::kMnistLike,
                                            VisionTask::kFashionLike,
                                            VisionTask::kCifarLike),
-                         [](const auto& info) {
-                           return task_name(info.param);
+                         [](const auto& gc) {
+                           return task_name(gc.param);
                          });
 
 TEST(SyntheticVision, TrainAndTestShareClassStructure) {

@@ -145,8 +145,8 @@ INSTANTIATE_TEST_SUITE_P(
                    return s;
                  },
                  {1, 1, 6, 6}}),
-    [](const ::testing::TestParamInfo<GradCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<GradCase>& gc) {
+      return gc.param.name;
     });
 
 // MaxPool needs a dedicated check: central differences at pool boundaries

@@ -90,8 +90,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DeviceCase{1e8, 2.0e9, 20.0, 0.02},
                       DeviceCase{5e6, 1.0e9, 12.0, 0.005},
                       DeviceCase{3e8, 1.8e9, 18.0, 0.015}),
-    [](const ::testing::TestParamInfo<DeviceCase>& info) {
-      return "case" + std::to_string(info.index);
+    [](const ::testing::TestParamInfo<DeviceCase>& gc) {
+      return "case" + std::to_string(gc.index);
     });
 
 TEST(RoundProperty, AggregatesAdditiveOverRandomMarkets) {

@@ -1,0 +1,14 @@
+// Lint fixture: every trigger token appears only inside comments or
+// string literals, which the scrubber blanks before matching. Expected:
+// 0 violations.
+//
+// Prose mentions of rand(), srand(), std::random_device, time(, clock(,
+// steady_clock, std::thread, std::async and #pragma omp must not fire.
+
+/* block comment: std::thread t; for (auto& kv : some_unordered_map) {} */
+
+const char* kBanner =
+    "rand( time( std::thread std::async steady_clock (float)";
+const char* kRaw = R"(srand(42); std::random_device rd;)";
+
+int clean() { return 0; }

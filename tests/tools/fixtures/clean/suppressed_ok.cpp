@@ -1,0 +1,11 @@
+// Lint fixture: a real ND1 trigger neutralized by a well-formed
+// suppression (rule ID + mandatory reason), both in the standalone form
+// covering the next line and the same-line form. Expected: 0 violations.
+#include <cstdlib>
+
+// chiron-lint: allow(ND1): fixture demonstrating the standalone suppression form
+int suppressed_standalone() { return rand(); }
+
+int suppressed_inline() {
+  return rand();  // chiron-lint: allow(ND1): fixture demonstrating the same-line form
+}

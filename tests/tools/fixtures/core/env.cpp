@@ -1,0 +1,10 @@
+// Lint fixture: exactly one FP1 violation (silent double->float narrowing
+// in an accounting TU — the path ends in core/env.cpp, so the narrowing
+// rule applies). Never compiled — scanned by tests/tools/lint_test.cpp.
+
+double settle_reward();
+
+float narrowed_reward() {
+  float r = settle_reward();
+  return r;
+}

@@ -1,0 +1,10 @@
+// Lint fixture: exactly one UM1 violation (ranged-for over an
+// unordered_map in a core/ result path). Never compiled — scanned by
+// tests/tools/lint_test.cpp.
+#include <unordered_map>
+
+double total_payment(const std::unordered_map<int, double>& payments) {
+  double sum = 0.0;
+  for (const auto& kv : payments) sum += kv.second;
+  return sum;
+}

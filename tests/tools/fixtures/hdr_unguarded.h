@@ -1,0 +1,4 @@
+// Lint fixture: exactly one HG1 violation (no #pragma once and no classic
+// include guard). Never compiled — scanned by tests/tools/lint_test.cpp.
+
+int unguarded_declaration();

@@ -1,0 +1,5 @@
+// Lint fixture: exactly one ND1 violation (libc rand() outside the RNG
+// whitelist). Never compiled — scanned by tests/tools/lint_test.cpp.
+#include <cstdlib>
+
+int noisy_seed() { return rand(); }

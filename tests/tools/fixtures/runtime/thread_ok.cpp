@@ -1,0 +1,9 @@
+// Lint fixture: raw std::thread inside a runtime/ directory — TH1 is
+// scoped to everything OUTSIDE src/runtime/, so this is clean. Never
+// compiled — scanned by tests/tools/lint_test.cpp.
+#include <thread>
+
+void pool_worker() {
+  std::thread lane([] {});
+  lane.join();
+}

@@ -1,0 +1,7 @@
+// Lint fixture: an allow() suppression without the mandatory reason text.
+// The malformed suppression is an SP1 violation AND is ignored, so the
+// rand() underneath still reports ND1. Never compiled — scanned by
+// tests/tools/lint_test.cpp.
+#include <cstdlib>
+
+int f() { return rand(); }  // chiron-lint: allow(ND1)

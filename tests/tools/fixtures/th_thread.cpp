@@ -1,0 +1,8 @@
+// Lint fixture: exactly one TH1 violation (raw std::thread outside
+// src/runtime/). Never compiled — scanned by tests/tools/lint_test.cpp.
+#include <thread>
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.join();
+}

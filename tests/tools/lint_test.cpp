@@ -1,0 +1,136 @@
+// chiron_lint coverage: every rule fires on its fixture with the exact
+// rule ID and line, well-formed suppressions neutralize, malformed ones
+// are themselves violations, the scoping whitelists hold, the binary's
+// exit-code contract (0 clean / 1 violations / 2 usage error) is honored,
+// and — the invariant the whole tool exists for — the real src/ tree is
+// lint-clean.
+//
+// CHIRON_LINT_FIXTURES, CHIRON_LINT_BIN and CHIRON_SRC_DIR are injected
+// by tests/CMakeLists.txt.
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace {
+
+using chiron::lint::Violation;
+
+std::filesystem::path fixture(const std::string& rel) {
+  return std::filesystem::path(CHIRON_LINT_FIXTURES) / rel;
+}
+
+std::vector<Violation> lint_fixture(const std::string& rel) {
+  return chiron::lint::lint_tree(fixture(rel));
+}
+
+// Runs the chiron_lint binary on `path` and returns its exit code.
+int lint_binary_exit(const std::string& path) {
+  const std::string cmd =
+      std::string(CHIRON_LINT_BIN) + " '" + path + "' >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(LintRules, Nd1FiresOnRand) {
+  const auto v = lint_fixture("nd_rand.cpp");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "ND1");
+  EXPECT_EQ(v[0].line, 5);
+  EXPECT_EQ(lint_binary_exit(fixture("nd_rand.cpp").string()), 1);
+}
+
+TEST(LintRules, Th1FiresOnRawThread) {
+  const auto v = lint_fixture("th_thread.cpp");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "TH1");
+  EXPECT_EQ(v[0].line, 6);
+  EXPECT_EQ(lint_binary_exit(fixture("th_thread.cpp").string()), 1);
+}
+
+TEST(LintRules, Um1FiresOnUnorderedIterationInResultPath) {
+  const auto v = lint_fixture("core/um_iter.cpp");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "UM1");
+  EXPECT_EQ(v[0].line, 8);
+  EXPECT_EQ(lint_binary_exit(fixture("core/um_iter.cpp").string()), 1);
+}
+
+TEST(LintRules, Hg1FiresOnUnguardedHeader) {
+  const auto v = lint_fixture("hdr_unguarded.h");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "HG1");
+  EXPECT_EQ(v[0].line, 1);
+  EXPECT_EQ(lint_binary_exit(fixture("hdr_unguarded.h").string()), 1);
+}
+
+TEST(LintRules, Fp1FiresOnSilentNarrowingInAccountingTu) {
+  const auto v = lint_fixture("core/env.cpp");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "FP1");
+  EXPECT_EQ(v[0].line, 8);
+  EXPECT_EQ(lint_binary_exit(fixture("core/env.cpp").string()), 1);
+}
+
+TEST(LintRules, Sp1FiresOnReasonlessSuppressionAndDoesNotSuppress) {
+  const auto v = lint_fixture("sp_missing_reason.cpp");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].rule, "SP1");
+  EXPECT_EQ(v[0].line, 7);
+  EXPECT_EQ(v[1].rule, "ND1") << "a reasonless allow() must not suppress";
+  EXPECT_EQ(v[1].line, 7);
+  EXPECT_EQ(lint_binary_exit(fixture("sp_missing_reason.cpp").string()), 1);
+}
+
+TEST(LintScoping, WellFormedSuppressionNeutralizes) {
+  EXPECT_TRUE(lint_fixture("clean/suppressed_ok.cpp").empty());
+  EXPECT_EQ(lint_binary_exit(fixture("clean/suppressed_ok.cpp").string()), 0);
+}
+
+TEST(LintScoping, RuntimeDirectoryMayUseRawThreads) {
+  EXPECT_TRUE(lint_fixture("runtime/thread_ok.cpp").empty());
+}
+
+TEST(LintScoping, CommentsAndStringsNeverMatch) {
+  EXPECT_TRUE(lint_fixture("clean/comments_and_strings.cpp").empty());
+}
+
+TEST(LintScoping, NarrowingRuleOnlyAppliesToAccountingTus) {
+  // The same narrowing body outside core/env.cpp|core/mechanism.cpp is
+  // out of FP1's scope.
+  const auto v = chiron::lint::lint_source(
+      "nn/linear.cpp", "double d();\nfloat f() { float r = d(); return r; }\n");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(LintBinary, WholeFixtureTreeReportsEveryRule) {
+  const auto v = chiron::lint::lint_tree(fixture(""));
+  std::vector<std::string> ids;
+  ids.reserve(v.size());
+  for (const auto& viol : v) ids.push_back(viol.rule);
+  for (const char* rule : {"ND1", "TH1", "UM1", "HG1", "FP1", "SP1"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), rule), ids.end())
+        << "fixture tree is missing a " << rule << " violation";
+  }
+  EXPECT_EQ(lint_binary_exit(fixture("").string()), 1);
+}
+
+TEST(LintBinary, MissingPathIsAUsageError) {
+  EXPECT_EQ(lint_binary_exit(fixture("no_such_dir").string()), 2);
+}
+
+TEST(LintTree, RealSourceTreeIsClean) {
+  const auto v = chiron::lint::lint_tree(CHIRON_SRC_DIR);
+  for (const auto& viol : v) ADD_FAILURE() << chiron::lint::to_string(viol);
+  EXPECT_EQ(lint_binary_exit(CHIRON_SRC_DIR), 0);
+}
+
+}  // namespace

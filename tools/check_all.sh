@@ -1,29 +1,54 @@
 #!/usr/bin/env bash
-# One-stop pre-merge check: plain build + full test suite, the
-# ThreadSanitizer and AddressSanitizer passes over the concurrency-heavy
-# suites, then the substrate benchmark run that regenerates
-# BENCH_substrate.json — so a perf regression (or a silently missing
-# benchmark binary) fails the check instead of dropping out of the
-# trajectory. Each stage uses its own build directory, so an up-to-date
-# tree only pays incremental rebuilds.
+# One-stop pre-merge check. Stages, cheapest first:
+#
+#   1. chiron-lint          — determinism & threading contract (DESIGN.md §5.8)
+#   2. header check         — every src/**/*.h compiles standalone
+#   3. build + ctest        — Release tree with CHIRON_WERROR=ON, full suite
+#   4. UBSan                — full suite under -fsanitize=undefined (no recover)
+#   5. TSan                 — concurrency-heavy suites under -fsanitize=thread
+#   6. ASan                 — same suites under -fsanitize=address
+#   7. clang-tidy           — curated profile (skips when not installed)
+#   8. benchmarks           — regenerates BENCH_substrate.json, so a perf
+#                             regression (or a silently missing benchmark
+#                             binary) fails the check instead of dropping
+#                             out of the trajectory
+#
+# Each stage prints a PASS/FAIL banner and the first failure stops the
+# run. Every stage uses its own build directory, so an up-to-date tree
+# only pays incremental rebuilds.
 #
 # Usage: tools/check_all.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== stage 1/4: build + ctest =="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j"$(nproc)"
-ctest --test-dir build --output-on-failure -j"$(nproc)"
+stage() {
+  local name="$1"
+  shift
+  echo
+  echo "==== stage $name ===="
+  if "$@"; then
+    echo "==== PASS: $name ===="
+  else
+    echo "==== FAIL: $name ===="
+    exit 1
+  fi
+}
 
-echo "== stage 2/4: ThreadSanitizer =="
-tools/check_tsan.sh
+build_and_ctest() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DCHIRON_WERROR=ON
+  cmake --build build -j"$(nproc)"
+  ctest --test-dir build --output-on-failure -j"$(nproc)"
+}
 
-echo "== stage 3/4: AddressSanitizer =="
-tools/check_asan.sh
+stage "1/8: chiron-lint (determinism & threading contract)" tools/check_lint.sh
+stage "2/8: header self-containment" tools/check_headers.sh
+stage "3/8: build -Werror + full ctest" build_and_ctest
+stage "4/8: UndefinedBehaviorSanitizer" tools/check_ubsan.sh
+stage "5/8: ThreadSanitizer" tools/check_tsan.sh
+stage "6/8: AddressSanitizer" tools/check_asan.sh
+stage "7/8: clang-tidy" tools/check_tidy.sh
+stage "8/8: substrate benchmarks -> BENCH_substrate.json" tools/bench_substrate.sh
 
-echo "== stage 4/4: substrate benchmarks -> BENCH_substrate.json =="
-tools/bench_substrate.sh
-
-echo "check_all: OK"
+echo
+echo "check_all: OK (all stages passed)"

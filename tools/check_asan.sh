@@ -8,19 +8,13 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+# shellcheck source=tools/sanitize_common.sh
+source tools/sanitize_common.sh
 BUILD_DIR="${1:-build-asan}"
-
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCHIRON_SANITIZE=address
-cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_runtime test_fl test_faults test_tensor
 
 export CHIRON_THREADS="${CHIRON_THREADS:-8}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 
-for suite in test_runtime test_fl test_faults test_tensor; do
-  echo "== $suite (ASan) =="
-  "$BUILD_DIR/tests/$suite" || { echo "check_asan: FAILED in $suite"; exit 1; }
-done
+chiron_sanitizer_check address "$BUILD_DIR" \
+  test_runtime test_fl test_faults test_tensor
 echo "check_asan: OK (runtime, fl, faults and tensor suites are ASan-clean)"

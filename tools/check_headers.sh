@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Header self-containment: compiles every src/**/*.h as its own
+# translation unit (`#include "<header>"` and nothing else), so a header
+# that silently leans on its includer's transitive includes fails here
+# instead of breaking the next refactor that reorders includes.
+#
+# Usage: tools/check_headers.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CXX="${CXX:-c++}"
+
+fail=0
+errlog="$(mktemp)"
+trap 'rm -f "$errlog"' EXIT
+while IFS= read -r hdr; do
+  rel="${hdr#src/}"
+  if ! echo "#include \"$rel\"" |
+    "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -I src -x c++ - \
+      2>"$errlog"; then
+    echo "check_headers: src/$rel is not self-contained:"
+    cat "$errlog"
+    fail=1
+  fi
+done < <(find src -name '*.h' | sort)
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_headers: FAILED"
+  exit 1
+fi
+echo "check_headers: OK (every src/**/*.h compiles standalone)"

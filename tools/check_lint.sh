@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds tools/chiron_lint and runs it over src/ — the machine-checked
+# determinism & threading contract (rule catalogue in DESIGN.md §5.8).
+# Exit is non-zero on any violation; suppress individual lines with
+#   // chiron-lint: allow(<RULE>): <reason>
+#
+# Usage: tools/check_lint.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target chiron_lint
+"$BUILD_DIR/tools/chiron_lint" src
+echo "check_lint: OK (src/ satisfies the determinism & threading contract)"

@@ -1,27 +1,22 @@
 #!/usr/bin/env bash
 # Builds the tree with ThreadSanitizer (CHIRON_SANITIZE=thread) and runs
-# the suites that exercise the parallel runtime: the runtime unit tests
-# and the federated-learning tests (parallel rounds + sharded evaluation).
+# the suites that exercise the parallel runtime: the runtime unit tests,
+# the federated-learning tests (parallel rounds + sharded evaluation),
+# fault injection and the tensor kernels.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+# shellcheck source=tools/sanitize_common.sh
+source tools/sanitize_common.sh
 BUILD_DIR="${1:-build-tsan}"
-
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCHIRON_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_runtime test_fl test_faults test_tensor
 
 # Force multi-threaded paths even on small CI boxes so TSan has races to
 # look for; the determinism tests set their own thread counts internally.
 export CHIRON_THREADS="${CHIRON_THREADS:-8}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
-for suite in test_runtime test_fl test_faults test_tensor; do
-  echo "== $suite (TSan) =="
-  "$BUILD_DIR/tests/$suite" || { echo "check_tsan: FAILED in $suite"; exit 1; }
-done
+chiron_sanitizer_check thread "$BUILD_DIR" \
+  test_runtime test_fl test_faults test_tensor
 echo "check_tsan: OK (runtime, fl, faults and tensor suites are TSan-clean)"

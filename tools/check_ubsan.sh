@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the whole tree with UndefinedBehaviorSanitizer
+# (CHIRON_SANITIZE=undefined, compiled with -fno-sanitize-recover so any
+# UB aborts instead of logging) and runs the complete ctest suite under
+# it. The SIMD GEMM and the packed-panel paths are the main customers:
+# misaligned or type-punned loads show up here before they show up as a
+# miscompiled kernel on a newer ISA.
+#
+# Usage: tools/check_ubsan.sh [build-dir]   (default: build-ubsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+# shellcheck source=tools/sanitize_common.sh
+source tools/sanitize_common.sh
+BUILD_DIR="${1:-build-ubsan}"
+
+export CHIRON_THREADS="${CHIRON_THREADS:-8}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+chiron_sanitizer_ctest undefined "$BUILD_DIR"
+echo "check_ubsan: OK (full test suite is UBSan-clean)"

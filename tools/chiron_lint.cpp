@@ -1,0 +1,48 @@
+// chiron_lint — command-line driver for the determinism/threading lint
+// (tools/lint/lint.h; rule catalogue in DESIGN.md §5.8).
+//
+//   chiron_lint [paths...]
+//       Lints every .h/.cpp under each path (default: ./src). Paths that
+//       are regular files are linted individually. Prints one diagnostic
+//       per violation as `file:line: [RULE] message`.
+//
+//   chiron_lint --rules
+//       Prints the known rule IDs, one per line.
+//
+// Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
+#include <iostream>
+
+#include "common/error.h"
+#include "common/flags.h"
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  chiron::FlagParser flags(argc, argv);
+  if (flags.has("rules")) {
+    for (const auto& id : chiron::lint::rule_ids()) std::cout << id << "\n";
+    return 0;
+  }
+  std::vector<std::string> roots = flags.positional();
+  if (roots.empty()) roots.push_back("src");
+
+  std::vector<chiron::lint::Violation> all;
+  try {
+    for (const auto& root : roots) {
+      auto v = chiron::lint::lint_tree(root);
+      all.insert(all.end(), v.begin(), v.end());
+    }
+  } catch (const chiron::InvariantError& e) {
+    std::cerr << "chiron_lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  for (const auto& v : all) std::cout << chiron::lint::to_string(v) << "\n";
+  if (all.empty()) {
+    std::cout << "chiron_lint: OK (0 violations)\n";
+    return 0;
+  }
+  std::cout << "chiron_lint: " << all.size() << " violation"
+            << (all.size() == 1 ? "" : "s") << " — see DESIGN.md §5.8 for "
+            << "the rule catalogue and the allow() suppression syntax\n";
+  return 1;
+}

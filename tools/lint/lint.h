@@ -1,0 +1,75 @@
+// chiron-lint — static enforcement of the determinism & threading contract.
+//
+// The repo's headline property (bit-identical training, FedAvg and fault
+// realization at any --threads, DESIGN.md §5.5–5.6) is easy to break with
+// one innocuous-looking line: a rand() call, a raw std::thread, or a
+// ranged-for over an unordered_map feeding an aggregation path. This pass
+// makes the contract machine-checked: it scans the source tree at the
+// token/regex level (no libclang dependency) and reports violations of the
+// project invariants listed below. DESIGN.md §5.8 is the authoritative
+// rule catalogue.
+//
+// Rules (each has a stable ID used in diagnostics and suppressions):
+//   ND1  non-deterministic source (rand/srand, std::random_device, time(),
+//        clock(), system/steady/high_resolution_clock, default-seeded
+//        mt19937) outside the RNG whitelist (common/rng.{h,cpp})
+//   TH1  raw concurrency (std::thread/jthread/async, std::atomic,
+//        fetch_add/fetch_sub, #pragma omp) outside src/runtime/
+//   UM1  iteration over std::unordered_map/unordered_set (ranged-for or
+//        .begin()/.cbegin()) in result paths: core/, fl/, rl/, faults/
+//   HG1  header is not guarded with #pragma once (or a classic include
+//        guard) — headers must be self-contained and single-include-safe
+//   FP1  silent float<->double narrowing in the accounting TUs
+//        (core/env.cpp, core/mechanism.cpp): C-style (float)/(double)
+//        casts, or a float binding whose initializer lacks an explicit
+//        static_cast<float> / float literal
+//   SP1  malformed suppression: unknown rule ID or missing reason text
+//
+// Suppression syntax (reason text is mandatory):
+//   some_call();  // chiron-lint: allow(ND1): timing loop, not in results
+// or on its own line, applying to the next source line:
+//   // chiron-lint: allow(TH1): bench harness owns this thread
+//   std::thread t(run);
+//
+// Matching runs on comment- and string-stripped text, so prose mentioning
+// "rand" or "std::thread" never trips a rule; suppressions are parsed from
+// the raw comment text before stripping.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace chiron::lint {
+
+/// One diagnostic: `file:line: [rule] message`.
+struct Violation {
+  std::string file;  // path as scanned (relative to the scan root)
+  int line = 0;      // 1-based; 0 for whole-file rules (HG1)
+  std::string rule;  // stable rule ID, e.g. "ND1"
+  std::string message;
+};
+
+/// Every rule ID the pass knows about (and accepts in allow(...)).
+const std::vector<std::string>& rule_ids();
+
+/// Lints one file's contents. `rel_path` is the path used both for
+/// path-scoped rules (runtime/ exemption, core/ result paths, the RNG
+/// whitelist) and in diagnostics; use the path relative to the scan root.
+std::vector<Violation> lint_source(const std::string& rel_path,
+                                   const std::string& contents);
+
+/// Lints one on-disk file (reads it, then lint_source). Throws
+/// chiron::InvariantError when the file cannot be read.
+std::vector<Violation> lint_file(const std::filesystem::path& path,
+                                 const std::string& rel_path);
+
+/// Recursively lints every .h/.cpp under `root` (rel paths are computed
+/// against `root`), in sorted order so output is deterministic. When
+/// `root` is a regular file, lints just that file.
+std::vector<Violation> lint_tree(const std::filesystem::path& root);
+
+/// Formats a violation as "file:line: [rule] message".
+std::string to_string(const Violation& v);
+
+}  // namespace chiron::lint

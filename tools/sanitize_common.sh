@@ -1,0 +1,43 @@
+# Shared driver behind tools/check_{tsan,asan,ubsan}.sh — source it, do
+# not execute it. The caller is expected to have `set -euo pipefail` and
+# to have cd'd to the repo root already, and to export the sanitizer's
+# runtime options (TSAN_OPTIONS / ASAN_OPTIONS / UBSAN_OPTIONS) before
+# running anything.
+#
+#   chiron_sanitizer_check <mode> <build-dir> <suite>...
+#       Configures <build-dir> with CHIRON_SANITIZE=<mode>, builds the
+#       named test suites and runs each one directly, failing fast on the
+#       first dirty suite.
+#
+#   chiron_sanitizer_ctest <mode> <build-dir>
+#       Same configure step, then builds everything and runs the full
+#       ctest suite under the instrumented build.
+
+chiron_sanitizer_configure() {
+  local mode="$1" build_dir="$2"
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCHIRON_SANITIZE="$mode"
+}
+
+chiron_sanitizer_check() {
+  local mode="$1" build_dir="$2"
+  shift 2
+  chiron_sanitizer_configure "$mode" "$build_dir"
+  cmake --build "$build_dir" -j"$(nproc)" --target "$@"
+  local suite
+  for suite in "$@"; do
+    echo "== $suite ($mode sanitizer) =="
+    "$build_dir/tests/$suite" || {
+      echo "sanitizer check ($mode): FAILED in $suite"
+      return 1
+    }
+  done
+}
+
+chiron_sanitizer_ctest() {
+  local mode="$1" build_dir="$2"
+  chiron_sanitizer_configure "$mode" "$build_dir"
+  cmake --build "$build_dir" -j"$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
+}
