@@ -11,8 +11,9 @@
 
 using namespace chiron;
 
-int main() {
-  bench::HarnessOptions opt = bench::read_options();
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::read_options(argc, argv);
+  bench::ObsSession obs_session(opt);
   core::EnvConfig env_cfg =
       bench::make_market(data::VisionTask::kMnistLike, 5, 80.0, opt);
   TableWriter out(std::cout);
@@ -28,6 +29,7 @@ int main() {
                           Variant{"uniform_inner", false, true}}) {
     std::cerr << "[ablation_hierarchy] " << v.name << "\n";
     core::EdgeLearnEnv env(env_cfg);
+    env.set_round_sink(opt.round_sink);
     core::ChironConfig cc = bench::make_chiron_config(opt);
     cc.oracle_inner = v.oracle;
     cc.uniform_inner = v.uniform;
@@ -44,6 +46,7 @@ int main() {
   {
     std::cerr << "[ablation_hierarchy] static_oracle\n";
     core::EdgeLearnEnv env(env_cfg);
+    env.set_round_sink(opt.round_sink);
     baselines::StaticOracleMechanism oracle(env, {});
     oracle.search();
     auto s = oracle.evaluate(opt.eval_episodes);

@@ -9,8 +9,9 @@
 
 using namespace chiron;
 
-int main() {
-  bench::HarnessOptions opt = bench::read_options();
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::read_options(argc, argv);
+  bench::ObsSession obs_session(opt);
   TableWriter out(std::cout);
   out.header({"history_L", "state_dim", "accuracy", "rounds",
               "time_efficiency", "avg_episode_reward"});
@@ -20,6 +21,7 @@ int main() {
         bench::make_market(data::VisionTask::kMnistLike, 5, 80.0, opt);
     env_cfg.history = L;
     core::EdgeLearnEnv env(env_cfg);
+    env.set_round_sink(opt.round_sink);
     core::HierarchicalMechanism mech(env, bench::make_chiron_config(opt));
     auto eps = mech.train();
     auto s = mech.evaluate(opt.eval_episodes);

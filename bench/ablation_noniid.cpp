@@ -10,8 +10,9 @@
 
 using namespace chiron;
 
-int main() {
-  bench::HarnessOptions opt = bench::read_options();
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::read_options(argc, argv);
+  bench::ObsSession obs_session(opt);
   TableWriter out(std::cout);
   out.header({"scenario", "accuracy", "rounds", "time_efficiency", "spent"});
 
@@ -41,6 +42,7 @@ int main() {
     env_cfg.dirichlet_alpha = sc.alpha;
     env_cfg.node_availability = sc.availability;
     core::EdgeLearnEnv env(env_cfg);
+    env.set_round_sink(opt.round_sink);
     core::ChironConfig cc = bench::make_chiron_config(opt);
     cc.episodes = std::min(opt.chiron_episodes, 150);  // real training
     core::HierarchicalMechanism mech(env, cc);

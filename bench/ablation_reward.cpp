@@ -9,8 +9,9 @@
 
 using namespace chiron;
 
-int main() {
-  bench::HarnessOptions opt = bench::read_options();
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::read_options(argc, argv);
+  bench::ObsSession obs_session(opt);
   TableWriter out(std::cout);
   out.header({"reward_form", "accuracy", "rounds", "time_efficiency",
               "total_time"});
@@ -21,6 +22,7 @@ int main() {
         bench::make_market(data::VisionTask::kMnistLike, 5, 80.0, opt);
     env_cfg.lambda_on_time = lambda_on_time;
     core::EdgeLearnEnv env(env_cfg);
+    env.set_round_sink(opt.round_sink);
     core::HierarchicalMechanism mech(env, bench::make_chiron_config(opt));
     mech.train();
     auto s = mech.evaluate(opt.eval_episodes);

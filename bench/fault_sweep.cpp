@@ -27,8 +27,9 @@ struct FaultTally {
 
 }  // namespace
 
-int main() {
-  bench::HarnessOptions opt = bench::read_options();
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::read_options(argc, argv);
+  bench::ObsSession obs_session(opt);
   TableWriter out(std::cout);
   out.header({"fault_rate", "accuracy", "rounds", "spent", "time_efficiency",
               "delivered", "crashed", "late", "rejected"});
@@ -43,6 +44,7 @@ int main() {
     env_cfg.faults.seed = opt.seed + 40961;
     env_cfg.round_deadline = 150.0;
     core::EdgeLearnEnv env(env_cfg);
+    env.set_round_sink(opt.round_sink);
     core::HierarchicalMechanism mech(env, bench::make_chiron_config(opt));
     mech.train();
     auto s = mech.evaluate(opt.eval_episodes);

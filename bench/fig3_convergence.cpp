@@ -12,8 +12,9 @@
 
 using namespace chiron;
 
-int main() {
-  bench::HarnessOptions opt = bench::read_options();
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::read_options(argc, argv);
+  bench::ObsSession obs_session(opt);
   core::EnvConfig env_cfg =
       bench::make_market(data::VisionTask::kMnistLike, 5, 60.0, opt);
   const char* blobs_env = std::getenv("CHIRON_FIG3_BLOBS");
@@ -30,6 +31,7 @@ int main() {
     env_cfg.local.lr = 0.05;
   }
   core::EdgeLearnEnv env(env_cfg);
+  env.set_round_sink(opt.round_sink);
   core::HierarchicalMechanism chiron(env, bench::make_chiron_config(opt));
 
   std::cerr << "[fig3] training Chiron for " << opt.chiron_episodes

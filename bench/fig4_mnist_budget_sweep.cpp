@@ -9,8 +9,9 @@
 
 using namespace chiron;
 
-int main() {
-  bench::HarnessOptions opt = bench::read_options();
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::read_options(argc, argv);
+  bench::ObsSession obs_session(opt);
   const std::vector<double> budgets{40, 80, 120, 160, 200};
   TableWriter out(std::cout);
   out.header({"budget", "approach", "accuracy", "rounds", "time_efficiency",

@@ -10,8 +10,9 @@
 
 using namespace chiron;
 
-int main() {
-  bench::HarnessOptions opt = bench::read_options();
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::read_options(argc, argv);
+  bench::ObsSession obs_session(opt);
   core::EnvConfig env_cfg =
       bench::make_market(data::VisionTask::kMnistLike, 100, 140.0, opt);
 
@@ -20,12 +21,14 @@ int main() {
   std::cerr << "[fig7] training Chiron (100 nodes, " << opt.chiron_episodes
             << " episodes)\n";
   core::EdgeLearnEnv env_c(env_cfg);
+  env_c.set_round_sink(opt.round_sink);
   core::HierarchicalMechanism chiron(env_c, bench::make_chiron_config(opt, 100));
   auto chiron_eps = chiron.train();
   auto chiron_series = bench::reward_series(chiron_eps);
 
   std::cerr << "[fig7] training DRL-based (100 nodes)\n";
   core::EdgeLearnEnv env_d(env_cfg);
+  env_d.set_round_sink(opt.round_sink);
   baselines::SingleDrlConfig dc;
   dc.episodes = opt.chiron_episodes;  // same series length as Chiron
   dc.hidden = 64;

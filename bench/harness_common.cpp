@@ -1,8 +1,14 @@
 #include "harness_common.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <fstream>
 
+#include "common/error.h"
+#include "common/flags.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "runtime/runtime.h"
 
 namespace chiron::bench {
@@ -16,6 +22,10 @@ bool env_flag(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr && std::string(v) == "1";
 }
+std::string env_str(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : std::string();
+}
 }  // namespace
 
 HarnessOptions read_options() {
@@ -28,8 +38,66 @@ HarnessOptions read_options() {
   opt.real_training = env_flag("CHIRON_REAL_TRAINING");
   opt.seed = static_cast<std::uint64_t>(env_int("CHIRON_SEED", 97));
   opt.threads = env_int("CHIRON_THREADS", 0);
+  opt.round_log = env_str("CHIRON_ROUND_LOG");
+  opt.metrics_out = env_str("CHIRON_METRICS_OUT");
+  opt.trace_out = env_str("CHIRON_TRACE");
   runtime::set_threads(opt.threads);
   return opt;
+}
+
+HarnessOptions read_options(int argc, const char* const* argv) {
+  HarnessOptions opt = read_options();
+  FlagParser flags(argc, argv);
+  if (flags.has("episodes")) {
+    const int episodes = flags.get_int("episodes", 0);
+    CHIRON_CHECK_MSG(episodes >= 1, "--episodes must be >= 1");
+    opt.chiron_episodes = episodes;
+    opt.drl_episodes = episodes;
+    opt.greedy_episodes = std::max(1, episodes / 4);
+  }
+  opt.eval_episodes = flags.get_int("eval-episodes", opt.eval_episodes);
+  if (flags.has("real-training")) opt.real_training = true;
+  opt.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<int>(opt.seed)));
+  opt.round_log = flags.get("round-log", opt.round_log);
+  opt.metrics_out = flags.get("metrics-out", opt.metrics_out);
+  opt.trace_out = flags.get("trace", opt.trace_out);
+  if (flags.has("threads")) {
+    opt.threads = threads_flag(flags);
+    runtime::set_threads(opt.threads);
+  }
+  const auto unknown =
+      flags.unknown_flags({"episodes", "eval-episodes", "real-training",
+                           "seed", "threads", "round-log", "metrics-out",
+                           "trace"});
+  CHIRON_CHECK_MSG(unknown.empty(), "unknown flag --" << unknown.front());
+  return opt;
+}
+
+ObsSession::ObsSession(HarnessOptions& opt)
+    : metrics_out_(opt.metrics_out), trace_out_(opt.trace_out) {
+  if (!metrics_out_.empty()) {
+    obs::MetricsRegistry::instance().reset();
+    obs::MetricsRegistry::instance().set_enabled(true);
+  }
+  if (!trace_out_.empty()) obs::set_tracing(true);
+  if (!opt.round_log.empty()) {
+    sink_ = obs::make_round_sink(opt.round_log);
+    opt.round_sink = sink_.get();
+  }
+}
+
+ObsSession::~ObsSession() {
+  if (!metrics_out_.empty()) {
+    obs::MetricsRegistry::instance().set_enabled(false);
+    std::ofstream out(metrics_out_, std::ios::trunc);
+    if (out.good()) obs::MetricsRegistry::instance().write_json(out);
+  }
+  if (!trace_out_.empty()) {
+    obs::set_tracing(false);
+    std::ofstream out(trace_out_, std::ios::trunc);
+    if (out.good()) obs::write_trace_jsonl(out);
+  }
 }
 
 core::EnvConfig make_market(data::VisionTask task, int num_nodes,
@@ -73,12 +141,14 @@ std::vector<ApproachResult> compare_approaches(const core::EnvConfig& env_cfg,
   std::vector<ApproachResult> out;
   {
     core::EdgeLearnEnv env(env_cfg);
+    env.set_round_sink(opt.round_sink);
     core::HierarchicalMechanism chiron(env, make_chiron_config(opt));
     chiron.train();
     out.push_back({"chiron", chiron.evaluate(opt.eval_episodes)});
   }
   {
     core::EdgeLearnEnv env(env_cfg);
+    env.set_round_sink(opt.round_sink);
     baselines::SingleDrlConfig dc;
     dc.episodes = opt.drl_episodes;
     dc.hidden = 64;
@@ -92,6 +162,7 @@ std::vector<ApproachResult> compare_approaches(const core::EnvConfig& env_cfg,
   }
   {
     core::EdgeLearnEnv env(env_cfg);
+    env.set_round_sink(opt.round_sink);
     baselines::GreedyConfig gc;
     gc.episodes = opt.greedy_episodes;
     gc.seed = opt.seed + 3;

@@ -12,14 +12,24 @@
 //   CHIRON_THREADS        runtime pool size; 0 or unset → all hardware
 //                         threads (results are identical either way —
 //                         see DESIGN.md "Runtime & threading model")
+//   CHIRON_ROUND_LOG      path for the structured round log (.jsonl or
+//                         .csv; see DESIGN.md §5.9)
+//   CHIRON_METRICS_OUT    path for the end-of-run metrics JSON snapshot
+//   CHIRON_TRACE          path for the span trace (JSONL)
+//
+// Each harness also accepts the equivalent command-line flags
+// (--round-log, --metrics-out, --trace, --threads, --seed, --episodes),
+// which take precedence over the environment.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/greedy.h"
 #include "baselines/single_drl.h"
 #include "core/mechanism.h"
+#include "obs/round_log.h"
 
 namespace chiron::bench {
 
@@ -31,12 +41,43 @@ struct HarnessOptions {
   bool real_training = false;
   std::uint64_t seed = 97;
   int threads = 0;  // 0 = auto (hardware concurrency)
+  // Observability outputs; empty = off (and zero overhead, DESIGN.md §5.9).
+  std::string round_log;
+  std::string metrics_out;
+  std::string trace_out;
+  // Attached to every env the harness builds (set by ObsSession).
+  obs::RoundSink* round_sink = nullptr;
 };
 
 /// Reads the CHIRON_* environment overrides on top of the defaults and
 /// sizes the runtime pool (runtime::set_threads) from CHIRON_THREADS so
 /// every harness runs on the pool.
 HarnessOptions read_options();
+
+/// read_options() plus command-line flags, which win over the
+/// environment: --episodes, --eval-episodes, --real-training, --seed,
+/// --threads, --round-log, --metrics-out, --trace. Unknown flags are a
+/// hard error so typos don't silently fall back to defaults.
+HarnessOptions read_options(int argc, const char* const* argv);
+
+/// RAII scope for a harness run's observability: enables the metrics
+/// registry / span tracing when the matching output paths are set, opens
+/// the round sink and points opt.round_sink at it, and on destruction
+/// writes the metrics snapshot and trace files and disables everything
+/// again. Declare one right after read_options() and keep it alive for
+/// the whole run.
+class ObsSession {
+ public:
+  explicit ObsSession(HarnessOptions& opt);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  std::unique_ptr<obs::RoundSink> sink_;
+  std::string metrics_out_;
+  std::string trace_out_;
+};
 
 /// Market (environment) for an N-node experiment on one vision task. A
 /// fixed data corpus (5e8 bits ≈ 20k MNIST images) is split evenly across

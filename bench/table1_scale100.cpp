@@ -9,8 +9,9 @@
 
 using namespace chiron;
 
-int main() {
-  bench::HarnessOptions opt = bench::read_options();
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::read_options(argc, argv);
+  bench::ObsSession obs_session(opt);
   std::cerr << "[table1] runtime pool: " << runtime::threads()
             << " threads (CHIRON_THREADS to override)\n";
   const std::vector<double> budgets{140, 220, 300, 380};
@@ -21,6 +22,7 @@ int main() {
     core::EnvConfig env_cfg =
         bench::make_market(data::VisionTask::kMnistLike, 100, budget, opt);
     core::EdgeLearnEnv env(env_cfg);
+    env.set_round_sink(opt.round_sink);
     core::HierarchicalMechanism chiron(env, bench::make_chiron_config(opt, 100));
     chiron.train();
     auto s = chiron.evaluate(opt.eval_episodes);

@@ -7,6 +7,32 @@
 
 namespace chiron {
 
+namespace {
+
+// RFC-4180 quoting: a cell containing the delimiter, a double quote, or a
+// line break is wrapped in double quotes with embedded quotes doubled.
+// Anything else passes through verbatim, so TSV output (no commas in
+// numeric cells) is byte-for-byte unchanged.
+std::string quote_cell(const std::string& cell, char delim) {
+  const bool needs_quoting =
+      cell.find(delim) != std::string::npos ||
+      cell.find('"') != std::string::npos ||
+      cell.find('\n') != std::string::npos ||
+      cell.find('\r') != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
 TableWriter::TableWriter(std::ostream& os, char delimiter)
     : os_(os), delim_(delimiter) {}
 
@@ -17,7 +43,7 @@ void TableWriter::header(const std::vector<std::string>& names) {
   header_written_ = true;
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (i) os_ << delim_;
-    os_ << names[i];
+    os_ << quote_cell(names[i], delim_);
   }
   os_ << '\n';
 }
@@ -30,7 +56,7 @@ void TableWriter::row(const std::vector<std::string>& cells) {
   }
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i) os_ << delim_;
-    os_ << cells[i];
+    os_ << quote_cell(cells[i], delim_);
   }
   os_ << '\n';
   os_.flush();

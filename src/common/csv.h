@@ -13,7 +13,10 @@
 namespace chiron {
 
 /// Writes delimiter-separated rows, enforcing a fixed column count set by
-/// the header row.
+/// the header row. Cells containing the delimiter, a double quote, or a
+/// line break are quoted per RFC 4180 (embedded quotes doubled), so a
+/// list-valued cell like "1,2,3" survives a round trip through any CSV
+/// reader.
 class TableWriter {
  public:
   /// Writes to an externally owned stream (e.g. std::cout).

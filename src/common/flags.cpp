@@ -1,11 +1,31 @@
 #include "common/flags.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 
 #include "common/error.h"
 
 namespace chiron {
+
+namespace {
+
+// Shared checked-strtod path: the whole of `text` must parse, and the
+// result must be finite enough for strtod (ERANGE covers over/underflow
+// to HUGE_VAL/0 of out-of-range literals).
+double checked_double(const std::string& text, const std::string& context) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  CHIRON_CHECK_MSG(end != text.c_str() && *end == '\0',
+                   context << " expects a number, got '" << text << "'");
+  CHIRON_CHECK_MSG(errno != ERANGE,
+                   context << " value '" << text << "' is out of range");
+  return v;
+}
+
+}  // namespace
 
 FlagParser::FlagParser(int argc, const char* const* argv) {
   std::vector<std::string> args;
@@ -25,17 +45,21 @@ void FlagParser::parse(const std::vector<std::string>& args) {
     const std::string body = a.substr(2);
     CHIRON_CHECK_MSG(!body.empty(), "bare '--' argument");
     const std::size_t eq = body.find('=');
+    std::string name;
+    std::string value;
     if (eq != std::string::npos) {
-      flags_[body.substr(0, eq)] = body.substr(eq + 1);
-      continue;
-    }
-    // --name value (unless the next token is another flag) or bare switch.
-    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
-      flags_[body] = args[i + 1];
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      // --name value (unless the next token is another flag).
+      name = body;
+      value = args[i + 1];
       ++i;
     } else {
-      flags_[body] = "";
+      name = body;  // bare switch
     }
+    CHIRON_CHECK_MSG(flags_.emplace(name, value).second,
+                     "duplicate flag --" << name);
   }
 }
 
@@ -53,23 +77,42 @@ double FlagParser::get_double(const std::string& name,
                               double fallback) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  CHIRON_CHECK_MSG(end != it->second.c_str() && *end == '\0',
-                   "--" << name << " expects a number, got '" << it->second
-                        << "'");
-  return v;
+  return checked_double(it->second, "--" + name);
 }
 
 int FlagParser::get_int(const std::string& name, int fallback) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long v = std::strtol(it->second.c_str(), &end, 10);
   CHIRON_CHECK_MSG(end != it->second.c_str() && *end == '\0',
                    "--" << name << " expects an integer, got '" << it->second
                         << "'");
+  CHIRON_CHECK_MSG(errno != ERANGE && v >= INT_MIN && v <= INT_MAX,
+                   "--" << name << " value '" << it->second
+                        << "' is out of int range");
   return static_cast<int>(v);
+}
+
+std::vector<double> parse_double_list(const std::string& text,
+                                      const std::string& context) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end =
+        comma == std::string::npos ? text.size() : comma;
+    const std::string element = text.substr(start, end - start);
+    CHIRON_CHECK_MSG(!element.empty(),
+                     context << " has an empty element in '" << text << "'");
+    out.push_back(checked_double(
+        element, context + " element '" + element + "'"));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  CHIRON_CHECK_MSG(!out.empty(), context << " expects a non-empty list");
+  return out;
 }
 
 int threads_flag(const FlagParser& flags, int fallback) {

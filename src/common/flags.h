@@ -3,7 +3,9 @@
 // Grammar: positionals and flags may interleave; flags are
 // `--name=value`, `--name value`, or bare `--name` (boolean). A value
 // starting with "--" is treated as the next flag, making the bare-switch
-// form unambiguous.
+// form unambiguous. Passing the same flag twice is a hard error
+// (InvariantError) — silent last-wins hid typos in long sweep command
+// lines.
 #pragma once
 
 #include <map>
@@ -28,7 +30,9 @@ class FlagParser {
   std::string get(const std::string& name,
                   const std::string& fallback = "") const;
 
-  /// Typed accessors; throw InvariantError on malformed numbers.
+  /// Typed accessors; throw InvariantError on malformed or out-of-range
+  /// numbers (get_int rejects values outside [INT_MIN, INT_MAX] and
+  /// get_double rejects literals strtod flags with ERANGE).
   double get_double(const std::string& name, double fallback) const;
   int get_int(const std::string& name, int fallback) const;
 
@@ -43,6 +47,13 @@ class FlagParser {
   std::vector<std::string> positional_;
   std::map<std::string, std::string> flags_;
 };
+
+/// Parses a comma-separated list of numbers ("5,10.5,20") through the
+/// same checked strtod path as FlagParser::get_double. Throws
+/// InvariantError naming `context` and the offending element on empty
+/// lists, empty elements, malformed numbers, or out-of-range literals.
+std::vector<double> parse_double_list(const std::string& text,
+                                      const std::string& context);
 
 /// Value of the standard `--threads` flag shared by every entry point:
 /// N >= 1 is an explicit pool size, 0 (or an absent flag) means "auto"

@@ -21,6 +21,15 @@ double RunningStat::variance() const {
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
+double RunningStat::sample_variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::sample_stddev() const {
+  return std::sqrt(sample_variance());
+}
+
 Summary summarize(const std::vector<double>& v) {
   Summary s;
   if (v.empty()) return s;
@@ -33,7 +42,7 @@ Summary summarize(const std::vector<double>& v) {
     s.max = std::max(s.max, x);
   }
   s.mean = rs.mean();
-  s.stddev = rs.stddev();
+  s.stddev = rs.sample_stddev();
   s.count = v.size();
   return s;
 }

@@ -8,14 +8,25 @@
 namespace chiron {
 
 /// Welford online mean/variance accumulator.
+///
+/// Two variance flavors are deliberate: `variance()` divides by n
+/// (population) and is what the RL advantage normalizer wants — the
+/// rollout buffer IS the whole population being whitened, and n keeps the
+/// normalizer stable for tiny buffers. `sample_variance()` divides by
+/// n−1 (Bessel-corrected) and is what `summarize` reports — experiment
+/// series are samples from a stochastic process, and dividing by n would
+/// systematically understate their spread.
 class RunningStat {
  public:
   void push(double x);
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
-  /// Population variance; 0 when fewer than 2 samples.
+  /// Population variance (divides by n); 0 when fewer than 2 samples.
   double variance() const;
   double stddev() const;
+  /// Sample variance (divides by n−1); 0 when fewer than 2 samples.
+  double sample_variance() const;
+  double sample_stddev() const;
 
  private:
   std::size_t n_ = 0;
@@ -23,7 +34,8 @@ class RunningStat {
   double m2_ = 0.0;
 };
 
-/// Summary of a finished sample: mean/std/min/max.
+/// Summary of a finished sample: mean/std/min/max. `stddev` is the
+/// sample (n−1) standard deviation — see RunningStat.
 struct Summary {
   double mean = 0.0;
   double stddev = 0.0;

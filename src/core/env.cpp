@@ -2,12 +2,63 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/round_log.h"
+#include "obs/span.h"
 
 namespace chiron::core {
 
 namespace {
+
+// Environment metric ids, registered once (thread-safe magic static).
+struct EnvMetricIds {
+  int rounds;
+  int rounds_aborted;
+  int nodes_offline;
+  int budget_remaining;
+  int accuracy;
+};
+
+const EnvMetricIds& env_metrics() {
+  static const EnvMetricIds ids = {
+      obs::MetricsRegistry::instance().counter("env.rounds"),
+      obs::MetricsRegistry::instance().counter("env.rounds_aborted"),
+      obs::MetricsRegistry::instance().counter("env.nodes_offline"),
+      obs::MetricsRegistry::instance().gauge("env.budget_remaining"),
+      obs::MetricsRegistry::instance().gauge("env.accuracy"),
+  };
+  return ids;
+}
+
+/// Aborted-round contract (see StepResult in env.h): a fresh result with
+/// done/aborted set and accuracy frozen — every other field stays at its
+/// zero default. Built centrally so neither step path can leak partial
+/// round state (offline counts, a populated outcome) into an abort.
+StepResult make_aborted_result(double frozen_accuracy) {
+  StepResult res;
+  res.done = true;
+  res.aborted = true;
+  res.reward_exterior = 0.0;
+  res.reward_inner = 0.0;
+  res.raw_exterior_reward = 0.0;
+  res.round_time = 0.0;
+  res.accuracy = frozen_accuracy;
+  res.accuracy_gain = 0.0;
+  res.payment = 0.0;
+  res.idle_time = 0.0;
+  res.time_efficiency = 0.0;
+  res.participants = 0;
+  res.offline = 0;
+  res.delivered = 0;
+  res.crashed = 0;
+  res.late = 0;
+  res.rejected = 0;
+  res.outcome = sysmodel::RoundOutcome{};
+  return res;
+}
 
 std::unique_ptr<AccuracyBackend> make_backend(const EnvConfig& c, Rng rng) {
   RealBackendOptions options;
@@ -65,6 +116,7 @@ EdgeLearnEnv::EdgeLearnEnv(const EnvConfig& config)
 
 std::vector<float> EdgeLearnEnv::reset() {
   budget_remaining_ = config_.budget;
+  ++episode_;
   round_ = 0;
   done_ = false;
   last_accuracy_ = backend_->reset();
@@ -76,6 +128,7 @@ std::vector<float> EdgeLearnEnv::reset() {
 StepResult EdgeLearnEnv::step(const std::vector<double>& prices) {
   CHIRON_CHECK_MSG(!done_, "step() on a finished episode; call reset()");
   CHIRON_CHECK(static_cast<int>(prices.size()) == config_.num_nodes);
+  obs::Span round_span(obs::Phase::kRound);
 
   if (config_.faults.any() || config_.round_deadline > 0.0)
     return step_faulty(prices);
@@ -99,11 +152,12 @@ StepResult EdgeLearnEnv::step(const std::vector<double>& prices) {
   // Paper §V-A: if paying this round would overdraw the budget, the round
   // is discarded (no training, no recording) and learning stops.
   if (res.outcome.total_payment > budget_remaining_) {
-    res.done = true;
-    res.aborted = true;
     done_ = true;
-    res.accuracy = last_accuracy_;
-    return res;
+    const StepResult aborted = make_aborted_result(last_accuracy_);
+    finish_round(aborted,
+                 std::accumulate(prices.begin(), prices.end(), 0.0),
+                 effective_prices);
+    return aborted;
   }
 
   budget_remaining_ -= res.outcome.total_payment;
@@ -162,6 +216,8 @@ StepResult EdgeLearnEnv::step(const std::vector<double>& prices) {
 
   if (budget_remaining_ <= 0.0 || round_ >= config_.max_rounds) done_ = true;
   res.done = done_;
+  finish_round(res, std::accumulate(prices.begin(), prices.end(), 0.0),
+               effective_prices);
   return res;
 }
 
@@ -195,11 +251,12 @@ StepResult EdgeLearnEnv::step_faulty(const std::vector<double>& prices) {
       sysmodel::run_round(devices_, effective_prices, config_.local_epochs);
 
   if (promised.total_payment > budget_remaining_) {
-    res.done = true;
-    res.aborted = true;
     done_ = true;
-    res.accuracy = last_accuracy_;
-    return res;
+    const StepResult aborted = make_aborted_result(last_accuracy_);
+    finish_round(aborted,
+                 std::accumulate(prices.begin(), prices.end(), 0.0),
+                 effective_prices);
+    return aborted;
   }
   ++round_;
 
@@ -286,7 +343,61 @@ StepResult EdgeLearnEnv::step_faulty(const std::vector<double>& prices) {
 
   if (budget_remaining_ <= 0.0 || round_ >= config_.max_rounds) done_ = true;
   res.done = done_;
+  finish_round(res, std::accumulate(prices.begin(), prices.end(), 0.0),
+               effective_prices);
   return res;
+}
+
+void EdgeLearnEnv::finish_round(const StepResult& res, double p_total,
+                                const std::vector<double>& effective_prices) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  if (reg.enabled()) {
+    const EnvMetricIds& m = env_metrics();
+    reg.add(res.aborted ? m.rounds_aborted : m.rounds);
+    if (res.offline > 0)
+      reg.add(m.nodes_offline, static_cast<std::uint64_t>(res.offline));
+    reg.set(m.budget_remaining, budget_remaining_);
+    reg.set(m.accuracy, res.accuracy);
+  }
+
+  if (round_sink_ == nullptr) return;
+  obs::RoundRecord r;
+  r.episode = episode_;
+  // round_ is bumped for executed rounds only; an aborted attempt is the
+  // round that *would have been* next.
+  r.round = res.aborted ? round_ + 1 : round_;
+  r.aborted = res.aborted;
+  r.p_total = p_total;
+  r.payment = res.payment;
+  r.budget_remaining = budget_remaining_;
+  r.round_time = res.round_time;
+  r.idle_time = res.idle_time;
+  r.time_efficiency = res.time_efficiency;
+  r.accuracy = res.accuracy;
+  r.accuracy_gain = res.accuracy_gain;
+  r.raw_exterior_reward = res.raw_exterior_reward;
+  r.reward_exterior = res.reward_exterior;
+  r.reward_inner = res.reward_inner;
+  r.participants = res.participants;
+  r.offline = res.offline;
+  r.delivered = res.delivered;
+  r.crashed = res.crashed;
+  r.late = res.late;
+  r.rejected = res.rejected;
+  if (!res.aborted) {
+    r.node_prices = effective_prices;
+    r.node_zetas.reserve(res.outcome.nodes.size());
+    r.node_participates.reserve(res.outcome.nodes.size());
+    r.node_times.reserve(res.outcome.nodes.size());
+    r.node_payments.reserve(res.outcome.nodes.size());
+    for (const sysmodel::NodeDecision& nd : res.outcome.nodes) {
+      r.node_zetas.push_back(nd.zeta);
+      r.node_participates.push_back(nd.participates ? 1 : 0);
+      r.node_times.push_back(nd.total_time);
+      r.node_payments.push_back(nd.payment);
+    }
+  }
+  round_sink_->write(r);
 }
 
 std::int64_t EdgeLearnEnv::exterior_state_dim() const {

@@ -21,6 +21,10 @@
 #include "faults/fault_plan.h"
 #include "sysmodel/economics.h"
 
+namespace chiron::obs {
+class RoundSink;
+}  // namespace chiron::obs
+
 namespace chiron::core {
 
 enum class BackendKind { kSurrogate, kRealVision, kRealBlobs };
@@ -84,6 +88,14 @@ struct EnvConfig {
 };
 
 /// Everything observable about one executed round.
+///
+/// Aborted-round contract: when a round is discarded because its payment
+/// would overdraw the budget, the StepResult carries `done = true`,
+/// `aborted = true`, `accuracy` frozen at the last trained value — and
+/// every other field at its zero default (no payment, no participants, no
+/// offline count, empty `outcome`). The discarded round never happened
+/// economically, so nothing about it may leak into metrics or histories;
+/// env_test.cpp pins this for both the fault-free and faulty paths.
 struct StepResult {
   bool done = false;
   bool aborted = false;        // payment would overdraw: round discarded
@@ -135,6 +147,16 @@ class EdgeLearnEnv {
   /// Mean per-node saturation price (baseline per-node action cap).
   double per_node_price_cap(int i) const;
 
+  /// Attaches a structured round logger (obs/round_log.h); every step —
+  /// including aborted rounds — emits one RoundRecord. Non-owning; pass
+  /// nullptr to detach. The sink must outlive the env or be detached
+  /// first.
+  void set_round_sink(obs::RoundSink* sink) { round_sink_ = sink; }
+
+  /// 0-based episode index: how many reset() calls have completed, −1
+  /// before the first. Stamped into round records.
+  int episode() const { return episode_; }
+
   double budget_remaining() const { return budget_remaining_; }
   double budget_initial() const { return config_.budget; }
   int round() const { return round_; }
@@ -156,6 +178,13 @@ class EdgeLearnEnv {
   /// fault config or a round deadline is active.
   StepResult step_faulty(const std::vector<double>& prices);
 
+  /// Observability tail shared by both step paths: records the round's
+  /// metrics and, when a sink is attached, writes the RoundRecord.
+  /// `p_total` is the caller's posted Σ p_i (the exterior action);
+  /// `effective_prices` are the post-availability prices the nodes saw.
+  void finish_round(const StepResult& res, double p_total,
+                    const std::vector<double>& effective_prices);
+
   EnvConfig config_;
   Rng rng_;
   std::vector<sysmodel::DeviceProfile> devices_;
@@ -164,8 +193,11 @@ class EdgeLearnEnv {
   double price_cap_ = 0.0;
   double price_norm_ = 1.0;  // per-node price normalizer for states
 
+  obs::RoundSink* round_sink_ = nullptr;  // non-owning, may be null
+
   // Episode state.
   double budget_remaining_ = 0.0;
+  int episode_ = -1;
   int round_ = 0;
   bool done_ = true;
   double last_accuracy_ = 0.0;

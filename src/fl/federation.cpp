@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "data/partition.h"
+#include "obs/span.h"
 #include "runtime/parallel.h"
 
 namespace chiron::fl {
@@ -81,6 +82,7 @@ TolerantRoundReport Federation::run_round_tolerant(
       EdgeNode& n = node(participants[s]);
       // Containment: a throwing local_train is this node's crash, not the
       // round's — its upload is dropped and the other lanes proceed.
+      obs::Span train_span(obs::Phase::kLocalTrain);
       errors[s] = runtime::run_contained(
           [&] { uploads[s] = n.local_train(server_->global_params()); });
       weights[s] = static_cast<double>(n.data_size());
@@ -125,9 +127,15 @@ TolerantRoundReport Federation::run_round_tolerant(
     return rep;
   }
   // Partial FedAvg: weighted_average renormalizes the surviving D_i.
-  server_->aggregate(accepted, accepted_weights);
+  {
+    obs::Span agg_span(obs::Phase::kAggregate);
+    server_->aggregate(accepted, accepted_weights);
+  }
   rep.aggregated = true;
-  last_accuracy_ = server_->evaluate();
+  {
+    obs::Span eval_span(obs::Phase::kEvaluate);
+    last_accuracy_ = server_->evaluate();
+  }
   eval_version_ = server_->version();
   rep.accuracy = last_accuracy_;
   return rep;
@@ -135,6 +143,7 @@ TolerantRoundReport Federation::run_round_tolerant(
 
 double Federation::accuracy() {
   if (last_accuracy_ < 0.0 || eval_version_ != server_->version()) {
+    obs::Span eval_span(obs::Phase::kEvaluate);
     last_accuracy_ = server_->evaluate();
     eval_version_ = server_->version();
   }

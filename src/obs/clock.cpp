@@ -1,0 +1,15 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace chiron::obs {
+
+std::uint64_t now_us() {
+  // ND1-whitelisted (tools/lint): the one place the process may read a
+  // clock. steady_clock, so spans never jump backwards under NTP slew.
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t).count());
+}
+
+}  // namespace chiron::obs

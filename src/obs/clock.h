@@ -1,0 +1,20 @@
+// The single sanctioned wall-clock read of the codebase.
+//
+// The determinism contract (DESIGN.md §5.8, lint rule ND1) bans clock
+// sources everywhere in src/ because timing must never leak into results.
+// Observability is the one consumer that legitimately needs wall time —
+// span durations are *measurements about* a run, never inputs to it — so
+// the actual chrono call lives in exactly one whitelisted TU
+// (obs/clock.cpp) behind this narrow interface. Everything else in
+// src/obs/ (and the rest of the tree) goes through now_us().
+#pragma once
+
+#include <cstdint>
+
+namespace chiron::obs {
+
+/// Monotonic microseconds since an arbitrary process-local epoch.
+/// Comparable within one process only; never persisted as a result.
+std::uint64_t now_us();
+
+}  // namespace chiron::obs

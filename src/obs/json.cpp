@@ -1,0 +1,75 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace chiron::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN tokens; keep the document parseable.
+    if (std::isnan(v)) return "\"nan\"";
+    return v > 0 ? "\"inf\"" : "\"-inf\"";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_number(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string json_number(int v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", v);
+  return buf;
+}
+
+namespace {
+template <typename T>
+std::string join_array(const std::vector<T>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out.push_back(',');
+    out += json_number(v[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+}  // namespace
+
+std::string json_array(const std::vector<double>& v) { return join_array(v); }
+std::string json_array(const std::vector<std::uint64_t>& v) {
+  return join_array(v);
+}
+std::string json_array(const std::vector<int>& v) { return join_array(v); }
+
+}  // namespace chiron::obs

@@ -1,0 +1,29 @@
+// Tiny JSON emission helpers shared by the metrics and round-log writers.
+//
+// Emission only — the repo never parses JSON. Numbers are printed with
+// enough digits to round-trip exactly ("%.17g"), so two runs that compute
+// bit-identical doubles serialize to byte-identical text; this is what
+// lets the obs check stage diff round logs across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chiron::obs {
+
+/// `s` with JSON string escapes applied (quotes, backslash, control chars).
+std::string json_escape(const std::string& s);
+
+/// Shortest-round-trip-safe decimal form of v. Non-finite values (which a
+/// strict JSON document cannot carry) serialize as quoted strings.
+std::string json_number(double v);
+std::string json_number(std::uint64_t v);
+std::string json_number(int v);
+
+/// "[a,b,c]" over json_number of each element.
+std::string json_array(const std::vector<double>& v);
+std::string json_array(const std::vector<std::uint64_t>& v);
+std::string json_array(const std::vector<int>& v);
+
+}  // namespace chiron::obs

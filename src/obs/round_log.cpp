@@ -1,0 +1,117 @@
+#include "obs/round_log.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace chiron::obs {
+
+namespace {
+
+std::unique_ptr<std::ostream> open_sink_file(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  CHIRON_CHECK_MSG(file->good(), "cannot open round-log file '" << path
+                                                                << "'");
+  return file;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string join_list(const std::vector<double>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out.push_back(',');
+    out += json_number(v[i]);
+  }
+  return out;
+}
+
+std::string join_list(const std::vector<int>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out.push_back(',');
+    out += json_number(v[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonlRoundSink::JsonlRoundSink(std::ostream& os) : os_(&os) {}
+
+JsonlRoundSink::JsonlRoundSink(const std::string& path)
+    : owned_(open_sink_file(path)), os_(owned_.get()) {}
+
+void JsonlRoundSink::write(const RoundRecord& r) {
+  std::ostream& os = *os_;
+  os << "{\"episode\":" << json_number(r.episode)
+     << ",\"round\":" << json_number(r.round)
+     << ",\"aborted\":" << (r.aborted ? "true" : "false")
+     << ",\"p_total\":" << json_number(r.p_total)
+     << ",\"payment\":" << json_number(r.payment)
+     << ",\"budget_remaining\":" << json_number(r.budget_remaining)
+     << ",\"round_time\":" << json_number(r.round_time)
+     << ",\"idle_time\":" << json_number(r.idle_time)
+     << ",\"time_efficiency\":" << json_number(r.time_efficiency)
+     << ",\"accuracy\":" << json_number(r.accuracy)
+     << ",\"accuracy_gain\":" << json_number(r.accuracy_gain)
+     << ",\"raw_exterior_reward\":" << json_number(r.raw_exterior_reward)
+     << ",\"reward_exterior\":" << json_number(r.reward_exterior)
+     << ",\"reward_inner\":" << json_number(r.reward_inner)
+     << ",\"participants\":" << json_number(r.participants)
+     << ",\"offline\":" << json_number(r.offline)
+     << ",\"delivered\":" << json_number(r.delivered)
+     << ",\"crashed\":" << json_number(r.crashed)
+     << ",\"late\":" << json_number(r.late)
+     << ",\"rejected\":" << json_number(r.rejected)
+     << ",\"node_prices\":" << json_array(r.node_prices)
+     << ",\"node_zetas\":" << json_array(r.node_zetas)
+     << ",\"node_participates\":" << json_array(r.node_participates)
+     << ",\"node_times\":" << json_array(r.node_times)
+     << ",\"node_payments\":" << json_array(r.node_payments) << "}\n";
+  os.flush();
+}
+
+CsvRoundSink::CsvRoundSink(std::ostream& os) : writer_(os, ',') {}
+
+CsvRoundSink::CsvRoundSink(const std::string& path)
+    : owned_(open_sink_file(path)), writer_(*owned_, ',') {}
+
+void CsvRoundSink::write(const RoundRecord& r) {
+  if (!header_written_) {
+    writer_.header({"episode", "round", "aborted", "p_total", "payment",
+                    "budget_remaining", "round_time", "idle_time",
+                    "time_efficiency", "accuracy", "accuracy_gain",
+                    "raw_exterior_reward", "reward_exterior", "reward_inner",
+                    "participants", "offline", "delivered", "crashed", "late",
+                    "rejected", "node_prices", "node_zetas",
+                    "node_participates", "node_times", "node_payments"});
+    header_written_ = true;
+  }
+  writer_.row({json_number(r.episode), json_number(r.round),
+               r.aborted ? "1" : "0", json_number(r.p_total),
+               json_number(r.payment), json_number(r.budget_remaining),
+               json_number(r.round_time), json_number(r.idle_time),
+               json_number(r.time_efficiency), json_number(r.accuracy),
+               json_number(r.accuracy_gain),
+               json_number(r.raw_exterior_reward),
+               json_number(r.reward_exterior), json_number(r.reward_inner),
+               json_number(r.participants), json_number(r.offline),
+               json_number(r.delivered), json_number(r.crashed),
+               json_number(r.late), json_number(r.rejected),
+               join_list(r.node_prices), join_list(r.node_zetas),
+               join_list(r.node_participates), join_list(r.node_times),
+               join_list(r.node_payments)});
+}
+
+std::unique_ptr<RoundSink> make_round_sink(const std::string& path) {
+  if (ends_with(path, ".csv")) return std::make_unique<CsvRoundSink>(path);
+  return std::make_unique<JsonlRoundSink>(path);
+}
+
+}  // namespace chiron::obs

@@ -1,0 +1,99 @@
+// Structured round logs: one record per executed (or aborted) training
+// round, emitted by EdgeLearnEnv behind the RoundSink interface
+// (DESIGN.md §5.9).
+//
+// The record carries every per-round quantity the paper's evaluation is
+// judged on — the exterior action p_total, per-node prices/ζ/
+// participation/times, payment and remaining budget, idle time, A(ω_k),
+// both Eqn 14/15 rewards, and the fault-delivery outcome — so budget
+// pacing and time consistency can be inspected offline without any
+// harness-specific CSV plumbing.
+//
+// Every field derives from the deterministic StepResult, and numbers are
+// serialized round-trip exactly (obs/json.h), so a round log is
+// byte-identical at any --threads. Aborted rounds ARE logged (with
+// `aborted: true` and the zeroed-economics contract of env.h) — the
+// abort is precisely the budget event an incentive analysis needs to see.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+
+namespace chiron::obs {
+
+/// Everything observable about one round, flattened for emission.
+struct RoundRecord {
+  int episode = 0;  // env reset() count − 1: which episode this round is in
+  int round = 0;    // 1-based round index within the episode
+  bool aborted = false;
+  double p_total = 0.0;  // Σ posted prices — the exterior agent's action
+  double payment = 0.0;
+  double budget_remaining = 0.0;
+  double round_time = 0.0;
+  double idle_time = 0.0;
+  double time_efficiency = 0.0;
+  double accuracy = 0.0;       // A(ω_k)
+  double accuracy_gain = 0.0;  // ΔA
+  double raw_exterior_reward = 0.0;
+  double reward_exterior = 0.0;
+  double reward_inner = 0.0;
+  int participants = 0;
+  int offline = 0;
+  int delivered = 0;
+  int crashed = 0;
+  int late = 0;
+  int rejected = 0;
+  // Per-node detail, index-aligned with the environment's nodes. Empty
+  // for aborted rounds (the round never executed).
+  std::vector<double> node_prices;   // effective posted prices
+  std::vector<double> node_zetas;    // chosen frequencies (0 = declined)
+  std::vector<int> node_participates;
+  std::vector<double> node_times;    // realized wall-clock T_i
+  std::vector<double> node_payments; // realized pay (delivery only)
+};
+
+/// Receives one record per round. Implementations must tolerate records
+/// from consecutive episodes (episode/round fields restart).
+class RoundSink {
+ public:
+  virtual ~RoundSink() = default;
+  virtual void write(const RoundRecord& record) = 0;
+};
+
+/// One JSON object per line; fixed key order, round-trip-exact numbers.
+class JsonlRoundSink final : public RoundSink {
+ public:
+  /// Writes to an externally owned stream.
+  explicit JsonlRoundSink(std::ostream& os);
+  /// Opens (truncates) `path`; throws InvariantError if it cannot.
+  explicit JsonlRoundSink(const std::string& path);
+  void write(const RoundRecord& record) override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+};
+
+/// RFC-4180 CSV backend: scalar fields as columns, per-node vectors as
+/// comma-joined (and therefore quoted) list cells.
+class CsvRoundSink final : public RoundSink {
+ public:
+  explicit CsvRoundSink(std::ostream& os);
+  explicit CsvRoundSink(const std::string& path);
+  void write(const RoundRecord& record) override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  TableWriter writer_;
+  bool header_written_ = false;
+};
+
+/// Opens the sink matching the path's extension: ".csv" → CsvRoundSink,
+/// everything else → JsonlRoundSink.
+std::unique_ptr<RoundSink> make_round_sink(const std::string& path);
+
+}  // namespace chiron::obs

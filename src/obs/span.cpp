@@ -1,0 +1,99 @@
+#include "obs/span.h"
+
+#include <mutex>
+#include <ostream>
+
+#include "obs/clock.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace chiron::obs {
+
+namespace {
+
+constexpr int kPhases = 5;
+
+bool g_tracing = false;
+
+std::mutex& trace_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<TraceEvent>& trace_buffer() {
+  static std::vector<TraceEvent> buf;
+  return buf;
+}
+
+// Exponential microsecond buckets: 100 µs .. 100 s, one decade apart —
+// wide enough for a single matmul and a full real-training round alike.
+std::vector<double> span_bounds() {
+  return {1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8};
+}
+
+// Histogram ids, registered once on first use (thread-safe magic static;
+// after that the lookup is a plain array read on the hot path).
+int span_histogram(Phase phase) {
+  static const int ids[kPhases] = {
+      MetricsRegistry::instance().histogram("span.round.us", span_bounds()),
+      MetricsRegistry::instance().histogram("span.local_train.us",
+                                            span_bounds()),
+      MetricsRegistry::instance().histogram("span.aggregate.us",
+                                            span_bounds()),
+      MetricsRegistry::instance().histogram("span.evaluate.us", span_bounds()),
+      MetricsRegistry::instance().histogram("span.ppo_update.us",
+                                            span_bounds()),
+  };
+  return ids[static_cast<int>(phase)];
+}
+
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kRound: return "round";
+    case Phase::kLocalTrain: return "local_train";
+    case Phase::kAggregate: return "aggregate";
+    case Phase::kEvaluate: return "evaluate";
+    case Phase::kPpoUpdate: return "ppo_update";
+  }
+  return "?";
+}
+
+void set_tracing(bool on) { g_tracing = on; }
+bool tracing() { return g_tracing; }
+
+std::vector<TraceEvent> drain_trace() {
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  std::vector<TraceEvent> out;
+  out.swap(trace_buffer());
+  return out;
+}
+
+void write_trace_jsonl(std::ostream& os) {
+  for (const TraceEvent& e : drain_trace()) {
+    os << "{\"phase\":\"" << phase_name(e.phase)
+       << "\",\"start_us\":" << json_number(e.start_us)
+       << ",\"duration_us\":" << json_number(e.duration_us) << "}\n";
+  }
+}
+
+Span::Span(Phase phase) : phase_(phase) {
+  active_ = MetricsRegistry::instance().enabled() || g_tracing;
+  if (active_) start_us_ = now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t dur = now_us() - start_us_;
+  if (MetricsRegistry::instance().enabled()) {
+    MetricsRegistry::instance().observe(span_histogram(phase_),
+                                        static_cast<double>(dur));
+  }
+  if (g_tracing) {
+    std::lock_guard<std::mutex> lock(trace_mutex());
+    trace_buffer().push_back({phase_, start_us_, dur});
+  }
+}
+
+}  // namespace chiron::obs

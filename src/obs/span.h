@@ -1,0 +1,66 @@
+// RAII span timers over the observability clock (DESIGN.md §5.9).
+//
+// A Span measures one phase of a round — the five phases cover the whole
+// per-round pipeline — and on close records the elapsed whole microseconds
+// into a wall-time histogram of the process MetricsRegistry ("span.<name>
+// .us") and, when tracing is on, appends a TraceEvent to the in-memory
+// trace buffer. Whole-microsecond observations keep histogram sums exact
+// (integer-valued doubles add associatively), so metric aggregates stay
+// order-independent even though wall time itself is not deterministic.
+//
+// When both metrics and tracing are disabled a Span performs no clock
+// read at all — construction and destruction are two branch tests — so
+// instrumented hot paths cost nothing in ordinary runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace chiron::obs {
+
+/// The instrumented phases of a training round.
+enum class Phase : int {
+  kRound = 0,       // one EdgeLearnEnv step (market + train + economics)
+  kLocalTrain = 1,  // one node's local SGD (runs on pool workers)
+  kAggregate = 2,   // server-side FedAvg over delivered uploads
+  kEvaluate = 3,    // global test-set evaluation
+  kPpoUpdate = 4,   // one PPO update over an episode batch
+};
+
+/// Stable lowercase name of a phase ("round", "local_train", ...).
+const char* phase_name(Phase phase);
+
+/// Enables/disables the in-memory trace buffer (default off). Serial-
+/// section operation, like MetricsRegistry::set_enabled.
+void set_tracing(bool on);
+bool tracing();
+
+/// One closed span in the trace buffer. Times are obs::now_us() values —
+/// process-local, monotonic, not comparable across runs.
+struct TraceEvent {
+  Phase phase = Phase::kRound;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+};
+
+/// Returns the buffered events in completion order and clears the buffer.
+std::vector<TraceEvent> drain_trace();
+
+/// Drains the buffer and writes it as JSONL, one event per line.
+void write_trace_jsonl(std::ostream& os);
+
+class Span {
+ public:
+  explicit Span(Phase phase);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Phase phase_;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace chiron::obs

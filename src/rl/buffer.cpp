@@ -54,6 +54,8 @@ void RolloutBuffer::finalize(bool normalize) {
   if (normalize && n > 1) {
     RunningStat rs;
     for (float a : advantages_) rs.push(a);
+    // Population (n) stddev on purpose: the buffer is the entire
+    // population being whitened, not a sample — see stats.h.
     const double std = rs.stddev();
     const double mean = rs.mean();
     if (std > 1e-8) {

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace chiron::rl {
 
@@ -34,6 +36,14 @@ std::vector<float> PpoAgent::act_mean(const std::vector<float>& obs) {
 
 double PpoAgent::update(RolloutBuffer& buffer) {
   CHIRON_CHECK_MSG(buffer.finished(), "buffer must be finish()ed");
+  obs::Span update_span(obs::Phase::kPpoUpdate);
+  {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    if (reg.enabled()) {
+      static const int updates_id = reg.counter("ppo.updates");
+      reg.add(updates_id);
+    }
+  }
   const Tensor obs = buffer.observations();
   const Tensor actions = buffer.actions();
   const std::vector<float>& logp_old = buffer.log_probs();

@@ -46,6 +46,30 @@ TEST(TableWriter, RowWithoutHeaderAllowed) {
   EXPECT_EQ(os.str(), "free\tform\n");
 }
 
+TEST(TableWriter, QuotesCellsContainingTheDelimiter) {
+  std::ostringstream os;
+  TableWriter w(os, ',');
+  w.header({"name", "values"});
+  w.row({"n0", "1,2,3"});
+  EXPECT_EQ(os.str(), "name,values\nn0,\"1,2,3\"\n");
+}
+
+TEST(TableWriter, QuotesQuotesAndLineBreaks) {
+  std::ostringstream os;
+  TableWriter w(os, ',');
+  w.row({"say \"hi\"", "two\nlines"});
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\",\"two\nlines\"\n");
+}
+
+TEST(TableWriter, TsvCellWithCommaIsNotQuoted) {
+  // Quoting keys on the active delimiter, so default TSV output of
+  // comma-bearing cells stays verbatim (byte-compatible with old logs).
+  std::ostringstream os;
+  TableWriter w(os);
+  w.row({"1,2", "x"});
+  EXPECT_EQ(os.str(), "1,2\tx\n");
+}
+
 TEST(TableWriter, NumFormatsFixedPrecision) {
   EXPECT_EQ(TableWriter::num(1.23456, 2), "1.23");
   EXPECT_EQ(TableWriter::num(2.0, 3), "2.000");

@@ -57,6 +57,53 @@ TEST(Flags, BareDoubleDashThrows) {
   EXPECT_THROW(FlagParser({"--"}), InvariantError);
 }
 
+TEST(Flags, IntOutOfRangeThrows) {
+  // strtol clamps these to LONG_MAX/LONG_MIN with ERANGE; the old code
+  // cast the clamp to int silently.
+  FlagParser p({"--big=99999999999999999999", "--small=-99999999999999999999",
+                "--wide=4294967296"});
+  EXPECT_THROW(p.get_int("big", 0), InvariantError);
+  EXPECT_THROW(p.get_int("small", 0), InvariantError);
+  // Fits in long but not in int.
+  EXPECT_THROW(p.get_int("wide", 0), InvariantError);
+}
+
+TEST(Flags, DoubleOverflowThrows) {
+  FlagParser p({"--x=1e999"});
+  EXPECT_THROW(p.get_double("x", 0), InvariantError);
+}
+
+TEST(Flags, DuplicateFlagIsAHardError) {
+  EXPECT_THROW(FlagParser({"--nodes=3", "--nodes=5"}), InvariantError);
+  EXPECT_THROW(FlagParser({"--nodes", "3", "--nodes=5"}), InvariantError);
+  EXPECT_THROW(FlagParser({"--real", "--real"}), InvariantError);
+}
+
+TEST(ParseDoubleList, ParsesCommaSeparatedNumbers) {
+  const auto v = parse_double_list("40,80.5,1e2", "--budgets");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 40.0);
+  EXPECT_DOUBLE_EQ(v[1], 80.5);
+  EXPECT_DOUBLE_EQ(v[2], 100.0);
+}
+
+TEST(ParseDoubleList, NamesTheOffendingElement) {
+  try {
+    parse_double_list("40,abc,80", "--budgets");
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParseDoubleList, RejectsEmptyListsAndElements) {
+  EXPECT_THROW(parse_double_list("", "--budgets"), InvariantError);
+  EXPECT_THROW(parse_double_list("40,,80", "--budgets"), InvariantError);
+  EXPECT_THROW(parse_double_list("40,", "--budgets"), InvariantError);
+  EXPECT_THROW(parse_double_list("1e999", "--budgets"), InvariantError);
+}
+
 TEST(Flags, UnknownFlagDetection) {
   FlagParser p({"--nodes=3", "--typo=1"});
   auto unknown = p.unknown_flags({"nodes", "budget"});

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.h"
 
 namespace chiron {
@@ -28,6 +30,16 @@ TEST(RunningStat, KnownMoments) {
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
   EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
   EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  // Bessel-corrected: m2 / (n − 1) = 32 / 7.
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(s.sample_stddev(), std::sqrt(32.0 / 7.0));
+}
+
+TEST(RunningStat, SampleVarianceDegenerateCases) {
+  RunningStat s;
+  EXPECT_EQ(s.sample_variance(), 0.0);
+  s.push(3.0);
+  EXPECT_EQ(s.sample_variance(), 0.0);
 }
 
 TEST(RunningStat, ShiftInvariantVariance) {
@@ -51,6 +63,8 @@ TEST(Summarize, Basic) {
   EXPECT_DOUBLE_EQ(s.mean, 2.0);
   EXPECT_DOUBLE_EQ(s.min, 1.0);
   EXPECT_DOUBLE_EQ(s.max, 3.0);
+  // Run-to-run spread is a sample statistic: m2/(n−1) = 2/2 = 1.
+  EXPECT_DOUBLE_EQ(s.stddev, 1.0);
 }
 
 TEST(MovingAverage, WindowOneIsIdentity) {

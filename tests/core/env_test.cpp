@@ -89,6 +89,60 @@ TEST(EdgeLearnEnv, OverdraftAbortsAndDiscardsRound) {
   EXPECT_DOUBLE_EQ(env.accuracy(), acc0);          // no training happened
 }
 
+// Pins the full aborted-round contract of env.h: accuracy frozen, every
+// other field at its zero default. The abort happens after the market ran,
+// so a leaky implementation would carry the market outcome (payment,
+// participants, per-node decisions) into the result.
+void expect_aborted_contract(const StepResult& r, double frozen_accuracy) {
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_DOUBLE_EQ(r.accuracy, frozen_accuracy);
+  EXPECT_EQ(r.reward_exterior, 0.0);
+  EXPECT_EQ(r.reward_inner, 0.0);
+  EXPECT_EQ(r.raw_exterior_reward, 0.0);
+  EXPECT_EQ(r.round_time, 0.0);
+  EXPECT_EQ(r.accuracy_gain, 0.0);
+  EXPECT_EQ(r.payment, 0.0);
+  EXPECT_EQ(r.idle_time, 0.0);
+  EXPECT_EQ(r.time_efficiency, 0.0);
+  EXPECT_EQ(r.participants, 0);
+  EXPECT_EQ(r.offline, 0);
+  EXPECT_EQ(r.delivered, 0);
+  EXPECT_EQ(r.crashed, 0);
+  EXPECT_EQ(r.late, 0);
+  EXPECT_EQ(r.rejected, 0);
+  EXPECT_TRUE(r.outcome.nodes.empty());
+  EXPECT_EQ(r.outcome.participants, 0);
+  EXPECT_EQ(r.outcome.total_payment, 0.0);
+  EXPECT_EQ(r.outcome.round_time, 0.0);
+}
+
+TEST(EdgeLearnEnv, AbortedRoundZeroesEveryEconomicsField) {
+  EnvConfig c = small_config();
+  c.budget = 1e-3;
+  // Availability draws would legitimately raise `offline`; the contract
+  // says even that must not leak out of a discarded round.
+  c.node_availability = 0.5;
+  EdgeLearnEnv env(c);
+  env.reset();
+  const double acc0 = env.accuracy();
+  StepResult r = env.step(saturation_prices(env));
+  expect_aborted_contract(r, acc0);
+}
+
+TEST(EdgeLearnEnv, AbortedRoundZeroesEveryEconomicsFieldFaultyPath) {
+  EnvConfig c = small_config();
+  c.budget = 1e-3;
+  c.faults.crash_prob = 0.5;  // forces the fault-tolerant pipeline
+  EdgeLearnEnv env(c);
+  env.reset();
+  const double acc0 = env.accuracy();
+  StepResult r = env.step(saturation_prices(env));
+  expect_aborted_contract(r, acc0);
+  EXPECT_EQ(env.round(), 0);
+  EXPECT_DOUBLE_EQ(env.budget_remaining(), 1e-3);
+}
+
 TEST(EdgeLearnEnv, EpisodeEndsWhenBudgetExhausted) {
   EdgeLearnEnv env(small_config());
   env.reset();

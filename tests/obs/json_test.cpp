@@ -1,0 +1,49 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace chiron::obs {
+namespace {
+
+TEST(JsonEscape, PassThroughAndSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonNumber, IntegersPrintExactly) {
+  EXPECT_EQ(json_number(0), "0");
+  EXPECT_EQ(json_number(-7), "-7");
+  EXPECT_EQ(json_number(std::uint64_t{18446744073709551615u}),
+            "18446744073709551615");
+}
+
+TEST(JsonNumber, DoublesRoundTrip) {
+  for (double v : {0.1, 1.0 / 3.0, 12.774079731205163, -1e-300, 6.02e23}) {
+    const std::string text = json_number(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+}
+
+TEST(JsonNumber, NonFiniteValuesAreQuoted) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "\"nan\"");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "\"inf\"");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()),
+            "\"-inf\"");
+}
+
+TEST(JsonArray, FormatsEveryOverload) {
+  EXPECT_EQ(json_array(std::vector<double>{}), "[]");
+  EXPECT_EQ(json_array(std::vector<int>{1, 2, 3}), "[1,2,3]");
+  EXPECT_EQ(json_array(std::vector<std::uint64_t>{4, 5}), "[4,5]");
+  EXPECT_EQ(json_array(std::vector<double>{0.5}), "[0.5]");
+}
+
+}  // namespace
+}  // namespace chiron::obs

@@ -1,0 +1,87 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace chiron::obs {
+namespace {
+
+// Spans record into the process registry; each test leaves both the
+// registry and tracing disabled and drained.
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::instance().reset();
+    MetricsRegistry::instance().set_enabled(false);
+    set_tracing(false);
+    drain_trace();
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().set_enabled(false);
+    set_tracing(false);
+    drain_trace();
+  }
+};
+
+std::uint64_t span_round_count() {
+  for (const auto& h : MetricsRegistry::instance().snapshot().histograms) {
+    if (h.name == "span.round.us") return h.count;
+  }
+  return 0;
+}
+
+TEST_F(SpanTest, PhaseNamesAreStable) {
+  EXPECT_STREQ(phase_name(Phase::kRound), "round");
+  EXPECT_STREQ(phase_name(Phase::kLocalTrain), "local_train");
+  EXPECT_STREQ(phase_name(Phase::kAggregate), "aggregate");
+  EXPECT_STREQ(phase_name(Phase::kEvaluate), "evaluate");
+  EXPECT_STREQ(phase_name(Phase::kPpoUpdate), "ppo_update");
+}
+
+TEST_F(SpanTest, DisabledSpanRecordsNothing) {
+  { Span s(Phase::kRound); }
+  EXPECT_EQ(span_round_count(), 0u);
+  EXPECT_TRUE(drain_trace().empty());
+}
+
+TEST_F(SpanTest, EnabledSpanFeedsTheWallTimeHistogram) {
+  MetricsRegistry::instance().set_enabled(true);
+  { Span s(Phase::kRound); }
+  { Span s(Phase::kRound); }
+  EXPECT_EQ(span_round_count(), 2u);
+}
+
+TEST_F(SpanTest, TracingBuffersEventsInCompletionOrder) {
+  set_tracing(true);
+  {
+    Span outer(Phase::kRound);
+    Span inner(Phase::kEvaluate);
+  }
+  auto events = drain_trace();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first (reverse destruction order).
+  EXPECT_EQ(events[0].phase, Phase::kEvaluate);
+  EXPECT_EQ(events[1].phase, Phase::kRound);
+  EXPECT_GE(events[1].duration_us, events[0].duration_us);
+  EXPECT_TRUE(drain_trace().empty()) << "drain must clear the buffer";
+}
+
+TEST_F(SpanTest, WriteTraceJsonlOneEventPerLine) {
+  set_tracing(true);
+  { Span s(Phase::kPpoUpdate); }
+  std::ostringstream os;
+  write_trace_jsonl(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("{\"phase\":\"ppo_update\",\"start_us\":"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"duration_us\":"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+}  // namespace
+}  // namespace chiron::obs

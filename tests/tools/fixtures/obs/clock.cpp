@@ -1,0 +1,9 @@
+// Lint fixture: a steady_clock read inside obs/clock.cpp — the single
+// sanctioned wall-clock TU (span timing never feeds results), so ND1 is
+// whitelisted here. Never compiled — scanned by tests/tools/lint_test.cpp.
+#include <chrono>
+
+unsigned long long now() {
+  return static_cast<unsigned long long>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}

@@ -99,6 +99,16 @@ TEST(LintScoping, RuntimeDirectoryMayUseRawThreads) {
   EXPECT_TRUE(lint_fixture("runtime/thread_ok.cpp").empty());
 }
 
+TEST(LintScoping, ObsClockTuMayReadSteadyClock) {
+  // obs/clock.cpp is the single sanctioned wall-clock TU; the identical
+  // line anywhere else stays an ND1 violation.
+  EXPECT_TRUE(lint_fixture("obs/clock.cpp").empty());
+  const auto v = chiron::lint::lint_source(
+      "obs/metrics.cpp", "#include <chrono>\nauto t = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "ND1");
+}
+
 TEST(LintScoping, CommentsAndStringsNeverMatch) {
   EXPECT_TRUE(lint_fixture("clean/comments_and_strings.cpp").empty());
 }

@@ -8,7 +8,10 @@
 #   5. TSan                 — concurrency-heavy suites under -fsanitize=thread
 #   6. ASan                 — same suites under -fsanitize=address
 #   7. clang-tidy           — curated profile (skips when not installed)
-#   8. benchmarks           — regenerates BENCH_substrate.json, so a perf
+#   8. observability        — fig3 harness with round log + metrics +
+#                             tracing on, diffed across --threads 1 vs 8
+#                             (DESIGN.md §5.9 determinism contract)
+#   9. benchmarks           — regenerates BENCH_substrate.json, so a perf
 #                             regression (or a silently missing benchmark
 #                             binary) fails the check instead of dropping
 #                             out of the trajectory
@@ -41,14 +44,15 @@ build_and_ctest() {
   ctest --test-dir build --output-on-failure -j"$(nproc)"
 }
 
-stage "1/8: chiron-lint (determinism & threading contract)" tools/check_lint.sh
-stage "2/8: header self-containment" tools/check_headers.sh
-stage "3/8: build -Werror + full ctest" build_and_ctest
-stage "4/8: UndefinedBehaviorSanitizer" tools/check_ubsan.sh
-stage "5/8: ThreadSanitizer" tools/check_tsan.sh
-stage "6/8: AddressSanitizer" tools/check_asan.sh
-stage "7/8: clang-tidy" tools/check_tidy.sh
-stage "8/8: substrate benchmarks -> BENCH_substrate.json" tools/bench_substrate.sh
+stage "1/9: chiron-lint (determinism & threading contract)" tools/check_lint.sh
+stage "2/9: header self-containment" tools/check_headers.sh
+stage "3/9: build -Werror + full ctest" build_and_ctest
+stage "4/9: UndefinedBehaviorSanitizer" tools/check_ubsan.sh
+stage "5/9: ThreadSanitizer" tools/check_tsan.sh
+stage "6/9: AddressSanitizer" tools/check_asan.sh
+stage "7/9: clang-tidy" tools/check_tidy.sh
+stage "8/9: observability determinism (threads 1 vs 8 diff)" tools/check_obs.sh
+stage "9/9: substrate benchmarks -> BENCH_substrate.json" tools/bench_substrate.sh
 
 echo
 echo "check_all: OK (all stages passed)"

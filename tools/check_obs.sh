@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Observability determinism check (DESIGN.md §5.9).
+#
+# Runs the fig3 convergence harness twice — single-threaded and with 8
+# worker threads — with the structured round log, the metrics registry
+# and span tracing all enabled, then diffs:
+#
+#   * the round logs   — must be byte-identical across thread counts
+#   * harness stdout   — must be byte-identical across thread counts
+#
+# This is the end-to-end form of the contract the unit tests pin
+# (RoundLogSchema.ByteIdenticalAcrossThreadCounts): turning the
+# observability layer on must not perturb a single result bit.
+#
+# Note: 12 episodes, not fewer — fig3's late-window summary needs at
+# least 10 episodes per approach.
+#
+# Usage: tools/check_obs.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/bench/fig3_convergence"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DCHIRON_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target fig3_convergence
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+run() {
+  local threads="$1"
+  "$BIN" --episodes 12 --threads "$threads" \
+    --round-log "$TMP/rounds_t$threads.jsonl" \
+    --metrics-out "$TMP/metrics_t$threads.json" \
+    --trace "$TMP/trace_t$threads.jsonl" \
+    > "$TMP/stdout_t$threads.txt"
+}
+
+run 1
+run 8
+
+diff -u "$TMP/rounds_t1.jsonl" "$TMP/rounds_t8.jsonl" \
+  || { echo "check_obs: FAIL (round log differs between --threads 1 and 8)"; exit 1; }
+diff -u "$TMP/stdout_t1.txt" "$TMP/stdout_t8.txt" \
+  || { echo "check_obs: FAIL (stdout differs between --threads 1 and 8)"; exit 1; }
+
+for t in 1 8; do
+  [ -s "$TMP/metrics_t$t.json" ] \
+    || { echo "check_obs: FAIL (empty metrics file at --threads $t)"; exit 1; }
+  [ -s "$TMP/trace_t$t.jsonl" ] \
+    || { echo "check_obs: FAIL (empty trace file at --threads $t)"; exit 1; }
+done
+
+echo "check_obs: OK (round log and stdout byte-identical at --threads 1 vs 8)"

@@ -16,9 +16,16 @@
 //
 //   chiron_cli sweep   [--task T] [--budgets 40,80,120] [--episodes E]
 //       Budget sweep for one task (the Fig. 4/5/6 row generator).
+//
+// Observability (train/compare/sweep; DESIGN.md §5.9):
+//   --round-log PATH    structured per-round log (.jsonl or .csv)
+//   --metrics-out PATH  end-of-run metrics snapshot (JSON)
+//   --trace PATH        span trace (JSONL); the bare `--trace` switch on
+//                       `train` keeps its original meaning (round-by-round
+//                       TSV of the final evaluation episode)
 #include <algorithm>
+#include <fstream>
 #include <iostream>
-#include <sstream>
 
 #include "baselines/greedy.h"
 #include "baselines/single_drl.h"
@@ -29,6 +36,9 @@
 #include "core/mechanism.h"
 #include "core/recorder.h"
 #include "core/actions.h"
+#include "obs/metrics.h"
+#include "obs/round_log.h"
+#include "obs/span.h"
 #include "runtime/runtime.h"
 #include "sysmodel/economics.h"
 
@@ -85,17 +95,51 @@ core::ChironConfig chiron_from_flags(const FlagParser& flags, int nodes) {
   return c;
 }
 
-std::vector<double> parse_budgets(const std::string& csv) {
-  std::vector<double> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    CHIRON_CHECK_MSG(!item.empty(), "empty budget in list");
-    out.push_back(std::stod(item));
+// RAII scope for the CLI's observability outputs: enables the metrics
+// registry / span tracing when the matching flags carry a path, opens the
+// round sink, and writes everything out on destruction.
+class ObsScope {
+ public:
+  explicit ObsScope(const FlagParser& flags)
+      : metrics_out_(flags.get("metrics-out", "")),
+        trace_out_(flags.get("trace", "")) {
+    CHIRON_CHECK_MSG(!flags.has("metrics-out") || !metrics_out_.empty(),
+                     "--metrics-out needs a path");
+    if (!metrics_out_.empty()) {
+      obs::MetricsRegistry::instance().reset();
+      obs::MetricsRegistry::instance().set_enabled(true);
+    }
+    if (!trace_out_.empty()) obs::set_tracing(true);
+    if (flags.has("round-log")) {
+      const std::string path = flags.get("round-log");
+      CHIRON_CHECK_MSG(!path.empty(), "--round-log needs a path");
+      sink_ = obs::make_round_sink(path);
+    }
   }
-  CHIRON_CHECK_MSG(!out.empty(), "no budgets given");
-  return out;
-}
+
+  ~ObsScope() {
+    if (!metrics_out_.empty()) {
+      obs::MetricsRegistry::instance().set_enabled(false);
+      std::ofstream out(metrics_out_, std::ios::trunc);
+      if (out.good()) obs::MetricsRegistry::instance().write_json(out);
+    }
+    if (!trace_out_.empty()) {
+      obs::set_tracing(false);
+      std::ofstream out(trace_out_, std::ios::trunc);
+      if (out.good()) obs::write_trace_jsonl(out);
+    }
+  }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  obs::RoundSink* sink() const { return sink_.get(); }
+
+ private:
+  std::unique_ptr<obs::RoundSink> sink_;
+  std::string metrics_out_;
+  std::string trace_out_;
+};
 
 int cmd_market(const FlagParser& flags) {
   core::EnvConfig cfg = env_from_flags(flags);
@@ -120,9 +164,10 @@ int cmd_market(const FlagParser& flags) {
   return 0;
 }
 
-int cmd_train(const FlagParser& flags) {
+int cmd_train(const FlagParser& flags, obs::RoundSink* sink) {
   core::EnvConfig cfg = env_from_flags(flags);
   core::EdgeLearnEnv env(cfg);
+  env.set_round_sink(sink);
   core::ChironConfig cc = chiron_from_flags(flags, cfg.num_nodes);
   core::HierarchicalMechanism chiron(env, cc);
   std::cerr << "training " << cc.episodes << " episodes on " << cfg.num_nodes
@@ -146,7 +191,7 @@ int cmd_train(const FlagParser& flags) {
     chiron.save(flags.get("save"));
     std::cout << "# checkpoint written to " << flags.get("save") << "\n";
   }
-  if (flags.has("trace")) {
+  if (flags.has("trace") && flags.get("trace").empty()) {
     core::RoundTrace trace;
     env.reset();
     Rng rng(cfg.seed + 1000);
@@ -167,7 +212,7 @@ int cmd_train(const FlagParser& flags) {
   return 0;
 }
 
-int cmd_compare(const FlagParser& flags) {
+int cmd_compare(const FlagParser& flags, obs::RoundSink* sink) {
   core::EnvConfig cfg = env_from_flags(flags);
   const int episodes = flags.get_int("episodes", 300);
   TableWriter out(std::cout);
@@ -180,12 +225,14 @@ int cmd_compare(const FlagParser& flags) {
   };
   {
     core::EdgeLearnEnv env(cfg);
+    env.set_round_sink(sink);
     core::HierarchicalMechanism m(env, chiron_from_flags(flags, cfg.num_nodes));
     m.train();
     row("chiron", m.evaluate());
   }
   {
     core::EdgeLearnEnv env(cfg);
+    env.set_round_sink(sink);
     baselines::SingleDrlConfig dc;
     dc.episodes = episodes;
     baselines::SingleAgentDrlMechanism m(env, dc);
@@ -194,6 +241,7 @@ int cmd_compare(const FlagParser& flags) {
   }
   {
     core::EdgeLearnEnv env(cfg);
+    env.set_round_sink(sink);
     baselines::GreedyConfig gc;
     gc.episodes = std::max(episodes / 4, 1);
     baselines::GreedyMechanism m(env, gc);
@@ -202,6 +250,7 @@ int cmd_compare(const FlagParser& flags) {
   }
   {
     core::EdgeLearnEnv env(cfg);
+    env.set_round_sink(sink);
     baselines::StaticOracleMechanism m(env, {});
     m.search();
     row("static_oracle", m.evaluate());
@@ -209,8 +258,9 @@ int cmd_compare(const FlagParser& flags) {
   return 0;
 }
 
-int cmd_sweep(const FlagParser& flags) {
-  const auto budgets = parse_budgets(flags.get("budgets", "40,80,120,160"));
+int cmd_sweep(const FlagParser& flags, obs::RoundSink* sink) {
+  const auto budgets =
+      parse_double_list(flags.get("budgets", "40,80,120,160"), "--budgets");
   TableWriter out(std::cout);
   out.header({"budget", "approach", "accuracy", "rounds",
               "time_efficiency"});
@@ -220,6 +270,7 @@ int cmd_sweep(const FlagParser& flags) {
     cfg.budget = budget;
     {
       core::EdgeLearnEnv env(cfg);
+      env.set_round_sink(sink);
       core::HierarchicalMechanism m(env,
                                     chiron_from_flags(flags, cfg.num_nodes));
       m.train();
@@ -231,6 +282,7 @@ int cmd_sweep(const FlagParser& flags) {
     }
     {
       core::EdgeLearnEnv env(cfg);
+      env.set_round_sink(sink);
       baselines::GreedyConfig gc;
       gc.episodes = std::max(flags.get_int("episodes", 300) / 4, 1);
       baselines::GreedyMechanism m(env, gc);
@@ -255,7 +307,9 @@ void usage() {
       "          --fault-straggler-factor F (max slowdown, default 4)\n"
       "          --fault-corrupt P --fault-persistent P --deadline SECONDS\n"
       "  train:  --save PATH --trace\n"
-      "  sweep:  --budgets 40,80,120\n";
+      "  sweep:  --budgets 40,80,120\n"
+      "  observability: --round-log PATH (.jsonl|.csv)\n"
+      "                 --metrics-out PATH --trace PATH (span trace)\n";
 }
 
 }  // namespace
@@ -268,11 +322,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     runtime::set_threads(threads_flag(flags));
+    ObsScope scope(flags);
     const std::string& cmd = flags.positional().front();
     if (cmd == "market") return cmd_market(flags);
-    if (cmd == "train") return cmd_train(flags);
-    if (cmd == "compare") return cmd_compare(flags);
-    if (cmd == "sweep") return cmd_sweep(flags);
+    if (cmd == "train") return cmd_train(flags, scope.sink());
+    if (cmd == "compare") return cmd_compare(flags, scope.sink());
+    if (cmd == "sweep") return cmd_sweep(flags, scope.sink());
     usage();
     return 2;
   } catch (const std::exception& e) {

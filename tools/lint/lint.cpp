@@ -367,8 +367,11 @@ std::vector<Violation> lint_source(const std::string& rel_path,
                    "header lacks #pragma once (or a classic include guard)"});
   }
 
+  // obs/clock.cpp is the single sanctioned wall-clock read: spans measure
+  // real elapsed time by design, and never feed results (DESIGN.md §5.9).
   const bool rng_whitelisted = ends_with(rel_path, "common/rng.cpp") ||
-                               ends_with(rel_path, "common/rng.h");
+                               ends_with(rel_path, "common/rng.h") ||
+                               ends_with(rel_path, "obs/clock.cpp");
   const bool in_runtime = has_segment(segs, "runtime");
   const bool result_path = has_segment(segs, "core") ||
                            has_segment(segs, "fl") ||
