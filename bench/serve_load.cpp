@@ -1,0 +1,164 @@
+// Serving-path load benchmark (google-benchmark): concurrent clients
+// hammer a MechanismServer and we measure pricing throughput and
+// submit→response latency. The {clients} × {batch_max} grid is the
+// micro-batching exhibit — at 8+ concurrent clients the batched forwards
+// (batch_max 32) must beat single dispatch (batch_max 1) on nodes/sec,
+// which is the serving acceptance criterion recorded in
+// BENCH_substrate.json by tools/bench_substrate.sh.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/clock.h"
+#include "runtime/thread_pool.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+
+using namespace chiron;
+
+namespace {
+
+// A realistic mid-size deployment: 8 nodes, the training default hidden
+// width, and the L·3N+2 exterior observation that implies.
+serve::MechanismWeights bench_weights() {
+  core::MechanismCheckpointInfo info;
+  info.num_nodes = 8;
+  info.exterior_obs_dim = 2 * 3 * 8 + 2;
+  info.hidden = 64;
+  info.price_cap = 1.0;
+
+  auto mlp = [](std::int64_t in, std::int64_t h, std::int64_t out) {
+    return (in * h + h) + (h * h + h) + (h * out + out);
+  };
+  auto fill = [](std::int64_t n) {
+    std::vector<float> v(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] = 0.01f * static_cast<float>(i % 23) - 0.11f;
+    return v;
+  };
+  serve::MechanismWeights w;
+  w.info = info;
+  w.exterior_policy = fill(mlp(info.exterior_obs_dim, info.hidden, 1) + 1);
+  w.exterior_critic = fill(mlp(info.exterior_obs_dim, info.hidden, 1));
+  w.inner_policy = fill(mlp(1, info.hidden, info.num_nodes) +
+                        info.num_nodes);
+  w.inner_critic = fill(mlp(1, info.hidden, 1));
+  return w;
+}
+
+std::vector<float> bench_state(int i, std::int64_t dim) {
+  std::vector<float> s(static_cast<std::size_t>(dim));
+  for (std::size_t j = 0; j < s.size(); ++j)
+    s[j] = 0.03f * static_cast<float>((i + static_cast<int>(j)) % 31);
+  return s;
+}
+
+double percentile(std::vector<std::uint64_t> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1));
+  return static_cast<double>(v[idx]);
+}
+
+}  // namespace
+
+// End-to-end server under concurrent load: range(0) client threads each
+// submit a fixed stream of requests; range(1) is the server's batch_max.
+static void BM_ServeLoad(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int batch_max = static_cast<int>(state.range(1));
+  const int per_client = 64;
+  const std::size_t total =
+      static_cast<std::size_t>(clients) * per_client;
+
+  const serve::MechanismWeights weights = bench_weights();
+  const std::int64_t dim = weights.info.exterior_obs_dim;
+  std::vector<std::vector<float>> states;
+  states.reserve(total);
+  for (std::size_t i = 0; i < total; ++i)
+    states.push_back(bench_state(static_cast<int>(i), dim));
+
+  std::vector<std::uint64_t> submit_us(total);
+  std::vector<std::uint64_t> latency_us(total);
+
+  for (auto _ : state) {
+    serve::ServerConfig cfg;
+    cfg.workers = 4;
+    cfg.batch_max = batch_max;
+    cfg.queue_cap = total;  // no shedding — this measures the happy path
+    serve::MechanismServer server(
+        weights, cfg, [&](const serve::Message& m) {
+          // ids are 1..total and unique; distinct slots race-free.
+          latency_us[m.id - 1] = obs::now_us() - submit_us[m.id - 1];
+        });
+
+    runtime::ThreadPool drivers(clients);
+    std::vector<std::future<void>> done;
+    done.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      done.push_back(drivers.submit([&, c] {
+        for (int i = 0; i < per_client; ++i) {
+          const std::size_t idx =
+              static_cast<std::size_t>(c) * per_client +
+              static_cast<std::size_t>(i);
+          serve::Message m;
+          m.type = serve::MsgType::kPriceRequest;
+          m.id = idx + 1;
+          m.state = states[idx];
+          submit_us[idx] = obs::now_us();
+          server.submit(std::move(m));
+        }
+      }));
+    }
+    for (auto& f : done) f.get();
+    server.stop();
+  }
+
+  const double nodes_priced = static_cast<double>(state.iterations()) *
+                              static_cast<double>(total) *
+                              static_cast<double>(weights.info.num_nodes);
+  state.counters["nodes_per_sec"] =
+      benchmark::Counter(nodes_priced, benchmark::Counter::kIsRate);
+  state.counters["p50_us"] =
+      percentile(latency_us, 0.50);  // of the last iteration
+  state.counters["p99_us"] = percentile(latency_us, 0.99);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_ServeLoad)
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({8, 32})
+    ->Args({32, 1})
+    ->Args({32, 32})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The engine alone: one batched forward of B requests vs B singles —
+// isolates the GEMM batching win from queueing effects.
+static void BM_PriceBatch(benchmark::State& state) {
+  const std::int64_t B = state.range(0);
+  serve::MechanismWeights weights = bench_weights();
+  weights.version = 1;
+  serve::PricingEngine engine(weights.info);
+  engine.adopt(weights);
+
+  const std::int64_t dim = weights.info.exterior_obs_dim;
+  tensor::Tensor states({B, dim});
+  for (std::int64_t b = 0; b < B; ++b) {
+    const std::vector<float> s = bench_state(static_cast<int>(b), dim);
+    for (std::int64_t j = 0; j < dim; ++j)
+      states.at2(b, j) = s[static_cast<std::size_t>(j)];
+  }
+  for (auto _ : state) {
+    auto quotes = engine.price_batch(states);
+    benchmark::DoNotOptimize(quotes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * B);
+}
+BENCHMARK(BM_PriceBatch)->Arg(1)->Arg(8)->Arg(32);
+
+BENCHMARK_MAIN();

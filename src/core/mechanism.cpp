@@ -32,6 +32,40 @@ rl::PpoConfig agent_config(const ChironConfig& c, std::int64_t obs_dim,
 
 }  // namespace
 
+void write_mechanism_header(nn::CheckpointWriter& w,
+                            const MechanismCheckpointInfo& info) {
+  w.write_meta({kMechanismCheckpointVersion,
+                static_cast<double>(info.exterior_obs_dim),
+                static_cast<double>(info.num_nodes),
+                static_cast<double>(info.hidden), info.price_cap});
+}
+
+MechanismCheckpointInfo read_mechanism_header(nn::CheckpointReader& r) {
+  std::vector<double> meta;
+  try {
+    meta = r.read_meta(5);
+  } catch (const InvariantError& e) {
+    CHIRON_CHECK_MSG(false,
+                     "mechanism checkpoint has no config header — pre-v2 "
+                     "file or not a mechanism checkpoint ("
+                         << e.what() << ")");
+  }
+  CHIRON_CHECK_MSG(meta[0] == kMechanismCheckpointVersion,
+                   "unsupported mechanism checkpoint format version "
+                       << meta[0] << " (this build reads version "
+                       << kMechanismCheckpointVersion << ")");
+  MechanismCheckpointInfo info;
+  info.exterior_obs_dim = static_cast<std::int64_t>(meta[1]);
+  info.num_nodes = static_cast<std::int64_t>(meta[2]);
+  info.hidden = static_cast<std::int64_t>(meta[3]);
+  info.price_cap = meta[4];
+  CHIRON_CHECK_MSG(info.exterior_obs_dim > 0 && info.num_nodes > 0 &&
+                       info.hidden > 0 && info.price_cap > 0.0,
+                   "mechanism checkpoint header carries non-positive dims "
+                   "— corrupt file");
+  return info;
+}
+
 ChironConfig paper_scale_config() {
   ChironConfig c;
   c.episodes = 500;
@@ -76,6 +110,12 @@ EpisodeStats HierarchicalMechanism::evaluate(int episodes) {
 
 void HierarchicalMechanism::save(const std::string& path) {
   nn::CheckpointWriter w(path);
+  MechanismCheckpointInfo info;
+  info.exterior_obs_dim = env_.exterior_state_dim();
+  info.num_nodes = env_.num_nodes();
+  info.hidden = config_.hidden;
+  info.price_cap = env_.price_cap();
+  write_mechanism_header(w, info);
   w.write_block(nn::get_flat_params(exterior_.policy().params()));
   w.write_block(nn::get_flat_params(exterior_.critic().params()));
   w.write_block(nn::get_flat_params(inner_.policy().params()));
@@ -84,6 +124,26 @@ void HierarchicalMechanism::save(const std::string& path) {
 
 void HierarchicalMechanism::load(const std::string& path) {
   nn::CheckpointReader r(path);
+  const MechanismCheckpointInfo info = read_mechanism_header(r);
+  CHIRON_CHECK_MSG(info.exterior_obs_dim == env_.exterior_state_dim(),
+                   "checkpoint exterior obs dim "
+                       << info.exterior_obs_dim << " != mechanism's "
+                       << env_.exterior_state_dim()
+                       << " — saved with different num_nodes/history?");
+  CHIRON_CHECK_MSG(info.num_nodes == env_.num_nodes(),
+                   "checkpoint num_nodes " << info.num_nodes
+                                           << " != mechanism's "
+                                           << env_.num_nodes());
+  CHIRON_CHECK_MSG(info.hidden == config_.hidden,
+                   "checkpoint hidden width " << info.hidden
+                                              << " != mechanism's "
+                                              << config_.hidden);
+  CHIRON_CHECK_MSG(info.price_cap == env_.price_cap(),
+                   "checkpoint price cap "
+                       << info.price_cap << " != this market's "
+                       << env_.price_cap()
+                       << " — the mechanism was trained for a different "
+                          "device population");
   auto restore = [&r](std::vector<nn::Param*> params) {
     const std::size_t n = static_cast<std::size_t>(
         nn::parameter_count(params));

@@ -15,6 +15,11 @@
 #include "core/episode.h"
 #include "rl/ppo.h"
 
+namespace chiron::nn {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace chiron::nn
+
 namespace chiron::core {
 
 struct ChironConfig {
@@ -63,6 +68,31 @@ struct ChironConfig {
 
 /// The paper's hyperparameters (§VI-A) verbatim.
 ChironConfig paper_scale_config();
+
+/// Self-describing config header written ahead of the four parameter
+/// blocks of a mechanism checkpoint (format v2). It lets loaders — the
+/// mechanism itself and the serving engine, which has no env — validate
+/// or construct the right network shapes *before* touching tensor code,
+/// so a mismatched file fails with a named dimension instead of a block-
+/// size assert deep in set_flat_params.
+struct MechanismCheckpointInfo {
+  std::int64_t exterior_obs_dim = 0;  // env.exterior_state_dim()
+  std::int64_t num_nodes = 0;         // inner agent's action dim
+  std::int64_t hidden = 0;            // MLP width of all four nets
+  double price_cap = 0.0;             // env.price_cap() at save time
+};
+
+/// Checkpoint format version stamped into the header; bumped whenever the
+/// header or block layout changes.
+inline constexpr double kMechanismCheckpointVersion = 2.0;
+
+void write_mechanism_header(nn::CheckpointWriter& w,
+                            const MechanismCheckpointInfo& info);
+
+/// Reads and validates the header, leaving the reader positioned at the
+/// first parameter block. Throws InvariantError with a clear message on
+/// headerless (pre-v2), wrong-version, or truncated checkpoints.
+MechanismCheckpointInfo read_mechanism_header(nn::CheckpointReader& r);
 
 class HierarchicalMechanism {
  public:

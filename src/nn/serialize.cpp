@@ -10,6 +10,10 @@ namespace chiron::nn {
 
 namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x43484952;  // "CHIR"
+// Plausibility cap for read_block_any: 2^28 floats = 1 GiB. A stored
+// length beyond this is certainly a corrupt or foreign file, and failing
+// here beats letting a garbage 64-bit length drive a huge allocation.
+constexpr std::uint64_t kMaxAnyBlockElems = std::uint64_t{1} << 28;
 }
 
 std::vector<float> get_flat_params(Sequential& net) {
@@ -82,6 +86,14 @@ void CheckpointWriter::write_block(const std::vector<float>& values) {
   CHIRON_CHECK_MSG(impl_->os.good(), "checkpoint write failed");
 }
 
+void CheckpointWriter::write_meta(const std::vector<double>& values) {
+  const std::uint64_t n = values.size();
+  impl_->os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  impl_->os.write(reinterpret_cast<const char*>(values.data()),
+                  static_cast<std::streamsize>(n * sizeof(double)));
+  CHIRON_CHECK_MSG(impl_->os.good(), "checkpoint meta write failed");
+}
+
 struct CheckpointReader::Impl {
   std::ifstream is;
 };
@@ -109,6 +121,34 @@ std::vector<float> CheckpointReader::read_block(std::size_t expected_size) {
   impl_->is.read(reinterpret_cast<char*>(values.data()),
                  static_cast<std::streamsize>(n * sizeof(float)));
   CHIRON_CHECK_MSG(impl_->is.good(), "truncated checkpoint block");
+  return values;
+}
+
+std::vector<float> CheckpointReader::read_block_any() {
+  std::uint64_t n = 0;
+  impl_->is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  CHIRON_CHECK_MSG(impl_->is.good(), "truncated checkpoint");
+  CHIRON_CHECK_MSG(n <= kMaxAnyBlockElems,
+                   "implausible checkpoint block size " << n
+                       << " — corrupt or foreign file");
+  std::vector<float> values(static_cast<std::size_t>(n));
+  impl_->is.read(reinterpret_cast<char*>(values.data()),
+                 static_cast<std::streamsize>(n * sizeof(float)));
+  CHIRON_CHECK_MSG(impl_->is.good(), "truncated checkpoint block");
+  return values;
+}
+
+std::vector<double> CheckpointReader::read_meta(std::size_t expected_size) {
+  std::uint64_t n = 0;
+  impl_->is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  CHIRON_CHECK_MSG(impl_->is.good(), "truncated checkpoint");
+  CHIRON_CHECK_MSG(n == expected_size, "checkpoint meta block has "
+                                           << n << " values, expected "
+                                           << expected_size);
+  std::vector<double> values(static_cast<std::size_t>(n));
+  impl_->is.read(reinterpret_cast<char*>(values.data()),
+                 static_cast<std::streamsize>(n * sizeof(double)));
+  CHIRON_CHECK_MSG(impl_->is.good(), "truncated checkpoint meta block");
   return values;
 }
 

@@ -37,6 +37,12 @@ class CheckpointWriter {
 
   void write_block(const std::vector<float>& values);
 
+  /// Writes a metadata block of raw doubles (config headers: format
+  /// versions, tensor dims, price caps). Meta blocks share the stream
+  /// with float blocks and must be consumed in the written order via
+  /// CheckpointReader::read_meta.
+  void write_meta(const std::vector<double>& values);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
@@ -51,6 +57,16 @@ class CheckpointReader {
 
   /// Reads the next block; `expected_size` must match the stored length.
   std::vector<float> read_block(std::size_t expected_size);
+
+  /// Reads the next float block at whatever length is stored (capped at a
+  /// plausibility bound so a garbage length cannot trigger a huge
+  /// allocation). Used by loaders that size themselves from a config
+  /// header instead of a pre-built network — e.g. the serving engine.
+  std::vector<float> read_block_any();
+
+  /// Reads a metadata block written by CheckpointWriter::write_meta;
+  /// `expected_size` must match the stored length.
+  std::vector<double> read_meta(std::size_t expected_size);
 
   /// Asserts that every block has been consumed: throws InvariantError if
   /// any bytes remain (trailing garbage, or a reader that under-read).

@@ -11,7 +11,7 @@ namespace chiron::obs {
 
 namespace {
 
-constexpr int kPhases = 5;
+constexpr int kPhases = 7;
 
 bool g_tracing = false;
 
@@ -43,6 +43,10 @@ int span_histogram(Phase phase) {
       MetricsRegistry::instance().histogram("span.evaluate.us", span_bounds()),
       MetricsRegistry::instance().histogram("span.ppo_update.us",
                                             span_bounds()),
+      MetricsRegistry::instance().histogram("span.serve_batch.us",
+                                            span_bounds()),
+      MetricsRegistry::instance().histogram("span.serve_reload.us",
+                                            span_bounds()),
   };
   return ids[static_cast<int>(phase)];
 }
@@ -56,6 +60,8 @@ const char* phase_name(Phase phase) {
     case Phase::kAggregate: return "aggregate";
     case Phase::kEvaluate: return "evaluate";
     case Phase::kPpoUpdate: return "ppo_update";
+    case Phase::kServeBatch: return "serve_batch";
+    case Phase::kServeReload: return "serve_reload";
   }
   return "?";
 }

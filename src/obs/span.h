@@ -19,13 +19,15 @@
 
 namespace chiron::obs {
 
-/// The instrumented phases of a training round.
+/// The instrumented phases of a training round (and the serving runtime).
 enum class Phase : int {
-  kRound = 0,       // one EdgeLearnEnv step (market + train + economics)
-  kLocalTrain = 1,  // one node's local SGD (runs on pool workers)
-  kAggregate = 2,   // server-side FedAvg over delivered uploads
-  kEvaluate = 3,    // global test-set evaluation
-  kPpoUpdate = 4,   // one PPO update over an episode batch
+  kRound = 0,        // one EdgeLearnEnv step (market + train + economics)
+  kLocalTrain = 1,   // one node's local SGD (runs on pool workers)
+  kAggregate = 2,    // server-side FedAvg over delivered uploads
+  kEvaluate = 3,     // global test-set evaluation
+  kPpoUpdate = 4,    // one PPO update over an episode batch
+  kServeBatch = 5,   // one batched pricing forward in the mechanism server
+  kServeReload = 6,  // one hot checkpoint reload (validate + publish)
 };
 
 /// Stable lowercase name of a phase ("round", "local_train", ...).

@@ -24,8 +24,12 @@ GaussianPolicy::GaussianPolicy(std::int64_t obs_dim, std::int64_t act_dim,
 std::vector<float> GaussianPolicy::mean(const std::vector<float>& obs) {
   CHIRON_CHECK(static_cast<std::int64_t>(obs.size()) == obs_dim_);
   Tensor x({1, obs_dim_}, std::vector<float>(obs));
-  Tensor mu = net_->forward(x, /*train=*/false);
-  return mu.vec();
+  return mean_batch(x).vec();
+}
+
+Tensor GaussianPolicy::mean_batch(const Tensor& obs, bool train) {
+  CHIRON_CHECK(obs.rank() == 2 && obs.dim(1) == obs_dim_);
+  return net_->forward(obs, train);
 }
 
 PolicySample GaussianPolicy::sample(const std::vector<float>& obs, Rng& rng) {
@@ -50,7 +54,7 @@ std::vector<float> GaussianPolicy::log_prob_batch(const Tensor& obs,
   CHIRON_CHECK(obs.rank() == 2 && obs.dim(1) == obs_dim_);
   CHIRON_CHECK(actions.rank() == 2 && actions.dim(1) == act_dim_);
   CHIRON_CHECK(obs.dim(0) == actions.dim(0));
-  Tensor mu = net_->forward(obs, /*train=*/true);
+  Tensor mu = mean_batch(obs, /*train=*/true);
   const std::int64_t batch = obs.dim(0);
   std::vector<float> out(static_cast<std::size_t>(batch));
   for (std::int64_t b = 0; b < batch; ++b) {

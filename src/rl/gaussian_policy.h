@@ -36,6 +36,14 @@ class GaussianPolicy {
   /// Mean action for a single observation (deterministic evaluation).
   std::vector<float> mean(const std::vector<float>& obs);
 
+  /// Batched deterministic mean forward: (B, obs_dim) → (B, act_dim).
+  /// Row b is bit-identical to mean(row b) — rows flow through the same
+  /// fixed-order GEMM reduction independently — which is what lets the
+  /// serving micro-batcher coalesce requests without changing any
+  /// response byte (pinned by policy_test). `train` keeps backward state
+  /// for the PPO update path; serving calls it with the default false.
+  Tensor mean_batch(const Tensor& obs, bool train = false);
+
   /// Samples an action and returns its log density.
   PolicySample sample(const std::vector<float>& obs, Rng& rng);
 

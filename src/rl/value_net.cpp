@@ -13,7 +13,12 @@ ValueNet::ValueNet(std::int64_t obs_dim, std::int64_t hidden, Rng& rng)
 float ValueNet::value(const std::vector<float>& obs) {
   CHIRON_CHECK(static_cast<std::int64_t>(obs.size()) == obs_dim_);
   Tensor x({1, obs_dim_}, std::vector<float>(obs));
-  return net_->forward(x, /*train=*/false)[0];
+  return value_batch(x)[0];
+}
+
+Tensor ValueNet::value_batch(const Tensor& obs) {
+  CHIRON_CHECK(obs.rank() == 2 && obs.dim(1) == obs_dim_);
+  return net_->forward(obs, /*train=*/false);
 }
 
 Tensor ValueNet::forward_batch(const Tensor& obs) {

@@ -22,6 +22,11 @@ class ValueNet {
   /// Batched forward (B, obs_dim) → (B, 1), keeping backward state.
   Tensor forward_batch(const Tensor& obs);
 
+  /// Batched deterministic eval forward (no training-mode layers). Row b
+  /// is bit-identical to value(row b); shared by the serving engine and
+  /// pinned by policy_test.
+  Tensor value_batch(const Tensor& obs);
+
   /// Backward from dL/d(output) of the last forward_batch.
   void backward(const Tensor& grad_out);
 

@@ -1,0 +1,128 @@
+#include "serve/engine.h"
+
+#include "common/error.h"
+#include "core/actions.h"
+#include "nn/serialize.h"
+
+namespace chiron::serve {
+
+namespace {
+
+// Parameter counts of the fixed architectures behind every mechanism
+// agent (nn::make_tanh_mlp: in → h → h → out, three Linear layers). The
+// engine sizes itself from the checkpoint header, so these are validated
+// against every stored block — a drifted architecture fails loudly here
+// and in the serve tests, not deep in set_flat_params.
+std::int64_t tanh_mlp_params(std::int64_t in, std::int64_t hidden,
+                             std::int64_t out) {
+  return (in * hidden + hidden) + (hidden * hidden + hidden) +
+         (hidden * out + out);
+}
+
+std::int64_t policy_params(std::int64_t in, std::int64_t hidden,
+                           std::int64_t out) {
+  return tanh_mlp_params(in, hidden, out) + out;  // + log_std vector
+}
+
+void check_block(const std::vector<float>& block, std::int64_t expected,
+                 const char* what) {
+  CHIRON_CHECK_MSG(static_cast<std::int64_t>(block.size()) == expected,
+                   "mechanism checkpoint " << what << " block has "
+                                           << block.size()
+                                           << " values, header dims imply "
+                                           << expected);
+}
+
+}  // namespace
+
+MechanismWeights load_mechanism_weights(const std::string& path) {
+  nn::CheckpointReader r(path);
+  MechanismWeights w;
+  w.info = core::read_mechanism_header(r);
+  w.exterior_policy = r.read_block_any();
+  w.exterior_critic = r.read_block_any();
+  w.inner_policy = r.read_block_any();
+  w.inner_critic = r.read_block_any();
+  r.expect_eof();
+  const std::int64_t obs = w.info.exterior_obs_dim;
+  const std::int64_t h = w.info.hidden;
+  const std::int64_t n = w.info.num_nodes;
+  check_block(w.exterior_policy, policy_params(obs, h, 1), "exterior policy");
+  check_block(w.exterior_critic, tanh_mlp_params(obs, h, 1),
+              "exterior critic");
+  check_block(w.inner_policy, policy_params(1, h, n), "inner policy");
+  check_block(w.inner_critic, tanh_mlp_params(1, h, 1), "inner critic");
+  return w;
+}
+
+PricingEngine::PricingEngine(const core::MechanismCheckpointInfo& info)
+    : info_(info) {
+  CHIRON_CHECK(info.exterior_obs_dim > 0 && info.num_nodes > 0 &&
+               info.hidden > 0 && info.price_cap > 0.0);
+  Rng rng(0);  // placeholder init; adopt() overwrites every weight
+  exterior_ = std::make_unique<rl::GaussianPolicy>(info.exterior_obs_dim, 1,
+                                                   info.hidden, rng);
+  inner_ = std::make_unique<rl::GaussianPolicy>(1, info.num_nodes,
+                                                info.hidden, rng);
+}
+
+void PricingEngine::adopt(const MechanismWeights& w) {
+  CHIRON_CHECK_MSG(w.info.exterior_obs_dim == info_.exterior_obs_dim &&
+                       w.info.num_nodes == info_.num_nodes &&
+                       w.info.hidden == info_.hidden,
+                   "reload checkpoint dims (obs "
+                       << w.info.exterior_obs_dim << ", nodes "
+                       << w.info.num_nodes << ", hidden " << w.info.hidden
+                       << ") do not match the serving engine (obs "
+                       << info_.exterior_obs_dim << ", nodes "
+                       << info_.num_nodes << ", hidden " << info_.hidden
+                       << ")");
+  nn::set_flat_params(exterior_->params(), w.exterior_policy);
+  nn::set_flat_params(inner_->params(), w.inner_policy);
+  info_.price_cap = w.info.price_cap;
+  version_ = w.version;
+  adopted_ = true;
+}
+
+std::vector<PriceQuote> PricingEngine::price_batch(
+    const tensor::Tensor& states) {
+  CHIRON_CHECK_MSG(adopted_, "price_batch before adopt()");
+  CHIRON_CHECK(states.rank() == 2 && states.dim(1) == obs_dim());
+  const std::int64_t batch = states.dim(0);
+  std::vector<PriceQuote> out(static_cast<std::size_t>(batch));
+  if (batch == 0) return out;
+
+  // Exterior agent: raw mean → sigmoid-squashed total price.
+  tensor::Tensor raw_total = exterior_->mean_batch(states);  // (B, 1)
+  tensor::Tensor inner_obs({batch, 1});
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const double p_total =
+        core::map_total_price(raw_total.at2(b, 0), info_.price_cap);
+    out[static_cast<std::size_t>(b)].p_total = p_total;
+    // The inner state is the normalized exterior action (paper §V-A) —
+    // the same float cast the training rollout performs, so served
+    // prices match mechanism evaluation bit-for-bit.
+    inner_obs.at2(b, 0) = static_cast<float>(p_total / info_.price_cap);
+  }
+
+  // Inner agent: raw mean logits → softmax proportions → price split.
+  tensor::Tensor logits = inner_->mean_batch(inner_obs);  // (B, N)
+  for (std::int64_t b = 0; b < batch; ++b) {
+    PriceQuote& q = out[static_cast<std::size_t>(b)];
+    const std::vector<double> proportions =
+        core::map_proportions(logits.row(b).vec());
+    q.prices = core::combine_prices(q.p_total, proportions);
+  }
+  return out;
+}
+
+PriceQuote PricingEngine::price_one(const std::vector<float>& state) {
+  CHIRON_CHECK_MSG(static_cast<std::int64_t>(state.size()) == obs_dim(),
+                   "price request state has " << state.size()
+                                              << " values, engine expects "
+                                              << obs_dim());
+  tensor::Tensor x({1, obs_dim()}, std::vector<float>(state));
+  return price_batch(x).front();
+}
+
+}  // namespace chiron::serve

@@ -1,0 +1,87 @@
+// Checkpoint-backed pricing engine of the mechanism server.
+//
+// Splits serving state into two halves so hot reload is an O(1) pointer
+// swap at the server layer:
+//   MechanismWeights — an immutable snapshot of one checkpoint (config
+//     header + the four flat parameter blocks). Cheap to share across
+//     worker threads; never mutated after load.
+//   PricingEngine — one worker's private inference context: the exterior
+//     and inner policy nets plus scratch tensors. Engines adopt() a
+//     weights snapshot between batches (tiny MLPs — a reload costs a few
+//     kilobytes of memcpy) and are NOT thread-safe; each server worker
+//     owns exactly one.
+//
+// price_batch answers B requests with two batched policy forwards
+// (exterior mean → p_total, inner mean → allocation softmax) through the
+// allocation-aware matmul paths. Row b of a batch is bit-identical to a
+// batch of one — GaussianPolicy::mean_batch rows are independent — so the
+// micro-batcher upstream never changes a response byte (serve tests pin
+// this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "rl/gaussian_policy.h"
+#include "tensor/tensor.h"
+
+namespace chiron::serve {
+
+/// Immutable snapshot of one mechanism checkpoint.
+struct MechanismWeights {
+  core::MechanismCheckpointInfo info;
+  std::vector<float> exterior_policy;
+  std::vector<float> exterior_critic;  // kept for completeness; serving
+  std::vector<float> inner_policy;     // uses only the policy blocks
+  std::vector<float> inner_critic;
+  /// Publish order, assigned by MechanismServer::reload (0 = never
+  /// published). Monotonic, so workers can detect a newer snapshot with
+  /// one compare.
+  std::uint64_t version = 0;
+};
+
+/// Parses a v2 mechanism checkpoint: validates the magic, config header
+/// and every block size (the tanh-MLP parameter counts implied by the
+/// header dims) and requires clean EOF. Throws InvariantError with a
+/// named dimension on any mismatch.
+MechanismWeights load_mechanism_weights(const std::string& path);
+
+/// One priced request: the total price and its per-node split (Eqn 13).
+struct PriceQuote {
+  double p_total = 0.0;
+  std::vector<double> prices;
+};
+
+class PricingEngine {
+ public:
+  explicit PricingEngine(const core::MechanismCheckpointInfo& info);
+
+  /// Installs a weights snapshot; dims must match the engine's. The
+  /// price cap may change across reloads (a retrained market).
+  void adopt(const MechanismWeights& w);
+
+  /// Version of the adopted snapshot (0 = none yet).
+  std::uint64_t version() const { return version_; }
+  const core::MechanismCheckpointInfo& info() const { return info_; }
+  std::int64_t obs_dim() const { return info_.exterior_obs_dim; }
+  std::int64_t num_nodes() const { return info_.num_nodes; }
+
+  /// Prices a batch: `states` is (B, exterior_obs_dim); returns B quotes
+  /// in row order. Requires adopt() first.
+  std::vector<PriceQuote> price_batch(const tensor::Tensor& states);
+
+  /// Convenience single-request path (a batch of one).
+  PriceQuote price_one(const std::vector<float>& state);
+
+ private:
+  core::MechanismCheckpointInfo info_;
+  std::unique_ptr<rl::GaussianPolicy> exterior_;
+  std::unique_ptr<rl::GaussianPolicy> inner_;
+  std::uint64_t version_ = 0;
+  bool adopted_ = false;
+};
+
+}  // namespace chiron::serve

@@ -1,0 +1,211 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+
+#include "common/error.h"
+
+namespace chiron::serve {
+
+namespace {
+
+template <typename T>
+void append(std::vector<std::uint8_t>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &v, sizeof(T));
+}
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* p,
+                  std::size_t n) {
+  const std::size_t at = out.size();
+  out.resize(at + n);
+  if (n > 0) std::memcpy(out.data() + at, p, n);
+}
+
+/// Bounds-checked sequential reader over a payload.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  template <typename T>
+  T take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CHIRON_CHECK_MSG(pos_ + sizeof(T) <= size_,
+                     "garbage frame: truncated payload (need "
+                         << sizeof(T) << " bytes at offset " << pos_
+                         << ", payload is " << size_ << ")");
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void take_bytes(void* out, std::size_t n) {
+    CHIRON_CHECK_MSG(pos_ + n <= size_,
+                     "garbage frame: truncated payload (need "
+                         << n << " bytes at offset " << pos_
+                         << ", payload is " << size_ << ")");
+    if (n > 0) std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::uint32_t checked_len(std::uint32_t n, const char* what) {
+  CHIRON_CHECK_MSG(n <= kMaxVectorElems, "garbage frame: " << what
+                                             << " length " << n
+                                             << " exceeds the cap "
+                                             << kMaxVectorElems);
+  return n;
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kShed: return "shed";
+    case Status::kBadRequest: return "bad_request";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode(const Message& m) {
+  std::vector<std::uint8_t> out;
+  append(out, kProtocolMagic);
+  append(out, kProtocolVersion);
+  append(out, static_cast<std::uint8_t>(m.type));
+  append(out, m.id);
+  switch (m.type) {
+    case MsgType::kPriceRequest: {
+      CHIRON_CHECK_MSG(m.state.size() <= kMaxVectorElems,
+                       "price request state too long to encode");
+      append(out, static_cast<std::uint32_t>(m.state.size()));
+      append_bytes(out, m.state.data(), m.state.size() * sizeof(float));
+      break;
+    }
+    case MsgType::kPriceResponse: {
+      CHIRON_CHECK_MSG(m.prices.size() <= kMaxVectorElems,
+                       "price response vector too long to encode");
+      append(out, static_cast<std::uint8_t>(m.status));
+      append(out, m.p_total);
+      append(out, static_cast<std::uint32_t>(m.prices.size()));
+      append_bytes(out, m.prices.data(), m.prices.size() * sizeof(double));
+      append(out, static_cast<std::uint32_t>(m.error.size()));
+      append_bytes(out, m.error.data(), m.error.size());
+      break;
+    }
+    case MsgType::kReload: {
+      append(out, static_cast<std::uint32_t>(m.path.size()));
+      append_bytes(out, m.path.data(), m.path.size());
+      break;
+    }
+    case MsgType::kShutdown:
+      break;
+  }
+  CHIRON_CHECK_MSG(out.size() <= kMaxFramePayload,
+                   "encoded frame exceeds kMaxFramePayload");
+  return out;
+}
+
+Message decode(const std::uint8_t* data, std::size_t size) {
+  Cursor c(data, size);
+  const std::uint32_t magic = c.take<std::uint32_t>();
+  CHIRON_CHECK_MSG(magic == kProtocolMagic,
+                   "garbage frame: bad magic 0x" << std::hex << magic);
+  const std::uint8_t version = c.take<std::uint8_t>();
+  CHIRON_CHECK_MSG(version == kProtocolVersion,
+                   "garbage frame: protocol version "
+                       << static_cast<int>(version) << ", this build speaks "
+                       << static_cast<int>(kProtocolVersion));
+  const std::uint8_t type_raw = c.take<std::uint8_t>();
+  CHIRON_CHECK_MSG(type_raw >= 1 && type_raw <= 4,
+                   "garbage frame: unknown message type "
+                       << static_cast<int>(type_raw));
+  Message m;
+  m.type = static_cast<MsgType>(type_raw);
+  m.id = c.take<std::uint64_t>();
+  switch (m.type) {
+    case MsgType::kPriceRequest: {
+      const std::uint32_t n =
+          checked_len(c.take<std::uint32_t>(), "state vector");
+      m.state.resize(n);
+      c.take_bytes(m.state.data(), std::size_t{n} * sizeof(float));
+      break;
+    }
+    case MsgType::kPriceResponse: {
+      const std::uint8_t status_raw = c.take<std::uint8_t>();
+      CHIRON_CHECK_MSG(status_raw <= 2, "garbage frame: unknown status "
+                                            << static_cast<int>(status_raw));
+      m.status = static_cast<Status>(status_raw);
+      m.p_total = c.take<double>();
+      const std::uint32_t n =
+          checked_len(c.take<std::uint32_t>(), "price vector");
+      m.prices.resize(n);
+      c.take_bytes(m.prices.data(), std::size_t{n} * sizeof(double));
+      const std::uint32_t e =
+          checked_len(c.take<std::uint32_t>(), "diagnostic text");
+      m.error.resize(e);
+      c.take_bytes(m.error.data(), e);
+      break;
+    }
+    case MsgType::kReload: {
+      const std::uint32_t n = checked_len(c.take<std::uint32_t>(), "path");
+      m.path.resize(n);
+      c.take_bytes(m.path.data(), n);
+      break;
+    }
+    case MsgType::kShutdown:
+      break;
+  }
+  CHIRON_CHECK_MSG(c.remaining() == 0,
+                   "garbage frame: " << c.remaining()
+                                     << " trailing bytes after the body");
+  return m;
+}
+
+Message decode(const std::vector<std::uint8_t>& payload) {
+  return decode(payload.data(), payload.size());
+}
+
+void write_frame(std::ostream& os, const std::vector<std::uint8_t>& payload) {
+  CHIRON_CHECK_MSG(payload.size() <= kMaxFramePayload,
+                   "frame payload exceeds kMaxFramePayload");
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  os.write(reinterpret_cast<const char*>(payload.data()),
+           static_cast<std::streamsize>(payload.size()));
+  CHIRON_CHECK_MSG(os.good(), "frame write failed");
+}
+
+bool read_frame(std::istream& is, std::vector<std::uint8_t>* payload) {
+  CHIRON_CHECK(payload != nullptr);
+  std::uint32_t len = 0;
+  is.read(reinterpret_cast<char*>(&len), sizeof(len));
+  if (is.gcount() == 0 && is.eof()) return false;  // clean EOF
+  CHIRON_CHECK_MSG(is.gcount() == sizeof(len),
+                   "truncated frame: EOF inside the length prefix");
+  CHIRON_CHECK_MSG(len <= kMaxFramePayload,
+                   "frame declares " << len << " payload bytes, cap is "
+                                     << kMaxFramePayload);
+  payload->resize(len);
+  is.read(reinterpret_cast<char*>(payload->data()),
+          static_cast<std::streamsize>(len));
+  CHIRON_CHECK_MSG(static_cast<std::uint32_t>(is.gcount()) == len,
+                   "truncated frame: EOF inside a " << len
+                                                    << "-byte payload");
+  return true;
+}
+
+}  // namespace chiron::serve

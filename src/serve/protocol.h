@@ -1,0 +1,92 @@
+// Wire protocol of the mechanism server (DESIGN.md §5.10).
+//
+// Transport: a stream of length-prefixed frames over any byte pipe
+// (chiron_serve speaks it on stdin/stdout; the framing works unchanged
+// over a local socket). Integers and floats are host-endian — this is a
+// local IPC protocol between processes on one machine, never a network
+// format.
+//
+// Frame layout:
+//   u32  payload_len                  (≤ kMaxFramePayload)
+//   payload:
+//     u32  magic      "CHSP" (0x43485350)
+//     u8   version    kProtocolVersion
+//     u8   type       MsgType
+//     u64  id         caller-chosen request id, echoed in the response
+//     ...  type-specific body:
+//       kPriceRequest:  u32 n | n × f32 exterior-state values
+//       kPriceResponse: u8 status | f64 p_total | u32 n | n × f64 prices
+//                       | u32 m | m bytes diagnostic text (non-kOk only)
+//       kReload:        u32 m | m bytes checkpoint path
+//       kShutdown:      (empty)
+//
+// Every request — priced, shed, or malformed — gets exactly one
+// kPriceResponse carrying its id; reload and shutdown are acknowledged
+// with an empty-price response. Decoding validates magic, version, type,
+// declared lengths against the actual payload size, and the element caps
+// below; any violation throws InvariantError ("garbage frame") without
+// reading out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace chiron::serve {
+
+inline constexpr std::uint32_t kProtocolMagic = 0x43485350;  // "CHSP"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Upper bound on one frame's payload bytes; read_frame rejects larger
+/// declared lengths before allocating.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 22;  // 4 MiB
+/// Upper bound on per-message vector lengths (state floats / price
+/// doubles) — generous for any plausible node count, small enough that a
+/// garbage length can never look valid.
+inline constexpr std::uint32_t kMaxVectorElems = 1u << 20;
+
+enum class MsgType : std::uint8_t {
+  kPriceRequest = 1,
+  kPriceResponse = 2,
+  kReload = 3,
+  kShutdown = 4,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kShed = 1,        // bounded queue full (or server stopping): rejected
+  kBadRequest = 2,  // malformed frame / wrong state dim / failed reload
+};
+
+/// Stable lowercase name ("ok", "shed", "bad_request") for logs and the
+/// chiron_serve decode mode.
+const char* status_name(Status s);
+
+/// One decoded message; which fields are meaningful depends on `type`.
+struct Message {
+  MsgType type = MsgType::kPriceRequest;
+  std::uint64_t id = 0;
+  std::vector<float> state;     // kPriceRequest: exterior state s^E
+  Status status = Status::kOk;  // kPriceResponse
+  double p_total = 0.0;         // kPriceResponse
+  std::vector<double> prices;   // kPriceResponse: per-node price split
+  std::string path;             // kReload: checkpoint to swap in
+  std::string error;            // kPriceResponse: diagnostic for non-kOk
+};
+
+/// Serializes a message payload (without the u32 frame length prefix).
+std::vector<std::uint8_t> encode(const Message& m);
+
+/// Parses a payload; throws InvariantError on any malformed input.
+Message decode(const std::uint8_t* data, std::size_t size);
+Message decode(const std::vector<std::uint8_t>& payload);
+
+/// Writes one length-prefixed frame.
+void write_frame(std::ostream& os, const std::vector<std::uint8_t>& payload);
+
+/// Reads one length-prefixed frame into `payload`. Returns false on clean
+/// EOF at a frame boundary; throws InvariantError on a truncated frame or
+/// a declared length beyond kMaxFramePayload.
+bool read_frame(std::istream& is, std::vector<std::uint8_t>* payload);
+
+}  // namespace chiron::serve

@@ -1,0 +1,145 @@
+// MechanismServer — the long-running serving runtime (DESIGN.md §5.10).
+//
+// A bounded request queue feeds worker loops running on a dedicated
+// runtime::ThreadPool. Each worker drains up to `batch_max` queued
+// requests per wake-up and answers them with ONE batched policy forward
+// through its private PricingEngine — the micro-batcher. Because a
+// batch-of-N forward is bit-identical to N batches of one (engine.h),
+// coalescing is purely a throughput lever: response bytes never depend on
+// how requests happened to group, which is what makes `--threads 1` vs
+// `8` byte-diffable in tools/check_serve.sh.
+//
+// Contracts:
+//   Shedding  — submit() on a full queue (or a stopping server) delivers
+//     an immediate kShed response on the caller's thread and counts it;
+//     no request is ever dropped without a response.
+//   Hot reload — reload() publishes a new weights snapshot atomically
+//     (shared_ptr swap under the queue mutex). Workers adopt it at their
+//     next batch boundary; a batch already in flight finishes on the
+//     weights it started with. Callers that need a deterministic
+//     old/new split (the stdio front-end) drain() first.
+//   Responses — the ResponseFn runs on worker threads (and on submit()'s
+//     caller thread for rejections); it must be thread-safe and cheap.
+//
+// Observability (all default-off, PR 5 obs layer): counters
+// serve.{received,served,shed,bad,reloads,batches}, gauge
+// serve.queue_depth, histograms serve.request.us (submit→response
+// latency) and serve.batch_size, plus kServeBatch/kServeReload trace
+// spans.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+
+namespace chiron::serve {
+
+struct ServerConfig {
+  /// Inference worker loops; each owns a PricingEngine replica.
+  int workers = 1;
+  /// Max requests coalesced into one batched forward.
+  int batch_max = 32;
+  /// Bounded queue capacity; submits beyond it are shed.
+  std::size_t queue_cap = 1024;
+};
+
+/// Monotonic service counters (a consistent snapshot via stats()).
+struct ServerStats {
+  std::uint64_t received = 0;  // every submit() call
+  std::uint64_t served = 0;    // priced successfully
+  std::uint64_t shed = 0;      // rejected: queue full / stopping
+  std::uint64_t bad = 0;       // rejected: malformed (wrong state dim)
+  std::uint64_t reloads = 0;   // published weight snapshots (beyond init)
+  std::uint64_t batches = 0;   // batched forwards executed
+  std::uint64_t max_batch = 0; // largest coalesced batch so far
+};
+
+class MechanismServer {
+ public:
+  /// Called once per request with its response (kOk with prices, or a
+  /// rejection). Runs concurrently from worker threads — must be
+  /// thread-safe.
+  using ResponseFn = std::function<void(const Message&)>;
+
+  /// Starts `config.workers` worker loops serving `initial` immediately.
+  MechanismServer(MechanismWeights initial, const ServerConfig& config,
+                  ResponseFn on_response);
+
+  /// Graceful: stop() if still running (drains the queue, joins workers).
+  ~MechanismServer();
+
+  MechanismServer(const MechanismServer&) = delete;
+  MechanismServer& operator=(const MechanismServer&) = delete;
+
+  /// Enqueues a price request. Returns true when queued; false when it
+  /// was rejected — in which case the rejection response has already
+  /// been delivered (shed/bad requests are answered, never dropped).
+  bool submit(Message request);
+
+  /// Publishes a new weights snapshot; dims must match the serving
+  /// engine (InvariantError otherwise — the old weights keep serving).
+  void reload(MechanismWeights weights);
+
+  /// Blocks until the queue is empty and no batch is in flight.
+  void drain();
+
+  /// Stops accepting work, lets the workers drain the queue, joins them.
+  /// Idempotent. Worker exceptions (engine invariants) rethrow here.
+  void stop();
+
+  ServerStats stats() const;
+  std::uint64_t weights_version() const;
+  const core::MechanismCheckpointInfo& info() const { return info_; }
+
+ private:
+  struct Pending {
+    Message request;
+    std::uint64_t enqueue_us = 0;  // 0 when metrics are disabled
+  };
+
+  void worker_loop();
+  void respond_rejection(Message request, Status status, std::string why);
+  void deliver(const Message& response, std::uint64_t enqueue_us);
+
+  const core::MechanismCheckpointInfo info_;  // dims fixed for the server
+  ServerConfig config_;
+  ResponseFn on_response_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  // queue non-empty or stopping
+  std::condition_variable cv_idle_;  // queue empty and nothing in flight
+  std::deque<Pending> queue_;
+  std::shared_ptr<const MechanismWeights> weights_;  // published snapshot
+  std::uint64_t next_version_ = 1;
+  int in_flight_ = 0;
+  bool stopping_ = false;
+  bool joined_ = false;
+  ServerStats stats_;
+
+  // Metric ids (registered in the ctor; recording is branch-cheap when
+  // the registry is disabled).
+  int c_received_ = 0;
+  int c_served_ = 0;
+  int c_shed_ = 0;
+  int c_bad_ = 0;
+  int c_reloads_ = 0;
+  int c_batches_ = 0;
+  int g_queue_depth_ = 0;
+  int h_request_us_ = 0;
+  int h_batch_size_ = 0;
+
+  // Declared last: destroyed first, after stop() has joined the loops.
+  runtime::ThreadPool pool_;
+  std::vector<std::future<void>> loops_;
+};
+
+}  // namespace chiron::serve

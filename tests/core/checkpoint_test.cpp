@@ -114,6 +114,120 @@ TEST(Checkpoint, MechanismSaveLoadRestoresPolicy) {
   std::remove(path.c_str());
 }
 
+TEST(Checkpoint, MechanismHeaderRoundTrip) {
+  const std::string path = temp_path("header_roundtrip.ckpt");
+  MechanismCheckpointInfo info;
+  info.exterior_obs_dim = 26;
+  info.num_nodes = 4;
+  info.hidden = 64;
+  info.price_cap = 3.25e-8;
+  {
+    nn::CheckpointWriter w(path);
+    write_mechanism_header(w, info);
+  }
+  nn::CheckpointReader r(path);
+  const MechanismCheckpointInfo got = read_mechanism_header(r);
+  EXPECT_EQ(got.exterior_obs_dim, 26);
+  EXPECT_EQ(got.num_nodes, 4);
+  EXPECT_EQ(got.hidden, 64);
+  EXPECT_EQ(got.price_cap, 3.25e-8);  // exact double round trip
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, HeaderlessFileReportsPreV2) {
+  // A v1-era file starts straight with a parameter block; the header
+  // reader must say so instead of failing on a confusing size assert.
+  const std::string path = temp_path("headerless.ckpt");
+  {
+    nn::CheckpointWriter w(path);
+    w.write_block({1.f, 2.f, 3.f});
+  }
+  nn::CheckpointReader r(path);
+  try {
+    read_mechanism_header(r);
+    FAIL() << "headerless checkpoint accepted";
+  } catch (const chiron::InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("pre-v2"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedMechanismCheckpointThrows) {
+  const std::string path = temp_path("truncated.ckpt");
+  EnvConfig ec = small_env();
+  ChironConfig cc;
+  cc.episodes = 1;
+  EdgeLearnEnv env(ec);
+  HierarchicalMechanism mech(env, cc);
+  mech.save(path);
+
+  // Chop the file mid-block and reload.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(full, 64);
+  std::string bytes(static_cast<std::size_t>(full), '\0');
+  f = std::fopen(path.c_str(), "rb");
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
+  std::fclose(f);
+
+  EdgeLearnEnv env2(ec);
+  HierarchicalMechanism other(env2, cc);
+  EXPECT_THROW(other.load(path), chiron::InvariantError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, DimMismatchNamesTheDimension) {
+  const std::string path = temp_path("dim_mismatch.ckpt");
+  EnvConfig ec = small_env();
+  ChironConfig cc;
+  cc.episodes = 1;
+  EdgeLearnEnv env(ec);
+  HierarchicalMechanism mech(env, cc);
+  mech.save(path);
+
+  EnvConfig big = ec;
+  big.num_nodes = 7;
+  EdgeLearnEnv env_big(big);
+  HierarchicalMechanism other(env_big, cc);
+  try {
+    other.load(path);
+    FAIL() << "dim-mismatched checkpoint accepted";
+  } catch (const chiron::InvariantError& e) {
+    // The error must point at the mismatched dimension, not a raw size.
+    EXPECT_NE(std::string(e.what()).find("obs dim"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, PriceCapMismatchThrows) {
+  // Same shapes, different market (seed → different saturation prices →
+  // different price cap): the served prices would silently differ from
+  // training, so load refuses.
+  const std::string path = temp_path("cap_mismatch.ckpt");
+  EnvConfig ec = small_env();
+  ChironConfig cc;
+  cc.episodes = 1;
+  EdgeLearnEnv env(ec);
+  HierarchicalMechanism mech(env, cc);
+  mech.save(path);
+
+  EnvConfig other_market = ec;
+  other_market.seed = 72;
+  EdgeLearnEnv env2(other_market);
+  ASSERT_NE(env.price_cap(), env2.price_cap());
+  HierarchicalMechanism other(env2, cc);
+  EXPECT_THROW(other.load(path), chiron::InvariantError);
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, LoadIntoWrongShapeThrows) {
   const std::string path = temp_path("wrong_shape.ckpt");
   EnvConfig ec = small_env();

@@ -137,6 +137,52 @@ TEST(GaussianPolicy, AddEntropyGradAffectsLogStdOnly) {
     EXPECT_EQ(params[i]->grad.sum(), 0.f);
 }
 
+TEST(GaussianPolicy, MeanBatchRowsBitIdenticalToSingles) {
+  // The serving micro-batcher's correctness rests on this: a batch-of-N
+  // deterministic forward must equal N single forwards BIT-FOR-BIT (so
+  // EXPECT_EQ, not EXPECT_NEAR) — coalescing requests can then never
+  // change a response byte.
+  Rng rng(21);
+  GaussianPolicy pi(5, 3, 16, rng);
+  Rng data_rng(22);
+  tensor::Tensor obs = tensor::Tensor::uniform({7, 5}, data_rng, -1.f, 1.f);
+  tensor::Tensor batch = pi.mean_batch(obs);
+  ASSERT_EQ(batch.dim(0), 7);
+  ASSERT_EQ(batch.dim(1), 3);
+  for (std::int64_t b = 0; b < 7; ++b) {
+    const std::vector<float> single = pi.mean(obs.row(b).vec());
+    for (std::int64_t j = 0; j < 3; ++j)
+      EXPECT_EQ(batch.at2(b, j), single[static_cast<std::size_t>(j)])
+          << "row " << b << " col " << j;
+  }
+}
+
+TEST(GaussianPolicy, MeanBatchInvariantToBatchComposition) {
+  // A row's output must not depend on which other rows share its batch.
+  Rng rng(23);
+  GaussianPolicy pi(4, 2, 8, rng);
+  Rng data_rng(24);
+  tensor::Tensor obs = tensor::Tensor::uniform({6, 4}, data_rng, -1.f, 1.f);
+  tensor::Tensor full = pi.mean_batch(obs);
+  // Re-run the last row alone and as part of a 2-row batch.
+  tensor::Tensor last({1, 4}, obs.row(5).vec());
+  tensor::Tensor alone = pi.mean_batch(last);
+  for (std::int64_t j = 0; j < 2; ++j)
+    EXPECT_EQ(full.at2(5, j), alone.at2(0, j));
+}
+
+TEST(ValueNet, ValueBatchRowsBitIdenticalToSingles) {
+  Rng rng(25);
+  ValueNet v(3, 16, rng);
+  Rng data_rng(26);
+  tensor::Tensor obs = tensor::Tensor::uniform({5, 3}, data_rng, -1.f, 1.f);
+  tensor::Tensor batch = v.value_batch(obs);
+  ASSERT_EQ(batch.dim(0), 5);
+  ASSERT_EQ(batch.dim(1), 1);
+  for (std::int64_t b = 0; b < 5; ++b)
+    EXPECT_EQ(batch.at2(b, 0), v.value(obs.row(b).vec()));
+}
+
 TEST(ValueNet, ScalarOutput) {
   Rng rng(13);
   ValueNet v(4, 16, rng);

@@ -1,0 +1,222 @@
+// Wire protocol: round trips, structural golden bytes, frame I/O, and the
+// garbage-frame rejections the server depends on to survive bad clients.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace chiron::serve {
+namespace {
+
+Message sample_request() {
+  Message m;
+  m.type = MsgType::kPriceRequest;
+  m.id = 42;
+  m.state = {0.25f, -1.5f, 3.0f};
+  return m;
+}
+
+TEST(Protocol, PriceRequestRoundTrip) {
+  const Message m = sample_request();
+  const Message back = decode(encode(m));
+  EXPECT_EQ(back.type, MsgType::kPriceRequest);
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.state, m.state);
+}
+
+TEST(Protocol, PriceResponseRoundTrip) {
+  Message m;
+  m.type = MsgType::kPriceResponse;
+  m.id = 7;
+  m.status = Status::kOk;
+  m.p_total = 1.25e-8;
+  m.prices = {3.0e-9, 4.0e-9, 5.5e-9};
+  const Message back = decode(encode(m));
+  EXPECT_EQ(back.type, MsgType::kPriceResponse);
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_EQ(back.status, Status::kOk);
+  EXPECT_EQ(back.p_total, 1.25e-8);  // exact double round trip
+  EXPECT_EQ(back.prices, m.prices);
+  EXPECT_TRUE(back.error.empty());
+}
+
+TEST(Protocol, RejectionResponseCarriesDiagnostic) {
+  Message m;
+  m.type = MsgType::kPriceResponse;
+  m.id = 9;
+  m.status = Status::kShed;
+  m.error = "queue full (cap 4)";
+  const Message back = decode(encode(m));
+  EXPECT_EQ(back.status, Status::kShed);
+  EXPECT_EQ(back.error, "queue full (cap 4)");
+  EXPECT_TRUE(back.prices.empty());
+}
+
+TEST(Protocol, ReloadAndShutdownRoundTrip) {
+  Message r;
+  r.type = MsgType::kReload;
+  r.id = 3;
+  r.path = "/tmp/new.ckpt";
+  const Message r2 = decode(encode(r));
+  EXPECT_EQ(r2.type, MsgType::kReload);
+  EXPECT_EQ(r2.path, "/tmp/new.ckpt");
+
+  Message s;
+  s.type = MsgType::kShutdown;
+  s.id = 4;
+  const Message s2 = decode(encode(s));
+  EXPECT_EQ(s2.type, MsgType::kShutdown);
+  EXPECT_EQ(s2.id, 4u);
+}
+
+TEST(Protocol, ZeroNodeResponseRoundTrip) {
+  // A zero-length price vector is legal on the wire (the engine itself
+  // never produces one, but the frame layout must not special-case it).
+  Message m;
+  m.type = MsgType::kPriceResponse;
+  m.id = 1;
+  m.status = Status::kOk;
+  m.p_total = 0.0;
+  const Message back = decode(encode(m));
+  EXPECT_TRUE(back.prices.empty());
+  EXPECT_EQ(back.status, Status::kOk);
+}
+
+TEST(Protocol, EmptyStateRequestRoundTrip) {
+  Message m;
+  m.type = MsgType::kPriceRequest;
+  m.id = 11;
+  const Message back = decode(encode(m));
+  EXPECT_TRUE(back.state.empty());
+}
+
+TEST(Protocol, GoldenRequestLayout) {
+  // Pins the frame layout byte for byte: header fields and the state
+  // vector at their documented offsets. A layout change must break this
+  // test (and bump kProtocolVersion).
+  const std::vector<std::uint8_t> bytes = encode(sample_request());
+  ASSERT_EQ(bytes.size(), 4u + 1 + 1 + 8 + 4 + 3 * 4);
+
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  EXPECT_EQ(magic, kProtocolMagic);
+  EXPECT_EQ(bytes[4], kProtocolVersion);
+  EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(MsgType::kPriceRequest));
+  std::uint64_t id = 0;
+  std::memcpy(&id, bytes.data() + 6, 8);
+  EXPECT_EQ(id, 42u);
+  std::uint32_t n = 0;
+  std::memcpy(&n, bytes.data() + 14, 4);
+  EXPECT_EQ(n, 3u);
+  float v0 = 0.f;
+  std::memcpy(&v0, bytes.data() + 18, 4);
+  EXPECT_EQ(v0, 0.25f);
+}
+
+TEST(Protocol, MaxLengthStateRoundTrips) {
+  Message m;
+  m.type = MsgType::kPriceRequest;
+  m.id = 1;
+  // The largest state that still fits the frame cap (header is 18 bytes).
+  const std::size_t n = (kMaxFramePayload - 18) / sizeof(float);
+  m.state.assign(n, 1.0f);
+  const std::vector<std::uint8_t> bytes = encode(m);
+  EXPECT_LE(bytes.size(), kMaxFramePayload);
+  EXPECT_EQ(decode(bytes).state.size(), n);
+}
+
+TEST(Protocol, OverlongVectorRejected) {
+  Message m;
+  m.type = MsgType::kPriceRequest;
+  m.id = 1;
+  m.state.assign(kMaxVectorElems + 1, 0.f);
+  EXPECT_THROW(encode(m), chiron::InvariantError);
+
+  // Hand-forge a frame whose declared length exceeds the element cap.
+  Message small = sample_request();
+  std::vector<std::uint8_t> bytes = encode(small);
+  const std::uint32_t huge = kMaxVectorElems + 1;
+  std::memcpy(bytes.data() + 14, &huge, 4);
+  EXPECT_THROW(decode(bytes), chiron::InvariantError);
+}
+
+TEST(Protocol, GarbageFramesRejected) {
+  const std::vector<std::uint8_t> good = encode(sample_request());
+
+  // Bad magic.
+  std::vector<std::uint8_t> bad = good;
+  bad[0] ^= 0xFF;
+  EXPECT_THROW(decode(bad), chiron::InvariantError);
+
+  // Unknown protocol version.
+  bad = good;
+  bad[4] = 99;
+  EXPECT_THROW(decode(bad), chiron::InvariantError);
+
+  // Unknown message type.
+  bad = good;
+  bad[5] = 0;
+  EXPECT_THROW(decode(bad), chiron::InvariantError);
+
+  // Truncated payload (cut inside the state vector).
+  bad.assign(good.begin(), good.end() - 5);
+  EXPECT_THROW(decode(bad), chiron::InvariantError);
+
+  // Trailing junk after a complete body.
+  bad = good;
+  bad.push_back(0xAB);
+  EXPECT_THROW(decode(bad), chiron::InvariantError);
+
+  // Empty payload.
+  EXPECT_THROW(decode(nullptr, 0), chiron::InvariantError);
+}
+
+TEST(Protocol, FrameRoundTripThroughStream) {
+  std::stringstream ss;
+  write_frame(ss, encode(sample_request()));
+  Message m2;
+  m2.type = MsgType::kShutdown;
+  m2.id = 5;
+  write_frame(ss, encode(m2));
+
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(read_frame(ss, &payload));
+  EXPECT_EQ(decode(payload).id, 42u);
+  ASSERT_TRUE(read_frame(ss, &payload));
+  EXPECT_EQ(decode(payload).type, MsgType::kShutdown);
+  EXPECT_FALSE(read_frame(ss, &payload));  // clean EOF
+}
+
+TEST(Protocol, TruncatedStreamThrows) {
+  // EOF inside the length prefix.
+  {
+    std::stringstream ss;
+    ss.write("\x02\x00", 2);
+    std::vector<std::uint8_t> payload;
+    EXPECT_THROW(read_frame(ss, &payload), chiron::InvariantError);
+  }
+  // EOF inside the payload.
+  {
+    std::stringstream ss;
+    const std::uint32_t len = 100;
+    ss.write(reinterpret_cast<const char*>(&len), 4);
+    ss.write("abc", 3);
+    std::vector<std::uint8_t> payload;
+    EXPECT_THROW(read_frame(ss, &payload), chiron::InvariantError);
+  }
+  // Declared length beyond the frame cap.
+  {
+    std::stringstream ss;
+    const std::uint32_t len = kMaxFramePayload + 1;
+    ss.write(reinterpret_cast<const char*>(&len), 4);
+    std::vector<std::uint8_t> payload;
+    EXPECT_THROW(read_frame(ss, &payload), chiron::InvariantError);
+  }
+}
+
+}  // namespace
+}  // namespace chiron::serve

@@ -1,0 +1,327 @@
+// MechanismServer: batching, shedding, hot reload and the no-silent-drop
+// contract — every submitted request gets exactly one response.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/error.h"
+
+namespace chiron::serve {
+namespace {
+
+core::MechanismCheckpointInfo tiny_info() {
+  core::MechanismCheckpointInfo info;
+  info.exterior_obs_dim = 3;
+  info.num_nodes = 2;
+  info.hidden = 8;
+  info.price_cap = 1.0;
+  return info;
+}
+
+std::int64_t tanh_mlp_params(std::int64_t in, std::int64_t h,
+                             std::int64_t out) {
+  return (in * h + h) + (h * h + h) + (h * out + out);
+}
+
+// Synthetic weights: deterministic small values, no env or file needed.
+MechanismWeights make_weights(const core::MechanismCheckpointInfo& info,
+                              float scale) {
+  auto fill = [scale](std::int64_t n) {
+    std::vector<float> v(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] = scale * (0.01f * static_cast<float>(i % 17) - 0.08f);
+    return v;
+  };
+  MechanismWeights w;
+  w.info = info;
+  w.exterior_policy =
+      fill(tanh_mlp_params(info.exterior_obs_dim, info.hidden, 1) + 1);
+  w.exterior_critic = fill(tanh_mlp_params(info.exterior_obs_dim,
+                                           info.hidden, 1));
+  w.inner_policy =
+      fill(tanh_mlp_params(1, info.hidden, info.num_nodes) + info.num_nodes);
+  w.inner_critic = fill(tanh_mlp_params(1, info.hidden, 1));
+  return w;
+}
+
+std::vector<float> state_for(int i) {
+  return {0.1f * static_cast<float>(i % 7), 0.2f,
+          0.05f * static_cast<float>(i % 3)};
+}
+
+Message request(std::uint64_t id, const std::vector<float>& state) {
+  Message m;
+  m.type = MsgType::kPriceRequest;
+  m.id = id;
+  m.state = state;
+  return m;
+}
+
+/// Thread-safe response collector keyed by request id.
+class Collector {
+ public:
+  void operator()(const Message& m) {
+    std::lock_guard<std::mutex> lock(mu_);
+    responses_[m.id].push_back(m);
+  }
+  std::map<std::uint64_t, std::vector<Message>> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return responses_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::uint64_t, std::vector<Message>> responses_;
+};
+
+TEST(MechanismServer, ServesEveryRequestExactlyOnce) {
+  const auto info = tiny_info();
+  auto collector = std::make_shared<Collector>();
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.batch_max = 8;
+  MechanismServer server(make_weights(info, 1.f), cfg,
+                         [collector](const Message& m) { (*collector)(m); });
+  const int kN = 64;
+  for (int i = 0; i < kN; ++i)
+    EXPECT_TRUE(server.submit(request(static_cast<std::uint64_t>(i + 1),
+                                      state_for(i))));
+  server.stop();
+
+  const auto responses = collector->take();
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kN));
+  for (const auto& [id, list] : responses) {
+    ASSERT_EQ(list.size(), 1u) << "id " << id << " answered twice";
+    EXPECT_EQ(list[0].status, Status::kOk);
+    EXPECT_EQ(list[0].prices.size(), 2u);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.received, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(stats.served, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_GE(stats.max_batch, 1u);
+}
+
+TEST(MechanismServer, ResponsesByteIdenticalAcrossWorkerCounts) {
+  const auto info = tiny_info();
+  const MechanismWeights w = make_weights(info, 1.f);
+  const int kN = 32;
+
+  auto run = [&](int workers, int batch_max) {
+    auto collector = std::make_shared<Collector>();
+    ServerConfig cfg;
+    cfg.workers = workers;
+    cfg.batch_max = batch_max;
+    MechanismServer server(
+        w, cfg, [collector](const Message& m) { (*collector)(m); });
+    for (int i = 0; i < kN; ++i)
+      server.submit(request(static_cast<std::uint64_t>(i + 1),
+                            state_for(i)));
+    server.stop();
+    return collector->take();
+  };
+
+  const auto serial = run(1, 1);
+  const auto parallel = run(4, 16);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (const auto& [id, list] : serial) {
+    const auto it = parallel.find(id);
+    ASSERT_NE(it, parallel.end());
+    ASSERT_EQ(it->second.size(), 1u);
+    EXPECT_EQ(list[0].p_total, it->second[0].p_total) << "id " << id;
+    EXPECT_EQ(list[0].prices, it->second[0].prices) << "id " << id;
+  }
+}
+
+TEST(MechanismServer, ShedRequestsGetRejectionResponses) {
+  const auto info = tiny_info();
+  // Gate: the first delivery blocks the single worker inside the
+  // response callback, so the queue fills deterministically.
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool blocked = false;
+    bool open = false;
+  };
+  auto gate = std::make_shared<Gate>();
+  auto collector = std::make_shared<Collector>();
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.batch_max = 1;
+  cfg.queue_cap = 2;
+  MechanismServer server(
+      make_weights(info, 1.f), cfg,
+      [collector, gate](const Message& m) {
+        if (m.status == Status::kOk) {
+          std::unique_lock<std::mutex> lock(gate->mu);
+          gate->blocked = true;
+          gate->cv.notify_all();
+          gate->cv.wait(lock, [&] { return gate->open; });
+        }
+        (*collector)(m);
+      });
+
+  // First request occupies the worker (blocked in its delivery).
+  ASSERT_TRUE(server.submit(request(1, state_for(1))));
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->cv.wait(lock, [&] { return gate->blocked; });
+  }
+  // Fill the queue to its cap, then two more must shed — and submit()
+  // must deliver their rejection responses before returning.
+  ASSERT_TRUE(server.submit(request(2, state_for(2))));
+  ASSERT_TRUE(server.submit(request(3, state_for(3))));
+  EXPECT_FALSE(server.submit(request(4, state_for(4))));
+  EXPECT_FALSE(server.submit(request(5, state_for(5))));
+  {
+    const auto so_far = collector->take();
+    ASSERT_EQ(so_far.count(4), 1u);
+    ASSERT_EQ(so_far.count(5), 1u);
+    EXPECT_EQ(so_far.at(4)[0].status, Status::kShed);
+    EXPECT_NE(so_far.at(5)[0].error.find("queue full"), std::string::npos);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate->mu);
+    gate->open = true;
+    gate->cv.notify_all();
+  }
+  server.stop();
+
+  const auto responses = collector->take();
+  ASSERT_EQ(responses.size(), 5u);  // every id answered, none twice
+  for (const auto& [id, list] : responses)
+    ASSERT_EQ(list.size(), 1u) << "id " << id;
+  EXPECT_EQ(responses.at(1)[0].status, Status::kOk);
+  EXPECT_EQ(responses.at(2)[0].status, Status::kOk);
+  EXPECT_EQ(responses.at(3)[0].status, Status::kOk);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.received, 5u);
+  EXPECT_EQ(stats.served, 3u);
+  EXPECT_EQ(stats.shed, 2u);
+}
+
+TEST(MechanismServer, BadStateDimGetsBadRequestResponse) {
+  const auto info = tiny_info();
+  auto collector = std::make_shared<Collector>();
+  MechanismServer server(make_weights(info, 1.f), ServerConfig{},
+                         [collector](const Message& m) { (*collector)(m); });
+  EXPECT_FALSE(server.submit(request(1, {0.1f})));  // wrong dim
+  server.stop();
+  const auto responses = collector->take();
+  ASSERT_EQ(responses.count(1), 1u);
+  EXPECT_EQ(responses.at(1)[0].status, Status::kBadRequest);
+  EXPECT_NE(responses.at(1)[0].error.find("expects"), std::string::npos);
+  EXPECT_EQ(server.stats().bad, 1u);
+}
+
+TEST(MechanismServer, SubmitAfterStopSheds) {
+  const auto info = tiny_info();
+  auto collector = std::make_shared<Collector>();
+  MechanismServer server(make_weights(info, 1.f), ServerConfig{},
+                         [collector](const Message& m) { (*collector)(m); });
+  server.stop();
+  EXPECT_FALSE(server.submit(request(1, state_for(1))));
+  const auto responses = collector->take();
+  ASSERT_EQ(responses.count(1), 1u);
+  EXPECT_EQ(responses.at(1)[0].status, Status::kShed);
+  EXPECT_NE(responses.at(1)[0].error.find("stopping"), std::string::npos);
+}
+
+TEST(MechanismServer, HotReloadChangesPricesWithZeroDrops) {
+  const auto info = tiny_info();
+  const MechanismWeights wa = make_weights(info, 1.f);
+  const MechanismWeights wb = make_weights(info, -1.f);
+
+  // Reference prices under each snapshot.
+  PricingEngine ref_a(info);
+  {
+    MechanismWeights tmp = wa;
+    tmp.version = 1;
+    ref_a.adopt(tmp);
+  }
+  PricingEngine ref_b(info);
+  {
+    MechanismWeights tmp = wb;
+    tmp.version = 2;
+    ref_b.adopt(tmp);
+  }
+  const std::vector<float> probe = state_for(3);
+  const PriceQuote qa = ref_a.price_one(probe);
+  const PriceQuote qb = ref_b.price_one(probe);
+  ASSERT_NE(qa.p_total, qb.p_total);  // the two snapshots really differ
+
+  auto collector = std::make_shared<Collector>();
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.batch_max = 4;
+  MechanismServer server(wa, cfg,
+                         [collector](const Message& m) { (*collector)(m); });
+  EXPECT_EQ(server.weights_version(), 1u);
+
+  const int kHalf = 24;
+  for (int i = 0; i < kHalf; ++i)
+    server.submit(request(static_cast<std::uint64_t>(i + 1), probe));
+  server.drain();
+  server.reload(wb);
+  EXPECT_EQ(server.weights_version(), 2u);
+  for (int i = 0; i < kHalf; ++i)
+    server.submit(request(static_cast<std::uint64_t>(kHalf + i + 1), probe));
+  server.stop();
+
+  const auto responses = collector->take();
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(2 * kHalf));
+  for (const auto& [id, list] : responses) {
+    ASSERT_EQ(list.size(), 1u) << "id " << id;
+    ASSERT_EQ(list[0].status, Status::kOk) << list[0].error;
+    const PriceQuote& expect = id <= kHalf ? qa : qb;
+    EXPECT_EQ(list[0].p_total, expect.p_total) << "id " << id;
+    EXPECT_EQ(list[0].prices, expect.prices) << "id " << id;
+  }
+  EXPECT_EQ(server.stats().reloads, 1u);
+}
+
+TEST(MechanismServer, ReloadRejectsMismatchedDims) {
+  const auto info = tiny_info();
+  MechanismServer server(make_weights(info, 1.f), ServerConfig{},
+                         [](const Message&) {});
+  core::MechanismCheckpointInfo other = info;
+  other.num_nodes = 5;
+  EXPECT_THROW(server.reload(make_weights(other, 1.f)),
+               chiron::InvariantError);
+  // The old weights keep serving after the failed reload.
+  EXPECT_EQ(server.weights_version(), 1u);
+  server.stop();
+}
+
+TEST(MechanismServer, StopDrainsPendingQueue) {
+  // Requests still queued when stop() is called must be served, not
+  // dropped: stop closes the front door but drains the house.
+  const auto info = tiny_info();
+  auto collector = std::make_shared<Collector>();
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.batch_max = 2;
+  MechanismServer server(make_weights(info, 1.f), cfg,
+                         [collector](const Message& m) { (*collector)(m); });
+  const int kN = 40;
+  int accepted = 0;
+  for (int i = 0; i < kN; ++i)
+    if (server.submit(request(static_cast<std::uint64_t>(i + 1),
+                              state_for(i))))
+      ++accepted;
+  server.stop();
+  const auto responses = collector->take();
+  EXPECT_EQ(responses.size(), static_cast<std::size_t>(kN));
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.served, static_cast<std::uint64_t>(accepted));
+  EXPECT_EQ(stats.served + stats.shed, static_cast<std::uint64_t>(kN));
+}
+
+}  // namespace
+}  // namespace chiron::serve

@@ -1,0 +1,11 @@
+// Lint fixture: exactly one UM1 violation (ranged-for over an
+// unordered_map in the serve/ result path — response bytes must not
+// depend on hash iteration order). Never compiled — scanned by
+// tests/tools/lint_test.cpp.
+#include <unordered_map>
+
+double total_priced(const std::unordered_map<int, double>& quotes) {
+  double sum = 0.0;
+  for (const auto& kv : quotes) sum += kv.second;
+  return sum;
+}

@@ -64,6 +64,15 @@ TEST(LintRules, Um1FiresOnUnorderedIterationInResultPath) {
   EXPECT_EQ(lint_binary_exit(fixture("core/um_iter.cpp").string()), 1);
 }
 
+TEST(LintRules, Um1FiresInServeResultPath) {
+  // serve/ joined the UM1 result paths: served prices must not depend on
+  // hash-map iteration order either.
+  const auto v = lint_fixture("serve/um_iter.cpp");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "UM1");
+  EXPECT_EQ(lint_binary_exit(fixture("serve/um_iter.cpp").string()), 1);
+}
+
 TEST(LintRules, Hg1FiresOnUnguardedHeader) {
   const auto v = lint_fixture("hdr_unguarded.h");
   ASSERT_EQ(v.size(), 1u);

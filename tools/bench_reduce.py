@@ -1,41 +1,55 @@
 #!/usr/bin/env python3
-"""Reduces a google-benchmark JSON dump into BENCH_substrate.json.
+"""Reduces google-benchmark JSON dumps into BENCH_substrate.json.
 
-Input: the raw --benchmark_format=json output of bench/micro_substrate
-(and any other google-benchmark binary appended to the same run), plus
+Input: one or more raw --benchmark_format=json outputs (micro_substrate,
+serve_load, any other google-benchmark binary from the same run), plus
 the frozen pre-PR baseline (tools/bench_baseline_pre_pr.json). Output: a
 small machine-readable summary at the repo root that records the current
 numbers next to the pre-PR ones and the speedup per benchmark, so every
 later PR can be judged against the trajectory.
 
-Usage: bench_reduce.py <raw_benchmark.json> <baseline.json> <out.json>
+Usage: bench_reduce.py <raw.json> [<raw2.json> ...] <baseline.json> <out.json>
 """
 import json
 import sys
 
+# User counters worth keeping in the trajectory (throughput/latency of
+# the serving path). Everything else google-benchmark emits per run
+# (items_per_second etc.) is derivable from the times.
+KEPT_COUNTERS = ("nodes_per_sec", "p50_us", "p99_us")
+
 
 def main() -> int:
-    if len(sys.argv) != 4:
+    if len(sys.argv) < 4:
         print(__doc__, file=sys.stderr)
         return 2
-    raw_path, baseline_path, out_path = sys.argv[1:4]
+    raw_paths = sys.argv[1:-2]
+    baseline_path, out_path = sys.argv[-2:]
 
-    with open(raw_path) as f:
-        raw = json.load(f)
+    raws = []
+    for path in raw_paths:
+        with open(path) as f:
+            raws.append(json.load(f))
     with open(baseline_path) as f:
         baseline = json.load(f)
 
     current = {}
-    for b in raw.get("benchmarks", []):
-        if b.get("run_type") == "aggregate":
-            continue
-        current[b["name"]] = {
-            "real_time": b["real_time"],
-            "cpu_time": b["cpu_time"],
-            "time_unit": b["time_unit"],
-        }
+    for raw in raws:
+        for b in raw.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            entry = {
+                "real_time": b["real_time"],
+                "cpu_time": b["cpu_time"],
+                "time_unit": b["time_unit"],
+            }
+            counters = {k: b[k] for k in KEPT_COUNTERS if k in b}
+            if counters:
+                entry["counters"] = counters
+            current[b["name"]] = entry
     if not current:
-        print("bench_reduce: no benchmarks in " + raw_path, file=sys.stderr)
+        print("bench_reduce: no benchmarks in " + ", ".join(raw_paths),
+              file=sys.stderr)
         return 1
 
     speedup = {}
@@ -47,13 +61,14 @@ def main() -> int:
         if cur["real_time"] > 0:
             speedup[name] = round(base["real_time"] / cur["real_time"], 3)
 
+    context = raws[0]["context"]
     out = {
         "schema": 1,
         "context": {
-            "date": raw["context"]["date"],
-            "host_name": raw["context"]["host_name"],
-            "num_cpus": raw["context"]["num_cpus"],
-            "build_type": raw["context"].get("library_build_type", "unknown"),
+            "date": context["date"],
+            "host_name": context["host_name"],
+            "num_cpus": context["num_cpus"],
+            "build_type": context.get("library_build_type", "unknown"),
         },
         "baseline_pre_pr": baseline,
         "current": current,

@@ -1,33 +1,42 @@
 #!/usr/bin/env bash
 # Runs the substrate micro-benchmarks (tensor kernels, CNN step, the
-# parallel FedAvg round) and regenerates BENCH_substrate.json at the repo
-# root: the machine-readable perf trajectory every PR is judged against.
+# parallel FedAvg round) plus the serving load harness, and regenerates
+# BENCH_substrate.json at the repo root: the machine-readable perf
+# trajectory every PR is judged against.
 #
 # The build uses the default RelWithDebInfo configuration — the same one
 # the acceptance numbers are defined on. Pass a build dir to reuse one.
 #
 # Usage: tools/bench_substrate.sh [build-dir]      (default: build-bench)
-#   CHIRON_BENCH_FILTER  benchmark regex (default: the trajectory set)
+#   CHIRON_BENCH_FILTER        micro_substrate regex (default: trajectory set)
+#   CHIRON_SERVE_BENCH_FILTER  serve_load regex (default: the full grid)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
 FILTER="${CHIRON_BENCH_FILTER:-BM_MatmulSquare|BM_Im2col|BM_MnistCnn|BM_ParallelRound}"
+SERVE_FILTER="${CHIRON_SERVE_BENCH_FILTER:-BM_ServeLoad|BM_PriceBatch}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_substrate
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_substrate serve_load
 
 BIN="$BUILD_DIR/bench/micro_substrate"
-if [[ ! -x "$BIN" ]]; then
-  echo "bench_substrate: FATAL: $BIN missing after build —" \
-       "the perf trajectory cannot be regenerated" >&2
-  exit 1
-fi
+SERVE_BIN="$BUILD_DIR/bench/serve_load"
+for b in "$BIN" "$SERVE_BIN"; do
+  if [[ ! -x "$b" ]]; then
+    echo "bench_substrate: FATAL: $b missing after build —" \
+         "the perf trajectory cannot be regenerated" >&2
+    exit 1
+  fi
+done
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+SERVE_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$SERVE_RAW"' EXIT
 "$BIN" --benchmark_filter="$FILTER" --benchmark_format=json > "$RAW"
+"$SERVE_BIN" --benchmark_filter="$SERVE_FILTER" --benchmark_format=json \
+  > "$SERVE_RAW"
 
-python3 tools/bench_reduce.py "$RAW" tools/bench_baseline_pre_pr.json \
-  BENCH_substrate.json
+python3 tools/bench_reduce.py "$RAW" "$SERVE_RAW" \
+  tools/bench_baseline_pre_pr.json BENCH_substrate.json
 echo "bench_substrate: wrote BENCH_substrate.json"

@@ -11,7 +11,10 @@
 #   8. observability        — fig3 harness with round log + metrics +
 #                             tracing on, diffed across --threads 1 vs 8
 #                             (DESIGN.md §5.9 determinism contract)
-#   9. benchmarks           — regenerates BENCH_substrate.json, so a perf
+#   9. serving              — scripted chiron_serve session (hot reload
+#                             mid-stream) diffed across serial vs
+#                             parallel serving (DESIGN.md §5.10)
+#  10. benchmarks           — regenerates BENCH_substrate.json, so a perf
 #                             regression (or a silently missing benchmark
 #                             binary) fails the check instead of dropping
 #                             out of the trajectory
@@ -44,15 +47,16 @@ build_and_ctest() {
   ctest --test-dir build --output-on-failure -j"$(nproc)"
 }
 
-stage "1/9: chiron-lint (determinism & threading contract)" tools/check_lint.sh
-stage "2/9: header self-containment" tools/check_headers.sh
-stage "3/9: build -Werror + full ctest" build_and_ctest
-stage "4/9: UndefinedBehaviorSanitizer" tools/check_ubsan.sh
-stage "5/9: ThreadSanitizer" tools/check_tsan.sh
-stage "6/9: AddressSanitizer" tools/check_asan.sh
-stage "7/9: clang-tidy" tools/check_tidy.sh
-stage "8/9: observability determinism (threads 1 vs 8 diff)" tools/check_obs.sh
-stage "9/9: substrate benchmarks -> BENCH_substrate.json" tools/bench_substrate.sh
+stage "1/10: chiron-lint (determinism & threading contract)" tools/check_lint.sh
+stage "2/10: header self-containment" tools/check_headers.sh
+stage "3/10: build -Werror + full ctest" build_and_ctest
+stage "4/10: UndefinedBehaviorSanitizer" tools/check_ubsan.sh
+stage "5/10: ThreadSanitizer" tools/check_tsan.sh
+stage "6/10: AddressSanitizer" tools/check_asan.sh
+stage "7/10: clang-tidy" tools/check_tidy.sh
+stage "8/10: observability determinism (threads 1 vs 8 diff)" tools/check_obs.sh
+stage "9/10: serving determinism (serial vs parallel diff)" tools/check_serve.sh
+stage "10/10: substrate benchmarks -> BENCH_substrate.json" tools/bench_substrate.sh
 
 echo
 echo "check_all: OK (all stages passed)"

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Serving determinism check (DESIGN.md §5.10).
+#
+# Builds chiron_serve, checkpoints two mechanisms (different seeds, same
+# market shape), generates a scripted client session — 64 price requests,
+# a mid-stream hot reload to the second checkpoint, then the SAME 64
+# states again — and runs it through the server twice:
+#
+#   serial:   --threads 1 --workers 1 --batch-max 1
+#   parallel: --threads 8 --workers 4 --batch-max 16
+#
+# then asserts:
+#   * the decoded transcripts are byte-identical — micro-batching and
+#     worker parallelism must never change a response byte
+#   * every request got a response (zero silent drops, incl. across the
+#     hot reload)
+#   * the reload actually changed prices — the post-reload answers for
+#     the repeated states differ from the pre-reload ones
+#
+# The queue cap stays above the request count so nothing sheds here;
+# shedding (which is timing-dependent by nature) is pinned by the
+# deterministic unit tests in tests/serve/server_test.cpp instead.
+#
+# Usage: tools/check_serve.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/tools/chiron_serve"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DCHIRON_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target chiron_serve
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+COUNT=64
+
+"$BIN" init --ckpt "$TMP/a.ckpt" --nodes 4 --seed 11 >/dev/null
+"$BIN" init --ckpt "$TMP/b.ckpt" --nodes 4 --seed 12 >/dev/null
+"$BIN" gen-script --ckpt "$TMP/a.ckpt" --count "$COUNT" --seed 5 \
+  --reload "$TMP/b.ckpt" --out "$TMP/script.txt"
+
+"$BIN" encode "$TMP/script.txt" > "$TMP/frames.bin"
+
+run() {
+  local tag="$1" threads="$2" workers="$3" batch="$4"
+  "$BIN" serve --ckpt "$TMP/a.ckpt" --threads "$threads" \
+    --workers "$workers" --batch-max "$batch" --queue-cap 4096 \
+    < "$TMP/frames.bin" 2> "$TMP/stats_$tag.txt" \
+    | "$BIN" decode > "$TMP/out_$tag.txt"
+}
+
+run serial 1 1 1
+run parallel 8 4 16
+
+diff -u "$TMP/out_serial.txt" "$TMP/out_parallel.txt" \
+  || { echo "check_serve: FAIL (responses differ between serial and" \
+            "parallel serving)"; exit 1; }
+
+# Zero silent drops: one response line per price request (2×COUNT — the
+# original batch plus the post-reload repeat).
+EXPECT=$((2 * COUNT))
+GOT=$(wc -l < "$TMP/out_serial.txt")
+[ "$GOT" -eq "$EXPECT" ] \
+  || { echo "check_serve: FAIL (expected $EXPECT responses, got $GOT —" \
+            "requests dropped without a response)"; exit 1; }
+
+# Every response priced OK — a rejection here means the pipeline broke.
+if grep -qv ' ok ' "$TMP/out_serial.txt"; then
+  echo "check_serve: FAIL (non-ok response in the transcript):"
+  grep -v ' ok ' "$TMP/out_serial.txt" | head -5
+  exit 1
+fi
+
+# The hot reload took effect: the same states priced before (ids
+# 1..COUNT) and after (ids COUNT+2..2*COUNT+1) must differ somewhere.
+head -n "$COUNT" "$TMP/out_serial.txt" | cut -d' ' -f2- > "$TMP/pre.txt"
+tail -n "$COUNT" "$TMP/out_serial.txt" | cut -d' ' -f2- > "$TMP/post.txt"
+if cmp -s "$TMP/pre.txt" "$TMP/post.txt"; then
+  echo "check_serve: FAIL (hot reload did not change any price)"
+  exit 1
+fi
+
+echo "check_serve: OK (transcripts byte-identical serial vs parallel," \
+     "$EXPECT/$EXPECT responses, reload applied)"

@@ -373,9 +373,12 @@ std::vector<Violation> lint_source(const std::string& rel_path,
                                ends_with(rel_path, "common/rng.h") ||
                                ends_with(rel_path, "obs/clock.cpp");
   const bool in_runtime = has_segment(segs, "runtime");
+  // serve/ is a result path too: response bytes must not depend on
+  // container iteration order any more than training results may.
   const bool result_path = has_segment(segs, "core") ||
                            has_segment(segs, "fl") ||
                            has_segment(segs, "rl") ||
+                           has_segment(segs, "serve") ||
                            has_segment(segs, "faults");
   const bool accounting = ends_with(rel_path, "core/env.cpp") ||
                           ends_with(rel_path, "core/mechanism.cpp");
