@@ -26,6 +26,10 @@ std::string env_str(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::string(v) : std::string();
 }
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
 }  // namespace
 
 HarnessOptions read_options() {
@@ -41,6 +45,16 @@ HarnessOptions read_options() {
   opt.round_log = env_str("CHIRON_ROUND_LOG");
   opt.metrics_out = env_str("CHIRON_METRICS_OUT");
   opt.trace_out = env_str("CHIRON_TRACE");
+  opt.adv_fraction = env_double("CHIRON_ADV_FRACTION", opt.adv_fraction);
+  opt.adv_misreport = env_double("CHIRON_ADV_MISREPORT", opt.adv_misreport);
+  opt.adv_freeride = env_double("CHIRON_ADV_FREERIDE", opt.adv_freeride);
+  opt.adv_churn = env_double("CHIRON_ADV_CHURN", opt.adv_churn);
+  opt.reserve_price = env_double("CHIRON_RESERVE_PRICE", opt.reserve_price);
+  opt.audit_prob = env_double("CHIRON_AUDIT_PROB", opt.audit_prob);
+  opt.audit_tolerance =
+      env_double("CHIRON_AUDIT_TOLERANCE", opt.audit_tolerance);
+  opt.reputation_alpha =
+      env_double("CHIRON_REPUTATION_ALPHA", opt.reputation_alpha);
   runtime::set_threads(opt.threads);
   return opt;
 }
@@ -66,10 +80,23 @@ HarnessOptions read_options(int argc, const char* const* argv) {
     opt.threads = threads_flag(flags);
     runtime::set_threads(opt.threads);
   }
+  opt.adv_fraction = flags.get_double("adv-fraction", opt.adv_fraction);
+  opt.adv_misreport = flags.get_double("adv-misreport", opt.adv_misreport);
+  opt.adv_freeride = flags.get_double("adv-freeride", opt.adv_freeride);
+  opt.adv_churn = flags.get_double("adv-churn", opt.adv_churn);
+  opt.reserve_price = flags.get_double("reserve-price", opt.reserve_price);
+  opt.audit_prob = flags.get_double("audit-prob", opt.audit_prob);
+  opt.audit_tolerance =
+      flags.get_double("audit-tolerance", opt.audit_tolerance);
+  opt.reputation_alpha =
+      flags.get_double("reputation-alpha", opt.reputation_alpha);
   const auto unknown =
       flags.unknown_flags({"episodes", "eval-episodes", "real-training",
                            "seed", "threads", "round-log", "metrics-out",
-                           "trace"});
+                           "trace", "adv-fraction", "adv-misreport",
+                           "adv-freeride", "adv-churn", "reserve-price",
+                           "audit-prob", "audit-tolerance",
+                           "reputation-alpha"});
   CHIRON_CHECK_MSG(unknown.empty(), "unknown flag --" << unknown.front());
   return opt;
 }
@@ -109,6 +136,16 @@ core::EnvConfig make_market(data::VisionTask task, int num_nodes,
   c.seed = opt.seed;
   c.max_rounds = 150;
   c.data_bits_per_node = 5e8 / static_cast<double>(num_nodes);
+  c.adversary.fraction = opt.adv_fraction;
+  c.adversary.misreport_factor = opt.adv_misreport;
+  c.adversary.freeride_prob = opt.adv_freeride;
+  c.adversary.churn_prob = opt.adv_churn;
+  c.adversary.seed = opt.seed + 104729;  // own stream, like chiron_cli
+  c.defense.reserve_price = opt.reserve_price;
+  c.defense.audit_prob = opt.audit_prob;
+  c.defense.audit_tolerance = opt.audit_tolerance;
+  c.defense.reputation_alpha = opt.reputation_alpha;
+  c.defense.seed = opt.seed + 1299709;
   if (opt.real_training) {
     c.backend = core::BackendKind::kRealVision;
     c.samples_per_node = 128;

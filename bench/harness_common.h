@@ -16,9 +16,15 @@
 //                         .csv; see DESIGN.md §5.9)
 //   CHIRON_METRICS_OUT    path for the end-of-run metrics JSON snapshot
 //   CHIRON_TRACE          path for the span trace (JSONL)
+//   CHIRON_ADV_FRACTION / CHIRON_ADV_MISREPORT / CHIRON_ADV_FREERIDE /
+//   CHIRON_ADV_CHURN      adversarial-market knobs (DESIGN.md §5.11)
+//   CHIRON_RESERVE_PRICE / CHIRON_AUDIT_PROB / CHIRON_AUDIT_TOLERANCE /
+//   CHIRON_REPUTATION_ALPHA  mechanism defenses; all zero/off by default
 //
 // Each harness also accepts the equivalent command-line flags
-// (--round-log, --metrics-out, --trace, --threads, --seed, --episodes),
+// (--round-log, --metrics-out, --trace, --threads, --seed, --episodes,
+// --adv-fraction, --adv-misreport, --adv-freeride, --adv-churn,
+// --reserve-price, --audit-prob, --audit-tolerance, --reputation-alpha),
 // which take precedence over the environment.
 #pragma once
 
@@ -45,6 +51,17 @@ struct HarnessOptions {
   std::string round_log;
   std::string metrics_out;
   std::string trace_out;
+  // Adversarial-market knobs (src/adversary; DESIGN.md §5.11). Applied to
+  // every market make_market builds; all zero/off by default so existing
+  // harness outputs stay byte-identical.
+  double adv_fraction = 0.0;
+  double adv_misreport = 1.0;
+  double adv_freeride = 0.0;
+  double adv_churn = 0.0;
+  double reserve_price = 0.0;
+  double audit_prob = 0.0;
+  double audit_tolerance = 1.25;
+  double reputation_alpha = 0.0;
   // Attached to every env the harness builds (set by ObsSession).
   obs::RoundSink* round_sink = nullptr;
 };

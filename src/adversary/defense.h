@@ -1,0 +1,107 @@
+// Mechanism-side defenses against strategic nodes.
+//
+// Three independent, individually-toggleable defenses (all off by
+// default, so the undefended market is the unchanged baseline):
+//
+//   * reserve-price screening — before prices are posted, any node whose
+//     *reported* participation floor (the minimum payment that clears its
+//     reported reserve, 2(μ̂ + E^com)) exceeds `reserve_price` is
+//     excluded from the round. Misreporters inflate μ̂, so an aggressive
+//     factor prices the node out of the market entirely.
+//   * payment-per-delivered-accuracy audits — after delivery, each paid
+//     upload is audited with probability `audit_prob` (own deterministic
+//     counter stream). An audit compares what the payment bought against
+//     what was delivered: a free-ride (stale upload, zero accuracy
+//     contribution) is always caught; a misreporter is caught when its
+//     claimed-vs-run cost ratio is at least `audit_tolerance`. Flagged
+//     nodes have the round's payment clawed back (pay-on-delivery zeroes
+//     it) and their reputation zeroed for the round.
+//   * reputation-weighted aggregation — the server keeps a per-node EMA
+//     of clean delivered contribution (1 for a delivered, unflagged
+//     upload; 0 for a flagged or undelivered one). Aggregation weights
+//     are scaled by max(reputation, reputation_floor), so persistent
+//     polluters lose influence over the global model even when an audit
+//     misses them.
+//
+// Determinism contract: audit draws come from counter-based streams
+// keyed on (defense seed, round, node) — same independence guarantees as
+// AdversaryPlan/FaultPlan. The reputation ledger is plain serial state
+// updated in node order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sysmodel/device.h"
+
+namespace chiron::adversary {
+
+struct DefenseConfig {
+  /// Reserve-price screen: maximum accepted *reported* participation
+  /// floor payment, 2(μ̂ + E^com). 0 disables screening.
+  double reserve_price = 0.0;
+  /// Per delivered upload per round probability of an audit. 0 disables.
+  double audit_prob = 0.0;
+  /// Cost-inflation ratio an audit tolerates before flagging a
+  /// misreporter (free-riders are always flagged when audited).
+  double audit_tolerance = 1.25;
+  /// EMA step for the reputation ledger. 0 disables reputation weighting.
+  double reputation_alpha = 0.0;
+  /// Weight floor so a zero-reputation node can earn its way back.
+  double reputation_floor = 0.05;
+  std::uint64_t seed = 0;  ///< audit stream, independent of all others
+
+  /// True when any defense is active.
+  bool any() const {
+    return reserve_price > 0.0 || audit_prob > 0.0 || reputation_alpha > 0.0;
+  }
+};
+
+/// Validates the config (probabilities, tolerance >= 1, floor in [0,1]).
+void validate(const DefenseConfig& config);
+
+/// Deterministic audit draw for one delivered upload — its own
+/// counter-based stream per (round, node).
+bool audit_fires(const DefenseConfig& config, int round, int node);
+
+/// The cost profile a node reports when misreporting by `factor`: the
+/// energy parameters α and c ride up with the factor (their product is
+/// what the best response sees) and so does the reserve μ.
+sysmodel::DeviceProfile reported_profile(const sysmodel::DeviceProfile& device,
+                                         double factor);
+
+/// The minimum payment that clears a profile's reported participation
+/// constraint: 2(μ + E^com). This is what reserve-price screening bounds.
+double reported_floor_payment(const sysmodel::DeviceProfile& reported);
+
+/// Per-node EMA of clean delivered contribution, mapped to aggregation
+/// weights. With reputation_alpha == 0 every weight is exactly 1 (the
+/// ledger is inert and aggregation is bit-identical to the undefended
+/// path).
+class ReputationLedger {
+ public:
+  ReputationLedger(const DefenseConfig& config, int num_nodes);
+
+  /// Starts a new episode: all reputations back to 1.
+  void reset();
+
+  /// Aggregation weight multiplier for `node`:
+  /// max(reputation, reputation_floor), or exactly 1 when disabled.
+  double weight(int node) const;
+
+  /// Raw reputation value (1 when disabled).
+  double reputation(int node) const;
+
+  /// Post-round EMA update: r <- (1-α)r + α·signal. Call only for nodes
+  /// with an observable outcome (delivered clean = 1, flagged or failed
+  /// delivery = 0); skip nodes that sat the round out.
+  void update(int node, double signal);
+
+  int num_nodes() const { return static_cast<int>(reputation_.size()); }
+
+ private:
+  DefenseConfig config_;
+  std::vector<double> reputation_;
+};
+
+}  // namespace chiron::adversary

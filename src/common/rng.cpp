@@ -40,4 +40,20 @@ std::vector<int> Rng::permutation(int n) {
   return p;
 }
 
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t stream_seed(std::uint64_t seed, int round, int node) {
+  // The exact arithmetic is load-bearing: FaultPlan schedules recorded in
+  // earlier releases replay byte-identically through this function.
+  std::uint64_t z = splitmix64(seed ^ 0xC2B2AE3D27D4EB4Full);
+  z = splitmix64(z ^ (static_cast<std::uint64_t>(round) * 0xFF51AFD7ED558CCDull));
+  z = splitmix64(z ^ (static_cast<std::uint64_t>(node) * 0xC4CEB9FE1A85EC53ull));
+  return z;
+}
+
 }  // namespace chiron

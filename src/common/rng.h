@@ -50,4 +50,15 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// splitmix64 finalizer — decorrelates a counter into a full 64-bit value.
+/// Shared by every counter-based stream derivation in the simulator.
+std::uint64_t splitmix64(std::uint64_t z);
+
+/// Counter-based stream seed for a (seed, round, node) cell. Feeding the
+/// result to `Rng` gives that cell its own generator whose draws are
+/// independent of call order, thread count and every other RNG in the
+/// process. FaultPlan and AdversaryPlan both derive their schedules from
+/// this one function so their determinism semantics cannot drift.
+std::uint64_t stream_seed(std::uint64_t seed, int round, int node);
+
 }  // namespace chiron

@@ -34,7 +34,10 @@ fl::TolerantRoundReport AccuracyBackend::train_round_tolerant(
       rep.status[i] = fl::DeliveryStatus::kDelivered;
       ++rep.delivered;
       surviving.push_back(participants[i]);
-      surviving_weights.push_back(weights[i]);
+      // A free-ride upload is accepted (it passes validation in the real
+      // stack) but is a copy of the global model, so analytically it adds
+      // zero participating data to the round.
+      surviving_weights.push_back(delivery[i].freeride ? 0.0 : weights[i]);
     }
   }
   if (rep.delivered > 0) {

@@ -31,10 +31,12 @@ class AccuracyBackend {
                              const std::vector<double>& weights) = 0;
 
   /// Fault-injected round: `delivery` (aligned with participants) says
-  /// which uploads crash, arrive late or are corrupted. The default
-  /// implementation models an always-validating server analytically —
-  /// crashed/late/corrupt uploads are dropped and the survivors train via
-  /// train_round — which is exact for the surrogate. Real backends
+  /// which uploads crash, arrive late, free-ride or are corrupted. The
+  /// default implementation models an always-validating server
+  /// analytically — crashed/late/corrupt uploads are dropped, free-ride
+  /// uploads are delivered with zero data weight (a stale model adds
+  /// nothing), and the survivors train via train_round — which is exact
+  /// for the surrogate. Real backends
   /// override it to inject the faults into the actual fl:: round so the
   /// server's deadline/validation defenses run for real. The returned
   /// per-node statuses are the ground truth for pay-on-delivery.

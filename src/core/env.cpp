@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/round_log.h"
 #include "obs/span.h"
@@ -13,6 +14,10 @@ namespace chiron::core {
 
 namespace {
 
+/// Stream tag for churn rejoin profile resampling — disjoint from every
+/// AdversaryPlan/FaultPlan/defense stream.
+constexpr std::uint64_t kChurnDeviceTag = 0x5BD1E995u;
+
 // Environment metric ids, registered once (thread-safe magic static).
 struct EnvMetricIds {
   int rounds;
@@ -20,6 +25,13 @@ struct EnvMetricIds {
   int nodes_offline;
   int budget_remaining;
   int accuracy;
+  int adv_screened;
+  int adv_flagged;
+  int adv_departures;
+  int adv_rejoins;
+  int adv_freerides;
+  int adv_misreports;
+  int adv_clawed_back;
 };
 
 const EnvMetricIds& env_metrics() {
@@ -29,6 +41,13 @@ const EnvMetricIds& env_metrics() {
       obs::MetricsRegistry::instance().counter("env.nodes_offline"),
       obs::MetricsRegistry::instance().gauge("env.budget_remaining"),
       obs::MetricsRegistry::instance().gauge("env.accuracy"),
+      obs::MetricsRegistry::instance().counter("adversary.screened"),
+      obs::MetricsRegistry::instance().counter("adversary.flagged"),
+      obs::MetricsRegistry::instance().counter("adversary.departures"),
+      obs::MetricsRegistry::instance().counter("adversary.rejoins"),
+      obs::MetricsRegistry::instance().counter("adversary.freerides"),
+      obs::MetricsRegistry::instance().counter("adversary.misreports"),
+      obs::MetricsRegistry::instance().gauge("adversary.clawed_back"),
   };
   return ids;
 }
@@ -56,6 +75,13 @@ StepResult make_aborted_result(double frozen_accuracy) {
   res.crashed = 0;
   res.late = 0;
   res.rejected = 0;
+  res.screened = 0;
+  res.flagged = 0;
+  res.departed = 0;
+  res.rejoined = 0;
+  res.freeriding = 0;
+  res.misreporting = 0;
+  res.clawed_back = 0.0;
   res.outcome = sysmodel::RoundOutcome{};
   return res;
 }
@@ -105,9 +131,17 @@ EdgeLearnEnv::EdgeLearnEnv(const EnvConfig& config)
   // unconditionally so a bad config fails fast even with faults unused.
   fault_plan_ = std::make_unique<faults::FaultPlan>(config_.faults,
                                                     config_.num_nodes);
+  // Same for the adversary plan and the reputation ledger (which
+  // validates the defense config). Neither consumes env RNG, so their
+  // presence leaves zero-knob runs bit-identical.
+  adversary_plan_ = std::make_unique<adversary::AdversaryPlan>(
+      config_.adversary, config_.num_nodes);
+  reputation_ = std::make_unique<adversary::ReputationLedger>(
+      config_.defense, config_.num_nodes);
   Rng dev_rng = rng_.split();
   devices_ = sysmodel::sample_devices(config_.population, config_.num_nodes,
                                       config_.data_bits_per_node, dev_rng);
+  base_devices_ = devices_;
   for (const auto& d : devices_)
     price_cap_ += sysmodel::saturation_price(d, config_.local_epochs);
   price_norm_ = price_cap_ / static_cast<double>(config_.num_nodes);
@@ -121,6 +155,12 @@ std::vector<float> EdgeLearnEnv::reset() {
   done_ = false;
   last_accuracy_ = backend_->reset();
   fault_plan_->reset();
+  adversary_plan_->reset();
+  reputation_->reset();
+  total_clawed_back_ = 0.0;
+  // Churn mutates device profiles mid-episode; every episode replays the
+  // same fixed market (the population the mechanism learns about).
+  devices_ = base_devices_;
   history_.clear();
   return exterior_state();
 }
@@ -130,6 +170,7 @@ StepResult EdgeLearnEnv::step(const std::vector<double>& prices) {
   CHIRON_CHECK(static_cast<int>(prices.size()) == config_.num_nodes);
   obs::Span round_span(obs::Phase::kRound);
 
+  if (adversary_active()) return step_adversarial(prices);
   if (config_.faults.any() || config_.round_deadline > 0.0)
     return step_faulty(prices);
 
@@ -348,6 +389,212 @@ StepResult EdgeLearnEnv::step_faulty(const std::vector<double>& prices) {
   return res;
 }
 
+StepResult EdgeLearnEnv::step_adversarial(const std::vector<double>& prices) {
+  // Adversarial round pipeline (DESIGN.md §5.11), a superset of
+  // step_faulty's pay-on-delivery round:
+  //   1. draw this round's adversary and fault schedules,
+  //   2. rejoin churned nodes (fresh profiles) / silence away+down nodes,
+  //   3. reserve-price screening on *reported* costs,
+  //   4. strategic market: misreporters bill the honest frequency while
+  //      running their inflated-cost response,
+  //   5. overdraw-abort on the promised (claimed) payment,
+  //   6. train with faults + free-rides; reputation scales the weights,
+  //   7. audits claw back flagged payments, realize pay-on-delivery,
+  //   8. reputation EMA update on observed outcomes.
+  StepResult res;
+  const int planned_round = round_;
+  const std::vector<adversary::AdversaryEvent> adv =
+      adversary_plan_->plan_round(planned_round);
+  const std::vector<faults::FaultEvent> events =
+      fault_plan_->plan_round(planned_round);
+
+  // Rejoining nodes return with resampled hardware before prices are
+  // interpreted; the resample is keyed on (node, profile_version) so the
+  // schedule is thread-count independent and replays across episodes.
+  for (std::size_t i = 0; i < adv.size(); ++i) {
+    if (!adv[i].rejoined) continue;
+    Rng dev_rng(stream_seed(config_.adversary.seed ^ kChurnDeviceTag,
+                            adv[i].profile_version, static_cast<int>(i)));
+    devices_[i] = sysmodel::sample_device(
+        config_.population, config_.data_bits_per_node, dev_rng);
+    ++res.rejoined;
+  }
+
+  // Away (churned) and down (persistent-outage) nodes never see the
+  // posted price; availability draws follow for the rest.
+  std::vector<double> effective_prices = prices;
+  for (std::size_t i = 0; i < effective_prices.size(); ++i) {
+    if (adv[i].away) {
+      effective_prices[i] = 0.0;
+      ++res.offline;
+      ++res.departed;
+    } else if (events[i].down) {
+      effective_prices[i] = 0.0;
+      ++res.offline;
+    } else if (config_.node_availability < 1.0 &&
+               !rng_.bernoulli(config_.node_availability)) {
+      effective_prices[i] = 0.0;
+      ++res.offline;
+    }
+  }
+
+  // Reserve-price screening: a node whose *reported* participation floor
+  // 2(μ̂ + E^com) exceeds the bound is priced out of the round entirely.
+  if (config_.defense.reserve_price > 0.0) {
+    for (std::size_t i = 0; i < effective_prices.size(); ++i) {
+      if (effective_prices[i] <= 0.0) continue;
+      const double factor = adv[i].adversarial ? adv[i].misreport_factor : 1.0;
+      if (adversary::reported_floor_payment(adversary::reported_profile(
+              devices_[i], factor)) > config_.defense.reserve_price) {
+        effective_prices[i] = 0.0;
+        ++res.screened;
+      }
+    }
+  }
+
+  // Strategic market. misreported_response(factor=1) is exactly the
+  // honest best response, so honest nodes are untouched.
+  std::vector<sysmodel::NodeDecision> decisions;
+  decisions.reserve(devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const double factor = adv[i].adversarial ? adv[i].misreport_factor : 1.0;
+    decisions.push_back(sysmodel::misreported_response(
+        devices_[i], effective_prices[i], config_.local_epochs, factor));
+  }
+  const sysmodel::RoundOutcome promised =
+      sysmodel::aggregate_round(std::move(decisions));
+
+  // Overdraw-abort on the promised (claimed) payment, as in step_faulty:
+  // the server commits before knowing who delivers, and clawbacks only
+  // ever shrink the realized total.
+  if (promised.total_payment > budget_remaining_) {
+    done_ = true;
+    const StepResult aborted = make_aborted_result(last_accuracy_);
+    finish_round(aborted,
+                 std::accumulate(prices.begin(), prices.end(), 0.0),
+                 effective_prices);
+    return aborted;
+  }
+  ++round_;
+
+  // Delivery outlook: faults as in step_faulty, plus free-rides. A
+  // free-rider mimics honest timing (instant uploads would expose it), so
+  // realized times are unchanged; its upload is a stale global model.
+  std::vector<int> participants;
+  std::vector<double> weights;
+  std::vector<fl::RoundDelivery> delivery;
+  std::vector<double> realized_times(promised.nodes.size(), 0.0);
+  for (std::size_t i = 0; i < promised.nodes.size(); ++i) {
+    const sysmodel::NodeDecision& nd = promised.nodes[i];
+    if (!nd.participates) continue;
+    const faults::FaultEvent& e = events[i];
+    realized_times[i] = sysmodel::realized_node_time(nd, e.slowdown,
+                                                     config_.round_deadline);
+    fl::RoundDelivery d;
+    d.crash = e.crash;
+    const double full_time = nd.compute_time * e.slowdown + nd.comm_time;
+    d.late = config_.round_deadline > 0.0 && full_time > config_.round_deadline;
+    d.freeride = adv[i].freeride;
+    d.corruption = e.corruption;
+    if (adv[i].freeride) ++res.freeriding;
+    if (adv[i].misreport_factor > 1.0) ++res.misreporting;
+    participants.push_back(static_cast<int>(i));
+    // Reputation-weighted aggregation: the node's data weight is scaled
+    // by its ledger weight (exactly 1 while the defense is off).
+    weights.push_back(devices_[i].data_bits *
+                      reputation_->weight(static_cast<int>(i)));
+    delivery.push_back(d);
+  }
+
+  const double prev_accuracy = last_accuracy_;
+  const fl::TolerantRoundReport rep =
+      backend_->train_round_tolerant(participants, weights, delivery);
+  last_accuracy_ = rep.accuracy;
+
+  // Pay-on-delivery plus audits: a delivered upload is paid unless an
+  // audit fires and catches a free-ride (always unambiguous — the upload
+  // is a byte-copy of the model the server handed out) or a cost report
+  // inflated beyond the tolerance. Flagged payments are clawed back
+  // before the budget is drained.
+  std::vector<bool> paid(promised.nodes.size(), false);
+  for (std::size_t s = 0; s < participants.size(); ++s) {
+    const std::size_t i = static_cast<std::size_t>(participants[s]);
+    if (rep.status[s] != fl::DeliveryStatus::kDelivered) continue;
+    bool pay = true;
+    if (adversary::audit_fires(config_.defense, planned_round,
+                               participants[s])) {
+      const bool caught =
+          adv[i].freeride ||
+          adv[i].misreport_factor >= config_.defense.audit_tolerance;
+      if (caught) {
+        pay = false;
+        ++res.flagged;
+        res.clawed_back += promised.nodes[i].payment;
+      }
+    }
+    paid[i] = pay;
+  }
+  res.outcome = sysmodel::realize_round(promised, realized_times, paid);
+  budget_remaining_ -= res.outcome.total_payment;
+  total_clawed_back_ += res.clawed_back;
+
+  // Reputation EMA on observed outcomes: clean paid delivery earns 1, a
+  // flagged or failed delivery earns 0; nodes that sat out keep their
+  // score. The server cannot tell a crash from malice — both cost it a
+  // round — so both depress reputation until clean rounds rebuild it.
+  for (std::size_t s = 0; s < participants.size(); ++s) {
+    const int node = participants[s];
+    const bool clean = rep.status[s] == fl::DeliveryStatus::kDelivered &&
+                       paid[static_cast<std::size_t>(node)];
+    reputation_->update(node, clean ? 1.0 : 0.0);
+  }
+
+  res.participants = res.outcome.participants;
+  res.delivered = rep.delivered;
+  res.crashed = rep.crashed;
+  res.late = rep.late;
+  res.rejected = rep.rejected;
+  res.round_time = res.outcome.round_time;
+  res.payment = res.outcome.total_payment;
+  res.idle_time = res.outcome.idle_time;
+  res.time_efficiency = res.outcome.time_efficiency;
+  res.accuracy = rep.accuracy;
+  res.accuracy_gain = rep.accuracy - prev_accuracy;
+
+  const double time_term = config_.lambda_on_time
+                               ? config_.lambda_pref * res.round_time
+                               : res.round_time;
+  res.raw_exterior_reward =
+      config_.lambda_pref * res.accuracy_gain - time_term;
+  if (res.participants == 0) {
+    res.reward_exterior = -config_.empty_round_penalty;
+    res.reward_inner = -config_.empty_round_penalty;
+  } else {
+    res.reward_exterior = res.raw_exterior_reward / config_.time_norm;
+    res.reward_inner =
+        -res.idle_time /
+        (static_cast<double>(config_.num_nodes) * config_.time_norm);
+  }
+
+  RoundProfile profile;
+  profile.zeta.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
+  profile.price = effective_prices;
+  profile.time.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
+  for (std::size_t i = 0; i < res.outcome.nodes.size(); ++i) {
+    profile.zeta[i] = res.outcome.nodes[i].zeta;
+    profile.time[i] = res.outcome.nodes[i].total_time;
+  }
+  history_.push_back(std::move(profile));
+  if (static_cast<int>(history_.size()) > config_.history)
+    history_.erase(history_.begin());
+
+  if (budget_remaining_ <= 0.0 || round_ >= config_.max_rounds) done_ = true;
+  res.done = done_;
+  finish_round(res, std::accumulate(prices.begin(), prices.end(), 0.0),
+               effective_prices);
+  return res;
+}
+
 void EdgeLearnEnv::finish_round(const StepResult& res, double p_total,
                                 const std::vector<double>& effective_prices) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
@@ -358,6 +605,22 @@ void EdgeLearnEnv::finish_round(const StepResult& res, double p_total,
       reg.add(m.nodes_offline, static_cast<std::uint64_t>(res.offline));
     reg.set(m.budget_remaining, budget_remaining_);
     reg.set(m.accuracy, res.accuracy);
+    if (adversary_active()) {
+      if (res.screened > 0)
+        reg.add(m.adv_screened, static_cast<std::uint64_t>(res.screened));
+      if (res.flagged > 0)
+        reg.add(m.adv_flagged, static_cast<std::uint64_t>(res.flagged));
+      if (res.departed > 0)
+        reg.add(m.adv_departures, static_cast<std::uint64_t>(res.departed));
+      if (res.rejoined > 0)
+        reg.add(m.adv_rejoins, static_cast<std::uint64_t>(res.rejoined));
+      if (res.freeriding > 0)
+        reg.add(m.adv_freerides, static_cast<std::uint64_t>(res.freeriding));
+      if (res.misreporting > 0)
+        reg.add(m.adv_misreports,
+                static_cast<std::uint64_t>(res.misreporting));
+      reg.set(m.adv_clawed_back, total_clawed_back_);
+    }
   }
 
   if (round_sink_ == nullptr) return;
@@ -384,6 +647,18 @@ void EdgeLearnEnv::finish_round(const StepResult& res, double p_total,
   r.crashed = res.crashed;
   r.late = res.late;
   r.rejected = res.rejected;
+  // Gated on the env config (not per-round state): records of a zero-knob
+  // run stay byte-identical to pre-adversary logs.
+  if (adversary_active()) {
+    r.adversary = true;
+    r.screened = res.screened;
+    r.flagged = res.flagged;
+    r.departed = res.departed;
+    r.rejoined = res.rejoined;
+    r.freeriding = res.freeriding;
+    r.misreporting = res.misreporting;
+    r.clawed_back = res.clawed_back;
+  }
   if (!res.aborted) {
     r.node_prices = effective_prices;
     r.node_zetas.reserve(res.outcome.nodes.size());

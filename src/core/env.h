@@ -17,6 +17,8 @@
 #include <memory>
 #include <vector>
 
+#include "adversary/adversary_plan.h"
+#include "adversary/defense.h"
 #include "core/accuracy_backend.h"
 #include "faults/fault_plan.h"
 #include "sysmodel/economics.h"
@@ -68,6 +70,17 @@ struct EnvConfig {
   /// <= 0 keeps only the all-finite check.
   double upload_norm_bound = 1e8;
 
+  /// Strategic node behavior (cost misreporting, free-riding, churn; see
+  /// src/adversary). All knobs default to zero/off = the honest market.
+  /// When the adversary or any defense is active the round runs the
+  /// adversarial pipeline (step_adversarial), a superset of the
+  /// fault-tolerant one.
+  adversary::AdversaryConfig adversary;
+  /// Mechanism-side defenses (reserve-price screening, delivered-accuracy
+  /// audits with clawback, reputation-weighted aggregation). All off by
+  /// default.
+  adversary::DefenseConfig defense;
+
   BackendKind backend = BackendKind::kSurrogate;
   // Real-training knobs (vision & blobs backends).
   int samples_per_node = 64;
@@ -118,6 +131,14 @@ struct StepResult {
   int crashed = 0;                 // mid-round crashes: upload never arrived
   int late = 0;                    // missed the round deadline
   int rejected = 0;                // failed the server's upload validation
+  // Adversarial pipeline (all zero on the honest/fault-only paths).
+  int screened = 0;      // priced out by reserve-price screening
+  int flagged = 0;       // delivered but audited and caught: payment clawed
+  int departed = 0;      // churned away this round (counted in offline too)
+  int rejoined = 0;      // returned from churn with a resampled profile
+  int freeriding = 0;    // participating free-riders
+  int misreporting = 0;  // participating cost-misreporters (factor > 1)
+  double clawed_back = 0.0;  // Σ payments zeroed by audits this round
   sysmodel::RoundOutcome outcome;  // per-node detail (realized under faults:
                                    // deadline-cut times, delivery-only pay)
 };
@@ -178,6 +199,19 @@ class EdgeLearnEnv {
   /// fault config or a round deadline is active.
   StepResult step_faulty(const std::vector<double>& prices);
 
+  /// The adversarial variant: strategic responses, churn, screening,
+  /// audits and reputation layered on step_faulty's pay-on-delivery
+  /// economics. step() dispatches here when the adversary config or any
+  /// defense is active (faults/deadline compose with it).
+  StepResult step_adversarial(const std::vector<double>& prices);
+
+  /// True when step() routes rounds through step_adversarial; also gates
+  /// the adversary fields of the round log (zero-knob runs keep emitting
+  /// byte-identical records).
+  bool adversary_active() const {
+    return config_.adversary.any() || config_.defense.any();
+  }
+
   /// Observability tail shared by both step paths: records the round's
   /// metrics and, when a sink is attached, writes the RoundRecord.
   /// `p_total` is the caller's posted Σ p_i (the exterior action);
@@ -188,8 +222,13 @@ class EdgeLearnEnv {
   EnvConfig config_;
   Rng rng_;
   std::vector<sysmodel::DeviceProfile> devices_;
+  /// Profiles as sampled at construction; reset() restores them so churn
+  /// resamples from an identical market every episode.
+  std::vector<sysmodel::DeviceProfile> base_devices_;
   std::unique_ptr<AccuracyBackend> backend_;
   std::unique_ptr<faults::FaultPlan> fault_plan_;
+  std::unique_ptr<adversary::AdversaryPlan> adversary_plan_;
+  std::unique_ptr<adversary::ReputationLedger> reputation_;
   double price_cap_ = 0.0;
   double price_norm_ = 1.0;  // per-node price normalizer for states
 
@@ -201,6 +240,7 @@ class EdgeLearnEnv {
   int round_ = 0;
   bool done_ = true;
   double last_accuracy_ = 0.0;
+  double total_clawed_back_ = 0.0;  // cumulative audited clawbacks (episode)
   // History ring (most recent last), each entry = one round's profile.
   struct RoundProfile {
     std::vector<double> zeta;

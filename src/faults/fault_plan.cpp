@@ -10,22 +10,6 @@ namespace chiron::faults {
 
 namespace {
 
-/// splitmix64 finalizer — decorrelates the (seed, round, node) counter
-/// into a full 64-bit stream seed.
-std::uint64_t mix(std::uint64_t z) {
-  z += 0x9E3779B97F4A7C15ull;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
-
-std::uint64_t stream_seed(std::uint64_t seed, int round, int node) {
-  std::uint64_t z = mix(seed ^ 0xC2B2AE3D27D4EB4Full);
-  z = mix(z ^ (static_cast<std::uint64_t>(round) * 0xFF51AFD7ED558CCDull));
-  z = mix(z ^ (static_cast<std::uint64_t>(node) * 0xC4CEB9FE1A85EC53ull));
-  return z;
-}
-
 void check_prob(double p, const char* name) {
   CHIRON_CHECK_MSG(p >= 0.0 && p <= 1.0,
                    name << " must be a probability, got " << p);

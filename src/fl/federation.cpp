@@ -83,8 +83,14 @@ TolerantRoundReport Federation::run_round_tolerant(
       // Containment: a throwing local_train is this node's crash, not the
       // round's — its upload is dropped and the other lanes proceed.
       obs::Span train_span(obs::Phase::kLocalTrain);
-      errors[s] = runtime::run_contained(
-          [&] { uploads[s] = n.local_train(server_->global_params()); });
+      if (delivery[s].freeride) {
+        // A free-rider does no work: its "update" is the global model it
+        // was handed, which sails through the finite/norm validation.
+        uploads[s] = server_->global_params();
+      } else {
+        errors[s] = runtime::run_contained(
+            [&] { uploads[s] = n.local_train(server_->global_params()); });
+      }
       weights[s] = static_cast<double>(n.data_size());
       if (errors[s] != nullptr || delivery[s].crash) {
         uploads[s].clear();  // compute happened; the upload never arrives

@@ -31,6 +31,10 @@ struct FederationConfig {
 struct RoundDelivery {
   bool crash = false;  ///< compute happens, the upload never arrives
   bool late = false;   ///< arrived after the deadline: server discards it
+  /// Free-ride: the node skips local training and uploads a copy of the
+  /// current global parameters. The upload is finite and within the norm
+  /// bound, so validation accepts it — it simply contributes nothing.
+  bool freeride = false;
   faults::Corruption corruption = faults::Corruption::kNone;
 };
 

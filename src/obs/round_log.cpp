@@ -68,8 +68,17 @@ void JsonlRoundSink::write(const RoundRecord& r) {
      << ",\"delivered\":" << json_number(r.delivered)
      << ",\"crashed\":" << json_number(r.crashed)
      << ",\"late\":" << json_number(r.late)
-     << ",\"rejected\":" << json_number(r.rejected)
-     << ",\"node_prices\":" << json_array(r.node_prices)
+     << ",\"rejected\":" << json_number(r.rejected);
+  if (r.adversary) {
+    os << ",\"screened\":" << json_number(r.screened)
+       << ",\"flagged\":" << json_number(r.flagged)
+       << ",\"departed\":" << json_number(r.departed)
+       << ",\"rejoined\":" << json_number(r.rejoined)
+       << ",\"freeriding\":" << json_number(r.freeriding)
+       << ",\"misreporting\":" << json_number(r.misreporting)
+       << ",\"clawed_back\":" << json_number(r.clawed_back);
+  }
+  os << ",\"node_prices\":" << json_array(r.node_prices)
      << ",\"node_zetas\":" << json_array(r.node_zetas)
      << ",\"node_participates\":" << json_array(r.node_participates)
      << ",\"node_times\":" << json_array(r.node_times)
@@ -83,30 +92,49 @@ CsvRoundSink::CsvRoundSink(const std::string& path)
     : owned_(open_sink_file(path)), writer_(*owned_, ',') {}
 
 void CsvRoundSink::write(const RoundRecord& r) {
+  // The adversary flag is constant over a run (it reflects the env's
+  // config, not a per-round event), so the column set chosen from the
+  // first record holds for the whole file.
   if (!header_written_) {
-    writer_.header({"episode", "round", "aborted", "p_total", "payment",
-                    "budget_remaining", "round_time", "idle_time",
-                    "time_efficiency", "accuracy", "accuracy_gain",
-                    "raw_exterior_reward", "reward_exterior", "reward_inner",
-                    "participants", "offline", "delivered", "crashed", "late",
-                    "rejected", "node_prices", "node_zetas",
-                    "node_participates", "node_times", "node_payments"});
+    std::vector<std::string> header = {
+        "episode", "round", "aborted", "p_total", "payment",
+        "budget_remaining", "round_time", "idle_time", "time_efficiency",
+        "accuracy", "accuracy_gain", "raw_exterior_reward", "reward_exterior",
+        "reward_inner", "participants", "offline", "delivered", "crashed",
+        "late", "rejected"};
+    if (r.adversary) {
+      header.insert(header.end(),
+                    {"screened", "flagged", "departed", "rejoined",
+                     "freeriding", "misreporting", "clawed_back"});
+    }
+    header.insert(header.end(), {"node_prices", "node_zetas",
+                                 "node_participates", "node_times",
+                                 "node_payments"});
+    writer_.header(header);
     header_written_ = true;
   }
-  writer_.row({json_number(r.episode), json_number(r.round),
-               r.aborted ? "1" : "0", json_number(r.p_total),
-               json_number(r.payment), json_number(r.budget_remaining),
-               json_number(r.round_time), json_number(r.idle_time),
-               json_number(r.time_efficiency), json_number(r.accuracy),
-               json_number(r.accuracy_gain),
-               json_number(r.raw_exterior_reward),
-               json_number(r.reward_exterior), json_number(r.reward_inner),
-               json_number(r.participants), json_number(r.offline),
-               json_number(r.delivered), json_number(r.crashed),
-               json_number(r.late), json_number(r.rejected),
-               join_list(r.node_prices), join_list(r.node_zetas),
-               join_list(r.node_participates), join_list(r.node_times),
-               join_list(r.node_payments)});
+  std::vector<std::string> row = {
+      json_number(r.episode), json_number(r.round), r.aborted ? "1" : "0",
+      json_number(r.p_total), json_number(r.payment),
+      json_number(r.budget_remaining), json_number(r.round_time),
+      json_number(r.idle_time), json_number(r.time_efficiency),
+      json_number(r.accuracy), json_number(r.accuracy_gain),
+      json_number(r.raw_exterior_reward), json_number(r.reward_exterior),
+      json_number(r.reward_inner), json_number(r.participants),
+      json_number(r.offline), json_number(r.delivered),
+      json_number(r.crashed), json_number(r.late), json_number(r.rejected)};
+  if (r.adversary) {
+    row.insert(row.end(),
+               {json_number(r.screened), json_number(r.flagged),
+                json_number(r.departed), json_number(r.rejoined),
+                json_number(r.freeriding), json_number(r.misreporting),
+                json_number(r.clawed_back)});
+  }
+  row.insert(row.end(), {join_list(r.node_prices), join_list(r.node_zetas),
+                         join_list(r.node_participates),
+                         join_list(r.node_times),
+                         join_list(r.node_payments)});
+  writer_.row(row);
 }
 
 std::unique_ptr<RoundSink> make_round_sink(const std::string& path) {

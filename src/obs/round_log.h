@@ -47,6 +47,19 @@ struct RoundRecord {
   int crashed = 0;
   int late = 0;
   int rejected = 0;
+  // Adversarial-round extension. `adversary` marks records from an env
+  // whose adversary/defense config is active; the fields below are only
+  // emitted when it is set, so runs with every adversary knob zero keep
+  // producing byte-identical logs. The flag is per-run-constant, so a
+  // CSV's column set is stable from its first record.
+  bool adversary = false;
+  int screened = 0;       // excluded by reserve-price screening
+  int flagged = 0;        // audited and caught this round
+  int departed = 0;       // churned away this round (subset of offline)
+  int rejoined = 0;       // back from churn with a fresh device profile
+  int freeriding = 0;     // participating free-riders this round
+  int misreporting = 0;   // participating cost-misreporters this round
+  double clawed_back = 0.0;  // payments zeroed by audits this round
   // Per-node detail, index-aligned with the environment's nodes. Empty
   // for aborted rounds (the round never executed).
   std::vector<double> node_prices;   // effective posted prices

@@ -64,17 +64,23 @@ RoundOutcome run_round(const std::vector<DeviceProfile>& devices,
   CHIRON_CHECK_MSG(devices.size() == prices.size(),
                    "devices " << devices.size() << " vs prices "
                               << prices.size());
+  std::vector<NodeDecision> nodes;
+  nodes.reserve(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i)
+    nodes.push_back(best_response(devices[i], prices[i], local_epochs));
+  return aggregate_round(std::move(nodes));
+}
+
+RoundOutcome aggregate_round(std::vector<NodeDecision> nodes) {
   RoundOutcome out;
-  out.nodes.reserve(devices.size());
-  for (std::size_t i = 0; i < devices.size(); ++i) {
-    NodeDecision d = best_response(devices[i], prices[i], local_epochs);
+  out.nodes = std::move(nodes);
+  for (const NodeDecision& d : out.nodes) {
     if (d.participates) {
       ++out.participants;
       out.round_time = std::max(out.round_time, d.total_time);
       out.total_payment += d.payment;
       out.total_energy += d.compute_energy + d.comm_energy;
     }
-    out.nodes.push_back(std::move(d));
   }
   if (out.participants > 0 && out.round_time > 0.0) {
     // Eqns (15)–(16) sum over ALL N nodes; a node that declined trains for
@@ -94,6 +100,47 @@ RoundOutcome run_round(const std::vector<DeviceProfile>& devices,
     out.time_efficiency = 0.0;
   }
   return out;
+}
+
+NodeDecision misreported_response(const DeviceProfile& device, double price,
+                                  int local_epochs, double factor) {
+  CHIRON_CHECK(local_epochs >= 1);
+  CHIRON_CHECK_MSG(factor >= 1.0, "misreport factor must be >= 1, got "
+                                      << factor);
+  if (factor == 1.0) return best_response(device, price, local_epochs);
+
+  NodeDecision d;
+  d.price = price;
+  d.comm_time = device.comm_time;
+  if (price <= 0.0) return d;
+
+  const double coeff = energy_coeff(device, local_epochs);
+  // The frequency the node actually runs: best response under the
+  // inflated cost factor·α·c·d (Eqn 11 with α̂ = f·α).
+  const double zeta_run = std::clamp(price / (2.0 * factor * coeff),
+                                     device.zeta_min, device.zeta_max);
+  // Participation gate under the *reported* profile: inflated energy cost
+  // against the inflated reserve — a misreporting node demands more.
+  const double e_com = device.comm_energy_rate * device.comm_time;
+  const double reported_utility =
+      price * zeta_run - factor * coeff * zeta_run * zeta_run - e_com;
+  if (reported_utility < factor * device.reserve_utility) return d;
+
+  // What the node *claims* (and is paid for): the honest best response.
+  const double zeta_claim = std::clamp(
+      unconstrained_optimal_zeta(device, price, local_epochs),
+      device.zeta_min, device.zeta_max);
+
+  d.participates = true;
+  d.zeta = zeta_claim;  // the frequency the payment buys
+  d.compute_time = static_cast<double>(local_epochs) * device.cycles_per_bit *
+                   device.data_bits / zeta_run;
+  d.total_time = d.compute_time + d.comm_time;
+  d.compute_energy = coeff * zeta_run * zeta_run;  // true physical cost
+  d.comm_energy = e_com;
+  d.utility = price * zeta_claim - d.compute_energy - e_com;  // true utility
+  d.payment = price * zeta_claim;
+  return d;
 }
 
 double realized_node_time(const NodeDecision& node, double slowdown,

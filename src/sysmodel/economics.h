@@ -61,6 +61,26 @@ struct RoundOutcome {
 RoundOutcome run_round(const std::vector<DeviceProfile>& devices,
                        const std::vector<double>& prices, int local_epochs);
 
+/// Folds per-node decisions (one per device, in node order) into a
+/// RoundOutcome — the aggregation tail of run_round, exposed so callers
+/// that mix honest and strategic responses (the adversarial market) share
+/// the exact Eqn (15)/(16) accumulation order with the honest path.
+RoundOutcome aggregate_round(std::vector<NodeDecision> nodes);
+
+/// Strategic response of a node that misreports its cost parameters by
+/// `factor` >= 1: the node *behaves* as if its energy cost α·c·d and its
+/// reserve μ were `factor` times larger — it participates only when the
+/// inflated reserve clears and runs at the inflated-cost best-response
+/// frequency (slower) — but it *bills* the server for the honest
+/// best-response frequency ζ* = p/(2σαcd). The returned decision carries
+/// the claimed frequency in `zeta` and `payment` (what the server is
+/// charged), the actually-run frequency in `compute_time`/`total_time`/
+/// `compute_energy` (what physically happens), and the node's true
+/// utility (claimed revenue minus true energy). factor == 1 is exactly
+/// best_response.
+NodeDecision misreported_response(const DeviceProfile& device, double price,
+                                  int local_epochs, double factor);
+
 /// Realized wall-clock of one node under fault injection: compute time
 /// scaled by the straggler slowdown, plus communication, capped at the
 /// server's round deadline (0 = no deadline). Zero for non-participants.

@@ -1,0 +1,142 @@
+#include "adversary/defense.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sysmodel/economics.h"
+
+namespace chiron::adversary {
+namespace {
+
+sysmodel::DeviceProfile test_device() {
+  sysmodel::DeviceProfile d;
+  d.data_bits = 1e8;
+  d.reserve_utility = 0.01;
+  d.comm_time = 15.0;
+  d.comm_energy_rate = 0.001;
+  return d;
+}
+
+TEST(DefenseConfig, AnyReflectsKnobs) {
+  DefenseConfig c;
+  EXPECT_FALSE(c.any());
+  c.reserve_price = 0.5;
+  EXPECT_TRUE(c.any());
+  c = DefenseConfig{};
+  c.audit_prob = 0.2;
+  EXPECT_TRUE(c.any());
+  c = DefenseConfig{};
+  c.reputation_alpha = 0.3;
+  EXPECT_TRUE(c.any());
+}
+
+TEST(DefenseConfig, ValidationNamesBadKnobs) {
+  DefenseConfig c;
+  c.audit_prob = 1.5;
+  EXPECT_THROW(validate(c), chiron::InvariantError);
+  c = DefenseConfig{};
+  c.audit_tolerance = 0.5;
+  EXPECT_THROW(validate(c), chiron::InvariantError);
+  c = DefenseConfig{};
+  c.reputation_alpha = -0.1;
+  EXPECT_THROW(validate(c), chiron::InvariantError);
+  c = DefenseConfig{};
+  c.reputation_floor = 2.0;
+  EXPECT_THROW(validate(c), chiron::InvariantError);
+  c = DefenseConfig{};
+  c.reserve_price = -1.0;
+  EXPECT_THROW(validate(c), chiron::InvariantError);
+}
+
+TEST(AuditFires, DeterministicAndRateMatches) {
+  DefenseConfig c;
+  c.audit_prob = 0.25;
+  c.seed = 9;
+  int fires = 0;
+  const int rounds = 100, nodes = 100;
+  for (int r = 0; r < rounds; ++r)
+    for (int n = 0; n < nodes; ++n) {
+      const bool f = audit_fires(c, r, n);
+      EXPECT_EQ(f, audit_fires(c, r, n));  // replay-exact
+      if (f) ++fires;
+    }
+  EXPECT_NEAR(static_cast<double>(fires) / (rounds * nodes), 0.25, 0.02);
+}
+
+TEST(AuditFires, OffMeansNever) {
+  DefenseConfig c;  // audit_prob = 0
+  for (int r = 0; r < 20; ++r)
+    for (int n = 0; n < 20; ++n) EXPECT_FALSE(audit_fires(c, r, n));
+}
+
+TEST(ReportedProfile, InflatesEnergyAndReserve) {
+  const auto device = test_device();
+  const auto reported = reported_profile(device, 2.0);
+  EXPECT_DOUBLE_EQ(reported.capacitance, 2.0 * device.capacitance);
+  EXPECT_DOUBLE_EQ(reported.reserve_utility, 2.0 * device.reserve_utility);
+  // Timing-observable parameters are not faked.
+  EXPECT_DOUBLE_EQ(reported.cycles_per_bit, device.cycles_per_bit);
+  EXPECT_DOUBLE_EQ(reported.comm_time, device.comm_time);
+}
+
+TEST(ReportedFloorPayment, GrowsWithMisreportFactor) {
+  const auto device = test_device();
+  const double honest = reported_floor_payment(reported_profile(device, 1.0));
+  const double inflated =
+      reported_floor_payment(reported_profile(device, 3.0));
+  EXPECT_GT(honest, 0.0);
+  EXPECT_GT(inflated, honest);
+  // 2(μ + E_com) exactly.
+  const double e_com = device.comm_energy_rate * device.comm_time;
+  EXPECT_DOUBLE_EQ(honest, 2.0 * (device.reserve_utility + e_com));
+}
+
+TEST(ReputationLedger, DisabledIsInert) {
+  DefenseConfig c;  // reputation_alpha = 0
+  ReputationLedger ledger(c, 4);
+  ledger.update(0, 0.0);
+  ledger.update(0, 0.0);
+  EXPECT_EQ(ledger.weight(0), 1.0);
+  EXPECT_EQ(ledger.reputation(0), 1.0);
+}
+
+TEST(ReputationLedger, EmaDecaysAndRecovers) {
+  DefenseConfig c;
+  c.reputation_alpha = 0.5;
+  c.reputation_floor = 0.05;
+  ReputationLedger ledger(c, 2);
+  EXPECT_EQ(ledger.reputation(0), 1.0);
+  ledger.update(0, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.reputation(0), 0.5);
+  ledger.update(0, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.reputation(0), 0.25);
+  ledger.update(0, 1.0);
+  EXPECT_DOUBLE_EQ(ledger.reputation(0), 0.625);
+  EXPECT_EQ(ledger.reputation(1), 1.0);  // untouched node keeps its score
+}
+
+TEST(ReputationLedger, WeightIsFlooredAndResetRestores) {
+  DefenseConfig c;
+  c.reputation_alpha = 1.0;  // full replacement
+  c.reputation_floor = 0.1;
+  ReputationLedger ledger(c, 2);
+  ledger.update(0, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.reputation(0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.weight(0), 0.1);  // floor keeps a road back
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.reputation(0), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.weight(0), 1.0);
+}
+
+TEST(ReputationLedger, InvalidUseThrows) {
+  DefenseConfig c;
+  c.reputation_alpha = 0.5;
+  ReputationLedger ledger(c, 2);
+  EXPECT_THROW(ledger.update(-1, 1.0), chiron::InvariantError);
+  EXPECT_THROW(ledger.update(2, 1.0), chiron::InvariantError);
+  EXPECT_THROW(ledger.update(0, 1.5), chiron::InvariantError);
+  EXPECT_THROW((ReputationLedger{c, 0}), chiron::InvariantError);
+}
+
+}  // namespace
+}  // namespace chiron::adversary

@@ -234,6 +234,86 @@ TEST(RoundOutcome, PriceCountMismatchThrows) {
   EXPECT_THROW(run_round(devices, {1.0}, kSigma), chiron::InvariantError);
 }
 
+TEST(Misreport, FactorOneIsExactlyTheHonestBestResponse) {
+  DeviceProfile d = test_device();
+  d.reserve_utility = 0.05;
+  chiron::Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const double p = rng.uniform(0.0, 1.5 * saturation_price(d, kSigma));
+    const NodeDecision honest = best_response(d, p, kSigma);
+    const NodeDecision mis = misreported_response(d, p, kSigma, 1.0);
+    EXPECT_EQ(mis.participates, honest.participates);
+    EXPECT_EQ(mis.zeta, honest.zeta);
+    EXPECT_EQ(mis.payment, honest.payment);
+    EXPECT_EQ(mis.compute_time, honest.compute_time);
+    EXPECT_EQ(mis.utility, honest.utility);
+  }
+}
+
+TEST(Misreport, BillsHonestClaimWhileRunningInflatedResponse) {
+  DeviceProfile d = test_device();
+  const double p = 0.5 * saturation_price(d, kSigma);  // interior optimum
+  const NodeDecision honest = best_response(d, p, kSigma);
+  const NodeDecision mis = misreported_response(d, p, kSigma, 2.0);
+  ASSERT_TRUE(mis.participates);
+  // The claim (and thus the bill) is the honest frequency...
+  EXPECT_DOUBLE_EQ(mis.zeta, honest.zeta);
+  EXPECT_DOUBLE_EQ(mis.payment, honest.payment);
+  // ...but the node actually runs the inflated-cost response: half the
+  // frequency, double the compute time, a quarter of the energy.
+  EXPECT_NEAR(mis.compute_time, 2.0 * honest.compute_time,
+              honest.compute_time * 1e-9);
+  EXPECT_NEAR(mis.compute_energy, 0.25 * honest.compute_energy,
+              honest.compute_energy * 1e-9);
+  // True utility (honest pay, cheap run) beats the honest response's —
+  // that surplus is precisely the misreporting incentive.
+  EXPECT_GT(mis.utility, honest.utility);
+}
+
+TEST(Misreport, InflatedGateIsStricterThanHonestGate) {
+  DeviceProfile d = test_device();
+  d.reserve_utility = 0.05;
+  chiron::Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const double p = rng.uniform(0.0, 1.5 * saturation_price(d, kSigma));
+    const double f = rng.uniform(1.0, 3.0);
+    const NodeDecision mis = misreported_response(d, p, kSigma, f);
+    if (mis.participates) {
+      EXPECT_TRUE(best_response(d, p, kSigma).participates)
+          << "an inflated participant must also participate honestly";
+    }
+  }
+}
+
+TEST(Misreport, InvalidFactorThrows) {
+  DeviceProfile d = test_device();
+  EXPECT_THROW(misreported_response(d, 1.0, kSigma, 0.5),
+               chiron::InvariantError);
+  EXPECT_THROW(misreported_response(d, 1.0, kSigma, 0.0),
+               chiron::InvariantError);
+}
+
+TEST(RoundOutcome, AggregateRoundMatchesRunRound) {
+  // run_round == best responses fed through aggregate_round, bit for bit
+  // (the refactor that exposed aggregate_round must not move a ulp).
+  chiron::Rng rng(10);
+  DevicePopulation pop;
+  auto devices = sample_devices(pop, 5, 1.25e7, rng);
+  std::vector<double> prices;
+  for (const auto& d : devices)
+    prices.push_back(0.7 * saturation_price(d, kSigma));
+  const RoundOutcome direct = run_round(devices, prices, kSigma);
+  std::vector<NodeDecision> decisions;
+  for (std::size_t i = 0; i < devices.size(); ++i)
+    decisions.push_back(best_response(devices[i], prices[i], kSigma));
+  const RoundOutcome assembled = aggregate_round(std::move(decisions));
+  EXPECT_EQ(assembled.participants, direct.participants);
+  EXPECT_EQ(assembled.total_payment, direct.total_payment);
+  EXPECT_EQ(assembled.round_time, direct.round_time);
+  EXPECT_EQ(assembled.idle_time, direct.idle_time);
+  EXPECT_EQ(assembled.time_efficiency, direct.time_efficiency);
+}
+
 TEST(Lemma1, EqualizingTimesReducesIdleAtSameSpend) {
   // Two identical nodes except comm time; an unequal-price allocation is
   // compared with the time-equalizing one at the same total payment: the

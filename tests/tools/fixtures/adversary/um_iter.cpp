@@ -1,0 +1,11 @@
+// Lint fixture: exactly one UM1 violation (ranged-for over an
+// unordered_map in the adversary/ result path — audit schedules and
+// reputation weights must not depend on hash iteration order). Never
+// compiled — scanned by tests/tools/lint_test.cpp.
+#include <unordered_map>
+
+int flagged_total(const std::unordered_map<int, int>& flags) {
+  int sum = 0;
+  for (const auto& kv : flags) sum += kv.second;
+  return sum;
+}

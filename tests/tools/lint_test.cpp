@@ -73,6 +73,15 @@ TEST(LintRules, Um1FiresInServeResultPath) {
   EXPECT_EQ(lint_binary_exit(fixture("serve/um_iter.cpp").string()), 1);
 }
 
+TEST(LintRules, Um1FiresInAdversaryResultPath) {
+  // src/adversary feeds audit schedules and reputation weights straight
+  // into payments, so it is a UM1 result path like faults/ and core/.
+  const auto v = lint_fixture("adversary/um_iter.cpp");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "UM1");
+  EXPECT_EQ(lint_binary_exit(fixture("adversary/um_iter.cpp").string()), 1);
+}
+
 TEST(LintRules, Hg1FiresOnUnguardedHeader) {
   const auto v = lint_fixture("hdr_unguarded.h");
   ASSERT_EQ(v.size(), 1u);

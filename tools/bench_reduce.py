@@ -8,7 +8,12 @@ small machine-readable summary at the repo root that records the current
 numbers next to the pre-PR ones and the speedup per benchmark, so every
 later PR can be judged against the trajectory.
 
-Usage: bench_reduce.py <raw.json> [<raw2.json> ...] <baseline.json> <out.json>
+An optional `--adversary-tsv <path>` merges the adversary_sweep harness's
+TSV (mechanism regret vs honest runs across adversary fractions, defenses
+off/on) into the summary under the "adversary_sweep" key.
+
+Usage: bench_reduce.py [--adversary-tsv sweep.tsv] <raw.json> [...]
+       <baseline.json> <out.json>
 """
 import json
 import sys
@@ -19,12 +24,45 @@ import sys
 KEPT_COUNTERS = ("nodes_per_sec", "p50_us", "p99_us")
 
 
+def read_adversary_tsv(path):
+    """Parses the adversary_sweep TSV into a list of row dicts, with
+    numeric cells converted so the JSON is directly comparable."""
+    with open(path) as f:
+        lines = [ln.rstrip("\n") for ln in f if ln.strip()]
+    if not lines:
+        raise SystemExit(f"bench_reduce: empty adversary sweep at {path}")
+    header = lines[0].split("\t")
+    rows = []
+    for ln in lines[1:]:
+        cells = ln.split("\t")
+        if len(cells) != len(header):
+            raise SystemExit(
+                f"bench_reduce: ragged adversary sweep row in {path}: {ln!r}")
+        row = {}
+        for key, cell in zip(header, cells):
+            try:
+                row[key] = float(cell) if "." in cell else int(cell)
+            except ValueError:
+                row[key] = cell
+        rows.append(row)
+    return rows
+
+
 def main() -> int:
-    if len(sys.argv) < 4:
+    args = sys.argv[1:]
+    adversary_rows = None
+    if "--adversary-tsv" in args:
+        i = args.index("--adversary-tsv")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        adversary_rows = read_adversary_tsv(args[i + 1])
+        del args[i:i + 2]
+    if len(args) < 3:
         print(__doc__, file=sys.stderr)
         return 2
-    raw_paths = sys.argv[1:-2]
-    baseline_path, out_path = sys.argv[-2:]
+    raw_paths = args[:-2]
+    baseline_path, out_path = args[-2:]
 
     raws = []
     for path in raw_paths:
@@ -74,6 +112,8 @@ def main() -> int:
         "current": current,
         "speedup_vs_pre_pr": speedup,
     }
+    if adversary_rows is not None:
+        out["adversary_sweep"] = adversary_rows
     with open(out_path, "w") as f:
         json.dump(out, f, indent=2)
         f.write("\n")

@@ -10,19 +10,23 @@
 # Usage: tools/bench_substrate.sh [build-dir]      (default: build-bench)
 #   CHIRON_BENCH_FILTER        micro_substrate regex (default: trajectory set)
 #   CHIRON_SERVE_BENCH_FILTER  serve_load regex (default: the full grid)
+#   CHIRON_ADV_SWEEP_EPISODES  adversary_sweep training episodes (default 120)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
 FILTER="${CHIRON_BENCH_FILTER:-BM_MatmulSquare|BM_Im2col|BM_MnistCnn|BM_ParallelRound}"
 SERVE_FILTER="${CHIRON_SERVE_BENCH_FILTER:-BM_ServeLoad|BM_PriceBatch}"
+ADV_EPISODES="${CHIRON_ADV_SWEEP_EPISODES:-120}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_substrate serve_load
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target micro_substrate serve_load adversary_sweep
 
 BIN="$BUILD_DIR/bench/micro_substrate"
 SERVE_BIN="$BUILD_DIR/bench/serve_load"
-for b in "$BIN" "$SERVE_BIN"; do
+ADV_BIN="$BUILD_DIR/bench/adversary_sweep"
+for b in "$BIN" "$SERVE_BIN" "$ADV_BIN"; do
   if [[ ! -x "$b" ]]; then
     echo "bench_substrate: FATAL: $b missing after build —" \
          "the perf trajectory cannot be regenerated" >&2
@@ -32,11 +36,13 @@ done
 
 RAW="$(mktemp)"
 SERVE_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$SERVE_RAW"' EXIT
+ADV_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$SERVE_RAW" "$ADV_RAW"' EXIT
 "$BIN" --benchmark_filter="$FILTER" --benchmark_format=json > "$RAW"
 "$SERVE_BIN" --benchmark_filter="$SERVE_FILTER" --benchmark_format=json \
   > "$SERVE_RAW"
+CHIRON_EPISODES="$ADV_EPISODES" "$ADV_BIN" > "$ADV_RAW"
 
-python3 tools/bench_reduce.py "$RAW" "$SERVE_RAW" \
+python3 tools/bench_reduce.py --adversary-tsv "$ADV_RAW" "$RAW" "$SERVE_RAW" \
   tools/bench_baseline_pre_pr.json BENCH_substrate.json
 echo "bench_substrate: wrote BENCH_substrate.json"

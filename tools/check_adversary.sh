@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Adversary-subsystem contract check (DESIGN.md §5.11).
+#
+# Three independent gates:
+#
+#   1. Zero-knob byte-identity — chiron_cli train with every --adv-*/
+#      defense flag spelled out at its zero/off default must produce
+#      stdout and a round log byte-identical to a run with no adversary
+#      flags at all: dormant adversary plumbing may not perturb a single
+#      result bit.
+#   2. Thread-count byte-identity — an adversarial run (misreporting,
+#      free-riding, churn, audits, reputation all live) must be
+#      byte-identical at --threads 1 vs 8.
+#   3. ASan — the adversary unit suites and the adversarial env suite run
+#      clean under AddressSanitizer.
+#
+# Usage: tools/check_adversary.sh [build-dir] [asan-build-dir]
+#        (defaults: build, build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+ASAN_DIR="${2:-build-asan}"
+BIN="$BUILD_DIR/tools/chiron_cli"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DCHIRON_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target chiron_cli
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+COMMON=(train --nodes 6 --budget 60 --episodes 8 --seed 55)
+
+# Gate 1: all adversary knobs at their zero defaults == no flags at all.
+"$BIN" "${COMMON[@]}" --round-log "$TMP/plain.jsonl" \
+  > "$TMP/plain.txt" 2>/dev/null
+"$BIN" "${COMMON[@]}" --round-log "$TMP/zeroknob.jsonl" \
+  --adv-fraction 0 --adv-misreport 1 --adv-freeride 0 --adv-churn 0 \
+  --reserve-price 0 --audit-prob 0 --audit-tolerance 1.25 \
+  --reputation-alpha 0 \
+  > "$TMP/zeroknob.txt" 2>/dev/null
+diff -u "$TMP/plain.jsonl" "$TMP/zeroknob.jsonl" \
+  || { echo "check_adversary: FAIL (zero-knob round log differs from a no-flag run)"; exit 1; }
+diff -u "$TMP/plain.txt" "$TMP/zeroknob.txt" \
+  || { echo "check_adversary: FAIL (zero-knob stdout differs from a no-flag run)"; exit 1; }
+
+# Gate 2: a live adversarial run is byte-identical across thread counts.
+adv_run() {
+  local threads="$1"
+  "$BIN" "${COMMON[@]}" --threads "$threads" \
+    --round-log "$TMP/adv_t$threads.jsonl" \
+    --adv-fraction 0.5 --adv-misreport 1.8 --adv-freeride 0.3 \
+    --adv-churn 0.15 --audit-prob 0.4 --reputation-alpha 0.3 \
+    > "$TMP/adv_t$threads.txt" 2>/dev/null
+}
+adv_run 1
+adv_run 8
+diff -u "$TMP/adv_t1.jsonl" "$TMP/adv_t8.jsonl" \
+  || { echo "check_adversary: FAIL (adversarial round log differs between --threads 1 and 8)"; exit 1; }
+diff -u "$TMP/adv_t1.txt" "$TMP/adv_t8.txt" \
+  || { echo "check_adversary: FAIL (adversarial stdout differs between --threads 1 and 8)"; exit 1; }
+grep -q '"flagged":' "$TMP/adv_t1.jsonl" \
+  || { echo "check_adversary: FAIL (adversarial run emitted no adversary fields)"; exit 1; }
+
+# Gate 3: adversary suites under AddressSanitizer.
+export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1:halt_on_error=1"
+source tools/sanitize_common.sh
+chiron_sanitizer_check address "$ASAN_DIR" test_adversary test_core \
+  || { echo "check_adversary: FAIL (ASan)"; exit 1; }
+
+echo "check_adversary: OK (zero-knob and thread-count byte-identity hold; ASan clean)"

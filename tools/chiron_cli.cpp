@@ -73,6 +73,17 @@ core::EnvConfig env_from_flags(const FlagParser& flags) {
   c.faults.persistent_prob = flags.get_double("fault-persistent", 0.0);
   c.faults.seed = c.seed + 7919;  // own stream, decoupled from env draws
   c.round_deadline = flags.get_double("deadline", 0.0);
+  c.adversary.fraction = flags.get_double("adv-fraction", 0.0);
+  c.adversary.misreport_factor = flags.get_double("adv-misreport", 1.0);
+  c.adversary.freeride_prob = flags.get_double("adv-freeride", 0.0);
+  c.adversary.churn_prob = flags.get_double("adv-churn", 0.0);
+  c.adversary.seed = c.seed + 104729;  // own stream, like faults.seed
+  c.defense.reserve_price = flags.get_double("reserve-price", 0.0);
+  c.defense.audit_prob = flags.get_double("audit-prob", 0.0);
+  c.defense.audit_tolerance =
+      flags.get_double("audit-tolerance", c.defense.audit_tolerance);
+  c.defense.reputation_alpha = flags.get_double("reputation-alpha", 0.0);
+  c.defense.seed = c.seed + 1299709;
   if (flags.has("real")) {
     c.backend = core::BackendKind::kRealVision;
     c.samples_per_node = 128;
@@ -306,6 +317,10 @@ void usage() {
       "  faults: --fault-crash P --fault-straggler P\n"
       "          --fault-straggler-factor F (max slowdown, default 4)\n"
       "          --fault-corrupt P --fault-persistent P --deadline SECONDS\n"
+      "  adversaries: --adv-fraction P --adv-misreport F (max factor >= 1)\n"
+      "               --adv-freeride P --adv-churn P\n"
+      "  defenses: --reserve-price R --audit-prob P --audit-tolerance F\n"
+      "            --reputation-alpha A\n"
       "  train:  --save PATH --trace\n"
       "  sweep:  --budgets 40,80,120\n"
       "  observability: --round-log PATH (.jsonl|.csv)\n"

@@ -379,7 +379,8 @@ std::vector<Violation> lint_source(const std::string& rel_path,
                            has_segment(segs, "fl") ||
                            has_segment(segs, "rl") ||
                            has_segment(segs, "serve") ||
-                           has_segment(segs, "faults");
+                           has_segment(segs, "faults") ||
+                           has_segment(segs, "adversary");
   const bool accounting = ends_with(rel_path, "core/env.cpp") ||
                           ends_with(rel_path, "core/mechanism.cpp");
 
