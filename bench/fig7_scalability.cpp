@@ -2,6 +2,8 @@
 //   (a) Chiron's exterior agent converges (reward rises over episodes);
 //   (b) the single-agent DRL-based approach fails to converge.
 // TSV series: episode → smoothed episode reward per approach.
+// `--nodes N` (or CHIRON_NODES) overrides the paper's 100-node market for
+// scale studies; --shards/--max-replicas engage the §5.12 scaling paths.
 #include <iostream>
 
 #include "common/csv.h"
@@ -13,20 +15,22 @@ using namespace chiron;
 int main(int argc, char** argv) {
   bench::HarnessOptions opt = bench::read_options(argc, argv);
   bench::ObsSession obs_session(opt);
+  const int nodes = opt.nodes > 0 ? opt.nodes : 100;
   core::EnvConfig env_cfg =
-      bench::make_market(data::VisionTask::kMnistLike, 100, 140.0, opt);
+      bench::make_market(data::VisionTask::kMnistLike, nodes, 140.0, opt);
 
   std::cerr << "[fig7] runtime pool: " << runtime::threads()
             << " threads (CHIRON_THREADS to override)\n";
-  std::cerr << "[fig7] training Chiron (100 nodes, " << opt.chiron_episodes
-            << " episodes)\n";
+  std::cerr << "[fig7] training Chiron (" << nodes << " nodes, "
+            << opt.chiron_episodes << " episodes)\n";
   core::EdgeLearnEnv env_c(env_cfg);
   env_c.set_round_sink(opt.round_sink);
-  core::HierarchicalMechanism chiron(env_c, bench::make_chiron_config(opt, 100));
+  core::HierarchicalMechanism chiron(env_c,
+                                     bench::make_chiron_config(opt, nodes));
   auto chiron_eps = chiron.train();
   auto chiron_series = bench::reward_series(chiron_eps);
 
-  std::cerr << "[fig7] training DRL-based (100 nodes)\n";
+  std::cerr << "[fig7] training DRL-based (" << nodes << " nodes)\n";
   core::EdgeLearnEnv env_d(env_cfg);
   env_d.set_round_sink(opt.round_sink);
   baselines::SingleDrlConfig dc;

@@ -42,6 +42,9 @@ HarnessOptions read_options() {
   opt.real_training = env_flag("CHIRON_REAL_TRAINING");
   opt.seed = static_cast<std::uint64_t>(env_int("CHIRON_SEED", 97));
   opt.threads = env_int("CHIRON_THREADS", 0);
+  opt.nodes = env_int("CHIRON_NODES", opt.nodes);
+  opt.shards = env_int("CHIRON_SHARDS", opt.shards);
+  opt.max_replicas = env_int("CHIRON_MAX_REPLICAS", opt.max_replicas);
   opt.round_log = env_str("CHIRON_ROUND_LOG");
   opt.metrics_out = env_str("CHIRON_METRICS_OUT");
   opt.trace_out = env_str("CHIRON_TRACE");
@@ -80,6 +83,12 @@ HarnessOptions read_options(int argc, const char* const* argv) {
     opt.threads = threads_flag(flags);
     runtime::set_threads(opt.threads);
   }
+  opt.nodes = flags.get_int("nodes", opt.nodes);
+  opt.shards = flags.get_int("shards", opt.shards);
+  opt.max_replicas = flags.get_int("max-replicas", opt.max_replicas);
+  CHIRON_CHECK_MSG(opt.nodes >= 0, "--nodes must be >= 0");
+  CHIRON_CHECK_MSG(opt.shards >= 1, "--shards must be >= 1");
+  CHIRON_CHECK_MSG(opt.max_replicas >= 0, "--max-replicas must be >= 0");
   opt.adv_fraction = flags.get_double("adv-fraction", opt.adv_fraction);
   opt.adv_misreport = flags.get_double("adv-misreport", opt.adv_misreport);
   opt.adv_freeride = flags.get_double("adv-freeride", opt.adv_freeride);
@@ -93,7 +102,8 @@ HarnessOptions read_options(int argc, const char* const* argv) {
   const auto unknown =
       flags.unknown_flags({"episodes", "eval-episodes", "real-training",
                            "seed", "threads", "round-log", "metrics-out",
-                           "trace", "adv-fraction", "adv-misreport",
+                           "trace", "nodes", "shards", "max-replicas",
+                           "adv-fraction", "adv-misreport",
                            "adv-freeride", "adv-churn", "reserve-price",
                            "audit-prob", "audit-tolerance",
                            "reputation-alpha"});
@@ -146,6 +156,8 @@ core::EnvConfig make_market(data::VisionTask task, int num_nodes,
   c.defense.audit_tolerance = opt.audit_tolerance;
   c.defense.reputation_alpha = opt.reputation_alpha;
   c.defense.seed = opt.seed + 1299709;
+  c.aggregation_shards = opt.shards;
+  c.max_replicas = opt.max_replicas;
   if (opt.real_training) {
     c.backend = core::BackendKind::kRealVision;
     c.samples_per_node = 128;

@@ -20,9 +20,15 @@
 //   CHIRON_ADV_CHURN      adversarial-market knobs (DESIGN.md §5.11)
 //   CHIRON_RESERVE_PRICE / CHIRON_AUDIT_PROB / CHIRON_AUDIT_TOLERANCE /
 //   CHIRON_REPUTATION_ALPHA  mechanism defenses; all zero/off by default
+//   CHIRON_NODES          market size override for harnesses that take one
+//                         (0 or unset = harness default)
+//   CHIRON_SHARDS / CHIRON_MAX_REPLICAS  scaling knobs (DESIGN.md §5.12):
+//                         aggregation tree fan-in and the lightweight-node
+//                         replica budget
 //
 // Each harness also accepts the equivalent command-line flags
 // (--round-log, --metrics-out, --trace, --threads, --seed, --episodes,
+// --nodes, --shards, --max-replicas,
 // --adv-fraction, --adv-misreport, --adv-freeride, --adv-churn,
 // --reserve-price, --audit-prob, --audit-tolerance, --reputation-alpha),
 // which take precedence over the environment.
@@ -47,6 +53,13 @@ struct HarnessOptions {
   bool real_training = false;
   std::uint64_t seed = 97;
   int threads = 0;  // 0 = auto (hardware concurrency)
+  // Market-size override for harnesses with a scalable node count
+  // (fig7_scalability, scale sweeps); 0 = keep the harness default.
+  int nodes = 0;
+  // Scaling knobs (DESIGN.md §5.12), applied to every market make_market
+  // builds. Defaults keep the flat legacy paths byte-identical.
+  int shards = 1;        // aggregation tree fan-in (real backends)
+  int max_replicas = 0;  // lightweight-node replica budget; 0 = all
   // Observability outputs; empty = off (and zero overhead, DESIGN.md §5.9).
   std::string round_log;
   std::string metrics_out;

@@ -8,7 +8,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "obs/clock.h"
@@ -160,5 +162,70 @@ static void BM_PriceBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * B);
 }
 BENCHMARK(BM_PriceBatch)->Arg(1)->Arg(8)->Arg(32);
+
+// QPS-ramp knee finder: offered load doubles per level, submissions are
+// paced at the offered rate for a fixed window, and the knee is the last
+// level the server absorbs at the offered rate (achieved ≥ 90% of
+// offered after draining). The knee_qps / knee_p99_us counters land in
+// BENCH_substrate.json next to nodes_per_sec, so serving capacity is
+// tracked release over release rather than only happy-path throughput.
+static void BM_ServeKnee(benchmark::State& state) {
+  using clock = std::chrono::steady_clock;
+  const serve::MechanismWeights weights = bench_weights();
+  const std::int64_t dim = weights.info.exterior_obs_dim;
+  constexpr int kStatePool = 256;
+  std::vector<std::vector<float>> pool;
+  pool.reserve(kStatePool);
+  for (int i = 0; i < kStatePool; ++i) pool.push_back(bench_state(i, dim));
+
+  double knee_qps = 0.0;
+  double knee_p99 = 0.0;
+  for (auto _ : state) {
+    knee_qps = 0.0;
+    knee_p99 = 0.0;
+    for (double offered = 1000.0; offered <= 262144.0; offered *= 2.0) {
+      constexpr double kWindowSec = 0.25;
+      const int total =
+          std::max(64, static_cast<int>(offered * kWindowSec));
+      std::vector<std::uint64_t> submit_us(
+          static_cast<std::size_t>(total));
+      std::vector<std::uint64_t> latency_us(
+          static_cast<std::size_t>(total));
+      serve::ServerConfig cfg;
+      cfg.workers = 4;
+      cfg.batch_max = 32;
+      cfg.queue_cap = static_cast<std::size_t>(total);  // no shedding
+      serve::MechanismServer server(
+          weights, cfg, [&](const serve::Message& m) {
+            latency_us[m.id - 1] = obs::now_us() - submit_us[m.id - 1];
+          });
+      const auto t0 = clock::now();
+      const auto gap = std::chrono::nanoseconds(
+          static_cast<std::int64_t>(1e9 / offered));
+      for (int i = 0; i < total; ++i) {
+        std::this_thread::sleep_until(t0 + gap * i);
+        serve::Message m;
+        m.type = serve::MsgType::kPriceRequest;
+        m.id = static_cast<std::uint64_t>(i) + 1;
+        m.state = pool[static_cast<std::size_t>(i % kStatePool)];
+        submit_us[static_cast<std::size_t>(i)] = obs::now_us();
+        server.submit(std::move(m));
+      }
+      server.stop();  // drains the queue: every response has arrived
+      const double wall_sec =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      const double achieved = static_cast<double>(total) / wall_sec;
+      if (achieved < 0.9 * offered) break;  // past the knee: overloaded
+      knee_qps = offered;
+      knee_p99 = percentile(latency_us, 0.99);
+    }
+  }
+  state.counters["knee_qps"] = knee_qps;
+  state.counters["knee_p99_us"] = knee_p99;
+}
+BENCHMARK(BM_ServeKnee)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 BENCHMARK_MAIN();

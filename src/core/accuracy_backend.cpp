@@ -127,6 +127,8 @@ void RealVisionBackend::rebuild() {
   cfg.aggregator = options_.aggregator;
   cfg.server_momentum = options_.server_momentum;
   cfg.validation = options_.validation;
+  cfg.aggregation_shards = options_.aggregation_shards;
+  cfg.max_replicas = options_.max_replicas;
   const fl::ModelFactory factory =
       task_ == data::VisionTask::kCifarLike
           ? fl::ModelFactory([](Rng& r) { return nn::make_lenet_cifar(r); })
@@ -197,6 +199,8 @@ void RealBlobsBackend::rebuild() {
   cfg.aggregator = options_.aggregator;
   cfg.server_momentum = options_.server_momentum;
   cfg.validation = options_.validation;
+  cfg.aggregation_shards = options_.aggregation_shards;
+  cfg.max_replicas = options_.max_replicas;
   const std::int64_t in = dims_;
   const std::int64_t out = classes_;
   const fl::ModelFactory factory = [in, out](Rng& r) {

@@ -88,6 +88,10 @@ struct RealBackendOptions {
   double server_momentum = 0.9;
   /// Upload acceptance policy of the parameter server (tolerant rounds).
   fl::UploadValidation validation;
+  /// Two-tier aggregation tree fan-in (fl::FederationConfig); 1 = flat.
+  int aggregation_shards = 1;
+  /// Replica budget for lightweight-node mode; 0 = all nodes materialize.
+  int max_replicas = 0;
 };
 
 /// Real federated training on one of the synthetic vision tasks.

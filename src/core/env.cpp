@@ -75,6 +75,7 @@ StepResult make_aborted_result(double frozen_accuracy) {
   res.crashed = 0;
   res.late = 0;
   res.rejected = 0;
+  res.lightweight = 0;
   res.screened = 0;
   res.flagged = 0;
   res.departed = 0;
@@ -94,6 +95,8 @@ std::unique_ptr<AccuracyBackend> make_backend(const EnvConfig& c, Rng rng) {
   options.aggregator = c.aggregator;
   options.server_momentum = c.server_momentum;
   options.validation.norm_bound = c.upload_norm_bound;
+  options.aggregation_shards = c.aggregation_shards;
+  options.max_replicas = c.max_replicas;
   switch (c.backend) {
     case BackendKind::kSurrogate: {
       const double total_weight =
@@ -127,6 +130,10 @@ EdgeLearnEnv::EdgeLearnEnv(const EnvConfig& config)
   CHIRON_CHECK(config_.node_availability > 0.0 &&
                config_.node_availability <= 1.0);
   CHIRON_CHECK(config_.round_deadline >= 0.0);
+  CHIRON_CHECK_MSG(config_.aggregation_shards >= 1,
+                   "aggregation_shards " << config_.aggregation_shards);
+  CHIRON_CHECK_MSG(config_.max_replicas >= 0,
+                   "max_replicas " << config_.max_replicas);
   // FaultPlan's constructor validates the fault probabilities; constructed
   // unconditionally so a bad config fails fast even with faults unused.
   fault_plan_ = std::make_unique<faults::FaultPlan>(config_.faults,
@@ -145,6 +152,8 @@ EdgeLearnEnv::EdgeLearnEnv(const EnvConfig& config)
   for (const auto& d : devices_)
     price_cap_ += sysmodel::saturation_price(d, config_.local_epochs);
   price_norm_ = price_cap_ / static_cast<double>(config_.num_nodes);
+  plane_ = std::make_unique<sysmodel::EconomicsPlane>(devices_,
+                                                      config_.local_epochs);
   backend_ = make_backend(config_, rng_.split());
 }
 
@@ -161,6 +170,7 @@ std::vector<float> EdgeLearnEnv::reset() {
   // Churn mutates device profiles mid-episode; every episode replays the
   // same fixed market (the population the mechanism learns about).
   devices_ = base_devices_;
+  plane_->rebuild(devices_);
   history_.clear();
   return exterior_state();
 }
@@ -187,8 +197,10 @@ StepResult EdgeLearnEnv::step(const std::vector<double>& prices) {
       }
     }
   }
-  res.outcome =
-      sysmodel::run_round(devices_, effective_prices, config_.local_epochs);
+  // The SoA economics plane evaluates the whole market in batched column
+  // passes — bit-identical to sysmodel::run_round (plane_test pins it)
+  // but O(N)-vectorized and allocation-free in steady state.
+  res.outcome = plane_->run_round(effective_prices, batch_);
 
   // Paper §V-A: if paying this round would overdraw the budget, the round
   // is discarded (no training, no recording) and learning stops.
@@ -289,7 +301,7 @@ StepResult EdgeLearnEnv::step_faulty(const std::vector<double>& prices) {
     }
   }
   const sysmodel::RoundOutcome promised =
-      sysmodel::run_round(devices_, effective_prices, config_.local_epochs);
+      plane_->run_round(effective_prices, batch_);
 
   if (promised.total_payment > budget_remaining_) {
     done_ = true;
@@ -344,6 +356,7 @@ StepResult EdgeLearnEnv::step_faulty(const std::vector<double>& prices) {
   res.crashed = rep.crashed;
   res.late = rep.late;
   res.rejected = rep.rejected;
+  res.lightweight = rep.lightweight;
   res.round_time = res.outcome.round_time;
   res.payment = res.outcome.total_payment;
   res.idle_time = res.outcome.idle_time;
@@ -554,6 +567,7 @@ StepResult EdgeLearnEnv::step_adversarial(const std::vector<double>& prices) {
   res.crashed = rep.crashed;
   res.late = rep.late;
   res.rejected = rep.rejected;
+  res.lightweight = rep.lightweight;
   res.round_time = res.outcome.round_time;
   res.payment = res.outcome.total_payment;
   res.idle_time = res.outcome.idle_time;

@@ -22,6 +22,7 @@
 #include "core/accuracy_backend.h"
 #include "faults/fault_plan.h"
 #include "sysmodel/economics.h"
+#include "sysmodel/plane.h"
 
 namespace chiron::obs {
 class RoundSink;
@@ -92,6 +93,17 @@ struct EnvConfig {
   /// Server aggregation rule for real backends (FedAvg or FedAvgM).
   fl::Aggregator aggregator = fl::Aggregator::kFedAvg;
   double server_momentum = 0.9;
+  /// Two-tier aggregation tree fan-in for the real backends (DESIGN.md
+  /// §5.12): uploads stream through `aggregation_shards` shard
+  /// aggregators, keeping server memory O(model·shards). 1 = the flat
+  /// legacy path, byte-identical to pre-shard-tree outputs.
+  int aggregation_shards = 1;
+  /// Replica budget (lightweight-node mode): when positive and below
+  /// num_nodes, only a deterministic trainer subset of that size holds
+  /// model replicas in the real backends; the rest contribute economics
+  /// and gradient statistics only. 0 = every node holds a replica. The
+  /// surrogate backend has no replicas, so the knob is a no-op there.
+  int max_replicas = 0;
   // Blobs backend shape.
   int blob_dims = 16;
   int blob_classes = 5;
@@ -131,6 +143,7 @@ struct StepResult {
   int crashed = 0;                 // mid-round crashes: upload never arrived
   int late = 0;                    // missed the round deadline
   int rejected = 0;                // failed the server's upload validation
+  int lightweight = 0;             // delivered stats-only nodes (replica cap)
   // Adversarial pipeline (all zero on the honest/fault-only paths).
   int screened = 0;      // priced out by reserve-price screening
   int flagged = 0;       // delivered but audited and caught: payment clawed
@@ -225,6 +238,10 @@ class EdgeLearnEnv {
   /// Profiles as sampled at construction; reset() restores them so churn
   /// resamples from an identical market every episode.
   std::vector<sysmodel::DeviceProfile> base_devices_;
+  /// SoA economics plane over devices_ (honest + faulty promised market;
+  /// DESIGN.md §5.12) and its reusable per-round decision scratch.
+  std::unique_ptr<sysmodel::EconomicsPlane> plane_;
+  sysmodel::DecisionBatch batch_;
   std::unique_ptr<AccuracyBackend> backend_;
   std::unique_ptr<faults::FaultPlan> fault_plan_;
   std::unique_ptr<adversary::AdversaryPlan> adversary_plan_;

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "data/partition.h"
+#include "fl/shard_tree.h"
 #include "obs/span.h"
 #include "runtime/parallel.h"
 
@@ -29,17 +30,37 @@ void Federation::init(const FederationConfig& config,
                       std::vector<data::Dataset> shards, data::Dataset test,
                       Rng& rng) {
   CHIRON_CHECK(static_cast<int>(shards.size()) == config.num_nodes);
+  CHIRON_CHECK_MSG(config.aggregation_shards >= 1,
+                   "aggregation_shards " << config.aggregation_shards);
+  CHIRON_CHECK_MSG(config.max_replicas >= 0,
+                   "max_replicas " << config.max_replicas);
+  CHIRON_CHECK_MSG(config.probe_sample >= 0,
+                   "probe_sample " << config.probe_sample);
+  factory_ = factory;
+  shards_ = std::min(config.aggregation_shards, config.num_nodes);
+  probe_sample_ = config.probe_sample;
+  trainer_ = trainer_mask(config.num_nodes, config.max_replicas);
+  any_lightweight_ = false;
+  for (std::uint8_t t : trainer_) any_lightweight_ |= (t == 0);
   Rng server_rng = rng.split();
   server_ = std::make_unique<ParameterServer>(
       factory(server_rng), std::move(test), config.eval_batch_size,
       config.aggregator, config.server_momentum, factory);
   server_->set_validation(config.validation);
   nodes_.reserve(shards.size());
+  // rng.split() is consumed in node order for every node — trainer or
+  // lightweight — so a trainer keeps the same stream it has in an
+  // uncapped federation of the same seed.
   for (std::size_t i = 0; i < shards.size(); ++i) {
     nodes_.push_back(std::make_unique<EdgeNode>(
         static_cast<int>(i), std::move(shards[i]), factory, config.local,
-        rng.split()));
+        rng.split(), /*lightweight=*/trainer_[i] == 0));
   }
+}
+
+bool Federation::is_trainer(int i) const {
+  CHIRON_CHECK_MSG(i >= 0 && i < num_nodes(), "node id " << i);
+  return trainer_[static_cast<std::size_t>(i)] != 0;
 }
 
 double Federation::run_round(const std::vector<int>& participants) {
@@ -71,6 +92,12 @@ TolerantRoundReport Federation::run_round_tolerant(
   std::sort(sorted.begin(), sorted.end());
   const bool unique =
       std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+
+  // The shard tree and lightweight-node mode take the streamed round;
+  // the flat path below is byte-for-byte the pre-shard-tree schedule, so
+  // zero-knob configurations (shards=1, no replica cap) are untouched.
+  if (shards_ > 1 || any_lightweight_)
+    return run_round_streamed(participants, delivery, unique);
 
   const std::int64_t count = static_cast<std::int64_t>(participants.size());
   std::vector<std::vector<float>> uploads(participants.size());
@@ -136,6 +163,137 @@ TolerantRoundReport Federation::run_round_tolerant(
   {
     obs::Span agg_span(obs::Phase::kAggregate);
     server_->aggregate(accepted, accepted_weights);
+  }
+  rep.aggregated = true;
+  {
+    obs::Span eval_span(obs::Phase::kEvaluate);
+    last_accuracy_ = server_->evaluate();
+  }
+  eval_version_ = server_->version();
+  rep.accuracy = last_accuracy_;
+  return rep;
+}
+
+TolerantRoundReport Federation::run_round_streamed(
+    const std::vector<int>& participants,
+    const std::vector<RoundDelivery>& delivery, bool unique) {
+  // Large-N round (DESIGN.md §5.12): participants are processed in fixed
+  // micro-batches; each batch trains its trainer lanes on the pool, then
+  // resolves deliveries serially in participant order, folding accepted
+  // uploads into the shard tree and releasing them immediately. Peak
+  // upload memory is O(model · (shards + kStreamBatch)) instead of
+  // O(model · participants). The batch size is a compile-time constant
+  // and every fold is serial in participant order, so results are
+  // bit-identical at any thread count.
+  constexpr std::size_t kStreamBatch = 8;
+  TolerantRoundReport rep;
+  rep.status.resize(participants.size());
+  ShardedAggregator agg(num_nodes(), shards_,
+                        static_cast<std::size_t>(server_->parameter_count()));
+  std::vector<std::vector<float>> uploads(kStreamBatch);
+  std::vector<std::exception_ptr> errors(kStreamBatch);
+  double loss_sum = 0.0;
+  double grad_norm_sum = 0.0;
+  for (std::size_t base = 0; base < participants.size();
+       base += kStreamBatch) {
+    const std::size_t hi = std::min(participants.size(), base + kStreamBatch);
+    auto train_lane = [&](std::int64_t lo_l, std::int64_t hi_l) {
+      for (std::int64_t i = lo_l; i < hi_l; ++i) {
+        const std::size_t s = base + static_cast<std::size_t>(i);
+        const std::size_t lane = static_cast<std::size_t>(i);
+        EdgeNode& n = node(participants[s]);
+        errors[lane] = nullptr;
+        uploads[lane].clear();
+        if (!n.has_replica()) continue;  // lightweight: probed serially
+        obs::Span train_span(obs::Phase::kLocalTrain);
+        if (delivery[s].freeride) {
+          uploads[lane] = server_->global_params();
+        } else {
+          errors[lane] = runtime::run_contained(
+              [&] { uploads[lane] = n.local_train(server_->global_params()); });
+        }
+        if (errors[lane] != nullptr || delivery[s].crash) {
+          uploads[lane].clear();
+        } else {
+          faults::corrupt_upload(uploads[lane], delivery[s].corruption);
+        }
+      }
+    };
+    const auto batch = static_cast<std::int64_t>(hi - base);
+    if (unique) {
+      runtime::parallel_for(0, batch, train_lane);
+    } else {
+      train_lane(0, batch);
+    }
+    // Serial delivery resolution in participant order, as in the flat
+    // path; accepted uploads stream into their shard and are released.
+    for (std::size_t s = base; s < hi; ++s) {
+      const std::size_t lane = s - base;
+      EdgeNode& n = node(participants[s]);
+      if (!n.has_replica()) {
+        if (delivery[s].crash) {
+          rep.status[s] = DeliveryStatus::kCrashed;
+          ++rep.crashed;
+        } else if (delivery[s].late) {
+          rep.status[s] = DeliveryStatus::kLate;
+          ++rep.late;
+        } else {
+          rep.status[s] = DeliveryStatus::kDelivered;
+          ++rep.delivered;
+          if (!delivery[s].freeride) {
+            ++rep.lightweight;
+            // The stats-only contribution: one probe forward/backward on
+            // the shared scratch replica (serial — one scratch). The
+            // probe_sample cap keeps probe cost O(cap), not O(N); probed
+            // nodes are the first in participant order, deterministically.
+            if (probe_sample_ == 0 || rep.probed < probe_sample_) {
+              if (probe_scratch_ == nullptr) {
+                Rng throwaway(0);  // weights are overwritten by the probe
+                probe_scratch_ = factory_(throwaway);
+              }
+              const EdgeNode::GradientStats stats =
+                  n.probe_gradient(server_->global_params(), *probe_scratch_);
+              ++rep.probed;
+              loss_sum += stats.loss;
+              grad_norm_sum += stats.grad_norm;
+            }
+          }
+        }
+        continue;
+      }
+      if (errors[lane] != nullptr || delivery[s].crash) {
+        rep.status[s] = DeliveryStatus::kCrashed;
+        ++rep.crashed;
+      } else if (delivery[s].late) {
+        rep.status[s] = DeliveryStatus::kLate;
+        ++rep.late;
+      } else if (!server_->validate_upload(uploads[lane])) {
+        rep.status[s] = DeliveryStatus::kRejected;
+        ++rep.rejected;
+      } else {
+        rep.status[s] = DeliveryStatus::kDelivered;
+        ++rep.delivered;
+        agg.add(n.id(), uploads[lane],
+                static_cast<double>(n.data_size()));
+      }
+      uploads[lane].clear();
+    }
+  }
+  if (rep.probed > 0) {
+    rep.lightweight_loss = loss_sum / static_cast<double>(rep.probed);
+    rep.lightweight_grad_norm =
+        grad_norm_sum / static_cast<double>(rep.probed);
+  }
+  if (agg.count() == 0) {
+    // Graceful degradation, as in the flat path: no surviving model
+    // uploads leaves the global model and the accuracy cache untouched
+    // (lightweight stats alone cannot move the model).
+    rep.accuracy = accuracy();
+    return rep;
+  }
+  {
+    obs::Span agg_span(obs::Phase::kAggregate);
+    server_->apply_aggregate(agg.finish());
   }
   rep.aggregated = true;
   {

@@ -22,6 +22,22 @@ struct FederationConfig {
   Aggregator aggregator = Aggregator::kFedAvg;
   double server_momentum = 0.9;
   UploadValidation validation;  // acceptance policy for the tolerant path
+  /// Two-tier aggregation tree (DESIGN.md §5.12): >1 streams uploads
+  /// through shard aggregators so peak memory is O(model·shards) instead
+  /// of O(model·participants). 1 = the flat legacy path, byte-identical
+  /// to pre-shard-tree behavior.
+  int aggregation_shards = 1;
+  /// Replica budget for lightweight-node mode: when positive and below
+  /// num_nodes, only the trainer_mask() subset materializes model
+  /// replicas; the rest are lightweight (gradient statistics only).
+  /// 0 = every node holds a replica (legacy behavior).
+  int max_replicas = 0;
+  /// Per-round cap on lightweight gradient probes (telemetry sampling):
+  /// only the first `probe_sample` delivered stats-only nodes in
+  /// participant order run a probe, so probe cost stays O(probe_sample)
+  /// instead of O(N); the reported stats are means over that subset.
+  /// 0 = probe every delivered stats-only node.
+  int probe_sample = 64;
 };
 
 /// Per-participant delivery instruction for a fault-injected round,
@@ -51,6 +67,16 @@ struct TolerantRoundReport {
   int crashed = 0;   ///< includes contained local_train exceptions
   int late = 0;
   int rejected = 0;  ///< failed the server's upload validation
+  /// Lightweight-node telemetry (max_replicas mode): how many delivered
+  /// participants were stats-only, and the means of their probe stats.
+  /// A lightweight delivery counts toward `delivered` (it is paid) but
+  /// contributes no model upload.
+  int lightweight = 0;
+  /// Probes actually run this round (≤ FederationConfig::probe_sample
+  /// when that cap is set); the means below are over this subset.
+  int probed = 0;
+  double lightweight_loss = 0.0;       ///< mean probe cross-entropy
+  double lightweight_grad_norm = 0.0;  ///< mean probe gradient L2 norm
 };
 
 class Federation {
@@ -99,12 +125,27 @@ class Federation {
   /// server().set_global_params) invalidates the cache.
   double accuracy();
 
+  /// True when node `i` holds a model replica (false only in
+  /// lightweight-node mode for ids outside the trainer subset).
+  bool is_trainer(int i) const;
+
  private:
   void init(const FederationConfig& config, const ModelFactory& factory,
             std::vector<data::Dataset> shards, data::Dataset test, Rng& rng);
+  /// The large-N round: uploads stream through the shard tree in fixed
+  /// micro-batches and lightweight nodes report probe statistics.
+  TolerantRoundReport run_round_streamed(
+      const std::vector<int>& participants,
+      const std::vector<RoundDelivery>& delivery, bool unique);
 
   std::vector<std::unique_ptr<EdgeNode>> nodes_;
   std::unique_ptr<ParameterServer> server_;
+  ModelFactory factory_;
+  int shards_ = 1;                        // aggregation tree fan-in
+  int probe_sample_ = 64;                 // per-round probe cap (0 = all)
+  std::vector<std::uint8_t> trainer_;     // replica mask (empty = all)
+  bool any_lightweight_ = false;
+  std::unique_ptr<nn::Sequential> probe_scratch_;  // lazily built
   double last_accuracy_ = -1.0;        // <0 = not yet evaluated
   std::uint64_t eval_version_ = 0;     // server version last_accuracy_ is for
 };

@@ -22,25 +22,43 @@ struct LocalTrainConfig {
 
 class EdgeNode {
  public:
+  /// `lightweight` nodes never materialize a model replica (DESIGN.md
+  /// §5.12): they keep their shard and economics but contribute gradient
+  /// statistics via probe_gradient() instead of local_train() uploads.
   EdgeNode(int id, data::Dataset shard, const ModelFactory& factory,
-           LocalTrainConfig config, Rng rng);
+           LocalTrainConfig config, Rng rng, bool lightweight = false);
 
   int id() const { return id_; }
   std::int64_t data_size() const { return shard_.size(); }  // D_i
   double data_bits() const { return shard_.size_bits(); }   // d_i
+  /// False for lightweight nodes: no replica, local_train unavailable.
+  bool has_replica() const { return model_ != nullptr; }
 
   /// Downloads `global` parameters, runs σ local epochs of SGD on the
   /// shard, and returns the updated flat parameter vector (the "upload").
   /// Returns the mean training loss across the run via out_loss if set.
+  /// Requires has_replica().
   std::vector<float> local_train(const std::vector<float>& global,
                                  double* out_loss = nullptr);
+
+  /// One deterministic forward/backward over the first batch of the
+  /// shard, evaluated on a caller-provided scratch replica loaded with
+  /// `global` — the gradient statistic a lightweight node reports in
+  /// place of a model upload. Consumes no node RNG (fixed batch, eval
+  /// mode), so probing never perturbs a trainer node's stream.
+  struct GradientStats {
+    double loss = 0.0;       ///< cross-entropy on the probe batch
+    double grad_norm = 0.0;  ///< L2 norm of the full parameter gradient
+  };
+  GradientStats probe_gradient(const std::vector<float>& global,
+                               nn::Sequential& scratch) const;
 
  private:
   int id_;
   data::Dataset shard_;
   LocalTrainConfig config_;
   Rng rng_;
-  std::unique_ptr<nn::Sequential> model_;
+  std::unique_ptr<nn::Sequential> model_;  // null for lightweight nodes
 };
 
 }  // namespace chiron::fl

@@ -40,7 +40,11 @@ void ParameterServer::set_global_params(std::vector<float> params) {
 void ParameterServer::aggregate(
     const std::vector<std::vector<float>>& uploads,
     const std::vector<double>& data_sizes) {
-  std::vector<float> target = nn::weighted_average(uploads, data_sizes);
+  apply_aggregate(nn::weighted_average(uploads, data_sizes));
+}
+
+void ParameterServer::apply_aggregate(std::vector<float> target) {
+  CHIRON_CHECK(static_cast<std::int64_t>(target.size()) == parameter_count());
   ++version_;
   if (aggregator_ == Aggregator::kFedAvg) {
     global_ = std::move(target);

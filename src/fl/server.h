@@ -47,6 +47,13 @@ class ParameterServer {
   void aggregate(const std::vector<std::vector<float>>& uploads,
                  const std::vector<double>& data_sizes);
 
+  /// Installs an externally computed FedAvg target through the server's
+  /// aggregation rule (identical post-average handling to aggregate():
+  /// version bump, FedAvg replacement or the FedAvgM momentum update).
+  /// This is the top of the two-tier shard aggregation tree — the shard
+  /// aggregators reduce the uploads, the server applies the result.
+  void apply_aggregate(std::vector<float> target);
+
   /// True when `upload` passes the acceptance policy: correct parameter
   /// count, all values finite, L2 norm within validation().norm_bound.
   bool validate_upload(const std::vector<float>& upload) const;

@@ -1,0 +1,74 @@
+#include "fl/shard_tree.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chiron::fl {
+
+int shard_of(int id, int num_nodes, int shards) {
+  CHIRON_CHECK(num_nodes >= 1 && shards >= 1);
+  CHIRON_CHECK_MSG(id >= 0 && id < num_nodes, "node id " << id);
+  return static_cast<int>(static_cast<std::int64_t>(id) * shards / num_nodes);
+}
+
+std::vector<std::uint8_t> trainer_mask(int num_nodes, int max_replicas) {
+  CHIRON_CHECK(num_nodes >= 1);
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(num_nodes), 0);
+  if (max_replicas <= 0 || max_replicas >= num_nodes) {
+    mask.assign(mask.size(), 1);
+    return mask;
+  }
+  for (int s = 0; s < max_replicas; ++s) {
+    const auto id = static_cast<std::size_t>(
+        static_cast<std::int64_t>(s) * num_nodes / max_replicas);
+    mask[id] = 1;
+  }
+  return mask;
+}
+
+ShardedAggregator::ShardedAggregator(int num_nodes, int shards,
+                                     std::size_t param_count)
+    : num_nodes_(num_nodes), params_(param_count) {
+  CHIRON_CHECK(num_nodes >= 1);
+  CHIRON_CHECK_MSG(shards >= 1, "shards " << shards);
+  CHIRON_CHECK(param_count > 0);
+  const int s = shards > num_nodes ? num_nodes : shards;
+  partials_.resize(static_cast<std::size_t>(s));
+  wsum_.assign(static_cast<std::size_t>(s), 0.0);
+}
+
+void ShardedAggregator::add(int node_id, const std::vector<float>& upload,
+                            double weight) {
+  CHIRON_CHECK_MSG(upload.size() == params_,
+                   "upload " << upload.size() << " vs " << params_);
+  CHIRON_CHECK_MSG(std::isfinite(weight) && weight > 0.0,
+                   "upload weight " << weight);
+  const auto s = static_cast<std::size_t>(
+      shard_of(node_id, num_nodes_, shards()));
+  std::vector<double>& part = partials_[s];
+  if (part.empty()) part.assign(params_, 0.0);
+  for (std::size_t j = 0; j < params_; ++j)
+    part[j] += weight * static_cast<double>(upload[j]);
+  wsum_[s] += weight;
+  ++count_;
+}
+
+std::vector<float> ShardedAggregator::finish() const {
+  CHIRON_CHECK_MSG(count_ > 0, "finish() with no uploads");
+  std::vector<double> acc(params_, 0.0);
+  double total = 0.0;
+  for (std::size_t s = 0; s < partials_.size(); ++s) {
+    total += wsum_[s];
+    if (partials_[s].empty()) continue;
+    const std::vector<double>& part = partials_[s];
+    for (std::size_t j = 0; j < params_; ++j) acc[j] += part[j];
+  }
+  CHIRON_CHECK(total > 0.0);
+  std::vector<float> out(params_);
+  for (std::size_t j = 0; j < params_; ++j)
+    out[j] = static_cast<float>(acc[j] / total);
+  return out;
+}
+
+}  // namespace chiron::fl

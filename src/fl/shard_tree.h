@@ -1,0 +1,70 @@
+// Two-tier aggregation tree and replica-budget policy for large
+// federations (DESIGN.md §5.12).
+//
+// The flat tolerant round materializes every accepted upload before a
+// single weighted_average call — O(model · N) peak memory, which is what
+// caps the federation near N=100. The shard tree streams instead:
+//
+//   node upload ──▶ shard aggregator (Σ D_i·ω_i, Σ D_i) ──▶ server
+//
+// Each shard keeps one running double-precision partial sum of the
+// weighted uploads routed to it; finish() folds the shard partials in
+// ascending shard order, divides by the total weight once, and hands the
+// server a single FedAvg target. Peak memory is O(model · shards).
+//
+// Determinism: a node's shard is a pure function of its id
+// (shard_of: contiguous ranges, id·S/N), uploads are folded into their
+// shard in ascending participant order by the caller, and the
+// cross-shard fold is serial ascending — so the full summation schedule
+// is a pure function of (participant set, N, shards), never of the
+// thread count or the streaming batch size. Changing --shards changes
+// the reduction schedule (like re-blocking a GEMM) and may shift the
+// result by float rounding; any fixed shard count is bit-stable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace chiron::fl {
+
+/// Shard owning node `id` among `shards` contiguous shards of an
+/// `num_nodes`-node population: floor(id·S/N). Deterministic, balanced
+/// to within one node.
+int shard_of(int id, int num_nodes, int shards);
+
+/// Replica-budget policy for lightweight-node mode: with a budget of
+/// `max_replicas` (<= 0 or >= N means "everyone"), the trainer set is
+/// the R evenly spaced ids {floor(s·N/R)}. Returns a 0/1 mask over node
+/// ids; pure function of (N, R).
+std::vector<std::uint8_t> trainer_mask(int num_nodes, int max_replicas);
+
+/// Streamed two-tier weighted FedAvg. Feed uploads with add() in
+/// ascending participant order; finish() returns the weighted average.
+class ShardedAggregator {
+ public:
+  ShardedAggregator(int num_nodes, int shards, std::size_t param_count);
+
+  int shards() const { return static_cast<int>(wsum_.size()); }
+  /// Uploads folded so far.
+  int count() const { return count_; }
+
+  /// Folds `upload` (weight w) into the shard owning `node_id`. The
+  /// upload can be released by the caller immediately afterwards —
+  /// that is the point.
+  void add(int node_id, const std::vector<float>& upload, double weight);
+
+  /// Ascending-shard fold of the partials into the final FedAvg target.
+  /// Requires count() > 0.
+  std::vector<float> finish() const;
+
+ private:
+  int num_nodes_;
+  std::size_t params_;
+  // partials_[s] is empty until shard s receives its first upload, so
+  // memory scales with *active* shards.
+  std::vector<std::vector<double>> partials_;
+  std::vector<double> wsum_;
+  int count_ = 0;
+};
+
+}  // namespace chiron::fl

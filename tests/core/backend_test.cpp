@@ -129,6 +129,36 @@ TEST(RealBlobsBackend, ResetReinitializes) {
   EXPECT_LT(fresh, trained);
 }
 
+TEST(RealBlobsBackend, ScalesWithShardTreeAndReplicaBudget) {
+  // DESIGN.md §5.12 smoke: the real backend wired through the streamed
+  // shard-tree round with a replica budget still learns, and the scaled
+  // round stays within float-fold rounding of the flat one (changing
+  // --shards only re-blocks the reduction).
+  RealBackendOptions options;
+  options.local.epochs = 3;
+  options.local.batch_size = 16;
+  options.local.lr = 0.05;
+  RealBackendOptions scaled = options;
+  scaled.aggregation_shards = 3;
+  scaled.max_replicas = 4;
+  Rng rng(11);
+  RealBlobsBackend flat(6, 40, 120, 8, 4, 0.6, options, rng);
+  Rng rng2(11);
+  RealBlobsBackend b(6, 40, 120, 8, 4, 0.6, scaled, rng2);
+  const double flat0 = flat.reset();
+  const double a0 = b.reset();
+  EXPECT_DOUBLE_EQ(a0, flat0);  // same seed, same initial global model
+  double flat_acc = flat0;
+  double acc = a0;
+  for (int k = 0; k < 8; ++k) {
+    flat_acc = flat.train_round(all_nodes(6), equal_weights(6, 40.0));
+    acc = b.train_round(all_nodes(6), equal_weights(6, 40.0));
+  }
+  EXPECT_GT(acc, a0 + 0.1);  // 4 trainers out of 6 still learn the blobs
+  EXPECT_GT(flat_acc, flat0 + 0.1);
+  EXPECT_LT(b.reset(), acc);  // reset reinitializes the scaled federation
+}
+
 TEST(SurrogateFidelity, SurrogateTracksRealTrainingShape) {
   // The validation promised in DESIGN.md §3: both backends must show a
   // monotone-saturating curve where full participation dominates partial

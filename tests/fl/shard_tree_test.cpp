@@ -1,0 +1,293 @@
+// Tests of the §5.12 scaling layer in fl/: shard assignment and the
+// trainer mask (pure id functions), the streamed ShardedAggregator
+// against a serial same-schedule reference, shard-tree federation rounds
+// (thread-count bit-identity), and lightweight-node mode (replica
+// budget, probe telemetry, probe sampling).
+#include "fl/shard_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "fl/federation.h"
+#include "nn/models.h"
+#include "nn/serialize.h"
+#include "runtime/runtime.h"
+
+namespace chiron::fl {
+namespace {
+
+ModelFactory blob_factory(int dims, int classes) {
+  return [dims, classes](Rng& r) {
+    return nn::make_mlp_classifier(dims, 16, classes, r);
+  };
+}
+
+Federation make_federation(FederationConfig cfg, std::uint64_t seed = 9,
+                           int samples_per_node = 24) {
+  Rng rng(seed);
+  auto train = data::make_gaussian_blobs(
+      static_cast<std::int64_t>(cfg.num_nodes) * samples_per_node, 8, 4,
+      0.6, rng);
+  auto test = data::make_gaussian_blobs(120, 8, 4, 0.6, rng);
+  cfg.local.epochs = 2;
+  cfg.local.batch_size = 8;
+  cfg.local.lr = 0.05;
+  return Federation(cfg, blob_factory(8, 4), train, std::move(test), rng);
+}
+
+TEST(ShardOf, CoversRangeInOrderAndBalanced) {
+  const int n = 103;
+  const int shards = 7;
+  std::vector<int> count(shards, 0);
+  int prev = 0;
+  for (int id = 0; id < n; ++id) {
+    const int s = shard_of(id, n, shards);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, shards);
+    ASSERT_GE(s, prev);  // contiguous ranges: non-decreasing in id
+    prev = s;
+    ++count[static_cast<std::size_t>(s)];
+  }
+  EXPECT_EQ(shard_of(0, n, shards), 0);
+  EXPECT_EQ(shard_of(n - 1, n, shards), shards - 1);
+  const int lo = *std::min_element(count.begin(), count.end());
+  const int hi = *std::max_element(count.begin(), count.end());
+  EXPECT_LE(hi - lo, 1);  // balanced to within one node
+}
+
+TEST(TrainerMask, EvenlySpacedBudgetAndEveryoneCases) {
+  const auto all = trainer_mask(10, 0);
+  EXPECT_EQ(std::accumulate(all.begin(), all.end(), 0), 10);
+  const auto over = trainer_mask(10, 64);
+  EXPECT_EQ(std::accumulate(over.begin(), over.end(), 0), 10);
+  const auto capped = trainer_mask(10, 4);
+  EXPECT_EQ(std::accumulate(capped.begin(), capped.end(), 0), 4);
+  // {floor(s·N/R)} = {0, 2, 5, 7} for N=10, R=4.
+  EXPECT_EQ(capped[0], 1);
+  EXPECT_EQ(capped[2], 1);
+  EXPECT_EQ(capped[5], 1);
+  EXPECT_EQ(capped[7], 1);
+  // Pure function of (N, R): identical on a second call.
+  EXPECT_EQ(capped, trainer_mask(10, 4));
+}
+
+TEST(ShardedAggregator, BitIdenticalToSerialSameScheduleReference) {
+  // The contract is schedule equivalence: folding uploads through the
+  // shard tree must reproduce, bit for bit, a serial reduction that
+  // follows the same (participant order within shard, ascending shard)
+  // schedule.
+  const int n = 24;
+  const int shards = 5;
+  const std::size_t params = 37;
+  Rng rng(11);
+  std::vector<std::vector<float>> uploads;
+  std::vector<double> weights;
+  for (int id = 0; id < n; ++id) {
+    std::vector<float> u(params);
+    for (auto& x : u) x = static_cast<float>(rng.uniform(-2.0, 2.0));
+    uploads.push_back(std::move(u));
+    weights.push_back(rng.uniform(1.0, 100.0));
+  }
+  ShardedAggregator agg(n, shards, params);
+  for (int id = 0; id < n; ++id)
+    agg.add(id, uploads[static_cast<std::size_t>(id)],
+            weights[static_cast<std::size_t>(id)]);
+  EXPECT_EQ(agg.count(), n);
+  const std::vector<float> got = agg.finish();
+
+  // Reference: per-shard double partials folded ascending, one divide.
+  std::vector<std::vector<double>> part(
+      static_cast<std::size_t>(shards), std::vector<double>(params, 0.0));
+  std::vector<double> wsum(static_cast<std::size_t>(shards), 0.0);
+  for (int id = 0; id < n; ++id) {
+    const auto s = static_cast<std::size_t>(shard_of(id, n, shards));
+    const auto& u = uploads[static_cast<std::size_t>(id)];
+    const double w = weights[static_cast<std::size_t>(id)];
+    for (std::size_t j = 0; j < params; ++j)
+      part[s][j] += w * static_cast<double>(u[j]);
+    wsum[s] += w;
+  }
+  std::vector<double> acc(params, 0.0);
+  double total = 0.0;
+  for (std::size_t s = 0; s < static_cast<std::size_t>(shards); ++s) {
+    total += wsum[s];
+    for (std::size_t j = 0; j < params; ++j) acc[j] += part[s][j];
+  }
+  ASSERT_EQ(got.size(), params);
+  for (std::size_t j = 0; j < params; ++j)
+    EXPECT_EQ(got[j], static_cast<float>(acc[j] / total)) << "param " << j;
+}
+
+TEST(ShardedAggregator, MatchesFlatWeightedAverageClosely) {
+  // Re-blocking the reduction may move the result by rounding only.
+  const int n = 16;
+  const std::size_t params = 21;
+  Rng rng(13);
+  std::vector<std::vector<float>> uploads;
+  std::vector<double> weights;
+  ShardedAggregator agg(n, 4, params);
+  for (int id = 0; id < n; ++id) {
+    std::vector<float> u(params);
+    for (auto& x : u) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const double w = rng.uniform(1.0, 10.0);
+    agg.add(id, u, w);
+    uploads.push_back(std::move(u));
+    weights.push_back(w);
+  }
+  const std::vector<float> got = agg.finish();
+  const std::vector<float> want = nn::weighted_average(uploads, weights);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t j = 0; j < params; ++j)
+    EXPECT_NEAR(got[j], want[j], 1e-5f) << "param " << j;
+}
+
+TEST(ShardTreeFederation, RoundIsBitIdenticalAcrossThreadCounts) {
+  // The streamed shard-tree round keeps the determinism contract: global
+  // parameters after a round are bit-identical at --threads 1 vs 8.
+  FederationConfig cfg;
+  cfg.num_nodes = 12;
+  cfg.aggregation_shards = 3;
+  std::vector<int> everyone(12);
+  std::iota(everyone.begin(), everyone.end(), 0);
+
+  runtime::set_threads(1);
+  Federation f1 = make_federation(cfg);
+  f1.run_round(everyone);
+  const std::vector<float> p1 = f1.server().global_params();
+
+  runtime::set_threads(8);
+  Federation f8 = make_federation(cfg);
+  f8.run_round(everyone);
+  const std::vector<float> p8 = f8.server().global_params();
+  runtime::set_threads(0);
+
+  ASSERT_EQ(p1.size(), p8.size());
+  for (std::size_t j = 0; j < p1.size(); ++j)
+    EXPECT_EQ(p1[j], p8[j]) << "param " << j;
+}
+
+TEST(ShardTreeFederation, ShardedRoundTrainsTheModel) {
+  FederationConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.aggregation_shards = 4;
+  Federation fed = make_federation(cfg, /*seed=*/21);
+  const double before = fed.accuracy();
+  std::vector<int> everyone(8);
+  std::iota(everyone.begin(), everyone.end(), 0);
+  double acc = before;
+  for (int r = 0; r < 6; ++r) acc = fed.run_round(everyone);
+  EXPECT_GT(acc, before);
+}
+
+TEST(LightweightFederation, ReplicaBudgetHoldsAndStatsFlow) {
+  FederationConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.max_replicas = 4;
+  Federation fed = make_federation(cfg, /*seed=*/33);
+  int replicas = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fed.node(i).has_replica(), fed.is_trainer(i)) << "node " << i;
+    replicas += fed.node(i).has_replica() ? 1 : 0;
+  }
+  EXPECT_EQ(replicas, 4);
+
+  std::vector<int> everyone(10);
+  std::iota(everyone.begin(), everyone.end(), 0);
+  const TolerantRoundReport rep = fed.run_round_tolerant(
+      everyone, std::vector<RoundDelivery>(everyone.size()));
+  EXPECT_TRUE(rep.aggregated);
+  EXPECT_EQ(rep.delivered, 10);  // lightweight deliveries are paid
+  EXPECT_EQ(rep.lightweight, 6);
+  EXPECT_EQ(rep.probed, 6);  // default probe_sample covers all six
+  EXPECT_TRUE(std::isfinite(rep.lightweight_loss));
+  EXPECT_GT(rep.lightweight_loss, 0.0);
+  EXPECT_GT(rep.lightweight_grad_norm, 0.0);
+}
+
+TEST(LightweightFederation, ProbeSampleCapsProbeCount) {
+  FederationConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.max_replicas = 2;
+  cfg.probe_sample = 3;
+  Federation fed = make_federation(cfg, /*seed=*/35);
+  std::vector<int> everyone(10);
+  std::iota(everyone.begin(), everyone.end(), 0);
+  const TolerantRoundReport rep = fed.run_round_tolerant(
+      everyone, std::vector<RoundDelivery>(everyone.size()));
+  EXPECT_EQ(rep.lightweight, 8);
+  EXPECT_EQ(rep.probed, 3);
+  EXPECT_GT(rep.lightweight_grad_norm, 0.0);
+}
+
+TEST(LightweightFederation, TrainerSubsetStillImprovesAccuracy) {
+  FederationConfig cfg;
+  cfg.num_nodes = 12;
+  cfg.max_replicas = 4;
+  cfg.aggregation_shards = 3;
+  Federation fed = make_federation(cfg, /*seed=*/37, /*samples_per_node=*/40);
+  const double before = fed.accuracy();
+  std::vector<int> everyone(12);
+  std::iota(everyone.begin(), everyone.end(), 0);
+  const std::vector<RoundDelivery> delivery(everyone.size());
+  double acc = before;
+  for (int r = 0; r < 8; ++r)
+    acc = fed.run_round_tolerant(everyone, delivery).accuracy;
+  EXPECT_GT(acc, before);
+}
+
+TEST(LightweightFederation, LightweightCrashAndFreerideAreCounted) {
+  FederationConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.max_replicas = 2;
+  Federation fed = make_federation(cfg, /*seed=*/39);
+  std::vector<int> everyone(6);
+  std::iota(everyone.begin(), everyone.end(), 0);
+  std::vector<RoundDelivery> delivery(everyone.size());
+  // Node ids outside the trainer set {0, 3}: crash one lightweight node,
+  // free-ride another; both must be excluded from probe telemetry.
+  ASSERT_FALSE(fed.is_trainer(1));
+  ASSERT_FALSE(fed.is_trainer(2));
+  delivery[1].crash = true;
+  delivery[2].freeride = true;
+  const TolerantRoundReport rep = fed.run_round_tolerant(everyone, delivery);
+  EXPECT_EQ(rep.crashed, 1);
+  EXPECT_EQ(rep.delivered, 5);    // the free-rider still delivers (is paid)
+  EXPECT_EQ(rep.lightweight, 2);  // 4 stats-only minus crash minus freeride
+  EXPECT_EQ(rep.probed, 2);
+}
+
+TEST(LightweightFederation, AllLightweightRoundDegradesGracefully) {
+  // With every participant stats-only there is no model upload at all:
+  // the global model and the accuracy cache must be untouched.
+  FederationConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.max_replicas = 2;
+  Federation fed = make_federation(cfg, /*seed=*/41);
+  const std::vector<float> before = fed.server().global_params();
+  std::vector<int> lightweight_only;
+  for (int i = 0; i < 6; ++i)
+    if (!fed.is_trainer(i)) lightweight_only.push_back(i);
+  const TolerantRoundReport rep = fed.run_round_tolerant(
+      lightweight_only, std::vector<RoundDelivery>(lightweight_only.size()));
+  EXPECT_FALSE(rep.aggregated);
+  EXPECT_EQ(rep.delivered, static_cast<int>(lightweight_only.size()));
+  EXPECT_EQ(fed.server().global_params(), before);
+}
+
+TEST(ShardedAggregator, RejectsBadInputs) {
+  ShardedAggregator agg(4, 2, 3);
+  const std::vector<float> ok(3, 1.0f);
+  EXPECT_THROW(agg.add(0, ok, 0.0), InvariantError);   // non-positive weight
+  EXPECT_THROW(agg.add(0, {1.0f}, 1.0), InvariantError);  // size mismatch
+  EXPECT_THROW(agg.finish(), InvariantError);          // nothing folded
+}
+
+}  // namespace
+}  // namespace chiron::fl

@@ -1,0 +1,11 @@
+// Lint fixture: exactly one UM1 violation (ranged-for over an
+// unordered_map in the sysmodel/ result path — per-node payments and the
+// Eqn 15/16 round aggregates must not depend on hash iteration order).
+// Never compiled — scanned by tests/tools/lint_test.cpp.
+#include <unordered_map>
+
+double total_payment(const std::unordered_map<int, double>& payments) {
+  double sum = 0.0;
+  for (const auto& kv : payments) sum += kv.second;
+  return sum;
+}

@@ -82,6 +82,15 @@ TEST(LintRules, Um1FiresInAdversaryResultPath) {
   EXPECT_EQ(lint_binary_exit(fixture("adversary/um_iter.cpp").string()), 1);
 }
 
+TEST(LintRules, Um1FiresInSysmodelResultPath) {
+  // sysmodel/ prices every round — payments and Eqn 15/16 aggregates go
+  // straight into rewards, so it is a UM1 result path like core/.
+  const auto v = lint_fixture("sysmodel/um_iter.cpp");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "UM1");
+  EXPECT_EQ(lint_binary_exit(fixture("sysmodel/um_iter.cpp").string()), 1);
+}
+
 TEST(LintRules, Hg1FiresOnUnguardedHeader) {
   const auto v = lint_fixture("hdr_unguarded.h");
   ASSERT_EQ(v.size(), 1u);

@@ -12,16 +12,31 @@ An optional `--adversary-tsv <path>` merges the adversary_sweep harness's
 TSV (mechanism regret vs honest runs across adversary fractions, defenses
 off/on) into the summary under the "adversary_sweep" key.
 
-Usage: bench_reduce.py [--adversary-tsv sweep.tsv] <raw.json> [...]
-       <baseline.json> <out.json>
+`--build-type <type>` records the CMake build type the benchmarks were
+compiled with. google-benchmark's own `library_build_type` describes the
+*benchmark library*, not this repo's code, and has previously stamped a
+RelWithDebInfo run as "debug"; the explicit flag is authoritative. A
+Debug (or unknown) build type prints a loud warning, because optimized
+and unoptimized timings must never be compared on the same trajectory.
+
+Usage: bench_reduce.py [--adversary-tsv sweep.tsv] [--build-type T]
+       <raw.json> [...] <baseline.json> <out.json>
 """
 import json
 import sys
 
 # User counters worth keeping in the trajectory (throughput/latency of
-# the serving path). Everything else google-benchmark emits per run
-# (items_per_second etc.) is derivable from the times.
-KEPT_COUNTERS = ("nodes_per_sec", "p50_us", "p99_us")
+# the serving path, the QPS knee, large-N round throughput). Everything
+# else google-benchmark emits per run (items_per_second etc.) is
+# derivable from the times.
+KEPT_COUNTERS = ("nodes_per_sec", "p50_us", "p99_us", "knee_qps",
+                 "knee_p99_us")
+
+# The §5.12 scale acceptance pair: the scaled round's nodes/sec over the
+# naive all-replica round's at N=10k, reported as its own section so the
+# ≥100× criterion is a single JSON lookup.
+SCALE_FULL = "BM_FedRoundFull/10000"
+SCALE_SCALED = "BM_FedRoundScaled/10000"
 
 
 def read_adversary_tsv(path):
@@ -57,6 +72,14 @@ def main() -> int:
             print(__doc__, file=sys.stderr)
             return 2
         adversary_rows = read_adversary_tsv(args[i + 1])
+        del args[i:i + 2]
+    build_type = None
+    if "--build-type" in args:
+        i = args.index("--build-type")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        build_type = args[i + 1]
         del args[i:i + 2]
     if len(args) < 3:
         print(__doc__, file=sys.stderr)
@@ -100,18 +123,38 @@ def main() -> int:
             speedup[name] = round(base["real_time"] / cur["real_time"], 3)
 
     context = raws[0]["context"]
+    if build_type is None:
+        build_type = context.get("library_build_type", "unknown")
+    if build_type.lower() not in ("release", "relwithdebinfo", "minsizerel"):
+        print("=" * 72, file=sys.stderr)
+        print(f"bench_reduce: WARNING: build_type is {build_type!r} — "
+              "these timings are NOT comparable to the optimized "
+              "trajectory.", file=sys.stderr)
+        print("bench_reduce: rerun via tools/bench_substrate.sh "
+              "(RelWithDebInfo) before trusting BENCH_substrate.json.",
+              file=sys.stderr)
+        print("=" * 72, file=sys.stderr)
     out = {
         "schema": 1,
         "context": {
             "date": context["date"],
             "host_name": context["host_name"],
             "num_cpus": context["num_cpus"],
-            "build_type": context.get("library_build_type", "unknown"),
+            "build_type": build_type,
         },
         "baseline_pre_pr": baseline,
         "current": current,
         "speedup_vs_pre_pr": speedup,
     }
+    full = current.get(SCALE_FULL, {}).get("counters", {})
+    scaled = current.get(SCALE_SCALED, {}).get("counters", {})
+    if "nodes_per_sec" in full and "nodes_per_sec" in scaled:
+        out["scale_10k"] = {
+            "full_replica_nodes_per_sec": full["nodes_per_sec"],
+            "scaled_round_nodes_per_sec": scaled["nodes_per_sec"],
+            "speedup": round(
+                scaled["nodes_per_sec"] / full["nodes_per_sec"], 2),
+        }
     if adversary_rows is not None:
         out["adversary_sweep"] = adversary_rows
     with open(out_path, "w") as f:
@@ -124,6 +167,10 @@ def main() -> int:
         if name in speedup:
             line += f"  ({speedup[name]:.2f}x vs pre-PR)"
         print(line)
+    if "scale_10k" in out:
+        s = out["scale_10k"]
+        print(f"scale_10k: scaled round is {s['speedup']:.1f}x the "
+              "full-replica path (nodes/sec at N=10k)")
     return 0
 
 

@@ -17,7 +17,11 @@
 #  10. adversary            — zero-knob and thread-count byte-identity of
 #                             adversarial runs, plus ASan on the adversary
 #                             suites (DESIGN.md §5.11)
-#  11. benchmarks           — regenerates BENCH_substrate.json, so a perf
+#  11. scale                — zero-knob byte-identity of the scaling knobs
+#                             and 10k-node thread-count byte-identity of
+#                             the economics plane, plus ASan on the plane
+#                             and shard-tree suites (DESIGN.md §5.12)
+#  12. benchmarks           — regenerates BENCH_substrate.json, so a perf
 #                             regression (or a silently missing benchmark
 #                             binary) fails the check instead of dropping
 #                             out of the trajectory
@@ -50,17 +54,18 @@ build_and_ctest() {
   ctest --test-dir build --output-on-failure -j"$(nproc)"
 }
 
-stage "1/11: chiron-lint (determinism & threading contract)" tools/check_lint.sh
-stage "2/11: header self-containment" tools/check_headers.sh
-stage "3/11: build -Werror + full ctest" build_and_ctest
-stage "4/11: UndefinedBehaviorSanitizer" tools/check_ubsan.sh
-stage "5/11: ThreadSanitizer" tools/check_tsan.sh
-stage "6/11: AddressSanitizer" tools/check_asan.sh
-stage "7/11: clang-tidy" tools/check_tidy.sh
-stage "8/11: observability determinism (threads 1 vs 8 diff)" tools/check_obs.sh
-stage "9/11: serving determinism (serial vs parallel diff)" tools/check_serve.sh
-stage "10/11: adversary contract (zero-knob + thread diff + ASan)" tools/check_adversary.sh
-stage "11/11: substrate benchmarks -> BENCH_substrate.json" tools/bench_substrate.sh
+stage "1/12: chiron-lint (determinism & threading contract)" tools/check_lint.sh
+stage "2/12: header self-containment" tools/check_headers.sh
+stage "3/12: build -Werror + full ctest" build_and_ctest
+stage "4/12: UndefinedBehaviorSanitizer" tools/check_ubsan.sh
+stage "5/12: ThreadSanitizer" tools/check_tsan.sh
+stage "6/12: AddressSanitizer" tools/check_asan.sh
+stage "7/12: clang-tidy" tools/check_tidy.sh
+stage "8/12: observability determinism (threads 1 vs 8 diff)" tools/check_obs.sh
+stage "9/12: serving determinism (serial vs parallel diff)" tools/check_serve.sh
+stage "10/12: adversary contract (zero-knob + thread diff + ASan)" tools/check_adversary.sh
+stage "11/12: scale contract (zero-knob + 10k thread diff + ASan)" tools/check_scale.sh
+stage "12/12: substrate benchmarks -> BENCH_substrate.json" tools/bench_substrate.sh
 
 echo
 echo "check_all: OK (all stages passed)"

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Scaling-substrate contract check (DESIGN.md §5.12).
+#
+# Three independent gates:
+#
+#   1. Zero-knob byte-identity — chiron_cli train with --shards 1
+#      --max-replicas 0 spelled out must produce stdout and a round log
+#      byte-identical to a run with neither flag: the dormant scale
+#      plumbing (economics plane included — it prices every round) may
+#      not perturb a single result bit.
+#   2. Large-N thread-count byte-identity — a 10k-node run, where the
+#      economics plane's batched passes and multi-chunk reductions do the
+#      pricing, must be byte-identical at --threads 1 vs 8.
+#   3. ASan — the sysmodel (plane) and fl (shard tree, lightweight nodes)
+#      suites run clean under AddressSanitizer.
+#
+# Usage: tools/check_scale.sh [build-dir] [asan-build-dir]
+#        (defaults: build, build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+ASAN_DIR="${2:-build-asan}"
+BIN="$BUILD_DIR/tools/chiron_cli"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DCHIRON_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target chiron_cli
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+COMMON=(train --nodes 6 --budget 60 --episodes 8 --seed 55)
+
+# Gate 1: scale knobs at their defaults == no scale flags at all.
+"$BIN" "${COMMON[@]}" --round-log "$TMP/plain.jsonl" \
+  > "$TMP/plain.txt" 2>/dev/null
+"$BIN" "${COMMON[@]}" --round-log "$TMP/zeroknob.jsonl" \
+  --shards 1 --max-replicas 0 \
+  > "$TMP/zeroknob.txt" 2>/dev/null
+diff -u "$TMP/plain.jsonl" "$TMP/zeroknob.jsonl" \
+  || { echo "check_scale: FAIL (zero-knob round log differs from a no-flag run)"; exit 1; }
+diff -u "$TMP/plain.txt" "$TMP/zeroknob.txt" \
+  || { echo "check_scale: FAIL (zero-knob stdout differs from a no-flag run)"; exit 1; }
+
+# Gate 2: a 10k-node run (multi-chunk plane reductions) is byte-identical
+# across thread counts. Two episodes keep the PPO update over the 30k-dim
+# exterior state affordable while still exercising training end to end.
+scale_run() {
+  local threads="$1"
+  "$BIN" train --nodes 10000 --budget 3000 --episodes 2 --seed 55 \
+    --threads "$threads" --round-log "$TMP/scale_t$threads.jsonl" \
+    > "$TMP/scale_t$threads.txt" 2>/dev/null
+}
+scale_run 1
+scale_run 8
+diff -u "$TMP/scale_t1.jsonl" "$TMP/scale_t8.jsonl" \
+  || { echo "check_scale: FAIL (10k-node round log differs between --threads 1 and 8)"; exit 1; }
+diff -u "$TMP/scale_t1.txt" "$TMP/scale_t8.txt" \
+  || { echo "check_scale: FAIL (10k-node stdout differs between --threads 1 and 8)"; exit 1; }
+[ -s "$TMP/scale_t1.jsonl" ] \
+  || { echo "check_scale: FAIL (10k-node run produced an empty round log)"; exit 1; }
+
+# Gate 3: plane and shard-tree suites under AddressSanitizer.
+export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1:halt_on_error=1"
+source tools/sanitize_common.sh
+chiron_sanitizer_check address "$ASAN_DIR" test_sysmodel test_fl \
+  || { echo "check_scale: FAIL (ASan)"; exit 1; }
+
+echo "check_scale: OK (zero-knob and 10k-node thread byte-identity hold; ASan clean)"

@@ -84,6 +84,8 @@ core::EnvConfig env_from_flags(const FlagParser& flags) {
       flags.get_double("audit-tolerance", c.defense.audit_tolerance);
   c.defense.reputation_alpha = flags.get_double("reputation-alpha", 0.0);
   c.defense.seed = c.seed + 1299709;
+  c.aggregation_shards = flags.get_int("shards", 1);
+  c.max_replicas = flags.get_int("max-replicas", 0);
   if (flags.has("real")) {
     c.backend = core::BackendKind::kRealVision;
     c.samples_per_node = 128;
@@ -321,6 +323,8 @@ void usage() {
       "               --adv-freeride P --adv-churn P\n"
       "  defenses: --reserve-price R --audit-prob P --audit-tolerance F\n"
       "            --reputation-alpha A\n"
+      "  scale: --shards S (aggregation tree fan-in, real backends)\n"
+      "         --max-replicas R (lightweight-node replica budget, 0 = all)\n"
       "  train:  --save PATH --trace\n"
       "  sweep:  --budgets 40,80,120\n"
       "  observability: --round-log PATH (.jsonl|.csv)\n"

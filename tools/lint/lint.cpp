@@ -375,12 +375,15 @@ std::vector<Violation> lint_source(const std::string& rel_path,
   const bool in_runtime = has_segment(segs, "runtime");
   // serve/ is a result path too: response bytes must not depend on
   // container iteration order any more than training results may.
+  // sysmodel/ prices every round (best responses, payments, Eqn 15/16
+  // aggregates) — its outputs ARE the results, so it is a result path.
   const bool result_path = has_segment(segs, "core") ||
                            has_segment(segs, "fl") ||
                            has_segment(segs, "rl") ||
                            has_segment(segs, "serve") ||
                            has_segment(segs, "faults") ||
-                           has_segment(segs, "adversary");
+                           has_segment(segs, "adversary") ||
+                           has_segment(segs, "sysmodel");
   const bool accounting = ends_with(rel_path, "core/env.cpp") ||
                           ends_with(rel_path, "core/mechanism.cpp");
 
