@@ -129,6 +129,8 @@ void RealVisionBackend::rebuild() {
   cfg.validation = options_.validation;
   cfg.aggregation_shards = options_.aggregation_shards;
   cfg.max_replicas = options_.max_replicas;
+  cfg.probe_sample = options_.probe_sample;
+  cfg.probe_seed = options_.probe_seed;
   const fl::ModelFactory factory =
       task_ == data::VisionTask::kCifarLike
           ? fl::ModelFactory([](Rng& r) { return nn::make_lenet_cifar(r); })
@@ -201,6 +203,8 @@ void RealBlobsBackend::rebuild() {
   cfg.validation = options_.validation;
   cfg.aggregation_shards = options_.aggregation_shards;
   cfg.max_replicas = options_.max_replicas;
+  cfg.probe_sample = options_.probe_sample;
+  cfg.probe_seed = options_.probe_seed;
   const std::int64_t in = dims_;
   const std::int64_t out = classes_;
   const fl::ModelFactory factory = [in, out](Rng& r) {

@@ -9,6 +9,7 @@
 // against the real backend in tests/core/surrogate_fidelity_test.cpp.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -92,6 +93,10 @@ struct RealBackendOptions {
   int aggregation_shards = 1;
   /// Replica budget for lightweight-node mode; 0 = all nodes materialize.
   int max_replicas = 0;
+  /// Per-round lightweight probe cap and rotation seed
+  /// (fl::FederationConfig::probe_sample / probe_seed).
+  int probe_sample = 64;
+  std::uint64_t probe_seed = 0;
 };
 
 /// Real federated training on one of the synthetic vision tasks.

@@ -39,6 +39,8 @@ void Federation::init(const FederationConfig& config,
   factory_ = factory;
   shards_ = std::min(config.aggregation_shards, config.num_nodes);
   probe_sample_ = config.probe_sample;
+  probe_seed_ = config.probe_seed;
+  probe_rounds_ = 0;
   trainer_ = trainer_mask(config.num_nodes, config.max_replicas);
   any_lightweight_ = false;
   for (std::uint8_t t : trainer_) any_lightweight_ |= (t == 0);
@@ -188,6 +190,37 @@ TolerantRoundReport Federation::run_round_streamed(
   constexpr std::size_t kStreamBatch = 8;
   TolerantRoundReport rep;
   rep.status.resize(participants.size());
+  // Rotating probe sample: which stats-only positions will be delivered
+  // is fully determined by the inputs (delivery flags + replica
+  // ownership), so the probed subset is picked up front, serially — a
+  // contiguous window of the eligible positions at a seeded offset that
+  // advances with (probe_seed, round). Across rounds the telemetry
+  // covers every lightweight node instead of resampling the first cap
+  // forever, and the selection is identical at any --threads.
+  std::vector<std::uint8_t> probe_here(participants.size(), 0);
+  {
+    std::vector<std::size_t> eligible;
+    for (std::size_t s = 0; s < participants.size(); ++s) {
+      if (!node(participants[s]).has_replica() && !delivery[s].crash &&
+          !delivery[s].late && !delivery[s].freeride) {
+        eligible.push_back(s);
+      }
+    }
+    const std::size_t cap =
+        probe_sample_ == 0
+            ? eligible.size()
+            : std::min(eligible.size(),
+                       static_cast<std::size_t>(probe_sample_));
+    if (cap > 0) {
+      const std::size_t offset = static_cast<std::size_t>(
+          stream_seed(probe_seed_, probe_rounds_, /*node=*/0) %
+          eligible.size());
+      for (std::size_t j = 0; j < cap; ++j) {
+        probe_here[eligible[(offset + j) % eligible.size()]] = 1;
+      }
+    }
+  }
+  ++probe_rounds_;
   ShardedAggregator agg(num_nodes(), shards_,
                         static_cast<std::size_t>(server_->parameter_count()));
   std::vector<std::vector<float>> uploads(kStreamBatch);
@@ -244,9 +277,9 @@ TolerantRoundReport Federation::run_round_streamed(
             ++rep.lightweight;
             // The stats-only contribution: one probe forward/backward on
             // the shared scratch replica (serial — one scratch). The
-            // probe_sample cap keeps probe cost O(cap), not O(N); probed
-            // nodes are the first in participant order, deterministically.
-            if (probe_sample_ == 0 || rep.probed < probe_sample_) {
+            // probe_sample cap keeps probe cost O(cap), not O(N); the
+            // probed subset is the rotated window chosen above.
+            if (probe_here[s]) {
               if (probe_scratch_ == nullptr) {
                 Rng throwaway(0);  // weights are overwritten by the probe
                 probe_scratch_ = factory_(throwaway);

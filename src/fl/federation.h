@@ -33,11 +33,17 @@ struct FederationConfig {
   /// 0 = every node holds a replica (legacy behavior).
   int max_replicas = 0;
   /// Per-round cap on lightweight gradient probes (telemetry sampling):
-  /// only the first `probe_sample` delivered stats-only nodes in
-  /// participant order run a probe, so probe cost stays O(probe_sample)
-  /// instead of O(N); the reported stats are means over that subset.
-  /// 0 = probe every delivered stats-only node.
+  /// at most `probe_sample` delivered stats-only nodes run a probe, so
+  /// probe cost stays O(probe_sample) instead of O(N); the reported
+  /// stats are means over that subset. The subset rotates: a seeded
+  /// offset derived from (probe_seed, round) picks a contiguous window
+  /// of the eligible positions, so across rounds the telemetry
+  /// eventually covers every lightweight node instead of resampling the
+  /// first cap forever. 0 = probe every delivered stats-only node.
   int probe_sample = 64;
+  /// Seed for the probe rotation. Consumed outside the node/server RNG
+  /// split sequence, so changing it never shifts training streams.
+  std::uint64_t probe_seed = 0;
 };
 
 /// Per-participant delivery instruction for a fault-injected round,
@@ -143,6 +149,8 @@ class Federation {
   ModelFactory factory_;
   int shards_ = 1;                        // aggregation tree fan-in
   int probe_sample_ = 64;                 // per-round probe cap (0 = all)
+  std::uint64_t probe_seed_ = 0;          // rotation seed (config)
+  int probe_rounds_ = 0;                  // streamed rounds run: rotation phase
   std::vector<std::uint8_t> trainer_;     // replica mask (empty = all)
   bool any_lightweight_ = false;
   std::unique_ptr<nn::Sequential> probe_scratch_;  // lazily built

@@ -37,6 +37,7 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
                    "Conv2d expects (B, " << in_c_ << ", H, W), got " << x);
   batch_ = x.dim(0);
   geom_ = tensor::ConvGeom{in_c_, x.dim(2), x.dim(3), kernel_, stride_, pad_};
+  // chiron-hot-begin(conv2d-forward)
   tensor::im2col_into(x, geom_, cols_);
   // (B·OH·OW, patch) × (patch, out_c) = (B·OH·OW, out_c).
   tensor::matmul_into(cols_, weight_.value, flat_);
@@ -61,6 +62,7 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
       },
       repack_grain(out_c_));
   return y;
+  // chiron-hot-end(conv2d-forward)
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
@@ -70,6 +72,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                grad_out.dim(1) == out_c_ && grad_out.dim(2) == oh &&
                grad_out.dim(3) == ow);
   // NCHW grad -> row-major (B·OH·OW, out_c) to match the forward matmul.
+  // chiron-hot-begin(conv2d-backward)
+  // chiron-lint: allow(AL1): Tensor::resize reuses capacity once shapes settle
   gmat_.resize({batch_ * oh * ow, out_c_});
   const float* pgo = grad_out.data();
   float* pgm = gmat_.data();
@@ -92,6 +96,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
       bias_.grad[c] += gmat_.at2(r, c);
   tensor::matmul_bt_into(gmat_, weight_.value, grad_cols_);
   return tensor::col2im(grad_cols_, batch_, geom_);
+  // chiron-hot-end(conv2d-backward)
 }
 
 }  // namespace chiron::nn

@@ -30,6 +30,7 @@ Tensor Linear::backward(const Tensor& grad_out) {
   CHIRON_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_);
   CHIRON_CHECK_MSG(input_.size() > 0, "backward before forward");
   // dW += x^T · g ; db += column sums ; dx = g · W^T.
+  // chiron-hot-begin(linear-backward)
   tensor::matmul_at_into(input_, grad_out, wgrad_scratch_);
   weight_.grad += wgrad_scratch_;
   const std::int64_t batch = grad_out.dim(0);
@@ -37,6 +38,7 @@ Tensor Linear::backward(const Tensor& grad_out) {
     for (std::int64_t j = 0; j < out_; ++j)
       bias_.grad[j] += grad_out.at2(b, j);
   return tensor::matmul_bt(grad_out, weight_.value);
+  // chiron-hot-end(linear-backward)
 }
 
 }  // namespace chiron::nn

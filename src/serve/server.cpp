@@ -176,6 +176,9 @@ void MechanismServer::worker_loop() {
   PricingEngine engine(info_);
   std::shared_ptr<const MechanismWeights> adopted;
   obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  // Per-worker state buffer: resized (capacity-reusing) each batch so the
+  // steady-state loop below stays allocation-free.
+  tensor::Tensor states;
 
   for (;;) {
     std::vector<Pending> batch;
@@ -219,9 +222,11 @@ void MechanismServer::worker_loop() {
     bool priced = false;
     std::vector<PriceQuote> quotes;
     std::string failure;
+    // chiron-hot-begin(serve-batch)
     try {
       obs::Span span(obs::Phase::kServeBatch);
-      tensor::Tensor states({b, info_.exterior_obs_dim});
+      // chiron-lint: allow(AL1): Tensor::resize reuses this worker's capacity
+      states.resize({b, info_.exterior_obs_dim});
       for (std::int64_t i = 0; i < b; ++i) {
         const std::vector<float>& s =
             batch[static_cast<std::size_t>(i)].request.state;
@@ -236,6 +241,7 @@ void MechanismServer::worker_loop() {
                            // serving — one poisoned batch must not kill
                            // the loop
     }
+    // chiron-hot-end(serve-batch)
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
       Message resp;

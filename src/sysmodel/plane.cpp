@@ -85,6 +85,8 @@ void EconomicsPlane::best_response_batch(const std::vector<double>& prices,
   const std::size_t n = num_nodes();
   CHIRON_CHECK_MSG(prices.size() == n,
                    "prices " << prices.size() << " vs plane " << n);
+  // chiron-hot-begin(econ-best-response)
+  // chiron-lint: allow(AL1): DecisionBatch::resize reuses its columns' capacity
   out.resize(n);
   runtime::parallel_for(
       0, static_cast<std::int64_t>(n),
@@ -114,6 +116,7 @@ void EconomicsPlane::best_response_batch(const std::vector<double>& prices,
         }
       },
       kElementGrain);
+  // chiron-hot-end(econ-best-response)
 }
 
 void EconomicsPlane::utility_batch(const std::vector<double>& prices,
@@ -124,6 +127,8 @@ void EconomicsPlane::utility_batch(const std::vector<double>& prices,
                    "prices " << prices.size() << " vs plane " << n);
   CHIRON_CHECK_MSG(zetas.size() == n,
                    "zetas " << zetas.size() << " vs plane " << n);
+  // chiron-hot-begin(econ-utility)
+  // chiron-lint: allow(AL1): vector::resize reuses capacity; n is fixed per plane
   utilities.resize(n);
   runtime::parallel_for(
       0, static_cast<std::int64_t>(n),
@@ -135,6 +140,7 @@ void EconomicsPlane::utility_batch(const std::vector<double>& prices,
         }
       },
       kElementGrain);
+  // chiron-hot-end(econ-utility)
 }
 
 RoundAggregates EconomicsPlane::aggregate_round(
@@ -144,6 +150,7 @@ RoundAggregates EconomicsPlane::aggregate_round(
                    "batch " << batch.size() << " vs plane " << n);
   RoundAggregates out;
   if (n == 0) return out;
+  // chiron-hot-begin(econ-aggregate)
   const auto chunks = static_cast<std::int64_t>((n + chunk_ - 1) / chunk_);
 
   // Pass 1 (participants, T_k, payments, energy): fixed-size chunks, each
@@ -155,6 +162,7 @@ RoundAggregates EconomicsPlane::aggregate_round(
     double payment = 0.0;
     double energy = 0.0;
   };
+  // chiron-lint: allow(AL1): parallel_map returns O(chunks) partials, not O(N)
   const std::vector<Pass1> p1 = runtime::parallel_map<Pass1>(
       chunks, [&](std::int64_t c) {
         Pass1 acc;
@@ -185,6 +193,7 @@ RoundAggregates EconomicsPlane::aggregate_round(
       double idle = 0.0;
       double time_sum = 0.0;
     };
+    // chiron-lint: allow(AL1): parallel_map returns O(chunks) partials, not O(N)
     const std::vector<Pass2> p2 = runtime::parallel_map<Pass2>(
         chunks, [&](std::int64_t c) {
           Pass2 acc;
@@ -209,6 +218,7 @@ RoundAggregates EconomicsPlane::aggregate_round(
     out.time_efficiency = 0.0;
   }
   return out;
+  // chiron-hot-end(econ-aggregate)
 }
 
 RoundOutcome EconomicsPlane::run_round(const std::vector<double>& prices,

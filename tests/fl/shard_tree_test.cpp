@@ -226,6 +226,70 @@ TEST(LightweightFederation, ProbeSampleCapsProbeCount) {
   EXPECT_GT(rep.lightweight_grad_norm, 0.0);
 }
 
+TEST(LightweightFederation, ProbeSampleRotatesAcrossRoundsDeterministically) {
+  // All-lightweight participants leave the model untouched, so the probe
+  // means depend only on WHICH nodes were probed: with a cap below the
+  // eligible count, consecutive rounds must sample different windows
+  // (the old selection always re-probed the first cap positions).
+  FederationConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.max_replicas = 2;
+  cfg.probe_sample = 2;
+  Federation fed = make_federation(cfg, /*seed=*/43);
+  std::vector<int> lightweight_only;
+  for (int i = 0; i < 8; ++i)
+    if (!fed.is_trainer(i)) lightweight_only.push_back(i);
+  ASSERT_EQ(lightweight_only.size(), 6u);
+  const std::vector<RoundDelivery> delivery(lightweight_only.size());
+  const TolerantRoundReport r1 = fed.run_round_tolerant(lightweight_only, delivery);
+  const TolerantRoundReport r2 = fed.run_round_tolerant(lightweight_only, delivery);
+  EXPECT_EQ(r1.probed, 2);
+  EXPECT_EQ(r2.probed, 2);
+  EXPECT_NE(r1.lightweight_loss, r2.lightweight_loss)
+      << "the probe window must rotate round to round";
+  // Same seed, same inputs -> the same rotation sequence, bit for bit.
+  Federation replay = make_federation(cfg, /*seed=*/43);
+  const TolerantRoundReport s1 =
+      replay.run_round_tolerant(lightweight_only, delivery);
+  const TolerantRoundReport s2 =
+      replay.run_round_tolerant(lightweight_only, delivery);
+  EXPECT_EQ(r1.lightweight_loss, s1.lightweight_loss);
+  EXPECT_EQ(r1.lightweight_grad_norm, s1.lightweight_grad_norm);
+  EXPECT_EQ(r2.lightweight_loss, s2.lightweight_loss);
+  EXPECT_EQ(r2.lightweight_grad_norm, s2.lightweight_grad_norm);
+}
+
+TEST(LightweightFederation, ProbeTelemetryIsThreadInvariant) {
+  // The rotated probe subset is chosen serially from the round inputs,
+  // so the telemetry means are bit-identical at any --threads.
+  FederationConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.max_replicas = 4;
+  cfg.probe_sample = 3;
+  cfg.aggregation_shards = 2;
+  std::vector<int> everyone(10);
+  std::iota(everyone.begin(), everyone.end(), 0);
+  const std::vector<RoundDelivery> delivery(everyone.size());
+
+  runtime::set_threads(1);
+  Federation f1 = make_federation(cfg, /*seed=*/45);
+  const TolerantRoundReport a1 = f1.run_round_tolerant(everyone, delivery);
+  const TolerantRoundReport b1 = f1.run_round_tolerant(everyone, delivery);
+
+  runtime::set_threads(8);
+  Federation f8 = make_federation(cfg, /*seed=*/45);
+  const TolerantRoundReport a8 = f8.run_round_tolerant(everyone, delivery);
+  const TolerantRoundReport b8 = f8.run_round_tolerant(everyone, delivery);
+  runtime::set_threads(0);
+
+  EXPECT_EQ(a1.probed, a8.probed);
+  EXPECT_EQ(a1.lightweight_loss, a8.lightweight_loss);
+  EXPECT_EQ(a1.lightweight_grad_norm, a8.lightweight_grad_norm);
+  EXPECT_EQ(b1.probed, b8.probed);
+  EXPECT_EQ(b1.lightweight_loss, b8.lightweight_loss);
+  EXPECT_EQ(b1.lightweight_grad_norm, b8.lightweight_grad_norm);
+}
+
 TEST(LightweightFederation, TrainerSubsetStillImprovesAccuracy) {
   FederationConfig cfg;
   cfg.num_nodes = 12;

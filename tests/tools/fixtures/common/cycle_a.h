@@ -1,0 +1,6 @@
+// Lint fixture: one half of an include cycle (LY2). Same module, so LY1
+// stays quiet — the cycle itself is the violation. Never compiled.
+#pragma once
+#include "common/cycle_b.h"
+
+struct CycleA {};

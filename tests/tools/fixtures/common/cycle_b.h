@@ -1,0 +1,6 @@
+// Lint fixture: the other half of the LY2 include cycle. The back edge is
+// reported here, at the include that closes the loop. Never compiled.
+#pragma once
+#include "common/cycle_a.h"
+
+struct CycleB {};

@@ -1,0 +1,6 @@
+// Lint fixture: exactly one LY1 violation — core (layer 5) reaching up
+// into serve (layer 6) is a layering backedge under the DAG declared in
+// tools/lint/layers.toml. Never compiled.
+#include "serve/svc.h"
+
+int core_calls_serve() { return fixture::serve_entry(); }

@@ -1,0 +1,9 @@
+// Lint fixture: exactly one AL1 violation — a push_back inside a
+// declared hot region. Never compiled.
+#include <vector>
+
+void accumulate(std::vector<double>& xs, double v) {
+  // chiron-hot-begin(fixture-loop)
+  xs.push_back(v);
+  // chiron-hot-end(fixture-loop)
+}

@@ -1,0 +1,11 @@
+// Lint fixture: exactly one LK1 violation — a GEMM entry point called
+// while the serve mutex is held, which would convoy every worker behind
+// one critical section. Never compiled.
+#include <mutex>
+
+std::mutex mu_;
+
+void locked_gemm(const double* a, const double* b, double* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  matmul(a, b, c);
+}

@@ -1,0 +1,10 @@
+// Lint fixture: exactly one LK2 violation — acquiring a lock that the
+// declared hierarchy ([locks].hierarchy in layers.toml) does not name.
+// Never compiled.
+#include <mutex>
+
+std::mutex io_mu_;
+
+void locked_io() {
+  std::lock_guard<std::mutex> g(io_mu_);
+}

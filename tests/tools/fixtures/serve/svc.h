@@ -1,0 +1,8 @@
+// Lint fixture: clean header in the serve module; exists so
+// core/uses_serve.cpp has a resolvable in-tree include target for LY1.
+// Never compiled — scanned by tests/tools/lint_test.cpp.
+#pragma once
+
+namespace fixture {
+int serve_entry();
+}  // namespace fixture

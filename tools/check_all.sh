@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # One-stop pre-merge check. Stages, cheapest first:
 #
-#   1. chiron-lint          — determinism & threading contract (DESIGN.md §5.8)
+#   1. chiron-lint          — determinism, threading, layering, locking &
+#                             allocation contract, gated on the committed
+#                             baseline (DESIGN.md §5.13); cached, so an
+#                             unchanged tree re-checks in under a second
 #   2. header check         — every src/**/*.h compiles standalone
 #   3. build + ctest        — Release tree with CHIRON_WERROR=ON, full suite
 #   4. UBSan                — full suite under -fsanitize=undefined (no recover)
 #   5. TSan                 — concurrency-heavy suites under -fsanitize=thread
 #   6. ASan                 — same suites under -fsanitize=address
-#   7. clang-tidy           — curated profile (skips when not installed)
+#   7. clang-tidy           — curated pinned profile over src/ via
+#                             compile_commands.json (SKIPs only when the
+#                             clang-tidy binary is absent)
 #   8. observability        — fig3 harness with round log + metrics +
 #                             tracing on, diffed across --threads 1 vs 8
 #                             (DESIGN.md §5.9 determinism contract)
@@ -26,24 +31,45 @@
 #                             binary) fails the check instead of dropping
 #                             out of the trajectory
 #
-# Each stage prints a PASS/FAIL banner and the first failure stops the
-# run. Every stage uses its own build directory, so an up-to-date tree
-# only pays incremental rebuilds.
+# Each stage prints a PASS/FAIL banner with its wall time, the first
+# failure stops the run, and either way a final summary table lists every
+# stage that ran with its result and duration. Every stage uses its own
+# build directory, so an up-to-date tree only pays incremental rebuilds.
 #
 # Usage: tools/check_all.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+SUMMARY=()
+
+print_summary() {
+  echo
+  echo "==== summary ===="
+  printf '%-6s %7s  %s\n' "result" "time" "stage"
+  local row
+  for row in "${SUMMARY[@]}"; do
+    local result="${row%%|*}" rest="${row#*|}"
+    local secs="${rest%%|*}" name="${rest#*|}"
+    printf '%-6s %6ss  %s\n' "$result" "$secs" "$name"
+  done
+}
+
 stage() {
   local name="$1"
   shift
   echo
   echo "==== stage $name ===="
+  local t0=$SECONDS
   if "$@"; then
-    echo "==== PASS: $name ===="
+    local dt=$((SECONDS - t0))
+    SUMMARY+=("PASS|$dt|$name")
+    echo "==== PASS: $name (${dt}s) ===="
   else
-    echo "==== FAIL: $name ===="
+    local dt=$((SECONDS - t0))
+    SUMMARY+=("FAIL|$dt|$name")
+    echo "==== FAIL: $name (${dt}s) ===="
+    print_summary
     exit 1
   fi
 }
@@ -54,7 +80,7 @@ build_and_ctest() {
   ctest --test-dir build --output-on-failure -j"$(nproc)"
 }
 
-stage "1/12: chiron-lint (determinism & threading contract)" tools/check_lint.sh
+stage "1/12: chiron-lint (layering/locking/allocation contract)" tools/check_lint.sh
 stage "2/12: header self-containment" tools/check_headers.sh
 stage "3/12: build -Werror + full ctest" build_and_ctest
 stage "4/12: UndefinedBehaviorSanitizer" tools/check_ubsan.sh
@@ -67,5 +93,6 @@ stage "10/12: adversary contract (zero-knob + thread diff + ASan)" tools/check_a
 stage "11/12: scale contract (zero-knob + 10k thread diff + ASan)" tools/check_scale.sh
 stage "12/12: substrate benchmarks -> BENCH_substrate.json" tools/bench_substrate.sh
 
+print_summary
 echo
 echo "check_all: OK (all stages passed)"

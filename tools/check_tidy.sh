@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# clang-tidy pass with the repo's curated profile (.clang-tidy at the
+# clang-tidy gate with the repo's curated profile (.clang-tidy at the
 # root: bugprone-*, performance-*, concurrency-*, plus
-# readability-container-size-empty). Degrades gracefully: on boxes
-# without clang-tidy installed it prints a SKIP banner and exits 0, so
-# check_all.sh keeps working on minimal images while CI machines with the
-# toolchain get the full pass.
+# readability-container-size-empty).
+#
+# This is a real gate, not a best-effort pass: a missing .clang-tidy, a
+# missing compile_commands.json, or a profile that no longer enables the
+# pinned check families all FAIL the stage. Exactly one condition
+# downgrades to SKIP (exit 0 with a loud banner): the clang-tidy binary
+# itself being absent, so check_all.sh keeps working on minimal images
+# while CI machines with the toolchain get the full pass.
 #
 # Usage: tools/check_tidy.sh [build-dir]   (default: build-tidy)
 set -euo pipefail
@@ -16,10 +20,32 @@ if ! command -v clang-tidy >/dev/null 2>&1; then
   exit 0
 fi
 
+if [[ ! -f .clang-tidy ]]; then
+  echo "check_tidy: FAIL (.clang-tidy is missing — the curated profile is part of the gate)"
+  exit 1
+fi
+
 BUILD_DIR="${1:-build-tidy}"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "check_tidy: FAIL ($BUILD_DIR/compile_commands.json was not generated)"
+  exit 1
+fi
+
+# Pin the effective check set: if .clang-tidy drifts (or a clang-tidy
+# version stops recognizing a family) the gate fails loudly instead of
+# silently thinning out.
+enabled="$(clang-tidy --list-checks 2>/dev/null || true)"
+for family in bugprone- performance- concurrency- \
+    readability-container-size-empty; do
+  if ! grep -q -- "$family" <<<"$enabled"; then
+    echo "check_tidy: FAIL (pinned check family '$family' is not enabled by .clang-tidy)"
+    exit 1
+  fi
+done
 
 mapfile -t files < <(find src -name '*.cpp' | sort)
 clang-tidy -p "$BUILD_DIR" --quiet --warnings-as-errors='*' "${files[@]}"

@@ -1,20 +1,49 @@
-// chiron_lint — command-line driver for the determinism/threading lint
-// (tools/lint/lint.h; rule catalogue in DESIGN.md §5.8).
+// chiron_lint — command-line driver for the determinism/threading/
+// layering/locking/allocation lint (tools/lint/lint.h; rule catalogue in
+// DESIGN.md §5.13).
 //
-//   chiron_lint [paths...]
+//   chiron_lint [flags] [paths...]
 //       Lints every .h/.cpp under each path (default: ./src). Paths that
 //       are regular files are linted individually. Prints one diagnostic
 //       per violation as `file:line: [RULE] message`.
 //
-//   chiron_lint --rules
-//       Prints the known rule IDs, one per line.
+//   --rules                  print the known rule IDs, one per line
+//   --layers=FILE            layering/lock/hot-path config (layers.toml);
+//                            default: the built-in config (byte-for-byte
+//                            what tools/lint/layers.toml ships)
+//   --json                   emit the findings as a JSON array instead of
+//                            text
+//   --sarif                  emit a SARIF 2.1.0 log instead of text
+//   --baseline=FILE          subtract the committed baseline; exit 1 only
+//                            on findings NOT in it (new findings are the
+//                            only ones printed)
+//   --write-baseline=FILE    write the current findings as a baseline and
+//                            exit 0 (the accept-current-state workflow)
 //
-// Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
+// Exit codes: 0 = clean (or all findings baselined), 1 = new violations
+// found, 2 = usage/IO/config error (unreadable or binary input, malformed
+// layers.toml or baseline).
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/error.h"
 #include "common/flags.h"
+#include "lint/config.h"
 #include "lint/lint.h"
+#include "lint/out.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CHIRON_CHECK_MSG(in.good(), "chiron_lint: cannot read " << path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   chiron::FlagParser flags(argc, argv);
@@ -22,27 +51,69 @@ int main(int argc, char** argv) {
     for (const auto& id : chiron::lint::rule_ids()) std::cout << id << "\n";
     return 0;
   }
+  for (const auto& f : flags.unknown_flags(
+           {"rules", "layers", "json", "sarif", "baseline",
+            "write-baseline"})) {
+    std::cerr << "chiron_lint: unknown flag --" << f << "\n";
+    return 2;
+  }
   std::vector<std::string> roots = flags.positional();
+  // --json and --sarif are switches; FlagParser's `--name value` grammar
+  // would otherwise swallow a path written right after one.
+  for (const char* b : {"json", "sarif"}) {
+    if (flags.has(b) && !flags.get(b).empty()) roots.push_back(flags.get(b));
+  }
   if (roots.empty()) roots.push_back("src");
 
   std::vector<chiron::lint::Violation> all;
   try {
+    const chiron::lint::Config config =
+        flags.has("layers") ? chiron::lint::load_config(flags.get("layers"))
+                            : chiron::lint::default_config();
     for (const auto& root : roots) {
-      auto v = chiron::lint::lint_tree(root);
+      auto v = chiron::lint::lint_tree(root, config);
       all.insert(all.end(), v.begin(), v.end());
+    }
+
+    if (flags.has("write-baseline")) {
+      const std::string path = flags.get("write-baseline");
+      std::ofstream out(path, std::ios::binary);
+      CHIRON_CHECK_MSG(out.good(), "chiron_lint: cannot write " << path);
+      out << chiron::lint::write_baseline(all);
+      std::cout << "chiron_lint: wrote baseline (" << all.size()
+                << " finding" << (all.size() == 1 ? "" : "s") << ") to "
+                << path << "\n";
+      return 0;
+    }
+    if (flags.has("baseline")) {
+      const auto baseline =
+          chiron::lint::parse_baseline(read_file(flags.get("baseline")));
+      all = chiron::lint::diff_baseline(all, baseline);
     }
   } catch (const chiron::InvariantError& e) {
     std::cerr << "chiron_lint: " << e.what() << "\n";
     return 2;
   }
 
+  if (flags.has("sarif")) {
+    std::cout << chiron::lint::to_sarif(all);
+    return all.empty() ? 0 : 1;
+  }
+  if (flags.has("json")) {
+    std::cout << chiron::lint::to_json(all);
+    return all.empty() ? 0 : 1;
+  }
+
   for (const auto& v : all) std::cout << chiron::lint::to_string(v) << "\n";
   if (all.empty()) {
-    std::cout << "chiron_lint: OK (0 violations)\n";
+    std::cout << "chiron_lint: OK (0 "
+              << (flags.has("baseline") ? "new " : "") << "violations)\n";
     return 0;
   }
-  std::cout << "chiron_lint: " << all.size() << " violation"
-            << (all.size() == 1 ? "" : "s") << " — see DESIGN.md §5.8 for "
-            << "the rule catalogue and the allow() suppression syntax\n";
+  std::cout << "chiron_lint: " << all.size()
+            << (flags.has("baseline") ? " new" : "") << " violation"
+            << (all.size() == 1 ? "" : "s") << " — see DESIGN.md §5.13 for "
+            << "the rule catalogue, the allow() suppression syntax and the "
+            << "baseline workflow\n";
   return 1;
 }

@@ -1,0 +1,67 @@
+// Data-driven configuration for the structural lint passes (DESIGN.md
+// §5.13): the layering DAG (LY1), the lock discipline for serve/ (LK1/LK2)
+// and the hot-path allocation vocabulary (AL1) all come from
+// tools/lint/layers.toml, so adding a module or a lock never means
+// editing the lint engine.
+//
+// The parser accepts the small TOML subset the file actually uses:
+//   # comments
+//   [section]
+//   key = 7
+//   key = "string"
+//   key = ["a", "b", "c"]        (single line)
+// Anything else is an InvariantError naming the offending line — a config
+// typo must fail the lint run loudly (exit 2), never silently relax it.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chiron::lint {
+
+struct Config {
+  /// Module name (first path segment of the import path: "core", "fl",
+  /// "lint", ...) -> layer number. A file may include only modules whose
+  /// layer is <= its own (LY1); modules absent from the map are reported.
+  std::map<std::string, int> layers;
+
+  /// Modules whose TUs get the lock-discipline pass (LK1/LK2).
+  std::vector<std::string> lock_modules;
+  /// Declared lock acquisition order, outermost first. Acquiring a lock
+  /// while holding one that appears later in this list is LK2.
+  std::vector<std::string> lock_hierarchy;
+  /// Identifiers that must never be called while a mutex is held (LK1):
+  /// policy forwards, GEMM entry points, evaluation — anything that does
+  /// real compute and would serialize the whole server behind one lock.
+  std::vector<std::string> lock_forbidden;
+
+  /// AL1 vocabulary: free functions that allocate...
+  std::vector<std::string> hot_allocators;
+  /// ...allocating member calls (.resize(, .push_back(, ...)...
+  std::vector<std::string> hot_members;
+  /// ...and std::-qualified types/helpers whose construction allocates
+  /// (vector, string, ostringstream, to_string, ...).
+  std::vector<std::string> hot_types;
+};
+
+/// The built-in configuration, byte-for-byte what tools/lint/layers.toml
+/// ships. Single-file invocations (fixture tests, `chiron_lint file.cpp`)
+/// fall back to this when no --layers flag is given.
+const Config& default_config();
+
+/// Parses the TOML subset above. Throws chiron::InvariantError on any
+/// line it does not understand, on duplicate keys, and on non-integer
+/// layer values.
+Config parse_config(const std::string& toml_text);
+
+/// Reads and parses a config file. Throws on unreadable files.
+Config load_config(const std::filesystem::path& path);
+
+/// Serializes a Config back to the canonical TOML form (sections and keys
+/// in fixed order, layers sorted by name). parse_config(to_toml(c)) == c,
+/// which the round-trip test pins.
+std::string to_toml(const Config& config);
+
+}  // namespace chiron::lint

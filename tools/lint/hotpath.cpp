@@ -1,0 +1,155 @@
+#include "lint/hotpath.h"
+
+#include <algorithm>
+#include <regex>
+
+#include "lint/lint.h"
+
+namespace chiron::lint {
+
+namespace {
+
+struct Region {
+  std::string name;
+  int begin_line = 0;  // marker line; region covers (begin_line, end_line)
+  int end_line = 0;
+};
+
+bool in_list(const std::vector<std::string>& list, const std::string& s) {
+  return std::find(list.begin(), list.end(), s) != list.end();
+}
+
+// Parses chiron-hot-begin/end markers out of the comment tokens. Marker
+// mistakes (mismatched names, nesting, missing end) are SP1: a half-open
+// region must fail the lint, never silently widen or disable it.
+std::vector<Region> parse_regions(const LexedFile& file,
+                                  const std::string& rel,
+                                  std::vector<Violation>& out) {
+  // Markers are anchored to the start of the comment so prose that merely
+  // mentions chiron-hot-begin (like this sentence) never parses as one.
+  static const std::regex kBegin(
+      R"(^(?://|/\*)\s*chiron-hot-begin\(([A-Za-z0-9_-]+)\))");
+  static const std::regex kEnd(
+      R"(^(?://|/\*)\s*chiron-hot-end\(([A-Za-z0-9_-]+)\))");
+  static const std::regex kBare(
+      R"(^(?://|/\*)\s*chiron-hot-(begin|end)\b)");
+  std::vector<Region> regions;
+  bool open = false;
+  Region cur;
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokKind::kComment) continue;
+    std::smatch m;
+    if (std::regex_search(t.text, m, kBegin)) {
+      if (open) {
+        out.push_back({rel, t.line, "SP1",
+                       "chiron-hot-begin(" + m[1].str() + ") while region '" +
+                           cur.name + "' (line " +
+                           std::to_string(cur.begin_line) +
+                           ") is still open — hot regions do not nest"});
+        continue;
+      }
+      open = true;
+      cur.name = m[1].str();
+      cur.begin_line = t.line;
+    } else if (std::regex_search(t.text, m, kEnd)) {
+      if (!open) {
+        out.push_back({rel, t.line, "SP1",
+                       "chiron-hot-end(" + m[1].str() +
+                           ") without a matching chiron-hot-begin"});
+        continue;
+      }
+      if (m[1].str() != cur.name) {
+        out.push_back({rel, t.line, "SP1",
+                       "chiron-hot-end(" + m[1].str() +
+                           ") does not match open region '" + cur.name +
+                           "' (line " + std::to_string(cur.begin_line) + ")"});
+        continue;
+      }
+      cur.end_line = t.line;
+      regions.push_back(cur);
+      open = false;
+    } else if (std::regex_search(t.text, m, kBare)) {
+      out.push_back({rel, t.line, "SP1",
+                     "malformed chiron-hot-" + m[1].str() +
+                         " marker — the form is chiron-hot-" + m[1].str() +
+                         "(name)"});
+    }
+  }
+  if (open) {
+    out.push_back({rel, cur.begin_line, "SP1",
+                   "chiron-hot-begin(" + cur.name +
+                       ") is never closed by a chiron-hot-end"});
+  }
+  return regions;
+}
+
+}  // namespace
+
+void check_hotpath(const LexedFile& file, const std::string& rel,
+                   const Config& config, const SuppressionSet& sup,
+                   std::vector<Violation>& out) {
+  const std::vector<Region> regions = parse_regions(file, rel, out);
+  if (regions.empty()) return;
+
+  auto region_of = [&](int line) -> const Region* {
+    for (const Region& r : regions) {
+      if (line > r.begin_line && line < r.end_line) return &r;
+    }
+    return nullptr;
+  };
+  auto emit = [&](int line, const std::string& name, const std::string& what) {
+    if (suppressed(sup, line, "AL1")) return;
+    out.push_back({rel, line, "AL1",
+                   what + " inside hot region '" + name +
+                       "' — the steady-state loops are allocation-free "
+                       "(DESIGN.md §5.7/§5.12); hoist the storage and reuse "
+                       "it, or allow(AL1) with the reason it cannot grow"});
+  };
+
+  const std::vector<Token>& toks = file.tokens;
+  auto text = [&](std::size_t i) -> const std::string& {
+    static const std::string empty;
+    return i < toks.size() ? toks[i].text : empty;
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    const Region* r = region_of(t.line);
+    if (r == nullptr) continue;
+    if (t.text == "new" && text(i - 1) != "operator") {
+      emit(t.line, r->name, "operator new");
+      continue;
+    }
+    if (in_list(config.hot_allocators, t.text) && text(i + 1) == "(" &&
+        text(i - 1) != "." && text(i - 1) != "->") {
+      emit(t.line, r->name, "'" + t.text + "()'");
+      continue;
+    }
+    if (in_list(config.hot_members, t.text) && text(i + 1) == "(" &&
+        (text(i - 1) == "." || text(i - 1) == "->")) {
+      emit(t.line, r->name, "'." + t.text + "()'");
+      continue;
+    }
+    if (in_list(config.hot_types, t.text) && text(i - 1) == "::" &&
+        text(i - 2) == "std") {
+      // A reference or pointer to the type binds without allocating:
+      // `const std::vector<float>& s = ...` is not a construction.
+      std::size_t j = i + 1;
+      if (text(j) == "<") {
+        int angle = 0;
+        for (; j < toks.size(); ++j) {
+          if (text(j) == "<") ++angle;
+          if (text(j) == ">" && --angle == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      if (text(j) == "&" || text(j) == "*") continue;
+      emit(t.line, r->name, "'std::" + t.text + "'");
+      continue;
+    }
+  }
+}
+
+}  // namespace chiron::lint

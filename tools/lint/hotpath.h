@@ -1,0 +1,42 @@
+// Hot-path allocation pass (AL1).
+//
+// PR 3 made steady-state training allocation-free and PR 8 extended that
+// to the 100k-node economics plane; the serving batch loop has the same
+// contract. Those wins erode one push_back at a time, so the loops are
+// annotated in the source:
+//
+//   // chiron-hot-begin(cnn-train-step): steady-state training loop
+//   ...   <- AL1 vocabulary is flagged here
+//   // chiron-hot-end(cnn-train-step)
+//
+// Inside a region the pass flags the allocation vocabulary from config
+// [hotpath]: the `new` keyword (always), allocating free functions
+// (malloc/...), allocating member calls (.resize(/.push_back(/...), and
+// std::-qualified allocating types (vector/string/ostringstream/...).
+// Sanctioned uses — Tensor::resize and DecisionBatch::resize reuse
+// capacity in the steady state — carry a per-line
+// `// chiron-lint: allow(AL1): reason` like any other rule.
+//
+// Region names are free-form [A-Za-z0-9_-]+; begin/end names must match,
+// regions must not nest, and every begin needs its end in the same file —
+// marker mistakes are SP1 so they can never silently disable the pass.
+// The region covers the lines strictly between the two markers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/config.h"
+#include "lint/lexer.h"
+#include "lint/suppress.h"
+
+namespace chiron::lint {
+
+struct Violation;  // lint.h
+
+/// Runs AL1 (and marker-wellformedness SP1) over one file.
+void check_hotpath(const LexedFile& file, const std::string& rel,
+                   const Config& config, const SuppressionSet& sup,
+                   std::vector<Violation>& out);
+
+}  // namespace chiron::lint

@@ -1,0 +1,223 @@
+#include "lint/include_graph.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+#include "lint/lexer.h"
+#include "lint/lint.h"
+#include "lint/suppress.h"
+
+namespace chiron::lint {
+
+namespace {
+
+struct Edge {
+  int to = -1;         // index into files; -1 = unresolved (system/3p)
+  std::string target;  // the include string as written
+  int line = 0;
+};
+
+std::string first_segment(const std::string& path) {
+  const std::size_t slash = path.find('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// Quoted includes from the token stream: '#' 'include' "...". The lexer
+// guarantees the string token is a real literal, never comment prose.
+std::vector<Edge> scan_includes(const LexedFile& lexed) {
+  std::vector<Edge> edges;
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kPunct && toks[i].text == "#" &&
+        toks[i + 1].kind == TokKind::kIdent &&
+        toks[i + 1].text == "include" &&
+        toks[i + 2].kind == TokKind::kString) {
+      const std::string& lit = toks[i + 2].text;
+      if (lit.size() >= 2) {
+        edges.push_back({-1, lit.substr(1, lit.size() - 2), toks[i].line});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::vector<Violation> analyze_includes(const std::vector<SourceFile>& files,
+                                        const Config& config) {
+  std::vector<Violation> out;
+
+  // Name -> file index; first registration wins (files arrive sorted, so
+  // collisions resolve deterministically).
+  std::map<std::string, int> by_name;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    by_name.emplace(files[i].import_name, static_cast<int>(i));
+    if (!files[i].alt_name.empty()) {
+      by_name.emplace(files[i].alt_name, static_cast<int>(i));
+    }
+  }
+
+  std::vector<std::vector<Edge>> adj(files.size());
+  std::vector<SuppressionSet> sups(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const LexedFile lexed = lex_file(files[i].contents);
+    // SP1s are already reported by the per-file pass; the cross-TU pass
+    // only needs the well-formed suppressions.
+    std::vector<Violation> sp1_sink;
+    sups[i] = parse_suppressions(lexed, files[i].import_name, sp1_sink);
+    adj[i] = scan_includes(lexed);
+    for (Edge& e : adj[i]) {
+      const auto it = by_name.find(e.target);
+      if (it != by_name.end()) e.to = it->second;
+    }
+  }
+
+  // LY1: every resolved edge must point at a module whose layer is <= the
+  // including module's.
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const SourceFile& src = files[i];
+    const auto src_layer = config.layers.find(src.module);
+    for (const Edge& e : adj[i]) {
+      if (e.to < 0) continue;  // system / third-party
+      const SourceFile& dst = files[static_cast<std::size_t>(e.to)];
+      if (src.module == dst.module) continue;
+      if (suppressed(sups[i], e.line, "LY1")) continue;
+      if (src_layer == config.layers.end()) {
+        out.push_back({src.import_name, e.line, "LY1",
+                       "module '" + src.module +
+                           "' has no layer in layers.toml — every module "
+                           "must declare its place in the DAG before it can "
+                           "include others"});
+        continue;
+      }
+      const auto dst_layer = config.layers.find(dst.module);
+      if (dst_layer == config.layers.end()) {
+        out.push_back({src.import_name, e.line, "LY1",
+                       "include of '" + e.target + "': module '" +
+                           dst.module + "' has no layer in layers.toml"});
+        continue;
+      }
+      if (dst_layer->second > src_layer->second) {
+        out.push_back(
+            {src.import_name, e.line, "LY1",
+             "layering backedge: module '" + src.module + "' (layer " +
+                 std::to_string(src_layer->second) + ") includes '" +
+                 e.target + "' from module '" + dst.module + "' (layer " +
+                 std::to_string(dst_layer->second) +
+                 ") — the dependency DAG in tools/lint/layers.toml only "
+                 "allows includes of equal-or-lower layers"});
+      } else if (dst_layer->second == src_layer->second) {
+        out.push_back(
+            {src.import_name, e.line, "LY1",
+             "sibling-module include: '" + src.module + "' and '" +
+                 dst.module + "' share layer " +
+                 std::to_string(src_layer->second) +
+                 " and must stay independent — move the shared code down a "
+                 "layer or split the modules across layers"});
+      }
+    }
+  }
+
+  // LY2: cycle detection over resolved edges (iterative DFS, deterministic
+  // order). Reported once per back edge, at the include that closes the
+  // cycle, with the full path spelled out.
+  enum class Color { kWhite, kGrey, kBlack };
+  std::vector<Color> color(files.size(), Color::kWhite);
+  std::vector<int> stack_pos(files.size(), -1);
+  struct Frame {
+    int node;
+    std::size_t next_edge = 0;
+  };
+  std::vector<int> path;
+  for (std::size_t start = 0; start < files.size(); ++start) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> stack;
+    stack.push_back({static_cast<int>(start)});
+    color[start] = Color::kGrey;
+    stack_pos[start] = 0;
+    path.assign(1, static_cast<int>(start));
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto u = static_cast<std::size_t>(f.node);
+      if (f.next_edge < adj[u].size()) {
+        const Edge& e = adj[u][f.next_edge++];
+        if (e.to < 0) continue;
+        const auto v = static_cast<std::size_t>(e.to);
+        if (color[v] == Color::kWhite) {
+          color[v] = Color::kGrey;
+          stack_pos[v] = static_cast<int>(path.size());
+          path.push_back(e.to);
+          stack.push_back({e.to});
+        } else if (color[v] == Color::kGrey) {
+          if (!suppressed(sups[u], e.line, "LY2")) {
+            std::ostringstream cycle;
+            for (std::size_t k = static_cast<std::size_t>(stack_pos[v]);
+                 k < path.size(); ++k) {
+              cycle << files[static_cast<std::size_t>(path[k])].import_name
+                    << " -> ";
+            }
+            cycle << files[v].import_name;
+            out.push_back({files[u].import_name, e.line, "LY2",
+                           "include cycle: " + cycle.str() +
+                               " — headers must form a DAG"});
+          }
+        }
+      } else {
+        color[u] = Color::kBlack;
+        stack_pos[u] = -1;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> analyze_roots(
+    const std::vector<std::filesystem::path>& roots, const Config& config) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  for (const auto& root : roots) {
+    CHIRON_CHECK_MSG(fs::exists(root),
+                     "chiron_lint: no such path " << root.string());
+    std::vector<fs::path> paths;
+    if (fs::is_regular_file(root)) {
+      paths.push_back(root);
+    } else {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cpp") paths.push_back(entry.path());
+      }
+      std::sort(paths.begin(), paths.end());
+    }
+    const std::string base = fs::is_regular_file(root)
+                                 ? root.parent_path().filename().string()
+                                 : root.filename().string();
+    for (const auto& p : paths) {
+      SourceFile sf;
+      sf.import_name = fs::is_regular_file(root) && paths.size() == 1 &&
+                               p == root
+                           ? p.filename().generic_string()
+                           : fs::relative(p, root).generic_string();
+      sf.module = first_segment(sf.import_name);
+      if (sf.module.empty()) {
+        sf.module = base;
+        sf.alt_name = base + "/" + sf.import_name;
+      }
+      std::ifstream in(p, std::ios::binary);
+      CHIRON_CHECK_MSG(in.good(),
+                       "chiron_lint: cannot read " << p.string());
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      sf.contents = ss.str();
+      files.push_back(std::move(sf));
+    }
+  }
+  return analyze_includes(files, config);
+}
+
+}  // namespace chiron::lint

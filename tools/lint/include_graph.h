@@ -1,0 +1,55 @@
+// Cross-TU analysis: the include graph over src/ (and tools/lint/) and
+// the layering DAG it must respect (DESIGN.md §5.13).
+//
+//   LY1  layering backedge: a file in module M includes a module whose
+//        declared layer (config [layers], tools/lint/layers.toml) is
+//        higher than M's — or a module with no layer assignment at all
+//   LY2  include cycle among project headers (layer-independent)
+//
+// Only quoted project includes are edges; <system> and third-party
+// includes are out of scope. A file's module is the first segment of its
+// import path ("core/env.cpp" -> "core"); files under a root whose
+// relative path has no directory (tools/lint/lexer.h as "lexer.h") take
+// the root's basename as module, which makes tools/lint the "lint"
+// module both as an includer and as an include target ("lint/lexer.h").
+//
+// Suppressions work on the #include line like everywhere else:
+//   #include "obs/span.h"  // chiron-lint: allow(LY1): reason
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/config.h"
+
+namespace chiron::lint {
+
+struct Violation;  // lint.h
+
+/// One file handed to the cross-TU pass.
+struct SourceFile {
+  /// Path used to resolve includes and in diagnostics, relative to the
+  /// scan root (e.g. "fl/federation.h").
+  std::string import_name;
+  /// Alternate import name (root-basename-qualified) so tools/lint files
+  /// resolve both as "lexer.h" and "lint/lexer.h". Empty when unused.
+  std::string alt_name;
+  /// The module used for layer lookups.
+  std::string module;
+  std::string contents;
+};
+
+/// Runs LY1/LY2 over the given files. Deterministic: files are processed
+/// in the order given (callers pass sorted lists) and adjacency follows
+/// include order within each file.
+std::vector<Violation> analyze_includes(const std::vector<SourceFile>& files,
+                                        const Config& config);
+
+/// Collects every .h/.cpp under the roots (sorted within each root),
+/// derives import/alt/module names as described above, and runs
+/// analyze_includes.
+std::vector<Violation> analyze_roots(
+    const std::vector<std::filesystem::path>& roots, const Config& config);
+
+}  // namespace chiron::lint

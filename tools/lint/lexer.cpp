@@ -1,0 +1,230 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace chiron::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators, longest first so maximal munch works with a
+// simple prefix scan. Single characters fall through to the 1-char case.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",
+};
+
+struct Lexer {
+  const std::string& text;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+  std::vector<Token> toks;
+  // Blanked rendering built in the same pass (see code_lines()).
+  std::string blanked;
+
+  explicit Lexer(const std::string& t) : text(t) { blanked.reserve(t.size()); }
+
+  char cur() const { return i < text.size() ? text[i] : '\0'; }
+  char peek(std::size_t k = 1) const {
+    return i + k < text.size() ? text[i + k] : '\0';
+  }
+  bool done() const { return i >= text.size(); }
+
+  // Consumes one char, keeping it visible in the blanked rendering.
+  void keep() {
+    advance(text[i], /*blank=*/false);
+  }
+  // Consumes one char, blanking it (newlines always stay).
+  void blank() {
+    advance(text[i], /*blank=*/true);
+  }
+
+  void advance(char c, bool blank_it) {
+    blanked.push_back((blank_it && c != '\n') ? ' ' : c);
+    ++i;
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+
+  void push(TokKind kind, std::size_t begin, int l, int c) {
+    toks.push_back({kind, text.substr(begin, i - begin), l, c});
+  }
+
+  void run() {
+    while (!done()) {
+      const char c = cur();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' ||
+          c == '\f') {
+        keep();
+        continue;
+      }
+      const int l = line, co = col;
+      const std::size_t begin = i;
+      if (c == '/' && peek() == '/') {
+        while (!done() && cur() != '\n') blank();
+        push(TokKind::kComment, begin, l, co);
+        continue;
+      }
+      if (c == '/' && peek() == '*') {
+        blank();  // '/'
+        blank();  // '*'
+        while (!done() && !(cur() == '*' && peek() == '/')) blank();
+        if (!done()) {
+          blank();  // '*'
+          blank();  // '/'
+        }
+        push(TokKind::kComment, begin, l, co);
+        continue;
+      }
+      if (c == '"') {
+        // Raw string? Preceded by R (and that R not part of an identifier
+        // like BOUNDARY). The R has already been emitted as an identifier
+        // token; we only need to consume the literal correctly here.
+        const bool raw = !toks.empty() && toks.back().kind == TokKind::kIdent &&
+                         (toks.back().text == "R" || toks.back().text == "LR" ||
+                          toks.back().text == "u8R" ||
+                          toks.back().text == "uR" || toks.back().text == "UR");
+        if (raw) {
+          keep();  // opening quote
+          std::string delim;
+          while (!done() && cur() != '(' && cur() != '"' && delim.size() < 16) {
+            delim.push_back(cur());
+            blank();
+          }
+          if (!done() && cur() == '(') blank();
+          const std::string close = ")" + delim + "\"";
+          while (!done() && text.compare(i, close.size(), close) != 0) blank();
+          for (std::size_t k = 0; k < close.size() && !done(); ++k) {
+            if (k + 1 == close.size()) keep(); else blank();
+          }
+          push(TokKind::kString, begin, l, co);
+          continue;
+        }
+        keep();  // opening quote
+        while (!done() && cur() != '"' && cur() != '\n') {
+          if (cur() == '\\' && peek() != '\0' && peek() != '\n') {
+            blank();
+            blank();
+          } else {
+            blank();
+          }
+        }
+        if (!done() && cur() == '"') keep();
+        push(TokKind::kString, begin, l, co);
+        continue;
+      }
+      if (c == '\'') {
+        // A quote directly after an identifier/digit is a C++14 digit
+        // separator, but numbers consume their separators themselves, so a
+        // quote seen here in code position starts a char literal.
+        keep();
+        while (!done() && cur() != '\'' && cur() != '\n') {
+          if (cur() == '\\' && peek() != '\0' && peek() != '\n') {
+            blank();
+            blank();
+          } else {
+            blank();
+          }
+        }
+        if (!done() && cur() == '\'') keep();
+        push(TokKind::kChar, begin, l, co);
+        continue;
+      }
+      if (ident_start(c)) {
+        while (!done() && ident_char(cur())) keep();
+        push(TokKind::kIdent, begin, l, co);
+        continue;
+      }
+      if (digit(c) || (c == '.' && digit(peek()))) {
+        // pp-number-ish: digits, separators, '.', exponent signs, suffixes.
+        while (!done()) {
+          const char n = cur();
+          if (ident_char(n) || n == '.' ||
+              (n == '\'' && ident_char(peek())) ||
+              ((n == '+' || n == '-') && !toks.empty() &&
+               (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                text[i - 1] == 'p' || text[i - 1] == 'P'))) {
+            keep();
+          } else {
+            break;
+          }
+        }
+        push(TokKind::kNumber, begin, l, co);
+        continue;
+      }
+      // Punctuator: maximal munch over the multi-char table.
+      bool matched = false;
+      for (const char* p : kPuncts) {
+        const std::size_t len = std::char_traits<char>::length(p);
+        if (text.compare(i, len, p) == 0) {
+          for (std::size_t k = 0; k < len; ++k) keep();
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) keep();
+      push(TokKind::kPunct, begin, l, co);
+    }
+  }
+};
+
+}  // namespace
+
+namespace {
+
+std::vector<std::string> split_blanked(const std::string& blanked) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : blanked) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& text) {
+  Lexer lx(text);
+  lx.run();
+  return std::move(lx.toks);
+}
+
+LexedFile lex_file(const std::string& text) {
+  Lexer lx(text);
+  lx.run();
+  LexedFile out;
+  out.tokens = std::move(lx.toks);
+  out.lines = split_blanked(lx.blanked);
+  return out;
+}
+
+std::vector<std::string> code_lines(const std::string& text) {
+  Lexer lx(text);
+  lx.run();
+  return split_blanked(lx.blanked);
+}
+
+bool looks_binary(const std::string& content) {
+  return content.find('\0') != std::string::npos;
+}
+
+}  // namespace chiron::lint

@@ -1,0 +1,68 @@
+// Single-pass C++ lexer for chiron-lint (DESIGN.md §5.13).
+//
+// PR 4 shipped the lint as one scrub() pass plus per-rule regexes over the
+// scrubbed lines. That was enough for single-file rules but leaves every
+// structural pass (layering over the include graph, lock scopes, hot-region
+// allocation tracking) re-deriving token boundaries ad hoc. This lexer is
+// the one shared front end: a single left-to-right pass that classifies the
+// whole file into tokens with 1-based line/column positions, keeping
+// comments (suppressions and hot-region markers live there) and strings
+// (classified so rules never match prose) instead of discarding them.
+//
+// It is a *lexer*, not a parser: no preprocessing, no template
+// disambiguation. `>>` lexes as one punctuator, `#include` as '#' followed
+// by an identifier, which is exactly the granularity the rule passes need.
+// Handled: // and /* */ comments, string/char literals with escapes, raw
+// strings R"delim(...)delim", C++14 digit separators (1'000'000 is one
+// number, not a char literal), CRLF line endings (the '\r' is whitespace).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace chiron::lint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords (the lexer does not distinguish)
+  kNumber,   // integer / floating literals, including separators & suffixes
+  kString,   // "..." or R"(...)" — text includes the quotes
+  kChar,     // '...'
+  kComment,  // // or /* */ — text includes the comment markers
+  kPunct,    // everything else non-whitespace, maximal-munch operators
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the first character
+  int col = 0;   // 1-based column of the first character
+};
+
+/// Lexes `text` into a token stream. Never throws on malformed input: an
+/// unterminated string/comment simply ends at EOF (the lint runs on
+/// work-in-progress trees and must not die on them).
+std::vector<Token> lex(const std::string& text);
+
+/// Both views of one file from one pass: the token stream and the
+/// comment/string-blanked line rendering (see code_lines below). Every
+/// rule pass consumes this, so a file is lexed exactly once per lint.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<std::string> lines;
+};
+LexedFile lex_file(const std::string& text);
+
+/// The comment/string-blanked rendering of `text`, split into lines:
+/// comments, string bodies and char bodies become spaces (newlines inside
+/// them are kept) so column positions survive. This is what the
+/// regex-shaped rules (UM1/FP1) match against — built from the same single
+/// pass as the token stream, so the two views can never disagree.
+std::vector<std::string> code_lines(const std::string& text);
+
+/// True when `content` looks like a binary blob rather than C++ source:
+/// contains a NUL byte. chiron_lint refuses such inputs loudly (exit 2)
+/// instead of silently reporting zero findings.
+bool looks_binary(const std::string& content);
+
+}  // namespace chiron::lint

@@ -1,36 +1,25 @@
 #include "lint/lint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
-#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
 
 #include "common/error.h"
+#include "lint/hotpath.h"
+#include "lint/include_graph.h"
+#include "lint/lexer.h"
+#include "lint/locks.h"
+#include "lint/suppress.h"
 
 namespace chiron::lint {
 
 namespace {
 
-const std::vector<std::string> kRuleIds = {"ND1", "TH1", "UM1",
-                                           "HG1", "FP1", "SP1"};
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  lines.push_back(cur);
-  return lines;
-}
+const std::vector<std::string> kRuleIds = {"ND1", "TH1", "UM1", "HG1",
+                                           "FP1", "SP1", "LY1", "LY2",
+                                           "LK1", "LK2", "AL1"};
 
 std::vector<std::string> path_segments(const std::string& rel) {
   std::vector<std::string> segs;
@@ -56,218 +45,142 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// Replaces comments, string literals and char literals with spaces while
-// preserving the line structure, so rule regexes never match prose or
-// quoted text. Handles //, /*...*/, "..." (with escapes), '...' (but not
-// digit separators like 1'000'000) and raw strings R"delim(...)delim".
-std::string scrub(const std::string& text) {
-  std::string out = text;
-  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
-  St st = St::kCode;
-  std::string raw_end;  // ")delim\"" terminator while in kRaw
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') {
-          st = St::kLine;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = St::kBlock;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          // R"delim( ... )delim" — find the raw-string terminator.
-          const bool raw =
-              i > 0 && text[i - 1] == 'R' &&
-              (i < 2 || (!std::isalnum(static_cast<unsigned char>(
-                             text[i - 2])) &&
-                         text[i - 2] != '_'));
-          if (raw) {
-            std::string delim;
-            std::size_t j = i + 1;
-            while (j < text.size() && text[j] != '(') delim.push_back(text[j++]);
-            raw_end = ")" + delim + "\"";
-            st = St::kRaw;
-          } else {
-            st = St::kStr;
-          }
-        } else if (c == '\'') {
-          // A quote directly after an identifier/digit char is a C++14
-          // digit separator (1'000'000), not a char literal.
-          const bool sep =
-              i > 0 && (std::isalnum(static_cast<unsigned char>(text[i - 1])) ||
-                        text[i - 1] == '_');
-          if (!sep) st = St::kChar;
-        }
-        break;
-      case St::kLine:
-        if (c == '\n') {
-          st = St::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case St::kBlock:
-        if (c == '*' && next == '/') {
-          st = St::kCode;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kStr:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\0' && next != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\0' && next != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kRaw:
-        if (text.compare(i, raw_end.size(), raw_end) == 0) {
-          st = St::kCode;
-          i += raw_end.size() - 1;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
+// ---- token-pattern rules (ND1/TH1/HG1) ------------------------------------
+
+bool any_of(const std::string& s, std::initializer_list<const char*> set) {
+  for (const char* x : set) {
+    if (s == x) return true;
+  }
+  return false;
+}
+
+// The code-token stream (comments/strings/chars dropped) with safe
+// random access beyond the end.
+struct CodeToks {
+  std::vector<const Token*> t;
+  explicit CodeToks(const LexedFile& file) {
+    t.reserve(file.tokens.size());
+    for (const Token& tok : file.tokens) {
+      if (tok.kind == TokKind::kIdent || tok.kind == TokKind::kNumber ||
+          tok.kind == TokKind::kPunct) {
+        t.push_back(&tok);
+      }
     }
   }
-  return out;
-}
-
-struct Suppression {
-  std::string rule;
-  bool standalone = false;  // comment-only line: also covers the next line
-};
-
-// Parses `// chiron-lint: allow(RULE): reason` comments from the raw
-// lines. Malformed suppressions (unknown rule, missing reason) become SP1
-// violations and are ignored for matching.
-std::map<int, std::vector<Suppression>> parse_suppressions(
-    const std::vector<std::string>& lines, const std::string& rel,
-    std::vector<Violation>& out) {
-  static const std::regex kAllow(
-      R"(chiron-lint:\s*allow\(\s*([A-Za-z0-9_]+)\s*\)\s*:?\s*(.*))");
-  std::map<int, std::vector<Suppression>> by_line;
-  for (std::size_t idx = 0; idx < lines.size(); ++idx) {
-    const std::string& raw = lines[idx];
-    std::smatch m;
-    if (!std::regex_search(raw, m, kAllow)) continue;
-    const int line = static_cast<int>(idx) + 1;
-    const std::string rule = m[1].str();
-    std::string reason = m[2].str();
-    // Strip a trailing block-comment close and whitespace from the reason.
-    while (!reason.empty() &&
-           (std::isspace(static_cast<unsigned char>(reason.back())) ||
-            ends_with(reason, "*/"))) {
-      if (ends_with(reason, "*/")) reason.resize(reason.size() - 2);
-      while (!reason.empty() &&
-             std::isspace(static_cast<unsigned char>(reason.back())))
-        reason.pop_back();
-    }
-    if (std::find(kRuleIds.begin(), kRuleIds.end(), rule) == kRuleIds.end()) {
-      out.push_back({rel, line, "SP1",
-                     "suppression names unknown rule '" + rule + "'"});
-      continue;
-    }
-    if (reason.empty()) {
-      out.push_back({rel, line, "SP1",
-                     "suppression allow(" + rule +
-                         ") is missing the mandatory reason text"});
-      continue;
-    }
-    // Standalone when nothing but whitespace precedes the comment opener.
-    const std::size_t comment = std::min(raw.find("//"), raw.find("/*"));
-    const bool standalone =
-        comment != std::string::npos &&
-        raw.find_first_not_of(" \t") == comment;
-    by_line[line].push_back({rule, standalone});
+  const std::string& text(std::size_t i) const {
+    static const std::string empty;
+    return i < t.size() ? t[i]->text : empty;
   }
-  return by_line;
-}
-
-bool suppressed(const std::map<int, std::vector<Suppression>>& sup, int line,
-                const std::string& rule) {
-  auto covers = [&](int at, bool need_standalone) {
-    auto it = sup.find(at);
-    if (it == sup.end()) return false;
-    for (const auto& s : it->second) {
-      if (s.rule == rule && (!need_standalone || s.standalone)) return true;
-    }
-    return false;
-  };
-  // Same-line suppressions cover their own line; standalone comment lines
-  // also cover the following line.
-  return covers(line, false) || covers(line - 1, true);
-}
-
-struct Pattern {
-  std::regex re;
-  std::string what;
+  TokKind kind(std::size_t i) const {
+    return i < t.size() ? t[i]->kind : TokKind::kPunct;
+  }
+  std::size_t size() const { return t.size(); }
 };
 
-const std::vector<Pattern>& nd1_patterns() {
-  static const std::vector<Pattern> p = {
-      {std::regex(R"(\brand\s*\()"), "rand()"},
-      {std::regex(R"(\bsrand\s*\()"), "srand()"},
-      {std::regex(R"(\brandom_device\b)"), "std::random_device"},
-      {std::regex(R"(\btime\s*\()"), "time()"},
-      {std::regex(R"(\bclock\s*\()"), "clock()"},
-      {std::regex(R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
-       "wall-clock source"},
-      {std::regex(R"(\bmt19937(_64)?\s+[A-Za-z_]\w*\s*(;|\{\s*\}))"),
-       "default-seeded engine"},
+void check_nd1(const CodeToks& code, const std::string& rel,
+               const SuppressionSet& sup, std::vector<Violation>& out) {
+  auto emit = [&](int line, const std::string& what) {
+    if (suppressed(sup, line, "ND1")) return;
+    out.push_back(
+        {rel, line, "ND1",
+         what + " — all randomness and timing must flow through a seeded "
+                "chiron::Rng (common/rng.h) so runs replay bit-identically"});
   };
-  return p;
+  std::set<int> seen;  // at most one ND1 per line, as in v1
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code.kind(i) != TokKind::kIdent) continue;
+    const std::string& s = code.text(i);
+    const int line = code.t[i]->line;
+    if (seen.count(line) != 0) continue;
+    if (any_of(s, {"rand", "srand"}) && code.text(i + 1) == "(") {
+      emit(line, s + "()");
+      seen.insert(line);
+    } else if (s == "random_device") {
+      emit(line, "std::random_device");
+      seen.insert(line);
+    } else if (any_of(s, {"time", "clock"}) && code.text(i + 1) == "(") {
+      emit(line, s + "()");
+      seen.insert(line);
+    } else if (any_of(s, {"system_clock", "steady_clock",
+                          "high_resolution_clock"})) {
+      emit(line, "wall-clock source");
+      seen.insert(line);
+    } else if (any_of(s, {"mt19937", "mt19937_64"}) &&
+               code.kind(i + 1) == TokKind::kIdent &&
+               (code.text(i + 2) == ";" ||
+                (code.text(i + 2) == "{" && code.text(i + 3) == "}"))) {
+      emit(line, "default-seeded engine");
+      seen.insert(line);
+    }
+  }
 }
 
-const std::vector<Pattern>& th1_patterns() {
-  static const std::vector<Pattern> p = {
-      {std::regex(R"(\bstd\s*::\s*(thread|jthread)\b)"), "raw std::thread"},
-      {std::regex(R"(\bstd\s*::\s*async\b)"), "std::async"},
-      {std::regex(R"(\bstd\s*::\s*atomic\b)"), "std::atomic"},
-      {std::regex(R"(\b(fetch_add|fetch_sub)\s*\()"), "atomic fetch-add"},
-      {std::regex(R"(#\s*pragma\s+omp\b)"), "#pragma omp"},
+void check_th1(const CodeToks& code, const std::string& rel,
+               const SuppressionSet& sup, std::vector<Violation>& out) {
+  auto emit = [&](int line, const std::string& what) {
+    if (suppressed(sup, line, "TH1")) return;
+    out.push_back(
+        {rel, line, "TH1",
+         what + " — all concurrency must go through "
+                "runtime::parallel_for/parallel_map (src/runtime/), which "
+                "guarantees deterministic chunking"});
   };
-  return p;
+  std::set<int> seen;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& s = code.text(i);
+    const int line = code.t[i]->line;
+    if (seen.count(line) != 0) continue;
+    if (s == "std" && code.text(i + 1) == "::") {
+      const std::string& what = code.text(i + 2);
+      if (any_of(what, {"thread", "jthread"})) {
+        emit(line, "raw std::thread");
+        seen.insert(line);
+      } else if (what == "async") {
+        emit(line, "std::async");
+        seen.insert(line);
+      } else if (what == "atomic") {
+        emit(line, "std::atomic");
+        seen.insert(line);
+      }
+    } else if (any_of(s, {"fetch_add", "fetch_sub"}) &&
+               code.text(i + 1) == "(") {
+      emit(line, "atomic fetch-add");
+      seen.insert(line);
+    } else if (s == "#" && code.text(i + 1) == "pragma" &&
+               code.text(i + 2) == "omp") {
+      emit(line, "#pragma omp");
+      seen.insert(line);
+    }
+  }
 }
 
-bool header_is_guarded(const std::string& contents) {
-  static const std::regex kPragmaOnce(R"(#\s*pragma\s+once\b)");
-  if (std::regex_search(contents, kPragmaOnce)) return true;
-  static const std::regex kIfndef(R"(#\s*ifndef\s+(\w+)[^\n]*\n\s*#\s*define\s+(\w+))");
-  std::smatch m;
-  return std::regex_search(contents, m, kIfndef) && m[1].str() == m[2].str();
+bool header_is_guarded(const CodeToks& code) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code.text(i) != "#") continue;
+    if (code.text(i + 1) == "pragma" && code.text(i + 2) == "once") {
+      return true;
+    }
+    if (code.text(i + 1) == "ifndef" &&
+        code.kind(i + 2) == TokKind::kIdent) {
+      // Classic guard: the matching #define must name the same macro.
+      for (std::size_t j = i + 3; j + 2 < code.size(); ++j) {
+        if (code.text(j) == "#" && code.text(j + 1) == "define") {
+          if (code.text(j + 2) == code.text(i + 2)) return true;
+          break;
+        }
+      }
+    }
+  }
+  return false;
 }
+
+// ---- line-regex rules (UM1/FP1) -------------------------------------------
+// These two are genuinely shape-of-a-line checks; they run on the lexer's
+// blanked rendering so they can never match comment or string text.
 
 void check_um1(const std::vector<std::string>& code_lines,
-               const std::string& rel,
-               const std::map<int, std::vector<Suppression>>& sup,
+               const std::string& rel, const SuppressionSet& sup,
                std::vector<Violation>& out) {
-  // Pass 1: names declared (or bound) with an unordered container type.
   static const std::regex kDecl(
       R"(unordered_(?:map|set)\s*<[^;{}]*>\s*(?:const\s*)?&?\s*([A-Za-z_]\w*))");
   std::set<std::string> names;
@@ -277,8 +190,6 @@ void check_um1(const std::vector<std::string>& code_lines,
       names.insert((*it)[1].str());
     }
   }
-  // Pass 2: iteration constructs over those names (or over an inline
-  // unordered temporary).
   static const std::regex kInlineFor(R"(for\s*\([^;()]*:\s*[^)]*unordered_)");
   for (std::size_t idx = 0; idx < code_lines.size(); ++idx) {
     const std::string& line = code_lines[idx];
@@ -312,8 +223,7 @@ void check_um1(const std::vector<std::string>& code_lines,
 }
 
 void check_fp1(const std::vector<std::string>& code_lines,
-               const std::string& rel,
-               const std::map<int, std::vector<Suppression>>& sup,
+               const std::string& rel, const SuppressionSet& sup,
                std::vector<Violation>& out) {
   static const std::regex kCCast(R"(\(\s*(float|double)\s*\))");
   static const std::regex kFloatInit(R"(\bfloat\s+[A-Za-z_]\w*\s*[={])");
@@ -347,22 +257,20 @@ const std::vector<std::string>& rule_ids() { return kRuleIds; }
 
 std::vector<Violation> lint_source(const std::string& rel_path,
                                    const std::string& contents) {
+  return lint_source(rel_path, contents, default_config());
+}
+
+std::vector<Violation> lint_source(const std::string& rel_path,
+                                   const std::string& contents,
+                                   const Config& config) {
   std::vector<Violation> out;
-  const auto raw_lines = split_lines(contents);
-  const auto sup = parse_suppressions(raw_lines, rel_path, out);
-  const auto code_lines = split_lines(scrub(contents));
+  const LexedFile lexed = lex_file(contents);
+  const SuppressionSet sup = parse_suppressions(lexed, rel_path, out);
+  const CodeToks code(lexed);
   const auto segs = path_segments(rel_path);
 
-  // Guard detection runs on the scrubbed text so a comment mentioning
-  // "#pragma once" never counts as a guard.
-  std::string scrubbed;
-  for (const auto& l : code_lines) {
-    scrubbed += l;
-    scrubbed += '\n';
-  }
   const bool is_header = ends_with(rel_path, ".h");
-  if (is_header && !header_is_guarded(scrubbed) &&
-      !suppressed(sup, 1, "HG1")) {
+  if (is_header && !header_is_guarded(code) && !suppressed(sup, 1, "HG1")) {
     out.push_back({rel_path, 1, "HG1",
                    "header lacks #pragma once (or a classic include guard)"});
   }
@@ -386,38 +294,17 @@ std::vector<Violation> lint_source(const std::string& rel_path,
                            has_segment(segs, "sysmodel");
   const bool accounting = ends_with(rel_path, "core/env.cpp") ||
                           ends_with(rel_path, "core/mechanism.cpp");
-
-  for (std::size_t idx = 0; idx < code_lines.size(); ++idx) {
-    const std::string& line = code_lines[idx];
-    const int lineno = static_cast<int>(idx) + 1;
-    if (!rng_whitelisted) {
-      for (const auto& p : nd1_patterns()) {
-        if (std::regex_search(line, p.re) && !suppressed(sup, lineno, "ND1")) {
-          out.push_back(
-              {rel_path, lineno, "ND1",
-               p.what + " — all randomness and timing must flow through a "
-                        "seeded chiron::Rng (common/rng.h) so runs replay "
-                        "bit-identically"});
-          break;
-        }
-      }
-    }
-    if (!in_runtime) {
-      for (const auto& p : th1_patterns()) {
-        if (std::regex_search(line, p.re) && !suppressed(sup, lineno, "TH1")) {
-          out.push_back(
-              {rel_path, lineno, "TH1",
-               p.what + " — all concurrency must go through "
-                        "runtime::parallel_for/parallel_map (src/runtime/), "
-                        "which guarantees deterministic chunking"});
-          break;
-        }
-      }
-    }
+  bool lock_module = false;
+  for (const std::string& m : config.lock_modules) {
+    lock_module |= has_segment(segs, m);
   }
 
-  if (result_path) check_um1(code_lines, rel_path, sup, out);
-  if (accounting) check_fp1(code_lines, rel_path, sup, out);
+  if (!rng_whitelisted) check_nd1(code, rel_path, sup, out);
+  if (!in_runtime) check_th1(code, rel_path, sup, out);
+  if (result_path) check_um1(lexed.lines, rel_path, sup, out);
+  if (accounting) check_fp1(lexed.lines, rel_path, sup, out);
+  if (lock_module) check_locks(lexed, rel_path, config, sup, out);
+  check_hotpath(lexed, rel_path, config, sup, out);
 
   std::stable_sort(out.begin(), out.end(),
                    [](const Violation& a, const Violation& b) {
@@ -428,19 +315,35 @@ std::vector<Violation> lint_source(const std::string& rel_path,
 
 std::vector<Violation> lint_file(const std::filesystem::path& path,
                                  const std::string& rel_path) {
+  return lint_file(path, rel_path, default_config());
+}
+
+std::vector<Violation> lint_file(const std::filesystem::path& path,
+                                 const std::string& rel_path,
+                                 const Config& config) {
   std::ifstream in(path, std::ios::binary);
   CHIRON_CHECK_MSG(in.good(), "chiron_lint: cannot read " << path.string());
   std::ostringstream ss;
   ss << in.rdbuf();
-  return lint_source(rel_path, ss.str());
+  const std::string contents = ss.str();
+  CHIRON_CHECK_MSG(!looks_binary(contents),
+                   "chiron_lint: binary input (NUL byte) in "
+                       << path.string()
+                       << " — refusing to lint non-source data");
+  return lint_source(rel_path, contents, config);
 }
 
 std::vector<Violation> lint_tree(const std::filesystem::path& root) {
+  return lint_tree(root, default_config());
+}
+
+std::vector<Violation> lint_tree(const std::filesystem::path& root,
+                                 const Config& config) {
   namespace fs = std::filesystem;
   CHIRON_CHECK_MSG(fs::exists(root),
                    "chiron_lint: no such path " << root.string());
   if (fs::is_regular_file(root)) {
-    return lint_file(root, root.generic_string());
+    return lint_file(root, root.generic_string(), config);
   }
   std::vector<fs::path> files;
   for (const auto& entry : fs::recursive_directory_iterator(root)) {
@@ -452,9 +355,12 @@ std::vector<Violation> lint_tree(const std::filesystem::path& root) {
   std::vector<Violation> out;
   for (const auto& f : files) {
     auto rel = fs::relative(f, root).generic_string();
-    auto v = lint_file(f, rel);
+    auto v = lint_file(f, rel, config);
     out.insert(out.end(), v.begin(), v.end());
   }
+  // Cross-TU layer: the include graph over the same file set.
+  auto cross = analyze_roots({root}, config);
+  out.insert(out.end(), cross.begin(), cross.end());
   return out;
 }
 

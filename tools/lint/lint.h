@@ -1,44 +1,51 @@
-// chiron-lint — static enforcement of the determinism & threading contract.
+// chiron-lint — static enforcement of the determinism, threading,
+// layering, locking and allocation contracts.
 //
 // The repo's headline property (bit-identical training, FedAvg and fault
 // realization at any --threads, DESIGN.md §5.5–5.6) is easy to break with
-// one innocuous-looking line: a rand() call, a raw std::thread, or a
-// ranged-for over an unordered_map feeding an aggregation path. This pass
-// makes the contract machine-checked: it scans the source tree at the
-// token/regex level (no libclang dependency) and reports violations of the
-// project invariants listed below. DESIGN.md §5.8 is the authoritative
-// rule catalogue.
+// one innocuous-looking line: a rand() call, a raw std::thread, a
+// ranged-for over an unordered_map feeding an aggregation path — or, at
+// the structural level, a layering backedge that tangles the mechanism
+// zoo into the core, a GEMM call under the serve mutex, or a push_back
+// sneaking into a loop PR 3/PR 8 made allocation-free. This pass makes
+// those contracts machine-checked. v2 (this file) is built around a real
+// single-pass lexer (lint/lexer.h) shared by every rule, plus a cross-TU
+// include-graph layer; DESIGN.md §5.13 is the authoritative catalogue.
 //
-// Rules (each has a stable ID used in diagnostics and suppressions):
+// Per-file rules (each has a stable ID used in diagnostics/suppressions):
 //   ND1  non-deterministic source (rand/srand, std::random_device, time(),
 //        clock(), system/steady/high_resolution_clock, default-seeded
-//        mt19937) outside the RNG whitelist (common/rng.{h,cpp})
+//        mt19937) outside the RNG whitelist (common/rng.{h,cpp},
+//        obs/clock.cpp)
 //   TH1  raw concurrency (std::thread/jthread/async, std::atomic,
 //        fetch_add/fetch_sub, #pragma omp) outside src/runtime/
-//   UM1  iteration over std::unordered_map/unordered_set (ranged-for or
-//        .begin()/.cbegin()) in result paths: core/, fl/, rl/, faults/
-//   HG1  header is not guarded with #pragma once (or a classic include
-//        guard) — headers must be self-contained and single-include-safe
+//   UM1  iteration over std::unordered_map/unordered_set in result paths
+//        (core/, fl/, rl/, faults/, adversary/, serve/, sysmodel/)
+//   HG1  header is not guarded with #pragma once (or a classic guard)
 //   FP1  silent float<->double narrowing in the accounting TUs
-//        (core/env.cpp, core/mechanism.cpp): C-style (float)/(double)
-//        casts, or a float binding whose initializer lacks an explicit
-//        static_cast<float> / float literal
-//   SP1  malformed suppression: unknown rule ID or missing reason text
+//   LK1  compute call (policy forward, GEMM, evaluate) while a mutex is
+//        held, in the modules named by layers.toml [locks] (lint/locks.h)
+//   LK2  lock acquisition outside the declared hierarchy (lint/locks.h)
+//   AL1  allocation vocabulary inside a // chiron-hot-begin/end region
+//        (lint/hotpath.h)
+//   SP1  malformed suppression or hot-region marker
+//
+// Cross-TU rules (lint/include_graph.h; run by lint_tree and the CLI):
+//   LY1  include crosses the layering DAG declared in layers.toml
+//   LY2  include cycle among project headers
 //
 // Suppression syntax (reason text is mandatory):
 //   some_call();  // chiron-lint: allow(ND1): timing loop, not in results
-// or on its own line, applying to the next source line:
-//   // chiron-lint: allow(TH1): bench harness owns this thread
-//   std::thread t(run);
-//
-// Matching runs on comment- and string-stripped text, so prose mentioning
-// "rand" or "std::thread" never trips a rule; suppressions are parsed from
-// the raw comment text before stripping.
+// or on its own line, applying to the next source line. Matching runs on
+// the lexer's classified tokens, so prose mentioning "rand" or
+// "std::thread" never trips a rule.
 #pragma once
 
 #include <filesystem>
 #include <string>
 #include <vector>
+
+#include "lint/config.h"
 
 namespace chiron::lint {
 
@@ -53,21 +60,34 @@ struct Violation {
 /// Every rule ID the pass knows about (and accepts in allow(...)).
 const std::vector<std::string>& rule_ids();
 
-/// Lints one file's contents. `rel_path` is the path used both for
-/// path-scoped rules (runtime/ exemption, core/ result paths, the RNG
-/// whitelist) and in diagnostics; use the path relative to the scan root.
+/// Lints one file's contents with the per-file rules. `rel_path` is the
+/// path used both for path-scoped rules (runtime/ exemption, core/ result
+/// paths, the RNG whitelist, the [locks] modules) and in diagnostics; use
+/// the path relative to the scan root.
 std::vector<Violation> lint_source(const std::string& rel_path,
                                    const std::string& contents);
+std::vector<Violation> lint_source(const std::string& rel_path,
+                                   const std::string& contents,
+                                   const Config& config);
 
 /// Lints one on-disk file (reads it, then lint_source). Throws
-/// chiron::InvariantError when the file cannot be read.
+/// chiron::InvariantError when the file cannot be read, and when the
+/// contents look binary (NUL byte) — a lint that silently reports zero
+/// findings on garbage input is worse than one that fails.
 std::vector<Violation> lint_file(const std::filesystem::path& path,
                                  const std::string& rel_path);
+std::vector<Violation> lint_file(const std::filesystem::path& path,
+                                 const std::string& rel_path,
+                                 const Config& config);
 
 /// Recursively lints every .h/.cpp under `root` (rel paths are computed
-/// against `root`), in sorted order so output is deterministic. When
-/// `root` is a regular file, lints just that file.
+/// against `root`), in sorted order so output is byte-identical no matter
+/// how the filesystem iterates, then runs the cross-TU passes (LY1/LY2)
+/// over the same set. When `root` is a regular file, lints just that file
+/// (the include graph of one file has no project edges).
 std::vector<Violation> lint_tree(const std::filesystem::path& root);
+std::vector<Violation> lint_tree(const std::filesystem::path& root,
+                                 const Config& config);
 
 /// Formats a violation as "file:line: [rule] message".
 std::string to_string(const Violation& v);

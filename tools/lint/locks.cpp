@@ -1,0 +1,148 @@
+#include "lint/locks.h"
+
+#include <algorithm>
+
+#include "lint/lint.h"
+
+namespace chiron::lint {
+
+namespace {
+
+bool is_code(const Token& t) {
+  return t.kind == TokKind::kIdent || t.kind == TokKind::kNumber ||
+         t.kind == TokKind::kPunct;
+}
+
+bool is_guard_class(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock";
+}
+
+struct Held {
+  std::string name;
+  int depth = 0;  // brace depth at acquisition; released when depth drops
+  int line = 0;
+};
+
+int hierarchy_index(const Config& config, const std::string& name) {
+  const auto it = std::find(config.lock_hierarchy.begin(),
+                            config.lock_hierarchy.end(), name);
+  if (it == config.lock_hierarchy.end()) return -1;
+  return static_cast<int>(it - config.lock_hierarchy.begin());
+}
+
+}  // namespace
+
+void check_locks(const LexedFile& file, const std::string& rel,
+                 const Config& config, const SuppressionSet& sup,
+                 std::vector<Violation>& out) {
+  // Comment/string tokens play no part in scope or call tracking.
+  std::vector<const Token*> code;
+  code.reserve(file.tokens.size());
+  for (const Token& t : file.tokens) {
+    if (is_code(t)) code.push_back(&t);
+  }
+  auto text = [&](std::size_t i) -> const std::string& {
+    static const std::string empty;
+    return i < code.size() ? code[i]->text : empty;
+  };
+
+  int depth = 0;
+  std::vector<Held> held;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = *code[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") ++depth;
+      if (t.text == "}") {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+
+    // Acquisition: std::lock_guard<...> var(locks...); and friends.
+    if (is_guard_class(t.text) && i >= 2 && text(i - 1) == "::" &&
+        text(i - 2) == "std") {
+      std::size_t j = i + 1;
+      if (text(j) == "<") {  // skip balanced template args
+        int angle = 0;
+        for (; j < code.size(); ++j) {
+          if (text(j) == "<") ++angle;
+          if (text(j) == ">") {
+            if (--angle == 0) {
+              ++j;
+              break;
+            }
+          }
+        }
+      }
+      if (j < code.size() && code[j]->kind == TokKind::kIdent) ++j;  // var
+      if (j < code.size() && (text(j) == "(" || text(j) == "{")) {
+        const std::string close = text(j) == "(" ? ")" : "}";
+        const std::string open = text(j);
+        int paren = 1;
+        ++j;
+        std::vector<std::string> acquired;
+        for (; j < code.size() && paren > 0; ++j) {
+          if (text(j) == open) ++paren;
+          if (text(j) == close) {
+            if (--paren == 0) break;
+          }
+          // Lock names: bare identifiers at argument depth 1 that are not
+          // qualified names or member accesses (std::defer_lock, x.mu_).
+          if (paren == 1 && code[j]->kind == TokKind::kIdent &&
+              text(j + 1) != "::" && text(j - 1) != "::" &&
+              text(j - 1) != "." && text(j - 1) != "->") {
+            acquired.push_back(text(j));
+          }
+        }
+        for (const std::string& name : acquired) {
+          const int idx = hierarchy_index(config, name);
+          if (idx < 0) {
+            if (!suppressed(sup, t.line, "LK2")) {
+              out.push_back(
+                  {rel, t.line, "LK2",
+                   "lock '" + name +
+                       "' is not in the declared hierarchy "
+                       "([locks].hierarchy in layers.toml) — declare it so "
+                       "its acquisition order is auditable"});
+            }
+          } else {
+            for (const Held& h : held) {
+              const int hidx = hierarchy_index(config, h.name);
+              if (hidx > idx && !suppressed(sup, t.line, "LK2")) {
+                out.push_back(
+                    {rel, t.line, "LK2",
+                     "acquiring lock '" + name + "' while holding '" +
+                         h.name + "' inverts the declared hierarchy (" +
+                         h.name + " is declared after " + name + ")"});
+              }
+            }
+          }
+          // The guard dies when its declaring scope closes: released once
+          // the brace depth drops below the depth it was declared at.
+          held.push_back({name, depth, t.line});
+        }
+      }
+      continue;
+    }
+
+    // LK1: forbidden compute call while any lock is held.
+    if (!held.empty() && text(i + 1) == "(" &&
+        std::find(config.lock_forbidden.begin(), config.lock_forbidden.end(),
+                  t.text) != config.lock_forbidden.end()) {
+      if (!suppressed(sup, t.line, "LK1")) {
+        out.push_back(
+            {rel, t.line, "LK1",
+             "'" + t.text + "' called while lock '" + held.back().name +
+                 "' is held (acquired line " +
+                 std::to_string(held.back().line) +
+                 ") — policy forwards, GEMM and evaluation must run outside "
+                 "the critical section or every worker convoys behind it"});
+      }
+    }
+  }
+}
+
+}  // namespace chiron::lint

@@ -1,0 +1,45 @@
+// Lock-discipline pass (LK1/LK2) for the serving plane.
+//
+// The mechanism server's latency contract depends on one property: the
+// mutex protects *bookkeeping* (queue, stats, weights pointer swap), never
+// *compute*. A policy forward or GEMM executed while `mu_` is held
+// serializes every worker behind a multi-millisecond critical section and
+// turns the batching win into a convoy. The pass walks the token stream
+// tracking RAII guard scopes:
+//
+//   LK1  a forbidden compute identifier (config [locks].forbidden: policy
+//        forwards, GEMM entry points, evaluate/local_train) is called
+//        while any lock is held
+//   LK2  lock acquisition breaks the declared hierarchy (config
+//        [locks].hierarchy, outermost first): acquiring a lock that
+//        appears earlier than one already held, or acquiring a lock that
+//        is not declared at all
+//
+// Recognized acquisitions: std::lock_guard / std::unique_lock /
+// std::scoped_lock / std::shared_lock declarations. A guard is considered
+// held until its enclosing brace scope closes. Condition-variable waits
+// release the lock only dynamically; the pass treats it as held, which is
+// the conservative (and for discipline purposes, correct) reading.
+// Limitations by design: no manual .lock()/.unlock() tracking, no
+// cross-function analysis — the serve plane uses RAII guards exclusively,
+// and the lint exists to keep it that way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/config.h"
+#include "lint/lexer.h"
+#include "lint/suppress.h"
+
+namespace chiron::lint {
+
+struct Violation;  // lint.h
+
+/// Runs LK1/LK2 over one file. The caller decides scope (module listed in
+/// config.lock_modules) and owns suppression parsing.
+void check_locks(const LexedFile& file, const std::string& rel,
+                 const Config& config, const SuppressionSet& sup,
+                 std::vector<Violation>& out);
+
+}  // namespace chiron::lint

@@ -1,0 +1,265 @@
+#include "lint/out.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/error.h"
+#include "lint/lint.h"
+#include "obs/json.h"
+
+namespace chiron::lint {
+
+namespace {
+
+std::string q(const std::string& s) {
+  std::string out;
+  const std::string esc = obs::json_escape(s);
+  out.reserve(esc.size() + 2);
+  out.push_back('"');
+  out.append(esc);
+  out.push_back('"');
+  return out;
+}
+
+// Reads one JSON string literal starting at text[i] == '"'; leaves i one
+// past the closing quote. Only the escapes json_escape emits are accepted.
+std::string read_string(const std::string& text, std::size_t& i) {
+  CHIRON_CHECK_MSG(i < text.size() && text[i] == '"',
+                   "chiron_lint: baseline parse error at offset "
+                       << i << " — expected a string");
+  ++i;
+  std::string out;
+  while (i < text.size() && text[i] != '"') {
+    char c = text[i++];
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    CHIRON_CHECK_MSG(i < text.size(),
+                     "chiron_lint: baseline parse error — dangling escape");
+    char e = text[i++];
+    switch (e) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'u': {
+        CHIRON_CHECK_MSG(i + 4 <= text.size(),
+                         "chiron_lint: baseline parse error — short \\u");
+        unsigned v = 0;
+        for (int k = 0; k < 4; ++k) {
+          char h = text[i++];
+          v <<= 4;
+          if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+          else CHIRON_CHECK_MSG(false, "chiron_lint: baseline parse error — bad \\u digit");
+        }
+        // json_escape only \u-escapes control characters (< 0x20).
+        out.push_back(static_cast<char>(v));
+        break;
+      }
+      default:
+        CHIRON_CHECK_MSG(false, "chiron_lint: baseline parse error — "
+                                "unsupported escape \\" << e);
+    }
+  }
+  CHIRON_CHECK_MSG(i < text.size(),
+                   "chiron_lint: baseline parse error — unterminated string");
+  ++i;  // closing quote
+  return out;
+}
+
+void skip_ws(const std::string& text, std::size_t& i) {
+  while (i < text.size() &&
+         (text[i] == ' ' || text[i] == '\t' || text[i] == '\n' ||
+          text[i] == '\r')) {
+    ++i;
+  }
+}
+
+void expect(const std::string& text, std::size_t& i, char c) {
+  skip_ws(text, i);
+  CHIRON_CHECK_MSG(i < text.size() && text[i] == c,
+                   "chiron_lint: baseline parse error at offset "
+                       << i << " — expected '" << c << "'");
+  ++i;
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Violation>& vs) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const Violation& v = vs[i];
+    if (i > 0) os << ",";
+    os << "\n  {\"file\":" << q(v.file) << ",\"line\":" << v.line
+       << ",\"rule\":" << q(v.rule) << ",\"message\":" << q(v.message) << "}";
+  }
+  if (!vs.empty()) os << "\n";
+  os << "]\n";
+  return os.str();
+}
+
+std::string to_sarif(const std::vector<Violation>& vs) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"chiron_lint\",\n"
+     << "          \"informationUri\": \"DESIGN.md\",\n"
+     << "          \"rules\": [";
+  const auto& ids = rule_ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"id\": " << q(ids[i]) << "}";
+  }
+  os << "]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const Violation& v = vs[i];
+    if (i > 0) os << ",";
+    os << "\n        {\"ruleId\": " << q(v.rule)
+       << ", \"level\": \"error\", \"message\": {\"text\": " << q(v.message)
+       << "}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+          "{\"uri\": "
+       << q(v.file) << "}, \"region\": {\"startLine\": "
+       << std::max(1, v.line) << "}}}]}";
+  }
+  if (!vs.empty()) os << "\n      ";
+  os << "]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+std::string write_baseline(const std::vector<Violation>& vs) {
+  std::map<std::tuple<std::string, std::string, std::string>, int> counts;
+  for (const Violation& v : vs) {
+    counts[std::make_tuple(v.file, v.rule, v.message)] += 1;
+  }
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& [k, n] : counts) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"file\":" << q(std::get<0>(k))
+       << ",\"rule\":" << q(std::get<1>(k))
+       << ",\"message\":" << q(std::get<2>(k)) << ",\"count\":" << n << "}";
+  }
+  if (!counts.empty()) os << "\n";
+  os << "]\n";
+  return os.str();
+}
+
+std::vector<Fingerprint> parse_baseline(const std::string& json_text) {
+  std::vector<Fingerprint> out;
+  std::size_t i = 0;
+  expect(json_text, i, '[');
+  skip_ws(json_text, i);
+  if (i < json_text.size() && json_text[i] == ']') {
+    ++i;
+    skip_ws(json_text, i);
+    CHIRON_CHECK_MSG(i == json_text.size(),
+                     "chiron_lint: baseline parse error — trailing content "
+                     "after the closing ']'");
+    return out;
+  }
+  while (true) {
+    expect(json_text, i, '{');
+    Fingerprint f;
+    int count = 1;
+    bool more = true;
+    while (more) {
+      skip_ws(json_text, i);
+      const std::string k = read_string(json_text, i);
+      expect(json_text, i, ':');
+      skip_ws(json_text, i);
+      if (k == "file") {
+        f.file = read_string(json_text, i);
+      } else if (k == "rule") {
+        f.rule = read_string(json_text, i);
+      } else if (k == "message") {
+        f.message = read_string(json_text, i);
+      } else if (k == "count") {
+        CHIRON_CHECK_MSG(i < json_text.size() && json_text[i] >= '0' &&
+                             json_text[i] <= '9',
+                         "chiron_lint: baseline parse error — count must be "
+                         "a positive integer");
+        count = 0;
+        while (i < json_text.size() && json_text[i] >= '0' &&
+               json_text[i] <= '9') {
+          count = count * 10 + (json_text[i++] - '0');
+        }
+        CHIRON_CHECK_MSG(count > 0,
+                         "chiron_lint: baseline parse error — count must be "
+                         "a positive integer");
+      } else {
+        CHIRON_CHECK_MSG(false, "chiron_lint: baseline parse error — "
+                                "unknown key '" << k << "'");
+      }
+      skip_ws(json_text, i);
+      CHIRON_CHECK_MSG(i < json_text.size() &&
+                           (json_text[i] == ',' || json_text[i] == '}'),
+                       "chiron_lint: baseline parse error — expected ',' "
+                       "or '}' in entry");
+      more = json_text[i] == ',';
+      ++i;
+    }
+    CHIRON_CHECK_MSG(!f.rule.empty(),
+                     "chiron_lint: baseline parse error — entry lacks a "
+                     "\"rule\" key");
+    for (int k = 0; k < count; ++k) out.push_back(f);
+    skip_ws(json_text, i);
+    CHIRON_CHECK_MSG(i < json_text.size() &&
+                         (json_text[i] == ',' || json_text[i] == ']'),
+                     "chiron_lint: baseline parse error — expected ',' or "
+                     "']' after entry");
+    if (json_text[i] == ']') {
+      ++i;
+      break;
+    }
+    ++i;
+  }
+  skip_ws(json_text, i);
+  CHIRON_CHECK_MSG(i == json_text.size(),
+                   "chiron_lint: baseline parse error — trailing content "
+                   "after the closing ']'");
+  return out;
+}
+
+std::vector<Violation> diff_baseline(
+    const std::vector<Violation>& vs,
+    const std::vector<Fingerprint>& baseline) {
+  std::map<std::tuple<std::string, std::string, std::string>, int> budget;
+  for (const Fingerprint& f : baseline) {
+    budget[std::make_tuple(f.file, f.rule, f.message)] += 1;
+  }
+  std::vector<Violation> fresh;
+  for (const Violation& v : vs) {
+    auto it = budget.find(std::make_tuple(v.file, v.rule, v.message));
+    if (it != budget.end() && it->second > 0) {
+      it->second -= 1;
+      continue;
+    }
+    fresh.push_back(v);
+  }
+  return fresh;
+}
+
+}  // namespace chiron::lint

@@ -1,0 +1,56 @@
+// Machine-readable emission and baseline gating for chiron_lint.
+//
+// Three formats share one Violation list:
+//   - text:  file:line: [RULE] message      (lint.h to_string; the default)
+//   - JSON:  a flat array for scripting     (to_json)
+//   - SARIF: 2.1.0 minimal profile          (to_sarif), consumable by code
+//            hosts and editor gutters
+//
+// The baseline (tools/lint/baseline.json) is how a new rule lands without
+// a flag day: existing findings are recorded as (file, rule, message)
+// fingerprints — deliberately excluding the line number, so pure code
+// motion never un-baselines a finding — and CI fails only on findings not
+// in the baseline. The file is JSON so humans and tools can read it, but
+// the parser here accepts exactly the shape write_baseline emits; a
+// hand-mangled baseline is an InvariantError (exit 2), never a silently
+// empty one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chiron::lint {
+
+struct Violation;  // lint.h
+
+/// JSON array of {"file","line","rule","message"} objects, sorted input
+/// order preserved, newline-terminated.
+std::string to_json(const std::vector<Violation>& vs);
+
+/// A minimal valid SARIF 2.1.0 log: one run, one driver ("chiron_lint"),
+/// every rule ID registered in tool.driver.rules, one result per
+/// violation with a physicalLocation (startLine clamped to >= 1).
+std::string to_sarif(const std::vector<Violation>& vs);
+
+/// (file, rule, message) — the identity of a finding for baseline
+/// purposes. Line numbers are intentionally absent.
+struct Fingerprint {
+  std::string file;
+  std::string rule;
+  std::string message;
+};
+
+/// Canonical baseline serialization: fingerprints sorted and
+/// deduplicated-with-counts JSON, stable across runs.
+std::string write_baseline(const std::vector<Violation>& vs);
+
+/// Parses a baseline previously produced by write_baseline. Throws
+/// chiron::InvariantError on anything it cannot understand.
+std::vector<Fingerprint> parse_baseline(const std::string& json_text);
+
+/// Multiset subtraction: the violations whose fingerprints are NOT
+/// covered by the baseline (each baseline entry absorbs one occurrence).
+std::vector<Violation> diff_baseline(const std::vector<Violation>& vs,
+                                     const std::vector<Fingerprint>& baseline);
+
+}  // namespace chiron::lint

@@ -1,0 +1,98 @@
+#include "lint/suppress.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+
+#include "lint/lint.h"
+
+namespace chiron::lint {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+SuppressionSet parse_suppressions(const LexedFile& file,
+                                  const std::string& rel,
+                                  std::vector<Violation>& out) {
+  static const std::regex kAllow(
+      R"(chiron-lint:\s*allow\(\s*([A-Za-z0-9_]+)\s*\)\s*:?\s*([^\n\r]*))");
+  const auto& ids = rule_ids();
+  SuppressionSet by_line;
+  // Lines that carry a non-comment token: a comment on such a line is a
+  // trailing comment, not a standalone one.
+  std::set<int> code_lines;
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokKind::kComment) code_lines.insert(t.line);
+  }
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokKind::kComment) continue;
+    // A block comment can span lines; scan each of its lines separately
+    // so `allow()` inside one applies where it is written.
+    std::vector<std::string> segments;
+    std::string cur;
+    for (char c : t.text) {
+      if (c == '\n') {
+        segments.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    segments.push_back(cur);
+    for (std::size_t k = 0; k < segments.size(); ++k) {
+      std::smatch m;
+      if (!std::regex_search(segments[k], m, kAllow)) continue;
+      const int line = t.line + static_cast<int>(k);
+      const std::string rule = m[1].str();
+      std::string reason = m[2].str();
+      // Strip a trailing block-comment close, trailing whitespace and any
+      // stray '\r' from a CRLF file.
+      while (!reason.empty() &&
+             (std::isspace(static_cast<unsigned char>(reason.back())) ||
+              ends_with(reason, "*/"))) {
+        if (ends_with(reason, "*/")) reason.resize(reason.size() - 2);
+        while (!reason.empty() &&
+               std::isspace(static_cast<unsigned char>(reason.back())))
+          reason.pop_back();
+      }
+      if (std::find(ids.begin(), ids.end(), rule) == ids.end()) {
+        out.push_back({rel, line, "SP1",
+                       "suppression names unknown rule '" + rule + "'"});
+        continue;
+      }
+      if (reason.empty()) {
+        out.push_back({rel, line, "SP1",
+                       "suppression allow(" + rule +
+                           ") is missing the mandatory reason text"});
+        continue;
+      }
+      // Standalone when no code token shares the suppression's line (for
+      // inner lines of a block comment the whole line is comment text).
+      const bool standalone =
+          k > 0 || code_lines.find(t.line) == code_lines.end();
+      by_line[line].push_back({rule, standalone});
+    }
+  }
+  return by_line;
+}
+
+bool suppressed(const SuppressionSet& sup, int line, const std::string& rule) {
+  auto covers = [&](int at, bool need_standalone) {
+    auto it = sup.find(at);
+    if (it == sup.end()) return false;
+    for (const auto& s : it->second) {
+      if (s.rule == rule && (!need_standalone || s.standalone)) return true;
+    }
+    return false;
+  };
+  return covers(line, false) || covers(line - 1, true);
+}
+
+}  // namespace chiron::lint

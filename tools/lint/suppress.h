@@ -1,0 +1,44 @@
+// Suppression parsing shared by every rule pass.
+//
+// Syntax (reason text is mandatory; the rule ID must be known):
+//   some_call();  // chiron-lint: allow(ND1): timing loop, not in results
+// or on its own line, applying to the next source line:
+//   // chiron-lint: allow(TH1): bench harness owns this thread
+//   std::thread t(run);
+//
+// Suppressions are parsed from the lexer's comment tokens — never from
+// code — so the engine and the suppression scanner can't disagree about
+// what is a comment. Malformed suppressions (unknown rule ID, missing
+// reason) are SP1 violations and suppress nothing. CRLF line endings and
+// trailing whitespace after the reason are tolerated; a suppression on
+// the last line of a file (no trailing newline) works like any other.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace chiron::lint {
+
+struct Violation;  // lint.h
+
+struct Suppression {
+  std::string rule;
+  bool standalone = false;  // comment-only line: also covers the next line
+};
+
+using SuppressionSet = std::map<int, std::vector<Suppression>>;
+
+/// Parses every suppression from `file`'s comment tokens. Malformed ones
+/// are appended to `out` as SP1 and excluded from the returned set.
+SuppressionSet parse_suppressions(const LexedFile& file,
+                                  const std::string& rel,
+                                  std::vector<Violation>& out);
+
+/// True when `rule` is suppressed at `line` — by a same-line suppression
+/// or by a standalone suppression on the previous line.
+bool suppressed(const SuppressionSet& sup, int line, const std::string& rule);
+
+}  // namespace chiron::lint
