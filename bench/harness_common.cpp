@@ -9,6 +9,7 @@
 #include "common/stats.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "runtime/pipeline.h"
 #include "runtime/runtime.h"
 
 namespace chiron::bench {
@@ -58,6 +59,9 @@ HarnessOptions read_options() {
       env_double("CHIRON_AUDIT_TOLERANCE", opt.audit_tolerance);
   opt.reputation_alpha =
       env_double("CHIRON_REPUTATION_ALPHA", opt.reputation_alpha);
+  // CHIRON_PIPELINE is parsed inside runtime::pipeline_enabled(); the
+  // explicit read here lets the flag override it below.
+  opt.pipeline = runtime::pipeline_enabled();
   runtime::set_threads(opt.threads);
   return opt;
 }
@@ -83,6 +87,10 @@ HarnessOptions read_options(int argc, const char* const* argv) {
     opt.threads = threads_flag(flags);
     runtime::set_threads(opt.threads);
   }
+  if (flags.has("pipeline")) {
+    opt.pipeline = true;
+    runtime::set_pipeline(true);
+  }
   opt.nodes = flags.get_int("nodes", opt.nodes);
   opt.shards = flags.get_int("shards", opt.shards);
   opt.max_replicas = flags.get_int("max-replicas", opt.max_replicas);
@@ -101,7 +109,8 @@ HarnessOptions read_options(int argc, const char* const* argv) {
       flags.get_double("reputation-alpha", opt.reputation_alpha);
   const auto unknown =
       flags.unknown_flags({"episodes", "eval-episodes", "real-training",
-                           "seed", "threads", "round-log", "metrics-out",
+                           "seed", "threads", "pipeline", "round-log",
+                           "metrics-out",
                            "trace", "nodes", "shards", "max-replicas",
                            "adv-fraction", "adv-misreport",
                            "adv-freeride", "adv-churn", "reserve-price",

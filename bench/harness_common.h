@@ -12,6 +12,9 @@
 //   CHIRON_THREADS        runtime pool size; 0 or unset → all hardware
 //                         threads (results are identical either way —
 //                         see DESIGN.md "Runtime & threading model")
+//   CHIRON_PIPELINE       "1" → double-buffered round pipeline (overlap
+//                         eval + PPO update with training; DESIGN.md
+//                         §5.14); byte-identical outputs, faster rounds
 //   CHIRON_ROUND_LOG      path for the structured round log (.jsonl or
 //                         .csv; see DESIGN.md §5.9)
 //   CHIRON_METRICS_OUT    path for the end-of-run metrics JSON snapshot
@@ -27,8 +30,8 @@
 //                         replica budget
 //
 // Each harness also accepts the equivalent command-line flags
-// (--round-log, --metrics-out, --trace, --threads, --seed, --episodes,
-// --nodes, --shards, --max-replicas,
+// (--round-log, --metrics-out, --trace, --threads, --pipeline, --seed,
+// --episodes, --nodes, --shards, --max-replicas,
 // --adv-fraction, --adv-misreport, --adv-freeride, --adv-churn,
 // --reserve-price, --audit-prob, --audit-tolerance, --reputation-alpha),
 // which take precedence over the environment.
@@ -53,6 +56,10 @@ struct HarnessOptions {
   bool real_training = false;
   std::uint64_t seed = 97;
   int threads = 0;  // 0 = auto (hardware concurrency)
+  /// Double-buffered round pipeline (DESIGN.md §5.14): overlap round k-1's
+  /// evaluation and the batch PPO update with round k's training. Results
+  /// are byte-identical on or off; this is a wall-clock knob only.
+  bool pipeline = false;
   // Market-size override for harnesses with a scalable node count
   // (fig7_scalability, scale sweeps); 0 = keep the harness default.
   int nodes = 0;

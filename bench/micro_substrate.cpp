@@ -151,6 +151,51 @@ BENCHMARK(BM_ParallelRound)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Round throughput with the double-buffered round pipeline (DESIGN.md
+// §5.14) off (arg 0) and on (arg 1), on an eval-heavy real-training
+// market: the test-set evaluation is a large fraction of the round, so
+// overlapping it with the next round's local training is where the
+// pipeline's speedup lives. Byte-identity of the two modes is pinned by
+// tests/core/pipeline_env_test.cpp; this benchmark tracks the wall-clock
+// side of the contract (acceptance: pipelined ≥ 1.3× rounds/sec).
+static void BM_PipelinedRound(benchmark::State& state) {
+  const bool pipelined = state.range(0) != 0;
+  runtime::set_threads(1);
+  core::EnvConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.budget = 1e12;          // never aborts: steady-state throughput
+  cfg.max_rounds = 1 << 20;   // the episode outlives any iteration count
+  cfg.backend = core::BackendKind::kRealBlobs;
+  cfg.samples_per_node = 40;
+  cfg.test_samples = 768;     // eval-heavy: eval ~ half the round
+  cfg.local.epochs = 2;
+  cfg.local.batch_size = 10;
+  cfg.local.lr = 0.05;
+  cfg.seed = 11;
+  core::EdgeLearnEnv env(cfg);
+  env.reset();
+  std::vector<double> prices;
+  for (int i = 0; i < env.num_nodes(); ++i)
+    prices.push_back(env.per_node_price_cap(i) * 0.5);
+  for (auto _ : state) {
+    if (pipelined) {
+      auto out = env.step_pipelined(prices);
+      benchmark::DoNotOptimize(out.prev_valid);
+    } else {
+      auto r = env.step(prices);
+      benchmark::DoNotOptimize(r.accuracy);
+    }
+  }
+  if (env.has_pending()) env.drain();
+  state.SetItemsProcessed(state.iterations());
+  runtime::set_threads(0);
+}
+BENCHMARK(BM_PipelinedRound)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 static void BM_ChironEpisode(benchmark::State& state) {
   core::EnvConfig cfg;
   cfg.num_nodes = 5;

@@ -49,6 +49,22 @@ fl::TolerantRoundReport AccuracyBackend::train_round_tolerant(
   return rep;
 }
 
+fl::TolerantRoundReport AccuracyBackend::train_round_deferred(
+    const std::vector<int>& participants, const std::vector<double>& weights,
+    const std::vector<fl::RoundDelivery>& delivery, fl::DeferredEval& eval,
+    bool& eval_pending) {
+  // Analytic backends have no separable evaluation phase: the accuracy is
+  // a by-product of the round itself, so nothing is deferred.
+  eval.pending = false;
+  eval_pending = false;
+  return train_round_tolerant(participants, weights, delivery);
+}
+
+double AccuracyBackend::finish_round_eval(fl::DeferredEval& eval) {
+  (void)eval;
+  return accuracy();
+}
+
 SurrogateCurve surrogate_curve_for(data::VisionTask task) {
   // Rates/ceilings calibrated to the real-training backends on the
   // synthetic vision tasks: MNIST-like saturates fast and high, the
@@ -169,6 +185,21 @@ fl::TolerantRoundReport RealVisionBackend::train_round_tolerant(
   return rep;
 }
 
+fl::TolerantRoundReport RealVisionBackend::train_round_deferred(
+    const std::vector<int>& participants, const std::vector<double>& weights,
+    const std::vector<fl::RoundDelivery>& delivery, fl::DeferredEval& eval,
+    bool& eval_pending) {
+  CHIRON_CHECK(participants.size() == weights.size());
+  eval_pending = true;
+  return federation_->run_round_tolerant_deferred(participants, delivery,
+                                                  eval);
+}
+
+double RealVisionBackend::finish_round_eval(fl::DeferredEval& eval) {
+  accuracy_ = federation_->finish_deferred_eval(eval);
+  return accuracy_;
+}
+
 // ---------------------------------------------------------------------------
 
 RealBlobsBackend::RealBlobsBackend(int num_nodes, int samples_per_node,
@@ -242,6 +273,21 @@ fl::TolerantRoundReport RealBlobsBackend::train_round_tolerant(
       federation_->run_round_tolerant(participants, delivery);
   accuracy_ = rep.accuracy;
   return rep;
+}
+
+fl::TolerantRoundReport RealBlobsBackend::train_round_deferred(
+    const std::vector<int>& participants, const std::vector<double>& weights,
+    const std::vector<fl::RoundDelivery>& delivery, fl::DeferredEval& eval,
+    bool& eval_pending) {
+  CHIRON_CHECK(participants.size() == weights.size());
+  eval_pending = true;
+  return federation_->run_round_tolerant_deferred(participants, delivery,
+                                                  eval);
+}
+
+double RealBlobsBackend::finish_round_eval(fl::DeferredEval& eval) {
+  accuracy_ = federation_->finish_deferred_eval(eval);
+  return accuracy_;
 }
 
 }  // namespace chiron::core

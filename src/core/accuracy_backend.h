@@ -46,6 +46,30 @@ class AccuracyBackend {
       const std::vector<double>& weights,
       const std::vector<fl::RoundDelivery>& delivery);
 
+  /// Pipeline variant of train_round_tolerant (DESIGN.md §5.14): runs the
+  /// round's training and aggregation, but may defer the test-set
+  /// evaluation to a later finish_round_eval(). `eval` is the CALLER-owned
+  /// job token for this round: the post-aggregate parameter snapshot lands
+  /// there, so a stage thread finishing round k's evaluation never races
+  /// the main thread snapshotting round k+1's. On return `eval_pending`
+  /// says whether the report's accuracy is already final (false — the
+  /// default implementation, which evaluates inline) or a
+  /// finish_round_eval(eval) call must complete it (true — the
+  /// real-training backends). While an evaluation is pending the backend's
+  /// accuracy() must not be called: finish_round_eval may run on a stage
+  /// thread.
+  virtual fl::TolerantRoundReport train_round_deferred(
+      const std::vector<int>& participants,
+      const std::vector<double>& weights,
+      const std::vector<fl::RoundDelivery>& delivery, fl::DeferredEval& eval,
+      bool& eval_pending);
+
+  /// Completes the evaluation deferred into `eval` by a
+  /// train_round_deferred call and returns the post-round accuracy.
+  /// Callable from a pipeline stage thread; the default just reads
+  /// accuracy().
+  virtual double finish_round_eval(fl::DeferredEval& eval);
+
   virtual double accuracy() const = 0;
 };
 
@@ -113,6 +137,12 @@ class RealVisionBackend final : public AccuracyBackend {
       const std::vector<int>& participants,
       const std::vector<double>& weights,
       const std::vector<fl::RoundDelivery>& delivery) override;
+  fl::TolerantRoundReport train_round_deferred(
+      const std::vector<int>& participants,
+      const std::vector<double>& weights,
+      const std::vector<fl::RoundDelivery>& delivery, fl::DeferredEval& eval,
+      bool& eval_pending) override;
+  double finish_round_eval(fl::DeferredEval& eval) override;
   double accuracy() const override { return accuracy_; }
 
  private:
@@ -143,6 +173,12 @@ class RealBlobsBackend final : public AccuracyBackend {
       const std::vector<int>& participants,
       const std::vector<double>& weights,
       const std::vector<fl::RoundDelivery>& delivery) override;
+  fl::TolerantRoundReport train_round_deferred(
+      const std::vector<int>& participants,
+      const std::vector<double>& weights,
+      const std::vector<fl::RoundDelivery>& delivery, fl::DeferredEval& eval,
+      bool& eval_pending) override;
+  double finish_round_eval(fl::DeferredEval& eval) override;
   double accuracy() const override { return accuracy_; }
 
  private:

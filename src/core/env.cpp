@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/round_log.h"
 #include "obs/span.h"
+#include "runtime/pipeline.h"
 
 namespace chiron::core {
 
@@ -83,6 +84,7 @@ StepResult make_aborted_result(double frozen_accuracy) {
   res.freeriding = 0;
   res.misreporting = 0;
   res.clawed_back = 0.0;
+  res.forfeited_total = 0.0;
   res.outcome = sysmodel::RoundOutcome{};
   return res;
 }
@@ -157,7 +159,12 @@ EdgeLearnEnv::EdgeLearnEnv(const EnvConfig& config)
   backend_ = make_backend(config_, rng_.split());
 }
 
+EdgeLearnEnv::~EdgeLearnEnv() = default;
+
 std::vector<float> EdgeLearnEnv::reset() {
+  // A round still in the pipeline belongs to the previous episode:
+  // finalize it (writing its record) before tearing the state down.
+  if (pending_.valid) drain();
   budget_remaining_ = config_.budget;
   ++episode_;
   round_ = 0;
@@ -167,6 +174,8 @@ std::vector<float> EdgeLearnEnv::reset() {
   adversary_plan_->reset();
   reputation_->reset();
   total_clawed_back_ = 0.0;
+  forfeited_total_ = 0.0;
+  escrow_outstanding_ = 0.0;
   // Churn mutates device profiles mid-episode; every episode replays the
   // same fixed market (the population the mechanism learns about).
   devices_ = base_devices_;
@@ -178,66 +187,468 @@ std::vector<float> EdgeLearnEnv::reset() {
 StepResult EdgeLearnEnv::step(const std::vector<double>& prices) {
   CHIRON_CHECK_MSG(!done_, "step() on a finished episode; call reset()");
   CHIRON_CHECK(static_cast<int>(prices.size()) == config_.num_nodes);
+  CHIRON_CHECK_MSG(!pending_.valid,
+                   "step() with a pipelined round in flight; drain() first");
   obs::Span round_span(obs::Phase::kRound);
 
-  if (adversary_active()) return step_adversarial(prices);
-  if (config_.faults.any() || config_.round_deadline > 0.0)
-    return step_faulty(prices);
+  CommitOut c = commit_round(prices);
+  if (c.aborted) {
+    const StepResult aborted = make_aborted_result(last_accuracy_);
+    emit_round(aborted,
+               std::accumulate(c.effective_prices.begin(),
+                               c.effective_prices.end(), 0.0),
+               c.p_posted, c.effective_prices, budget_remaining_,
+               total_clawed_back_, forfeited_total_, round_ + 1);
+    return aborted;
+  }
+  bool eval_pending = false;
+  fl::DeferredEval eval;
+  const fl::TolerantRoundReport rep = backend_->train_round_deferred(
+      c.participants, c.weights, c.delivery, eval, eval_pending);
+  pending_ = settle_round(std::move(c), rep, eval_pending);
+  pending_.eval = std::move(eval);
+  if (pending_.eval_pending)
+    pending_.res.accuracy = backend_->finish_round_eval(pending_.eval);
+  return finalize_pending();
+}
 
-  StepResult res;
+EdgeLearnEnv::PipelinedStep EdgeLearnEnv::step_pipelined(
+    const std::vector<double>& prices) {
+  CHIRON_CHECK_MSG(!done_,
+                   "step_pipelined() on a finished episode; call reset()");
+  CHIRON_CHECK(static_cast<int>(prices.size()) == config_.num_nodes);
+  obs::Span round_span(obs::Phase::kRound);
+  PipelinedStep out;
+
+  // Commit round k against the settled budget: round k-1 settled (and its
+  // escrow cleared) before the call that committed it returned, so the
+  // overdraw rule sees exactly the budget step() would.
+  CommitOut c = commit_round(prices);
+  if (c.aborted) {
+    // Record order is part of the byte-identity contract: finalize round
+    // k-1 first (joining its eval, which also moves last_accuracy_ to the
+    // value the abort freezes), then write the abort record.
+    if (pending_.valid) {
+      if (pipeline_ != nullptr) pipeline_->join();
+      out.prev = finalize_pending();
+      out.prev_valid = true;
+    }
+    out.aborted = true;
+    out.abort = make_aborted_result(last_accuracy_);
+    emit_round(out.abort,
+               std::accumulate(c.effective_prices.begin(),
+                               c.effective_prices.end(), 0.0),
+               c.p_posted, c.effective_prices, budget_remaining_,
+               total_clawed_back_, forfeited_total_, round_ + 1);
+    return out;
+  }
+
+  // Train round k on this thread while round k-1's deferred evaluation
+  // runs on the stage thread (they touch disjoint state: the stage task
+  // only reads its frozen parameter snapshot and writes pending_.res).
+  bool eval_pending = false;
+  fl::DeferredEval eval;
+  const fl::TolerantRoundReport rep = backend_->train_round_deferred(
+      c.participants, c.weights, c.delivery, eval, eval_pending);
+  PendingRound settled = settle_round(std::move(c), rep, eval_pending);
+  settled.eval = std::move(eval);
+
+  // Hand-off point: join round k-1's eval, finalize it, then install
+  // round k as the new in-flight round and submit its evaluation.
+  if (pending_.valid) {
+    if (pipeline_ != nullptr) pipeline_->join();
+    out.prev = finalize_pending();
+    out.prev_valid = true;
+  }
+  pending_ = std::move(settled);
+  if (pending_.eval_pending) {
+    if (pipeline_ == nullptr)
+      pipeline_ = std::make_unique<runtime::RoundPipeline>();
+    pipeline_->submit([this] {
+      pending_.res.accuracy = backend_->finish_round_eval(pending_.eval);
+    });
+  }
+  return out;
+}
+
+StepResult EdgeLearnEnv::drain() {
+  CHIRON_CHECK_MSG(pending_.valid, "drain() with no round in flight");
+  if (pipeline_ != nullptr) pipeline_->join();
+  return finalize_pending();
+}
+
+EdgeLearnEnv::CommitOut EdgeLearnEnv::commit_round(
+    const std::vector<double>& prices) {
+  if (adversary_active()) return commit_adversarial(prices);
+  if (config_.faults.any() || config_.round_deadline > 0.0)
+    return commit_faulty(prices);
+  return commit_honest(prices);
+}
+
+EdgeLearnEnv::CommitOut EdgeLearnEnv::commit_honest(
+    const std::vector<double>& prices) {
+  CommitOut c;
+  c.path = StepPath::kHonest;
+  c.planned_round = round_;
+  c.p_posted = std::accumulate(prices.begin(), prices.end(), 0.0);
+  c.budget_checkpoint = budget_remaining_;
   // Availability extension: an offline node never sees the posted price,
   // which is equivalent to posting it a zero price (no payment, counted as
   // fully idle by Eqns 15–16).
-  std::vector<double> effective_prices = prices;
+  c.effective_prices = prices;
   if (config_.node_availability < 1.0) {
-    for (auto& p : effective_prices) {
+    for (auto& p : c.effective_prices) {
       if (!rng_.bernoulli(config_.node_availability)) {
         p = 0.0;
-        ++res.offline;
+        ++c.res.offline;
       }
     }
   }
   // The SoA economics plane evaluates the whole market in batched column
   // passes — bit-identical to sysmodel::run_round (plane_test pins it)
   // but O(N)-vectorized and allocation-free in steady state.
-  res.outcome = plane_->run_round(effective_prices, batch_);
+  c.promised = plane_->run_round(c.effective_prices, batch_);
 
   // Paper §V-A: if paying this round would overdraw the budget, the round
   // is discarded (no training, no recording) and learning stops.
-  if (res.outcome.total_payment > budget_remaining_) {
+  if (c.promised.total_payment > budget_remaining_) {
     done_ = true;
-    const StepResult aborted = make_aborted_result(last_accuracy_);
-    finish_round(aborted,
-                 std::accumulate(prices.begin(), prices.end(), 0.0),
-                 effective_prices);
-    return aborted;
+    c.aborted = true;
+    return c;
   }
-
-  budget_remaining_ -= res.outcome.total_payment;
+  // Escrow debit: the whole promised total leaves the spendable budget at
+  // commit. Settle returns whatever honest non-delivery releases (on this
+  // fault-free path: nothing — every promise is honored).
+  budget_remaining_ -= c.promised.total_payment;
+  escrow_outstanding_ = c.promised.total_payment;
   ++round_;
 
-  std::vector<int> participants;
-  std::vector<double> weights;
-  for (std::size_t i = 0; i < res.outcome.nodes.size(); ++i) {
-    if (!res.outcome.nodes[i].participates) continue;
-    participants.push_back(static_cast<int>(i));
-    weights.push_back(devices_[i].data_bits);
+  for (std::size_t i = 0; i < c.promised.nodes.size(); ++i) {
+    if (!c.promised.nodes[i].participates) continue;
+    c.participants.push_back(static_cast<int>(i));
+    c.weights.push_back(devices_[i].data_bits);
+  }
+  // Default (fault-free) delivery: train_round_deferred with all-clear
+  // deliveries is exactly train_round on the same participants.
+  c.delivery.assign(c.participants.size(), fl::RoundDelivery{});
+  return c;
+}
+
+EdgeLearnEnv::CommitOut EdgeLearnEnv::commit_faulty(
+    const std::vector<double>& prices) {
+  // The fault-tolerant round (DESIGN.md "Fault model & tolerance"):
+  //   1. draw this round's fault schedule (deterministic in seed/round/node),
+  //   2. run the market on the promised (fault-free) terms,
+  //   3. train with faults injected; the server's defenses decide delivery,
+  //   4. settle the economics: pay-on-delivery, deadline-cut round time.
+  // The overdraw-abort rule stays on the *promised* payment — the mechanism
+  // commits to the round before knowing who will fail, and realized payment
+  // never exceeds promised, so the budget still never overdraws.
+  CommitOut c;
+  c.path = StepPath::kFaulty;
+  c.planned_round = round_;
+  c.p_posted = std::accumulate(prices.begin(), prices.end(), 0.0);
+  c.budget_checkpoint = budget_remaining_;
+  const std::vector<faults::FaultEvent> events =
+      fault_plan_->plan_round(round_);
+
+  // Persistent outages behave exactly like unavailable nodes: the posted
+  // price never reaches them. Availability draws follow for the rest.
+  c.effective_prices = prices;
+  for (std::size_t i = 0; i < c.effective_prices.size(); ++i) {
+    if (events[i].down) {
+      c.effective_prices[i] = 0.0;
+      ++c.res.offline;
+    } else if (config_.node_availability < 1.0 &&
+               !rng_.bernoulli(config_.node_availability)) {
+      c.effective_prices[i] = 0.0;
+      ++c.res.offline;
+    }
+  }
+  c.promised = plane_->run_round(c.effective_prices, batch_);
+
+  if (c.promised.total_payment > budget_remaining_) {
+    done_ = true;
+    c.aborted = true;
+    return c;
+  }
+  // Escrow debit of the full promised total; settle returns the
+  // honest-undelivered part (crashes/stragglers release their escrow).
+  budget_remaining_ -= c.promised.total_payment;
+  escrow_outstanding_ = c.promised.total_payment;
+  ++round_;
+
+  // Per-participant delivery outlook. A crash wins over lateness (the
+  // upload never exists to be late); corruption only matters if the upload
+  // arrives at all.
+  c.realized_times.assign(c.promised.nodes.size(), 0.0);
+  for (std::size_t i = 0; i < c.promised.nodes.size(); ++i) {
+    const sysmodel::NodeDecision& nd = c.promised.nodes[i];
+    if (!nd.participates) continue;
+    const faults::FaultEvent& e = events[i];
+    c.realized_times[i] = sysmodel::realized_node_time(
+        nd, e.slowdown, config_.round_deadline);
+    fl::RoundDelivery d;
+    d.crash = e.crash;
+    const double full_time = nd.compute_time * e.slowdown + nd.comm_time;
+    d.late = config_.round_deadline > 0.0 && full_time > config_.round_deadline;
+    d.corruption = e.corruption;
+    c.participants.push_back(static_cast<int>(i));
+    c.weights.push_back(devices_[i].data_bits);
+    c.delivery.push_back(d);
+  }
+  return c;
+}
+
+EdgeLearnEnv::CommitOut EdgeLearnEnv::commit_adversarial(
+    const std::vector<double>& prices) {
+  // Adversarial round (DESIGN.md §5.11), a superset of the fault-tolerant
+  // pay-on-delivery round:
+  //   1. draw this round's adversary and fault schedules,
+  //   2. rejoin churned nodes (fresh profiles) / silence away+down nodes,
+  //   3. reserve-price screening on *reported* costs,
+  //   4. strategic market: misreporters bill the honest frequency while
+  //      running their inflated-cost response,
+  //   5. overdraw-abort on the promised (claimed) payment,
+  //   6. train with faults + free-rides; reputation scales the weights,
+  //   7. settle: audits forfeit flagged payments, realize pay-on-delivery,
+  //   8. reputation EMA update on observed outcomes.
+  CommitOut c;
+  c.path = StepPath::kAdversarial;
+  c.planned_round = round_;
+  c.p_posted = std::accumulate(prices.begin(), prices.end(), 0.0);
+  c.budget_checkpoint = budget_remaining_;
+  c.adv = adversary_plan_->plan_round(c.planned_round);
+  const std::vector<faults::FaultEvent> events =
+      fault_plan_->plan_round(c.planned_round);
+
+  // Rejoining nodes return with resampled hardware before prices are
+  // interpreted; the resample is keyed on (node, profile_version) so the
+  // schedule is thread-count independent and replays across episodes.
+  for (std::size_t i = 0; i < c.adv.size(); ++i) {
+    if (!c.adv[i].rejoined) continue;
+    Rng dev_rng(stream_seed(config_.adversary.seed ^ kChurnDeviceTag,
+                            c.adv[i].profile_version, static_cast<int>(i)));
+    devices_[i] = sysmodel::sample_device(
+        config_.population, config_.data_bits_per_node, dev_rng);
+    ++c.res.rejoined;
   }
 
-  const double prev_accuracy = last_accuracy_;
-  const double accuracy = backend_->train_round(participants, weights);
-  last_accuracy_ = accuracy;
+  // Away (churned) and down (persistent-outage) nodes never see the
+  // posted price; availability draws follow for the rest.
+  c.effective_prices = prices;
+  for (std::size_t i = 0; i < c.effective_prices.size(); ++i) {
+    if (c.adv[i].away) {
+      c.effective_prices[i] = 0.0;
+      ++c.res.offline;
+      ++c.res.departed;
+    } else if (events[i].down) {
+      c.effective_prices[i] = 0.0;
+      ++c.res.offline;
+    } else if (config_.node_availability < 1.0 &&
+               !rng_.bernoulli(config_.node_availability)) {
+      c.effective_prices[i] = 0.0;
+      ++c.res.offline;
+    }
+  }
 
-  res.participants = res.outcome.participants;
-  res.delivered = res.outcome.participants;  // fault-free: all uploads land
+  // Reserve-price screening: a node whose *reported* participation floor
+  // 2(μ̂ + E^com) exceeds the bound is priced out of the round entirely.
+  if (config_.defense.reserve_price > 0.0) {
+    for (std::size_t i = 0; i < c.effective_prices.size(); ++i) {
+      if (c.effective_prices[i] <= 0.0) continue;
+      const double factor =
+          c.adv[i].adversarial ? c.adv[i].misreport_factor : 1.0;
+      if (adversary::reported_floor_payment(adversary::reported_profile(
+              devices_[i], factor)) > config_.defense.reserve_price) {
+        c.effective_prices[i] = 0.0;
+        ++c.res.screened;
+      }
+    }
+  }
+
+  // Strategic market. misreported_response(factor=1) is exactly the
+  // honest best response, so honest nodes are untouched.
+  std::vector<sysmodel::NodeDecision> decisions;
+  decisions.reserve(devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const double factor = c.adv[i].adversarial ? c.adv[i].misreport_factor
+                                               : 1.0;
+    decisions.push_back(sysmodel::misreported_response(
+        devices_[i], c.effective_prices[i], config_.local_epochs, factor));
+  }
+  c.promised = sysmodel::aggregate_round(std::move(decisions));
+
+  // Overdraw-abort on the promised (claimed) payment, as on the faulty
+  // path: the server commits before knowing who delivers, and settle only
+  // ever shrinks the realized total.
+  if (c.promised.total_payment > budget_remaining_) {
+    done_ = true;
+    c.aborted = true;
+    return c;
+  }
+  // Escrow debit of the promised total. Settle returns the escrow of
+  // honest non-delivery but routes audit-forfeited payments to the
+  // non-spendable ledger — they never refill the budget.
+  budget_remaining_ -= c.promised.total_payment;
+  escrow_outstanding_ = c.promised.total_payment;
+  ++round_;
+
+  // Delivery outlook: faults as on the faulty path, plus free-rides. A
+  // free-rider mimics honest timing (instant uploads would expose it), so
+  // realized times are unchanged; its upload is a stale global model.
+  c.realized_times.assign(c.promised.nodes.size(), 0.0);
+  for (std::size_t i = 0; i < c.promised.nodes.size(); ++i) {
+    const sysmodel::NodeDecision& nd = c.promised.nodes[i];
+    if (!nd.participates) continue;
+    const faults::FaultEvent& e = events[i];
+    c.realized_times[i] = sysmodel::realized_node_time(
+        nd, e.slowdown, config_.round_deadline);
+    fl::RoundDelivery d;
+    d.crash = e.crash;
+    const double full_time = nd.compute_time * e.slowdown + nd.comm_time;
+    d.late = config_.round_deadline > 0.0 && full_time > config_.round_deadline;
+    d.freeride = c.adv[i].freeride;
+    d.corruption = e.corruption;
+    if (c.adv[i].freeride) ++c.res.freeriding;
+    if (c.adv[i].misreport_factor > 1.0) ++c.res.misreporting;
+    c.participants.push_back(static_cast<int>(i));
+    // Reputation-weighted aggregation: the node's data weight is scaled
+    // by its ledger weight (exactly 1 while the defense is off).
+    c.weights.push_back(devices_[i].data_bits *
+                        reputation_->weight(static_cast<int>(i)));
+    c.delivery.push_back(d);
+  }
+  return c;
+}
+
+EdgeLearnEnv::PendingRound EdgeLearnEnv::settle_round(
+    CommitOut c, const fl::TolerantRoundReport& rep, bool eval_pending) {
+  StepResult& res = c.res;
+  if (c.path == StepPath::kHonest) {
+    res.outcome = std::move(c.promised);
+    res.participants = res.outcome.participants;
+    res.delivered = res.outcome.participants;  // fault-free: all uploads land
+  } else {
+    // Pay-on-delivery: only nodes whose upload was actually aggregated earn
+    // their promised p·ζ; everyone else trained for free.
+    std::vector<bool> paid(c.promised.nodes.size(), false);
+    if (c.path == StepPath::kFaulty) {
+      for (std::size_t s = 0; s < c.participants.size(); ++s) {
+        if (rep.status[s] == fl::DeliveryStatus::kDelivered)
+          paid[static_cast<std::size_t>(c.participants[s])] = true;
+      }
+    } else {
+      // Audits on top: a delivered upload is paid unless an audit fires
+      // and catches a free-ride (always unambiguous — the upload is a
+      // byte-copy of the model the server handed out) or a cost report
+      // inflated beyond the tolerance. A flagged payment is forfeited —
+      // it left the budget at commit and never comes back.
+      for (std::size_t s = 0; s < c.participants.size(); ++s) {
+        const std::size_t i = static_cast<std::size_t>(c.participants[s]);
+        if (rep.status[s] != fl::DeliveryStatus::kDelivered) continue;
+        bool pay = true;
+        if (adversary::audit_fires(config_.defense, c.planned_round,
+                                   c.participants[s])) {
+          const bool caught =
+              c.adv[i].freeride ||
+              c.adv[i].misreport_factor >= config_.defense.audit_tolerance;
+          if (caught) {
+            pay = false;
+            ++res.flagged;
+            res.clawed_back += c.promised.nodes[i].payment;
+          }
+        }
+        paid[i] = pay;
+      }
+    }
+    res.outcome = sysmodel::realize_round(c.promised, c.realized_times, paid);
+    if (c.path == StepPath::kAdversarial) {
+      total_clawed_back_ += res.clawed_back;
+      // Reputation EMA on observed outcomes: clean paid delivery earns 1,
+      // a flagged or failed delivery earns 0; nodes that sat out keep
+      // their score. The server cannot tell a crash from malice — both
+      // cost it a round — so both depress reputation until clean rounds
+      // rebuild it.
+      for (std::size_t s = 0; s < c.participants.size(); ++s) {
+        const int node = c.participants[s];
+        const bool clean = rep.status[s] == fl::DeliveryStatus::kDelivered &&
+                           paid[static_cast<std::size_t>(node)];
+        reputation_->update(node, clean ? 1.0 : 0.0);
+      }
+    }
+    res.participants = res.outcome.participants;
+    res.delivered = rep.delivered;
+    res.crashed = rep.crashed;
+    res.late = rep.late;
+    res.rejected = rep.rejected;
+    res.lightweight = rep.lightweight;
+  }
+
+  // Escrow settle from the commit checkpoint: realized payments leave for
+  // good, the honest-undelivered escrow returns, and audit forfeitures
+  // move to the non-spendable ledger instead of returning. The checkpoint
+  // form keeps clawback-free rounds bit-identical to the single debit the
+  // env used to apply (b − R), and drains clawbacks on top ((b − R) − C).
+  budget_remaining_ = c.budget_checkpoint - res.outcome.total_payment;
+  if (res.clawed_back > 0.0) {
+    budget_remaining_ -= res.clawed_back;
+    forfeited_total_ += res.clawed_back;
+  }
+  escrow_outstanding_ = 0.0;
+  res.forfeited_total = forfeited_total_;
+
   res.round_time = res.outcome.round_time;
   res.payment = res.outcome.total_payment;
   res.idle_time = res.outcome.idle_time;
   res.time_efficiency = res.outcome.time_efficiency;
-  res.accuracy = accuracy;
-  res.accuracy_gain = accuracy - prev_accuracy;
+  if (!eval_pending) res.accuracy = rep.accuracy;
 
-  // Exterior reward (Eqn 14; see DESIGN.md on the λ placement).
+  // History records the realized times — the exterior state should reflect
+  // the node speeds the mechanism actually observed.
+  RoundProfile profile;
+  profile.zeta.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
+  profile.price = c.effective_prices;
+  profile.time.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
+  for (std::size_t i = 0; i < res.outcome.nodes.size(); ++i) {
+    profile.zeta[i] = res.outcome.nodes[i].zeta;
+    profile.time[i] = res.outcome.nodes[i].total_time;
+  }
+  history_.push_back(std::move(profile));
+  if (static_cast<int>(history_.size()) > config_.history)
+    history_.erase(history_.begin());
+
+  if (budget_remaining_ <= 0.0 || round_ >= config_.max_rounds) done_ = true;
+  res.done = done_;
+
+  // Capture every record/metric input now: by the time this round is
+  // finalized the live members may already belong to round k+1.
+  PendingRound p;
+  p.valid = true;
+  p.eval_pending = eval_pending;
+  p.p_total = std::accumulate(c.effective_prices.begin(),
+                              c.effective_prices.end(), 0.0);
+  p.p_posted = c.p_posted;
+  p.budget_remaining = budget_remaining_;
+  p.total_clawed_back = total_clawed_back_;
+  p.forfeited_total = forfeited_total_;
+  p.round = round_;
+  p.res = std::move(res);
+  p.effective_prices = std::move(c.effective_prices);
+  return p;
+}
+
+StepResult EdgeLearnEnv::finalize_pending() {
+  CHIRON_CHECK(pending_.valid);
+  StepResult res = std::move(pending_.res);
+  // The deferred evaluation (if any) has already filled res.accuracy —
+  // by the stage task in pipelined mode, inline in step().
+  res.accuracy_gain = res.accuracy - last_accuracy_;
+  last_accuracy_ = res.accuracy;
+
+  // Exterior reward (Eqn 14; see DESIGN.md on the λ placement). Rewards
+  // use realized quantities: the agents feel crashes and stragglers as
+  // lost ΔA and stretched T_k.
   const double time_term = config_.lambda_on_time
                                ? config_.lambda_pref * res.round_time
                                : res.round_time;
@@ -254,370 +665,27 @@ StepResult EdgeLearnEnv::step(const std::vector<double>& prices) {
         (static_cast<double>(config_.num_nodes) * config_.time_norm);
   }
 
-  // Record history for the exterior state.
-  RoundProfile profile;
-  profile.zeta.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
-  profile.price = effective_prices;
-  profile.time.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
-  for (std::size_t i = 0; i < res.outcome.nodes.size(); ++i) {
-    profile.zeta[i] = res.outcome.nodes[i].zeta;
-    profile.time[i] = res.outcome.nodes[i].total_time;
-  }
-  history_.push_back(std::move(profile));
-  if (static_cast<int>(history_.size()) > config_.history)
-    history_.erase(history_.begin());
-
-  if (budget_remaining_ <= 0.0 || round_ >= config_.max_rounds) done_ = true;
-  res.done = done_;
-  finish_round(res, std::accumulate(prices.begin(), prices.end(), 0.0),
-               effective_prices);
+  emit_round(res, pending_.p_total, pending_.p_posted,
+             pending_.effective_prices, pending_.budget_remaining,
+             pending_.total_clawed_back, pending_.forfeited_total,
+             pending_.round);
+  pending_.valid = false;
   return res;
 }
 
-StepResult EdgeLearnEnv::step_faulty(const std::vector<double>& prices) {
-  // The fault-tolerant round pipeline (DESIGN.md "Fault model & tolerance"):
-  //   1. draw this round's fault schedule (deterministic in seed/round/node),
-  //   2. run the market on the promised (fault-free) terms,
-  //   3. train with faults injected; the server's defenses decide delivery,
-  //   4. realize the economics: pay-on-delivery, deadline-cut round time.
-  // The overdraw-abort rule stays on the *promised* payment — the mechanism
-  // commits to the round before knowing who will fail, and realized payment
-  // never exceeds promised, so the budget still never overdraws.
-  StepResult res;
-  const std::vector<faults::FaultEvent> events =
-      fault_plan_->plan_round(round_);
-
-  // Persistent outages behave exactly like unavailable nodes: the posted
-  // price never reaches them. Availability draws follow for the rest.
-  std::vector<double> effective_prices = prices;
-  for (std::size_t i = 0; i < effective_prices.size(); ++i) {
-    if (events[i].down) {
-      effective_prices[i] = 0.0;
-      ++res.offline;
-    } else if (config_.node_availability < 1.0 &&
-               !rng_.bernoulli(config_.node_availability)) {
-      effective_prices[i] = 0.0;
-      ++res.offline;
-    }
-  }
-  const sysmodel::RoundOutcome promised =
-      plane_->run_round(effective_prices, batch_);
-
-  if (promised.total_payment > budget_remaining_) {
-    done_ = true;
-    const StepResult aborted = make_aborted_result(last_accuracy_);
-    finish_round(aborted,
-                 std::accumulate(prices.begin(), prices.end(), 0.0),
-                 effective_prices);
-    return aborted;
-  }
-  ++round_;
-
-  // Per-participant delivery outlook. A crash wins over lateness (the
-  // upload never exists to be late); corruption only matters if the upload
-  // arrives at all.
-  std::vector<int> participants;
-  std::vector<double> weights;
-  std::vector<fl::RoundDelivery> delivery;
-  std::vector<double> realized_times(promised.nodes.size(), 0.0);
-  for (std::size_t i = 0; i < promised.nodes.size(); ++i) {
-    const sysmodel::NodeDecision& nd = promised.nodes[i];
-    if (!nd.participates) continue;
-    const faults::FaultEvent& e = events[i];
-    realized_times[i] = sysmodel::realized_node_time(nd, e.slowdown,
-                                                     config_.round_deadline);
-    fl::RoundDelivery d;
-    d.crash = e.crash;
-    const double full_time = nd.compute_time * e.slowdown + nd.comm_time;
-    d.late = config_.round_deadline > 0.0 && full_time > config_.round_deadline;
-    d.corruption = e.corruption;
-    participants.push_back(static_cast<int>(i));
-    weights.push_back(devices_[i].data_bits);
-    delivery.push_back(d);
-  }
-
-  const double prev_accuracy = last_accuracy_;
-  const fl::TolerantRoundReport rep =
-      backend_->train_round_tolerant(participants, weights, delivery);
-  last_accuracy_ = rep.accuracy;
-
-  // Pay-on-delivery: only nodes whose upload was actually aggregated earn
-  // their promised p·ζ; everyone else trained for free.
-  std::vector<bool> paid(promised.nodes.size(), false);
-  for (std::size_t s = 0; s < participants.size(); ++s) {
-    if (rep.status[s] == fl::DeliveryStatus::kDelivered)
-      paid[static_cast<std::size_t>(participants[s])] = true;
-  }
-  res.outcome = sysmodel::realize_round(promised, realized_times, paid);
-  budget_remaining_ -= res.outcome.total_payment;
-
-  res.participants = res.outcome.participants;
-  res.delivered = rep.delivered;
-  res.crashed = rep.crashed;
-  res.late = rep.late;
-  res.rejected = rep.rejected;
-  res.lightweight = rep.lightweight;
-  res.round_time = res.outcome.round_time;
-  res.payment = res.outcome.total_payment;
-  res.idle_time = res.outcome.idle_time;
-  res.time_efficiency = res.outcome.time_efficiency;
-  res.accuracy = rep.accuracy;
-  res.accuracy_gain = rep.accuracy - prev_accuracy;
-
-  // Rewards on realized quantities: the agents feel crashes and stragglers
-  // as lost ΔA and stretched T_k, which is the point of the extension.
-  const double time_term = config_.lambda_on_time
-                               ? config_.lambda_pref * res.round_time
-                               : res.round_time;
-  res.raw_exterior_reward =
-      config_.lambda_pref * res.accuracy_gain - time_term;
-  if (res.participants == 0) {
-    res.reward_exterior = -config_.empty_round_penalty;
-    res.reward_inner = -config_.empty_round_penalty;
-  } else {
-    res.reward_exterior = res.raw_exterior_reward / config_.time_norm;
-    res.reward_inner =
-        -res.idle_time /
-        (static_cast<double>(config_.num_nodes) * config_.time_norm);
-  }
-
-  // History records the realized times — the exterior state should reflect
-  // the node speeds the mechanism actually observed.
-  RoundProfile profile;
-  profile.zeta.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
-  profile.price = effective_prices;
-  profile.time.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
-  for (std::size_t i = 0; i < res.outcome.nodes.size(); ++i) {
-    profile.zeta[i] = res.outcome.nodes[i].zeta;
-    profile.time[i] = res.outcome.nodes[i].total_time;
-  }
-  history_.push_back(std::move(profile));
-  if (static_cast<int>(history_.size()) > config_.history)
-    history_.erase(history_.begin());
-
-  if (budget_remaining_ <= 0.0 || round_ >= config_.max_rounds) done_ = true;
-  res.done = done_;
-  finish_round(res, std::accumulate(prices.begin(), prices.end(), 0.0),
-               effective_prices);
-  return res;
-}
-
-StepResult EdgeLearnEnv::step_adversarial(const std::vector<double>& prices) {
-  // Adversarial round pipeline (DESIGN.md §5.11), a superset of
-  // step_faulty's pay-on-delivery round:
-  //   1. draw this round's adversary and fault schedules,
-  //   2. rejoin churned nodes (fresh profiles) / silence away+down nodes,
-  //   3. reserve-price screening on *reported* costs,
-  //   4. strategic market: misreporters bill the honest frequency while
-  //      running their inflated-cost response,
-  //   5. overdraw-abort on the promised (claimed) payment,
-  //   6. train with faults + free-rides; reputation scales the weights,
-  //   7. audits claw back flagged payments, realize pay-on-delivery,
-  //   8. reputation EMA update on observed outcomes.
-  StepResult res;
-  const int planned_round = round_;
-  const std::vector<adversary::AdversaryEvent> adv =
-      adversary_plan_->plan_round(planned_round);
-  const std::vector<faults::FaultEvent> events =
-      fault_plan_->plan_round(planned_round);
-
-  // Rejoining nodes return with resampled hardware before prices are
-  // interpreted; the resample is keyed on (node, profile_version) so the
-  // schedule is thread-count independent and replays across episodes.
-  for (std::size_t i = 0; i < adv.size(); ++i) {
-    if (!adv[i].rejoined) continue;
-    Rng dev_rng(stream_seed(config_.adversary.seed ^ kChurnDeviceTag,
-                            adv[i].profile_version, static_cast<int>(i)));
-    devices_[i] = sysmodel::sample_device(
-        config_.population, config_.data_bits_per_node, dev_rng);
-    ++res.rejoined;
-  }
-
-  // Away (churned) and down (persistent-outage) nodes never see the
-  // posted price; availability draws follow for the rest.
-  std::vector<double> effective_prices = prices;
-  for (std::size_t i = 0; i < effective_prices.size(); ++i) {
-    if (adv[i].away) {
-      effective_prices[i] = 0.0;
-      ++res.offline;
-      ++res.departed;
-    } else if (events[i].down) {
-      effective_prices[i] = 0.0;
-      ++res.offline;
-    } else if (config_.node_availability < 1.0 &&
-               !rng_.bernoulli(config_.node_availability)) {
-      effective_prices[i] = 0.0;
-      ++res.offline;
-    }
-  }
-
-  // Reserve-price screening: a node whose *reported* participation floor
-  // 2(μ̂ + E^com) exceeds the bound is priced out of the round entirely.
-  if (config_.defense.reserve_price > 0.0) {
-    for (std::size_t i = 0; i < effective_prices.size(); ++i) {
-      if (effective_prices[i] <= 0.0) continue;
-      const double factor = adv[i].adversarial ? adv[i].misreport_factor : 1.0;
-      if (adversary::reported_floor_payment(adversary::reported_profile(
-              devices_[i], factor)) > config_.defense.reserve_price) {
-        effective_prices[i] = 0.0;
-        ++res.screened;
-      }
-    }
-  }
-
-  // Strategic market. misreported_response(factor=1) is exactly the
-  // honest best response, so honest nodes are untouched.
-  std::vector<sysmodel::NodeDecision> decisions;
-  decisions.reserve(devices_.size());
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    const double factor = adv[i].adversarial ? adv[i].misreport_factor : 1.0;
-    decisions.push_back(sysmodel::misreported_response(
-        devices_[i], effective_prices[i], config_.local_epochs, factor));
-  }
-  const sysmodel::RoundOutcome promised =
-      sysmodel::aggregate_round(std::move(decisions));
-
-  // Overdraw-abort on the promised (claimed) payment, as in step_faulty:
-  // the server commits before knowing who delivers, and clawbacks only
-  // ever shrink the realized total.
-  if (promised.total_payment > budget_remaining_) {
-    done_ = true;
-    const StepResult aborted = make_aborted_result(last_accuracy_);
-    finish_round(aborted,
-                 std::accumulate(prices.begin(), prices.end(), 0.0),
-                 effective_prices);
-    return aborted;
-  }
-  ++round_;
-
-  // Delivery outlook: faults as in step_faulty, plus free-rides. A
-  // free-rider mimics honest timing (instant uploads would expose it), so
-  // realized times are unchanged; its upload is a stale global model.
-  std::vector<int> participants;
-  std::vector<double> weights;
-  std::vector<fl::RoundDelivery> delivery;
-  std::vector<double> realized_times(promised.nodes.size(), 0.0);
-  for (std::size_t i = 0; i < promised.nodes.size(); ++i) {
-    const sysmodel::NodeDecision& nd = promised.nodes[i];
-    if (!nd.participates) continue;
-    const faults::FaultEvent& e = events[i];
-    realized_times[i] = sysmodel::realized_node_time(nd, e.slowdown,
-                                                     config_.round_deadline);
-    fl::RoundDelivery d;
-    d.crash = e.crash;
-    const double full_time = nd.compute_time * e.slowdown + nd.comm_time;
-    d.late = config_.round_deadline > 0.0 && full_time > config_.round_deadline;
-    d.freeride = adv[i].freeride;
-    d.corruption = e.corruption;
-    if (adv[i].freeride) ++res.freeriding;
-    if (adv[i].misreport_factor > 1.0) ++res.misreporting;
-    participants.push_back(static_cast<int>(i));
-    // Reputation-weighted aggregation: the node's data weight is scaled
-    // by its ledger weight (exactly 1 while the defense is off).
-    weights.push_back(devices_[i].data_bits *
-                      reputation_->weight(static_cast<int>(i)));
-    delivery.push_back(d);
-  }
-
-  const double prev_accuracy = last_accuracy_;
-  const fl::TolerantRoundReport rep =
-      backend_->train_round_tolerant(participants, weights, delivery);
-  last_accuracy_ = rep.accuracy;
-
-  // Pay-on-delivery plus audits: a delivered upload is paid unless an
-  // audit fires and catches a free-ride (always unambiguous — the upload
-  // is a byte-copy of the model the server handed out) or a cost report
-  // inflated beyond the tolerance. Flagged payments are clawed back
-  // before the budget is drained.
-  std::vector<bool> paid(promised.nodes.size(), false);
-  for (std::size_t s = 0; s < participants.size(); ++s) {
-    const std::size_t i = static_cast<std::size_t>(participants[s]);
-    if (rep.status[s] != fl::DeliveryStatus::kDelivered) continue;
-    bool pay = true;
-    if (adversary::audit_fires(config_.defense, planned_round,
-                               participants[s])) {
-      const bool caught =
-          adv[i].freeride ||
-          adv[i].misreport_factor >= config_.defense.audit_tolerance;
-      if (caught) {
-        pay = false;
-        ++res.flagged;
-        res.clawed_back += promised.nodes[i].payment;
-      }
-    }
-    paid[i] = pay;
-  }
-  res.outcome = sysmodel::realize_round(promised, realized_times, paid);
-  budget_remaining_ -= res.outcome.total_payment;
-  total_clawed_back_ += res.clawed_back;
-
-  // Reputation EMA on observed outcomes: clean paid delivery earns 1, a
-  // flagged or failed delivery earns 0; nodes that sat out keep their
-  // score. The server cannot tell a crash from malice — both cost it a
-  // round — so both depress reputation until clean rounds rebuild it.
-  for (std::size_t s = 0; s < participants.size(); ++s) {
-    const int node = participants[s];
-    const bool clean = rep.status[s] == fl::DeliveryStatus::kDelivered &&
-                       paid[static_cast<std::size_t>(node)];
-    reputation_->update(node, clean ? 1.0 : 0.0);
-  }
-
-  res.participants = res.outcome.participants;
-  res.delivered = rep.delivered;
-  res.crashed = rep.crashed;
-  res.late = rep.late;
-  res.rejected = rep.rejected;
-  res.lightweight = rep.lightweight;
-  res.round_time = res.outcome.round_time;
-  res.payment = res.outcome.total_payment;
-  res.idle_time = res.outcome.idle_time;
-  res.time_efficiency = res.outcome.time_efficiency;
-  res.accuracy = rep.accuracy;
-  res.accuracy_gain = rep.accuracy - prev_accuracy;
-
-  const double time_term = config_.lambda_on_time
-                               ? config_.lambda_pref * res.round_time
-                               : res.round_time;
-  res.raw_exterior_reward =
-      config_.lambda_pref * res.accuracy_gain - time_term;
-  if (res.participants == 0) {
-    res.reward_exterior = -config_.empty_round_penalty;
-    res.reward_inner = -config_.empty_round_penalty;
-  } else {
-    res.reward_exterior = res.raw_exterior_reward / config_.time_norm;
-    res.reward_inner =
-        -res.idle_time /
-        (static_cast<double>(config_.num_nodes) * config_.time_norm);
-  }
-
-  RoundProfile profile;
-  profile.zeta.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
-  profile.price = effective_prices;
-  profile.time.resize(static_cast<std::size_t>(config_.num_nodes), 0.0);
-  for (std::size_t i = 0; i < res.outcome.nodes.size(); ++i) {
-    profile.zeta[i] = res.outcome.nodes[i].zeta;
-    profile.time[i] = res.outcome.nodes[i].total_time;
-  }
-  history_.push_back(std::move(profile));
-  if (static_cast<int>(history_.size()) > config_.history)
-    history_.erase(history_.begin());
-
-  if (budget_remaining_ <= 0.0 || round_ >= config_.max_rounds) done_ = true;
-  res.done = done_;
-  finish_round(res, std::accumulate(prices.begin(), prices.end(), 0.0),
-               effective_prices);
-  return res;
-}
-
-void EdgeLearnEnv::finish_round(const StepResult& res, double p_total,
-                                const std::vector<double>& effective_prices) {
+void EdgeLearnEnv::emit_round(const StepResult& res, double p_total,
+                              double p_posted,
+                              const std::vector<double>& effective_prices,
+                              double budget_remaining,
+                              double total_clawed_back,
+                              double forfeited_total, int record_round) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
   if (reg.enabled()) {
     const EnvMetricIds& m = env_metrics();
     reg.add(res.aborted ? m.rounds_aborted : m.rounds);
     if (res.offline > 0)
       reg.add(m.nodes_offline, static_cast<std::uint64_t>(res.offline));
-    reg.set(m.budget_remaining, budget_remaining_);
+    reg.set(m.budget_remaining, budget_remaining);
     reg.set(m.accuracy, res.accuracy);
     if (adversary_active()) {
       if (res.screened > 0)
@@ -633,20 +701,25 @@ void EdgeLearnEnv::finish_round(const StepResult& res, double p_total,
       if (res.misreporting > 0)
         reg.add(m.adv_misreports,
                 static_cast<std::uint64_t>(res.misreporting));
-      reg.set(m.adv_clawed_back, total_clawed_back_);
+      reg.set(m.adv_clawed_back, total_clawed_back);
     }
   }
 
   if (round_sink_ == nullptr) return;
   obs::RoundRecord r;
   r.episode = episode_;
-  // round_ is bumped for executed rounds only; an aborted attempt is the
-  // round that *would have been* next.
-  r.round = res.aborted ? round_ + 1 : round_;
+  // Executed rounds stamp their own (post-increment) index; an aborted
+  // attempt is the round that *would have been* next. Both are passed in
+  // as captured values — in pipelined mode the live round_ may already
+  // belong to round k+1.
+  r.round = record_round;
   r.aborted = res.aborted;
+  // p_total is the sum the market actually ran on (screened/offline nodes
+  // at 0); the raw posted action is logged separately as p_posted.
   r.p_total = p_total;
+  r.p_posted = p_posted;
   r.payment = res.payment;
-  r.budget_remaining = budget_remaining_;
+  r.budget_remaining = budget_remaining;
   r.round_time = res.round_time;
   r.idle_time = res.idle_time;
   r.time_efficiency = res.time_efficiency;
@@ -672,6 +745,7 @@ void EdgeLearnEnv::finish_round(const StepResult& res, double p_total,
     r.freeriding = res.freeriding;
     r.misreporting = res.misreporting;
     r.clawed_back = res.clawed_back;
+    r.forfeited_total = forfeited_total;
   }
   if (!res.aborted) {
     r.node_prices = effective_prices;

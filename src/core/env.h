@@ -28,6 +28,10 @@ namespace chiron::obs {
 class RoundSink;
 }  // namespace chiron::obs
 
+namespace chiron::runtime {
+class RoundPipeline;
+}  // namespace chiron::runtime
+
 namespace chiron::core {
 
 enum class BackendKind { kSurrogate, kRealVision, kRealBlobs };
@@ -152,6 +156,11 @@ struct StepResult {
   int freeriding = 0;    // participating free-riders
   int misreporting = 0;  // participating cost-misreporters (factor > 1)
   double clawed_back = 0.0;  // Σ payments zeroed by audits this round
+  /// Episode balance of the non-spendable forfeited ledger after this
+  /// round: every clawed-back payment was committed at round start and is
+  /// forfeited on an audit catch instead of returning to the spendable
+  /// budget (escrow discipline — DESIGN.md §5.11).
+  double forfeited_total = 0.0;
   sysmodel::RoundOutcome outcome;  // per-node detail (realized under faults:
                                    // deadline-cut times, delivery-only pay)
 };
@@ -159,14 +168,45 @@ struct StepResult {
 class EdgeLearnEnv {
  public:
   explicit EdgeLearnEnv(const EnvConfig& config);
+  ~EdgeLearnEnv();
 
   /// Starts a new episode: fresh model, full budget, zeroed history.
   /// Device profiles persist across episodes (the node population is a
   /// fixed market the mechanism learns about). Returns the exterior state.
+  /// An in-flight pipelined round is drained (and its record written)
+  /// first.
   std::vector<float> reset();
 
   /// Executes round k with posted per-node prices.
   StepResult step(const std::vector<double>& prices);
+
+  /// Result of one pipelined step (DESIGN.md §5.14). step_pipelined(k)
+  /// commits, trains and settles round k, but defers its evaluation to a
+  /// stage thread — round k's StepResult is returned by the NEXT call (in
+  /// `prev`) or by drain(). When the commit aborts (overdraw), `abort`
+  /// carries the discarded round's result and the episode is over; a
+  /// still-in-flight previous round is finalized first, so `prev` may be
+  /// valid in the same return.
+  struct PipelinedStep {
+    bool prev_valid = false;
+    StepResult prev;   // round k-1, finalized by this call
+    bool aborted = false;
+    StepResult abort;  // the discarded attempt (aborted-round contract)
+  };
+
+  /// Pipelined variant of step(): overlaps round k-1's deferred
+  /// evaluation with round k's commit + local training. Byte-identical
+  /// results to step() — fixed hand-off points, no wall-clock scheduling;
+  /// only the call that returns a given round's result changes.
+  PipelinedStep step_pipelined(const std::vector<double>& prices);
+
+  /// True while a pipelined round awaits finalization.
+  bool has_pending() const { return pending_.valid; }
+
+  /// Joins the stage thread and finalizes the in-flight round; its
+  /// StepResult (and round record) are produced exactly as step() would
+  /// have. Requires has_pending().
+  StepResult drain();
 
   /// Exterior observation s^E_k (normalized): L rounds of (ζ, p, T) per
   /// node + remaining budget fraction + round index fraction.
@@ -193,6 +233,15 @@ class EdgeLearnEnv {
 
   double budget_remaining() const { return budget_remaining_; }
   double budget_initial() const { return config_.budget; }
+  /// Non-spendable ledger of audit-forfeited payments this episode: money
+  /// committed at round start that an audit catch removed from circulation
+  /// instead of refunding (DESIGN.md §5.11). Always ≥ 0, reset with the
+  /// budget; budget_remaining + total spent + forfeited_total = η.
+  double forfeited_total() const { return forfeited_total_; }
+  /// Promised payment debited at commit and not yet settled. Non-zero only
+  /// inside a step (between the commit and settle phases); callers
+  /// observing the env between steps always see 0.
+  double escrow_outstanding() const { return escrow_outstanding_; }
   int round() const { return round_; }
   double accuracy() const { return backend_->accuracy(); }
   bool done() const { return done_; }
@@ -208,29 +257,88 @@ class EdgeLearnEnv {
   std::vector<double> equal_time_proportions(double total_price) const;
 
  private:
-  /// The fault-injected variant of step(); step() dispatches here when a
-  /// fault config or a round deadline is active.
-  StepResult step_faulty(const std::vector<double>& prices);
+  /// Which round pipeline a committed round runs on; decided once per
+  /// step from the config, exactly as the old step dispatch did.
+  enum class StepPath { kHonest, kFaulty, kAdversarial };
 
-  /// The adversarial variant: strategic responses, churn, screening,
-  /// audits and reputation layered on step_faulty's pay-on-delivery
-  /// economics. step() dispatches here when the adversary config or any
-  /// defense is active (faults/deadline compose with it).
-  StepResult step_adversarial(const std::vector<double>& prices);
+  /// Everything the commit phase hands to the train and settle phases:
+  /// the partially filled result (offline/screening/churn counts), the
+  /// promised market, and the training inputs derived from it. On an
+  /// overdraw `aborted` is set and nothing was debited.
+  struct CommitOut {
+    StepPath path = StepPath::kHonest;
+    bool aborted = false;
+    StepResult res;
+    std::vector<double> effective_prices;
+    sysmodel::RoundOutcome promised;
+    std::vector<int> participants;
+    std::vector<double> weights;
+    std::vector<fl::RoundDelivery> delivery;
+    std::vector<double> realized_times;
+    std::vector<adversary::AdversaryEvent> adv;  // adversarial path only
+    int planned_round = 0;   // round index the schedules were drawn for
+    double p_posted = 0.0;   // Σ raw posted prices (the exterior action)
+    double budget_checkpoint = 0.0;  // budget before the escrow debit
+  };
 
-  /// True when step() routes rounds through step_adversarial; also gates
-  /// the adversary fields of the round log (zero-knob runs keep emitting
-  /// byte-identical records).
+  /// One settled-but-unfinalized round: the pipeline's hand-off token.
+  /// Record/metric inputs are captured at settle because the live members
+  /// (budget, round index, clawback totals) may belong to round k+1 by
+  /// the time round k's record is written.
+  struct PendingRound {
+    bool valid = false;
+    bool eval_pending = false;  // a stage-thread eval fills res.accuracy
+    /// This round's deferred-eval job (frozen post-aggregate snapshot).
+    /// Owned here — NOT by the backend — so the stage thread finishing
+    /// round k never races round k+1's train_round_deferred call.
+    fl::DeferredEval eval;
+    StepResult res;
+    double p_total = 0.0;   // Σ effective (market) prices
+    double p_posted = 0.0;  // Σ raw posted prices
+    std::vector<double> effective_prices;
+    double budget_remaining = 0.0;
+    double total_clawed_back = 0.0;
+    double forfeited_total = 0.0;
+    int round = 0;
+  };
+
+  /// Commit phase: draws this round's schedules, runs the (promised)
+  /// market, applies the overdraw-abort rule against the settled budget,
+  /// debits the promised total into escrow and derives the training
+  /// inputs. Dispatches on the same condition ladder step() always had.
+  CommitOut commit_round(const std::vector<double>& prices);
+  CommitOut commit_honest(const std::vector<double>& prices);
+  CommitOut commit_faulty(const std::vector<double>& prices);
+  CommitOut commit_adversarial(const std::vector<double>& prices);
+
+  /// Settle phase: resolves pay-on-delivery (and audits/reputation on the
+  /// adversarial path), re-settles the budget from the commit checkpoint
+  /// (realized + forfeited leave; honest-undelivered escrow returns),
+  /// pushes history and decides `done`. Returns the pending round; its
+  /// accuracy is final iff eval_pending is false.
+  PendingRound settle_round(CommitOut c, const fl::TolerantRoundReport& rep,
+                            bool eval_pending);
+
+  /// Finalize phase: consumes pending_ (whose accuracy must be final),
+  /// computes the accuracy gain and rewards, and emits metrics + the
+  /// round record from the captured settle-time values.
+  StepResult finalize_pending();
+
+  /// True when step() routes rounds through the adversarial commit; also
+  /// gates the adversary fields of the round log (zero-knob runs keep
+  /// emitting byte-identical records).
   bool adversary_active() const {
     return config_.adversary.any() || config_.defense.any();
   }
 
-  /// Observability tail shared by both step paths: records the round's
-  /// metrics and, when a sink is attached, writes the RoundRecord.
-  /// `p_total` is the caller's posted Σ p_i (the exterior action);
-  /// `effective_prices` are the post-availability prices the nodes saw.
-  void finish_round(const StepResult& res, double p_total,
-                    const std::vector<double>& effective_prices);
+  /// Observability tail: records the round's metrics and, when a sink is
+  /// attached, writes the RoundRecord. All inputs are captured values —
+  /// `p_total` is the effective (market) price sum, `p_posted` the raw
+  /// posted action, `record_round` the 1-based round index to stamp.
+  void emit_round(const StepResult& res, double p_total, double p_posted,
+                  const std::vector<double>& effective_prices,
+                  double budget_remaining, double total_clawed_back,
+                  double forfeited_total, int record_round);
 
   EnvConfig config_;
   Rng rng_;
@@ -258,6 +366,8 @@ class EdgeLearnEnv {
   bool done_ = true;
   double last_accuracy_ = 0.0;
   double total_clawed_back_ = 0.0;  // cumulative audited clawbacks (episode)
+  double forfeited_total_ = 0.0;    // non-spendable forfeited ledger (episode)
+  double escrow_outstanding_ = 0.0;  // committed, unsettled promised payment
   // History ring (most recent last), each entry = one round's profile.
   struct RoundProfile {
     std::vector<double> zeta;
@@ -265,6 +375,12 @@ class EdgeLearnEnv {
     std::vector<double> time;
   };
   std::vector<RoundProfile> history_;
+
+  PendingRound pending_;  // settled round awaiting finalize (pipeline mode)
+  /// Stage thread for deferred evaluations; lazily created by the first
+  /// step_pipelined. Declared last so it is destroyed (and joined) before
+  /// the backend and pending state its in-flight task touches.
+  std::unique_ptr<runtime::RoundPipeline> pipeline_;
 };
 
 }  // namespace chiron::core

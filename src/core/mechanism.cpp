@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "nn/serialize.h"
+#include "runtime/pipeline.h"
 
 namespace chiron::core {
 
@@ -89,6 +90,8 @@ HierarchicalMechanism::HierarchicalMechanism(EdgeLearnEnv& env,
   CHIRON_CHECK(config_.episodes >= 1);
 }
 
+HierarchicalMechanism::~HierarchicalMechanism() = default;
+
 std::vector<EpisodeStats> HierarchicalMechanism::train(int episodes) {
   const int n = episodes >= 0 ? episodes : config_.episodes;
   std::vector<EpisodeStats> out;
@@ -96,6 +99,9 @@ std::vector<EpisodeStats> HierarchicalMechanism::train(int episodes) {
   for (int e = 0; e < n; ++e) {
     out.push_back(run_episode(/*learn=*/true, /*stochastic=*/true));
   }
+  // Callers read the agents (evaluate, save, …) after train() returns;
+  // nothing may still be mutating them on the stage thread.
+  join_pending_update();
   return out;
 }
 
@@ -105,10 +111,12 @@ EpisodeStats HierarchicalMechanism::evaluate(int episodes) {
   stats.reserve(static_cast<std::size_t>(episodes));
   for (int e = 0; e < episodes; ++e)
     stats.push_back(run_episode(/*learn=*/false, /*stochastic=*/true));
+  join_pending_update();
   return mean_stats(stats);
 }
 
 void HierarchicalMechanism::save(const std::string& path) {
+  join_pending_update();
   nn::CheckpointWriter w(path);
   MechanismCheckpointInfo info;
   info.exterior_obs_dim = env_.exterior_state_dim();
@@ -123,6 +131,7 @@ void HierarchicalMechanism::save(const std::string& path) {
 }
 
 void HierarchicalMechanism::load(const std::string& path) {
+  join_pending_update();
   nn::CheckpointReader r(path);
   const MechanismCheckpointInfo info = read_mechanism_header(r);
   CHIRON_CHECK_MSG(info.exterior_obs_dim == env_.exterior_state_dim(),
@@ -156,93 +165,170 @@ void HierarchicalMechanism::load(const std::string& path) {
   r.expect_eof();  // trailing garbage means this is not our checkpoint
 }
 
-EpisodeStats HierarchicalMechanism::run_episode(bool learn, bool stochastic) {
-  EpisodeStats stats;
-  std::vector<float> s_ext = env_.reset();
-  while (!env_.done()) {
-    // Exterior agent: total price.
-    rl::ActResult ext_act;
-    if (stochastic) {
-      ext_act = exterior_.act(s_ext, rng_);
-    } else {
-      ext_act.action = exterior_.act_mean(s_ext);
-    }
-    const double p_total = map_total_price(ext_act.action[0],
-                                           env_.price_cap());
-
-    // Inner agent: allocation proportions. Its state is the (normalized)
-    // exterior action, per §V-A.
-    const std::vector<float> s_inner = {
-        static_cast<float>(p_total / env_.price_cap())};
-    rl::ActResult inner_act;
-    std::vector<double> proportions;
-    if (config_.uniform_inner) {
-      proportions.assign(static_cast<std::size_t>(env_.num_nodes()),
-                         1.0 / env_.num_nodes());
-    } else if (config_.oracle_inner) {
-      proportions = env_.equal_time_proportions(std::max(p_total, 1e-9));
-    } else if (stochastic) {
-      inner_act = inner_.act(s_inner, rng_);
-      proportions = map_proportions(inner_act.action);
-    } else {
-      inner_act.action = inner_.act_mean(s_inner);
-      proportions = map_proportions(inner_act.action);
-    }
-
-    StepResult res = env_.step(combine_prices(p_total, proportions));
-    if (res.aborted) break;  // discarded round (paper §V-A)
-
-    accumulate(stats, res);
-    if (learn) {
-      rl::Transition te;
-      te.obs = s_ext;
-      te.action = ext_act.action;
-      te.log_prob = ext_act.log_prob;
-      te.reward = static_cast<float>(res.reward_exterior);
-      te.value = ext_act.value;
-      ext_buffer_.add(std::move(te));
-      if (!config_.oracle_inner && !config_.uniform_inner) {
-        rl::Transition ti;
-        ti.obs = s_inner;
-        ti.action = inner_act.action;
-        ti.log_prob = inner_act.log_prob;
-        ti.reward = static_cast<float>(res.reward_inner);
-        ti.value = inner_act.value;
-        inner_buffer_.add(std::move(ti));
-      }
-    }
-    s_ext = env_.exterior_state();
+HierarchicalMechanism::RoundAction HierarchicalMechanism::select_action(
+    std::vector<float> s_ext, bool stochastic) {
+  RoundAction act;
+  act.s_ext = std::move(s_ext);
+  // Exterior agent: total price.
+  if (stochastic) {
+    act.ext = exterior_.act(act.s_ext, rng_);
+  } else {
+    act.ext.action = exterior_.act_mean(act.s_ext);
   }
-  finalize(stats);
+  const double p_total = map_total_price(act.ext.action[0],
+                                         env_.price_cap());
 
-  if (learn) {
-    if (stats.rounds > 0) {
-      ext_buffer_.end_episode(config_.gamma, config_.gae_lambda);
-      if (!config_.oracle_inner && !config_.uniform_inner) {
-        inner_buffer_.end_episode(config_.inner_gamma, config_.gae_lambda);
-      }
+  // Inner agent: allocation proportions. Its state is the (normalized)
+  // exterior action, per §V-A.
+  act.s_inner = {static_cast<float>(p_total / env_.price_cap())};
+  std::vector<double> proportions;
+  if (config_.uniform_inner) {
+    proportions.assign(static_cast<std::size_t>(env_.num_nodes()),
+                       1.0 / env_.num_nodes());
+  } else if (config_.oracle_inner) {
+    proportions = env_.equal_time_proportions(std::max(p_total, 1e-9));
+  } else if (stochastic) {
+    act.inner = inner_.act(act.s_inner, rng_);
+    proportions = map_proportions(act.inner.action);
+  } else {
+    act.inner.action = inner_.act_mean(act.s_inner);
+    proportions = map_proportions(act.inner.action);
+  }
+  act.prices = combine_prices(p_total, proportions);
+  return act;
+}
+
+void HierarchicalMechanism::record_transitions(RoundAction&& act,
+                                               const StepResult& res) {
+  rl::Transition te;
+  te.obs = std::move(act.s_ext);
+  te.action = act.ext.action;
+  te.log_prob = act.ext.log_prob;
+  te.reward = static_cast<float>(res.reward_exterior);
+  te.value = act.ext.value;
+  ext_buffer_.add(std::move(te));
+  if (!config_.oracle_inner && !config_.uniform_inner) {
+    rl::Transition ti;
+    ti.obs = std::move(act.s_inner);
+    ti.action = act.inner.action;
+    ti.log_prob = act.inner.log_prob;
+    ti.reward = static_cast<float>(res.reward_inner);
+    ti.value = act.inner.value;
+    inner_buffer_.add(std::move(ti));
+  }
+}
+
+void HierarchicalMechanism::learn_from_episode(const EpisodeStats& stats,
+                                               bool deferred) {
+  if (stats.rounds > 0) {
+    ext_buffer_.end_episode(config_.gamma, config_.gae_lambda);
+    if (!config_.oracle_inner && !config_.uniform_inner) {
+      inner_buffer_.end_episode(config_.inner_gamma, config_.gae_lambda);
     }
-    ++episodes_done_;
-    if (episodes_done_ % std::max(config_.episodes_per_update, 1) == 0) {
+  }
+  ++episodes_done_;
+  const bool update_due =
+      episodes_done_ % std::max(config_.episodes_per_update, 1) == 0;
+  const bool decay_due = config_.lr_decay_every > 0 &&
+                         episodes_done_ % config_.lr_decay_every == 0;
+  if (update_due) {
+    const bool use_inner = !config_.oracle_inner && !config_.uniform_inner;
+    auto run_updates = [this, use_inner] {
       if (ext_buffer_.size() > 0) {
         ext_buffer_.finalize(config_.normalize_exterior_advantages);
         exterior_.update(ext_buffer_);
       }
       ext_buffer_.clear();
-      if (!config_.oracle_inner && !config_.uniform_inner) {
+      if (use_inner) {
         if (inner_buffer_.size() > 0) {
           inner_buffer_.finalize(config_.normalize_inner_advantages);
           inner_.update(inner_buffer_);
         }
         inner_buffer_.clear();
       }
-    }
-    if (config_.lr_decay_every > 0 &&
-        episodes_done_ % config_.lr_decay_every == 0) {
-      exterior_.decay_lr(config_.lr_decay);
-      inner_.decay_lr(config_.lr_decay);
+    };
+    if (deferred && !decay_due) {
+      // PPO touches only the agents' nets and the episode buffers — both
+      // idle until the next act — and consumes no RNG, so the update can
+      // overlap the next episode's env reset (the backend rebuild).
+      // When a decay is also due this episode it must order after the
+      // update, so that rare episode (every lr_decay_every) runs inline.
+      if (pipeline_ == nullptr)
+        pipeline_ = std::make_unique<runtime::RoundPipeline>();
+      pipeline_->submit(run_updates);
+      update_pending_ = true;
+    } else {
+      run_updates();
     }
   }
+  if (decay_due) {
+    exterior_.decay_lr(config_.lr_decay);
+    inner_.decay_lr(config_.lr_decay);
+  }
+}
+
+void HierarchicalMechanism::join_pending_update() {
+  if (!update_pending_) return;
+  pipeline_->join();
+  update_pending_ = false;
+}
+
+EpisodeStats HierarchicalMechanism::run_episode(bool learn, bool stochastic) {
+  if (runtime::pipeline_enabled())
+    return run_episode_pipelined(learn, stochastic);
+  join_pending_update();
+  EpisodeStats stats;
+  std::vector<float> s_ext = env_.reset();
+  while (!env_.done()) {
+    RoundAction act = select_action(std::move(s_ext), stochastic);
+    StepResult res = env_.step(act.prices);
+    if (res.aborted) break;  // discarded round (paper §V-A)
+
+    accumulate(stats, res);
+    if (learn) record_transitions(std::move(act), res);
+    s_ext = env_.exterior_state();
+  }
+  finalize(stats);
+  if (learn) learn_from_episode(stats, /*deferred=*/false);
+  return stats;
+}
+
+EpisodeStats HierarchicalMechanism::run_episode_pipelined(bool learn,
+                                                          bool stochastic) {
+  EpisodeStats stats;
+  // reset() rebuilds the backend — substantial work that overlaps a PPO
+  // update still on the stage thread; the fence lands before the first
+  // act touches the agents.
+  std::vector<float> s_ext = env_.reset();
+  join_pending_update();
+
+  // Context of the round currently in the env's pipeline, so its
+  // transitions can be recorded when its result arrives one step later.
+  RoundAction in_flight;
+  bool have_ctx = false;
+  while (!env_.done()) {
+    RoundAction act = select_action(std::move(s_ext), stochastic);
+    EdgeLearnEnv::PipelinedStep out = env_.step_pipelined(act.prices);
+    if (out.prev_valid) {
+      accumulate(stats, out.prev);
+      if (learn && have_ctx)
+        record_transitions(std::move(in_flight), out.prev);
+      have_ctx = false;
+    }
+    // An aborted commit discards this round: its action context is
+    // dropped, exactly like the sequential `if (res.aborted) break`.
+    if (out.aborted) break;
+    in_flight = std::move(act);
+    have_ctx = true;
+    s_ext = env_.exterior_state();
+  }
+  if (env_.has_pending()) {
+    const StepResult last = env_.drain();
+    accumulate(stats, last);
+    if (learn && have_ctx) record_transitions(std::move(in_flight), last);
+  }
+  finalize(stats);
+  if (learn) learn_from_episode(stats, /*deferred=*/true);
   return stats;
 }
 

@@ -8,6 +8,7 @@
 // the buffers are cleared, exactly as Algorithm 1 lines 17–27.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,10 @@ namespace chiron::nn {
 class CheckpointReader;
 class CheckpointWriter;
 }  // namespace chiron::nn
+
+namespace chiron::runtime {
+class RoundPipeline;
+}  // namespace chiron::runtime
 
 namespace chiron::core {
 
@@ -98,6 +103,7 @@ class HierarchicalMechanism {
  public:
   /// `env` must outlive the mechanism.
   HierarchicalMechanism(EdgeLearnEnv& env, const ChironConfig& config);
+  ~HierarchicalMechanism();
 
   /// Trains for config.episodes (or `episodes` if >= 0) and returns the
   /// per-episode stats in order.
@@ -112,6 +118,10 @@ class HierarchicalMechanism {
 
   /// One episode; learn=true stores transitions and updates at the end,
   /// stochastic=true samples actions (otherwise uses policy means).
+  /// When runtime::pipeline_enabled() the episode runs the double-buffered
+  /// round pipeline (DESIGN.md §5.14): byte-identical transitions, stats
+  /// and logs, with round k-1's evaluation and the end-of-batch PPO update
+  /// hidden behind round k's training / the next episode's reset.
   EpisodeStats run_episode(bool learn, bool stochastic);
 
   rl::PpoAgent& exterior_agent() { return exterior_; }
@@ -124,6 +134,36 @@ class HierarchicalMechanism {
   void load(const std::string& path);
 
  private:
+  /// Everything the agents decided for one round: the states both acted
+  /// on, their raw actions, and the posted prices. Kept while the round
+  /// is in flight so its transition can be recorded once the pipelined
+  /// result arrives.
+  struct RoundAction {
+    std::vector<float> s_ext;
+    std::vector<float> s_inner;
+    rl::ActResult ext;
+    rl::ActResult inner;
+    std::vector<double> prices;
+  };
+
+  /// Runs both agents (and the oracle/uniform ablations) on s_ext exactly
+  /// as Algorithm 1 does per round; consumes rng_ in the fixed order.
+  RoundAction select_action(std::vector<float> s_ext, bool stochastic);
+
+  /// Records one executed round's transitions into the episode buffers.
+  void record_transitions(RoundAction&& act, const StepResult& res);
+
+  EpisodeStats run_episode_pipelined(bool learn, bool stochastic);
+
+  /// Episode-end learning tail (Algorithm 1 lines 17–27). With `deferred`
+  /// the PPO updates of a due batch run on the stage thread, overlapping
+  /// the next episode's env reset; join_pending_update() fences them.
+  void learn_from_episode(const EpisodeStats& stats, bool deferred);
+
+  /// Joins a deferred PPO update (no-op when none is pending). Must run
+  /// before anything touches the agents: act/evaluate, save/load, decay.
+  void join_pending_update();
+
   EdgeLearnEnv& env_;
   ChironConfig config_;
   Rng rng_;
@@ -132,6 +172,10 @@ class HierarchicalMechanism {
   rl::RolloutBuffer ext_buffer_;
   rl::RolloutBuffer inner_buffer_;
   int episodes_done_ = 0;
+  bool update_pending_ = false;  // a PPO update is on the stage thread
+  /// Stage thread for deferred PPO updates; lazily created. Declared last
+  /// so it joins before the agents and buffers its task touches die.
+  std::unique_ptr<runtime::RoundPipeline> pipeline_;
 };
 
 }  // namespace chiron::core

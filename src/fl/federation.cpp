@@ -77,12 +77,27 @@ double Federation::run_round(const std::vector<int>& participants) {
 TolerantRoundReport Federation::run_round_tolerant(
     const std::vector<int>& participants,
     const std::vector<RoundDelivery>& delivery) {
+  return run_round_tolerant_impl(participants, delivery, /*defer=*/nullptr);
+}
+
+TolerantRoundReport Federation::run_round_tolerant_deferred(
+    const std::vector<int>& participants,
+    const std::vector<RoundDelivery>& delivery, DeferredEval& out) {
+  out.pending = false;
+  return run_round_tolerant_impl(participants, delivery, &out);
+}
+
+TolerantRoundReport Federation::run_round_tolerant_impl(
+    const std::vector<int>& participants,
+    const std::vector<RoundDelivery>& delivery, DeferredEval* defer) {
   CHIRON_CHECK_MSG(participants.size() == delivery.size(),
                    "participants " << participants.size() << " vs delivery "
                                    << delivery.size());
   TolerantRoundReport rep;
   if (participants.empty()) {
-    rep.accuracy = accuracy();
+    // Deferred mode may overlap a stage thread that owns the accuracy
+    // cache, so the cache read happens in finish_deferred_eval instead.
+    if (defer == nullptr) rep.accuracy = accuracy();
     return rep;
   }
   for (int id : participants)
@@ -99,7 +114,7 @@ TolerantRoundReport Federation::run_round_tolerant(
   // the flat path below is byte-for-byte the pre-shard-tree schedule, so
   // zero-knob configurations (shards=1, no replica cap) are untouched.
   if (shards_ > 1 || any_lightweight_)
-    return run_round_streamed(participants, delivery, unique);
+    return run_round_streamed(participants, delivery, unique, defer);
 
   const std::int64_t count = static_cast<std::int64_t>(participants.size());
   std::vector<std::vector<float>> uploads(participants.size());
@@ -158,7 +173,7 @@ TolerantRoundReport Federation::run_round_tolerant(
   if (rep.delivered == 0) {
     // Graceful degradation: nothing survived, so the global model and the
     // accuracy cache stay exactly as they were.
-    rep.accuracy = accuracy();
+    if (defer == nullptr) rep.accuracy = accuracy();
     return rep;
   }
   // Partial FedAvg: weighted_average renormalizes the surviving D_i.
@@ -167,6 +182,12 @@ TolerantRoundReport Federation::run_round_tolerant(
     server_->aggregate(accepted, accepted_weights);
   }
   rep.aggregated = true;
+  if (defer != nullptr) {
+    defer->params = server_->global_params();
+    defer->version = server_->version();
+    defer->pending = true;
+    return rep;
+  }
   {
     obs::Span eval_span(obs::Phase::kEvaluate);
     last_accuracy_ = server_->evaluate();
@@ -178,7 +199,8 @@ TolerantRoundReport Federation::run_round_tolerant(
 
 TolerantRoundReport Federation::run_round_streamed(
     const std::vector<int>& participants,
-    const std::vector<RoundDelivery>& delivery, bool unique) {
+    const std::vector<RoundDelivery>& delivery, bool unique,
+    DeferredEval* defer) {
   // Large-N round (DESIGN.md §5.12): participants are processed in fixed
   // micro-batches; each batch trains its trainer lanes on the pool, then
   // resolves deliveries serially in participant order, folding accepted
@@ -321,7 +343,7 @@ TolerantRoundReport Federation::run_round_streamed(
     // Graceful degradation, as in the flat path: no surviving model
     // uploads leaves the global model and the accuracy cache untouched
     // (lightweight stats alone cannot move the model).
-    rep.accuracy = accuracy();
+    if (defer == nullptr) rep.accuracy = accuracy();
     return rep;
   }
   {
@@ -329,6 +351,12 @@ TolerantRoundReport Federation::run_round_streamed(
     server_->apply_aggregate(agg.finish());
   }
   rep.aggregated = true;
+  if (defer != nullptr) {
+    defer->params = server_->global_params();
+    defer->version = server_->version();
+    defer->pending = true;
+    return rep;
+  }
   {
     obs::Span eval_span(obs::Phase::kEvaluate);
     last_accuracy_ = server_->evaluate();
@@ -336,6 +364,21 @@ TolerantRoundReport Federation::run_round_streamed(
   eval_version_ = server_->version();
   rep.accuracy = last_accuracy_;
   return rep;
+}
+
+double Federation::finish_deferred_eval(DeferredEval& job) {
+  if (job.pending) {
+    {
+      obs::Span eval_span(obs::Phase::kEvaluate);
+      last_accuracy_ = server_->evaluate_params(job.params);
+    }
+    eval_version_ = job.version;
+    job.pending = false;
+    job.params.clear();  // keeps capacity for the next round's snapshot
+  }
+  CHIRON_CHECK_MSG(last_accuracy_ >= 0.0,
+                   "finish_deferred_eval before any evaluation");
+  return last_accuracy_;
 }
 
 double Federation::accuracy() {

@@ -63,6 +63,19 @@ struct RoundDelivery {
 /// What actually happened to each participant of a tolerant round.
 enum class DeliveryStatus { kDelivered, kCrashed, kLate, kRejected };
 
+/// A frozen post-aggregate evaluation job produced by
+/// run_round_tolerant_deferred (the round pipeline's hand-off token,
+/// DESIGN.md §5.14): the parameter snapshot to evaluate and the server
+/// version it belongs to. `pending` is false when the round left the
+/// global model untouched (zero survivors) — nothing new to evaluate.
+/// The job is owned by the caller, so a stage thread finishing round k's
+/// job never races the main thread snapshotting round k+1's.
+struct DeferredEval {
+  std::vector<float> params;
+  std::uint64_t version = 0;
+  bool pending = false;
+};
+
 struct TolerantRoundReport {
   double accuracy = 0.0;
   /// False when zero uploads survived: the global model, its version and
@@ -126,6 +139,25 @@ class Federation {
       const std::vector<int>& participants,
       const std::vector<RoundDelivery>& delivery);
 
+  /// Deferred-evaluation variant of run_round_tolerant: identical
+  /// training/aggregation schedule, but instead of evaluating the new
+  /// global model it snapshots the post-aggregate parameters into `out`
+  /// for a later finish_deferred_eval. The report's `accuracy` field is
+  /// left at 0 (unknown until the job finishes), and — unlike the inline
+  /// variant — this path never reads or writes the accuracy cache, so it
+  /// may overlap a stage thread finishing the *previous* round's job.
+  TolerantRoundReport run_round_tolerant_deferred(
+      const std::vector<int>& participants,
+      const std::vector<RoundDelivery>& delivery, DeferredEval& out);
+
+  /// Evaluates `job` (if pending) and installs the result in the accuracy
+  /// cache; returns the up-to-date accuracy either way. Requires at least
+  /// one prior evaluation (the constructor path via accuracy()) so a
+  /// no-op job has a cached value to return. Callable from a pipeline
+  /// stage thread: it touches only the snapshot, the server's evaluation
+  /// state and the accuracy cache, never the live global parameters.
+  double finish_deferred_eval(DeferredEval& job);
+
   /// Accuracy of the current global model. Cached, keyed on the server's
   /// parameter version: mutating the global model (another round, or
   /// server().set_global_params) invalidates the cache.
@@ -138,11 +170,17 @@ class Federation {
  private:
   void init(const FederationConfig& config, const ModelFactory& factory,
             std::vector<data::Dataset> shards, data::Dataset test, Rng& rng);
+  /// Shared round body: `defer` null runs the inline evaluation tail,
+  /// non-null snapshots the post-aggregate parameters instead.
+  TolerantRoundReport run_round_tolerant_impl(
+      const std::vector<int>& participants,
+      const std::vector<RoundDelivery>& delivery, DeferredEval* defer);
   /// The large-N round: uploads stream through the shard tree in fixed
   /// micro-batches and lightweight nodes report probe statistics.
   TolerantRoundReport run_round_streamed(
       const std::vector<int>& participants,
-      const std::vector<RoundDelivery>& delivery, bool unique);
+      const std::vector<RoundDelivery>& delivery, bool unique,
+      DeferredEval* defer);
 
   std::vector<std::unique_ptr<EdgeNode>> nodes_;
   std::unique_ptr<ParameterServer> server_;

@@ -29,6 +29,7 @@ ParameterServer::ParameterServer(std::unique_ptr<nn::Sequential> model,
   CHIRON_CHECK(eval_batch_ >= 1);
   CHIRON_CHECK(server_momentum_ >= 0.0 && server_momentum_ < 1.0);
   global_ = nn::get_flat_params(*model_);
+  param_count_ = static_cast<std::int64_t>(global_.size());
 }
 
 void ParameterServer::set_global_params(std::vector<float> params) {
@@ -79,10 +80,10 @@ int ParameterServer::aggregate_surviving(
   return static_cast<int>(accepted.size());
 }
 
-std::int64_t ParameterServer::evaluate_batches(nn::Sequential& net,
-                                               std::int64_t first_batch,
-                                               std::int64_t last_batch) const {
-  nn::set_flat_params(net, global_);
+std::int64_t ParameterServer::evaluate_batches(
+    nn::Sequential& net, const std::vector<float>& params,
+    std::int64_t first_batch, std::int64_t last_batch) const {
+  nn::set_flat_params(net, params);
   std::int64_t correct = 0;
   for (std::int64_t b = first_batch; b < last_batch; ++b) {
     const std::int64_t start = b * eval_batch_;
@@ -98,7 +99,10 @@ std::int64_t ParameterServer::evaluate_batches(nn::Sequential& net,
   return correct;
 }
 
-double ParameterServer::evaluate() {
+double ParameterServer::evaluate() { return evaluate_params(global_); }
+
+double ParameterServer::evaluate_params(const std::vector<float>& params) {
+  CHIRON_CHECK(static_cast<std::int64_t>(params.size()) == parameter_count());
   const std::int64_t num_batches =
       (test_.size() + eval_batch_ - 1) / eval_batch_;
   // Shard count is capped by batches; correct counts are integers summed
@@ -109,7 +113,7 @@ double ParameterServer::evaluate() {
     shards = 1;
   std::int64_t correct = 0;
   if (shards <= 1) {
-    correct = evaluate_batches(*model_, 0, num_batches);
+    correct = evaluate_batches(*model_, params, 0, num_batches);
   } else {
     while (static_cast<std::int64_t>(replicas_.size()) < shards - 1) {
       Rng throwaway(0);  // init weights are immediately overwritten
@@ -121,15 +125,15 @@ double ParameterServer::evaluate() {
     CHIRON_CHECK(pool != nullptr);
     for (std::int64_t s = 1; s < shards; ++s) {
       nn::Sequential* net = replicas_[static_cast<std::size_t>(s - 1)].get();
-      futures.push_back(pool->submit([this, net, lo = bound(s),
+      futures.push_back(pool->submit([this, net, &params, lo = bound(s),
                                       hi = bound(s + 1)] {
-        return evaluate_batches(*net, lo, hi);
+        return evaluate_batches(*net, params, lo, hi);
       }));
     }
     std::exception_ptr error;
     try {
       runtime::CallerLane lane;
-      correct = evaluate_batches(*model_, 0, bound(1));
+      correct = evaluate_batches(*model_, params, 0, bound(1));
     } catch (...) {
       error = std::current_exception();
     }
@@ -145,8 +149,6 @@ double ParameterServer::evaluate() {
   return static_cast<double>(correct) / static_cast<double>(test_.size());
 }
 
-std::int64_t ParameterServer::parameter_count() const {
-  return static_cast<std::int64_t>(global_.size());
-}
+std::int64_t ParameterServer::parameter_count() const { return param_count_; }
 
 }  // namespace chiron::fl

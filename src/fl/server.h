@@ -74,6 +74,13 @@ class ParameterServer {
   /// counts are integers, so the result is identical for any thread count.
   double evaluate();
 
+  /// Accuracy of an arbitrary parameter vector on the held-out test set —
+  /// the same computation as evaluate(), but on a caller-provided snapshot
+  /// instead of the live global model. This is what lets the round
+  /// pipeline evaluate round k's frozen post-aggregate snapshot while
+  /// round k+1 already mutates the global parameters (DESIGN.md §5.14).
+  double evaluate_params(const std::vector<float>& params);
+
   /// Monotone counter bumped on every global-parameter mutation
   /// (aggregate / set_global_params). Lets callers cache evaluation
   /// results without going stale — see Federation::accuracy().
@@ -83,8 +90,10 @@ class ParameterServer {
 
  private:
   /// Correct-prediction count over test batches [first_batch, last_batch)
-  /// using `net` (which receives the current global parameters first).
-  std::int64_t evaluate_batches(nn::Sequential& net, std::int64_t first_batch,
+  /// using `net` (which receives `params` first).
+  std::int64_t evaluate_batches(nn::Sequential& net,
+                                const std::vector<float>& params,
+                                std::int64_t first_batch,
                                 std::int64_t last_batch) const;
 
   std::unique_ptr<nn::Sequential> model_;
@@ -97,6 +106,10 @@ class ParameterServer {
   std::vector<std::unique_ptr<nn::Sequential>> replicas_;  // lazily grown
   std::vector<float> global_;
   std::vector<float> momentum_;  // FedAvgM buffer (lazily sized)
+  /// Frozen at construction (the model architecture never changes), so
+  /// evaluate_params on a pipeline stage thread can check sizes without
+  /// racing a concurrent aggregate()'s move-assignment of global_.
+  std::int64_t param_count_ = 0;
   std::uint64_t version_ = 0;
 };
 

@@ -53,6 +53,7 @@ void JsonlRoundSink::write(const RoundRecord& r) {
      << ",\"round\":" << json_number(r.round)
      << ",\"aborted\":" << (r.aborted ? "true" : "false")
      << ",\"p_total\":" << json_number(r.p_total)
+     << ",\"p_posted\":" << json_number(r.p_posted)
      << ",\"payment\":" << json_number(r.payment)
      << ",\"budget_remaining\":" << json_number(r.budget_remaining)
      << ",\"round_time\":" << json_number(r.round_time)
@@ -76,7 +77,8 @@ void JsonlRoundSink::write(const RoundRecord& r) {
        << ",\"rejoined\":" << json_number(r.rejoined)
        << ",\"freeriding\":" << json_number(r.freeriding)
        << ",\"misreporting\":" << json_number(r.misreporting)
-       << ",\"clawed_back\":" << json_number(r.clawed_back);
+       << ",\"clawed_back\":" << json_number(r.clawed_back)
+       << ",\"forfeited_total\":" << json_number(r.forfeited_total);
   }
   os << ",\"node_prices\":" << json_array(r.node_prices)
      << ",\"node_zetas\":" << json_array(r.node_zetas)
@@ -97,7 +99,7 @@ void CsvRoundSink::write(const RoundRecord& r) {
   // first record holds for the whole file.
   if (!header_written_) {
     std::vector<std::string> header = {
-        "episode", "round", "aborted", "p_total", "payment",
+        "episode", "round", "aborted", "p_total", "p_posted", "payment",
         "budget_remaining", "round_time", "idle_time", "time_efficiency",
         "accuracy", "accuracy_gain", "raw_exterior_reward", "reward_exterior",
         "reward_inner", "participants", "offline", "delivered", "crashed",
@@ -105,7 +107,8 @@ void CsvRoundSink::write(const RoundRecord& r) {
     if (r.adversary) {
       header.insert(header.end(),
                     {"screened", "flagged", "departed", "rejoined",
-                     "freeriding", "misreporting", "clawed_back"});
+                     "freeriding", "misreporting", "clawed_back",
+                     "forfeited_total"});
     }
     header.insert(header.end(), {"node_prices", "node_zetas",
                                  "node_participates", "node_times",
@@ -115,7 +118,7 @@ void CsvRoundSink::write(const RoundRecord& r) {
   }
   std::vector<std::string> row = {
       json_number(r.episode), json_number(r.round), r.aborted ? "1" : "0",
-      json_number(r.p_total), json_number(r.payment),
+      json_number(r.p_total), json_number(r.p_posted), json_number(r.payment),
       json_number(r.budget_remaining), json_number(r.round_time),
       json_number(r.idle_time), json_number(r.time_efficiency),
       json_number(r.accuracy), json_number(r.accuracy_gain),
@@ -128,7 +131,8 @@ void CsvRoundSink::write(const RoundRecord& r) {
                {json_number(r.screened), json_number(r.flagged),
                 json_number(r.departed), json_number(r.rejoined),
                 json_number(r.freeriding), json_number(r.misreporting),
-                json_number(r.clawed_back)});
+                json_number(r.clawed_back),
+                json_number(r.forfeited_total)});
   }
   row.insert(row.end(), {join_list(r.node_prices), join_list(r.node_zetas),
                          join_list(r.node_participates),

@@ -30,7 +30,12 @@ struct RoundRecord {
   int episode = 0;  // env reset() count − 1: which episode this round is in
   int round = 0;    // 1-based round index within the episode
   bool aborted = false;
-  double p_total = 0.0;  // Σ posted prices — the exterior agent's action
+  /// Σ effective prices — the total the market actually ran on, after
+  /// offline/down/screened nodes had their posted price zeroed. (Earlier
+  /// versions logged the raw posted sum here while the market ran on the
+  /// screened prices; the regression is pinned in round_log_test.)
+  double p_total = 0.0;
+  double p_posted = 0.0;  // Σ raw posted prices — the exterior agent's action
   double payment = 0.0;
   double budget_remaining = 0.0;
   double round_time = 0.0;
@@ -59,7 +64,10 @@ struct RoundRecord {
   int rejoined = 0;       // back from churn with a fresh device profile
   int freeriding = 0;     // participating free-riders this round
   int misreporting = 0;   // participating cost-misreporters this round
-  double clawed_back = 0.0;  // payments zeroed by audits this round
+  double clawed_back = 0.0;  // payments forfeited to audits this round
+  /// Episode running total of audit-forfeited payments (escrow ledger):
+  /// committed at round start, removed from circulation by an audit catch.
+  double forfeited_total = 0.0;
   // Per-node detail, index-aligned with the environment's nodes. Empty
   // for aborted rounds (the round never executed).
   std::vector<double> node_prices;   // effective posted prices

@@ -1,0 +1,106 @@
+#include "runtime/pipeline.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "runtime/parallel.h"
+
+namespace chiron::runtime {
+
+RoundPipeline::RoundPipeline() : worker_([this] { worker_loop(); }) {}
+
+RoundPipeline::~RoundPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void RoundPipeline::submit(std::function<void()> task) {
+  join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = std::move(task);
+    in_flight_ = true;
+    error_ = nullptr;
+  }
+  cv_.notify_all();
+}
+
+void RoundPipeline::join() {
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!in_flight_) return;
+    cv_.wait(lock, [this] { return done_; });
+    in_flight_ = false;
+    done_ = false;
+    err = std::exchange(error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+bool RoundPipeline::busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+void RoundPipeline::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || task_; });
+      if (!task_) return;  // stopping with nothing pending
+      task = std::exchange(task_, nullptr);
+    }
+    // The task runs outside the lock, inside a caller lane so nested
+    // parallel sections degrade to the inline-serial path (same values as
+    // the unpipelined schedule, no pool contention with the main thread).
+    std::exception_ptr err = nullptr;
+    {
+      CallerLane lane;
+      try {
+        task();
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      error_ = err;
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+}
+
+namespace {
+
+bool env_pipeline_default() {
+  const char* raw = std::getenv("CHIRON_PIPELINE");
+  if (raw == nullptr) return false;
+  std::string v(raw);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  return v == "1" || v == "true" || v == "on" || v == "yes";
+}
+
+std::atomic<bool>& pipeline_flag() {
+  static std::atomic<bool> flag{env_pipeline_default()};
+  return flag;
+}
+
+}  // namespace
+
+bool pipeline_enabled() { return pipeline_flag().load(std::memory_order_relaxed); }
+
+void set_pipeline(bool enabled) {
+  pipeline_flag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace chiron::runtime

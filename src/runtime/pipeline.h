@@ -1,0 +1,72 @@
+// Double-buffered round pipeline: a one-slot stage runner that lets the
+// environment overlap round k's deferred tail (model evaluation, PPO
+// updates) with round k+1's committed work (ROADMAP item 5(a),
+// DESIGN.md §5.14).
+//
+// Determinism contract: the pipeline changes *when* a stage task runs,
+// never *what* it computes or *in which order results are consumed*.
+//   - One slot: submit() first joins the previous task, so at most one
+//     stage task is ever in flight and tasks complete in submission order.
+//   - Fixed hand-off points: callers submit at fixed points in the round
+//     loop (after settle) and join at fixed points (before the value is
+//     read); nothing is scheduled off wall-clock time.
+//   - The worker runs each task inside a CallerLane, so any parallel_for
+//     inside a stage task degrades to the inline-serial nested path — the
+//     stage thread never contends with the main thread for the pool, and
+//     the computed values match the serial schedule bit-for-bit.
+// The class itself is always asynchronous; whether a pipeline is used at
+// all is the callers' decision, gated on pipeline_enabled() below.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace chiron::runtime {
+
+class RoundPipeline {
+ public:
+  RoundPipeline();
+  /// Joins the in-flight task (if any) and stops the worker. A task
+  /// exception still pending at destruction is dropped — callers that
+  /// care must join() before destroying the pipeline.
+  ~RoundPipeline();
+
+  RoundPipeline(const RoundPipeline&) = delete;
+  RoundPipeline& operator=(const RoundPipeline&) = delete;
+
+  /// Hands `task` to the stage thread. Joins the previously submitted
+  /// task first (one-slot discipline), so tasks never overlap each other
+  /// — only the caller's subsequent work.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the in-flight task (if any) has finished. Rethrows the
+  /// exception the task threw, if any. Safe to call with nothing in
+  /// flight.
+  void join();
+
+  /// True while a submitted task has not been joined yet.
+  bool busy() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::function<void()> task_;       // pending task, empty when idle
+  std::exception_ptr error_;         // captured from the last task
+  bool in_flight_ = false;           // submitted and not yet joined
+  bool done_ = false;                // in-flight task finished running
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+/// Process-wide pipeline switch, initialised lazily from CHIRON_PIPELINE
+/// ("1"/"true"/"on" enable) and overridable via --pipeline in the
+/// harnesses. Off by default.
+bool pipeline_enabled();
+void set_pipeline(bool enabled);
+
+}  // namespace chiron::runtime

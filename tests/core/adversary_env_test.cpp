@@ -128,7 +128,14 @@ TEST(AdversaryEnv, AuditsClawBackCaughtMisreporters) {
   }
   EXPECT_NEAR(r.payment, per_node, 1e-9);
   EXPECT_EQ(paid_nodes, r.delivered - r.flagged);
-  EXPECT_NEAR(env.budget_remaining(), before - r.payment, 1e-9);
+  // Escrow accounting (DESIGN.md §5.11): the clawed-back escrow is
+  // forfeited, not refilled — the budget drains by the realized payment
+  // PLUS the clawbacks, which land in the non-spendable forfeited ledger.
+  EXPECT_NEAR(env.budget_remaining(), before - r.payment - r.clawed_back,
+              1e-9);
+  EXPECT_NEAR(env.forfeited_total(), r.clawed_back, 1e-9);
+  EXPECT_NEAR(r.forfeited_total, r.clawed_back, 1e-9);
+  EXPECT_EQ(env.escrow_outstanding(), 0.0) << "escrow settles every round";
 }
 
 TEST(AdversaryEnv, FreeRidersAddNothingAndAuditsCatchThemAll) {
@@ -152,6 +159,7 @@ TEST(AdversaryEnv, FreeRidersAddNothingAndAuditsCatchThemAll) {
   EdgeLearnEnv env(c);
   env.reset();
   const double budget0 = env.budget_remaining();
+  double clawed = 0.0;
   for (int k = 0; k < 5; ++k) {
     StepResult r = env.step(saturation_prices(env, 0.6));
     EXPECT_GT(r.participants, 0);
@@ -160,8 +168,15 @@ TEST(AdversaryEnv, FreeRidersAddNothingAndAuditsCatchThemAll) {
     EXPECT_EQ(r.accuracy_gain, 0.0) << "FedAvg of N global copies is global";
     EXPECT_EQ(r.flagged, r.delivered) << "audited free-rides always caught";
     EXPECT_EQ(r.payment, 0.0);
+    clawed += r.clawed_back;
   }
-  EXPECT_EQ(env.budget_remaining(), budget0);
+  // Every flagged delivery's escrow is forfeited, so the budget drains by
+  // the clawbacks even though no payment is ever realized; conservation
+  // holds against the forfeited ledger (DESIGN.md §5.11).
+  EXPECT_GT(clawed, 0.0);
+  EXPECT_NEAR(env.budget_remaining(), budget0 - clawed, 1e-6);
+  EXPECT_NEAR(env.forfeited_total(), clawed, 1e-6);
+  EXPECT_NEAR(env.budget_remaining() + env.forfeited_total(), budget0, 1e-6);
 }
 
 TEST(AdversaryEnv, ReservePriceScreensReportedFloors) {
@@ -315,6 +330,7 @@ TEST(AdversaryEnv, RoundLogEmitsAdversaryFieldsOnlyWhenActive) {
   const std::string plain = log_for(base_config());
   EXPECT_EQ(plain.find("\"screened\""), std::string::npos);
   EXPECT_EQ(plain.find("\"clawed_back\""), std::string::npos);
+  EXPECT_EQ(plain.find("\"forfeited_total\""), std::string::npos);
   EnvConfig c = base_config();
   c.adversary.fraction = 0.5;
   c.adversary.misreport_factor = 1.5;
@@ -322,6 +338,7 @@ TEST(AdversaryEnv, RoundLogEmitsAdversaryFieldsOnlyWhenActive) {
   const std::string adv = log_for(c);
   EXPECT_NE(adv.find("\"screened\""), std::string::npos);
   EXPECT_NE(adv.find("\"clawed_back\""), std::string::npos);
+  EXPECT_NE(adv.find("\"forfeited_total\""), std::string::npos);
 }
 
 TEST(AdversaryEnv, BudgetAccountingHoldsUnderCombinedFaultAdversarySweep) {
@@ -353,11 +370,13 @@ TEST(AdversaryEnv, BudgetAccountingHoldsUnderCombinedFaultAdversarySweep) {
         EdgeLearnEnv env(c);
         env.reset();
         double spent = 0.0;
+        double forfeited = 0.0;
         while (!env.done()) {
           const double before = env.budget_remaining();
           StepResult r = env.step(saturation_prices(env, 0.5));
           if (r.aborted) break;
           spent += r.payment;
+          forfeited += r.clawed_back;
           EXPECT_EQ(r.delivered + r.crashed + r.late + r.rejected,
                     r.participants);
           double per_node = 0.0;
@@ -371,10 +390,15 @@ TEST(AdversaryEnv, BudgetAccountingHoldsUnderCombinedFaultAdversarySweep) {
           EXPECT_EQ(paid_nodes, r.delivered - r.flagged)
               << "adversarial=" << adversarial << " rate " << rate << " seed "
               << seed;
-          EXPECT_NEAR(env.budget_remaining(), before - r.payment, 1e-9);
+          // Escrow accounting: clawbacks leave the spendable budget and
+          // accumulate in the forfeited ledger instead of refilling it.
+          EXPECT_NEAR(env.budget_remaining(),
+                      before - r.payment - r.clawed_back, 1e-9);
+          EXPECT_NEAR(env.forfeited_total(), forfeited, 1e-9);
           EXPECT_GE(env.budget_remaining(), -1e-9);
+          EXPECT_EQ(env.escrow_outstanding(), 0.0);
         }
-        EXPECT_LE(spent, c.budget + 1e-9)
+        EXPECT_LE(spent + env.forfeited_total(), c.budget + 1e-9)
             << "adversarial=" << adversarial << " rate " << rate << " seed "
             << seed;
       }

@@ -19,7 +19,8 @@ const std::vector<std::string>& required_keys() {
   static const std::vector<std::string> keys = {
       "episode",        "round",
       "aborted",        "p_total",
-      "payment",        "budget_remaining",
+      "p_posted",       "payment",
+      "budget_remaining",
       "round_time",     "idle_time",
       "time_efficiency", "accuracy",
       "accuracy_gain",  "raw_exterior_reward",
@@ -53,6 +54,7 @@ RoundRecord sample_record() {
   r.episode = 2;
   r.round = 7;
   r.p_total = 12.5;
+  r.p_posted = 14.0;
   r.payment = 3.25;
   r.budget_remaining = 40.0;
   r.accuracy = 0.75;
@@ -81,6 +83,10 @@ TEST(JsonlRoundSink, WritesOneValidRecordPerLine) {
   EXPECT_EQ(n, 2);
   EXPECT_NE(os.str().find("\"node_prices\":[1.5,2]"), std::string::npos);
   EXPECT_NE(os.str().find("\"aborted\":false"), std::string::npos);
+  // p_total is the effective (post-screening) sum, p_posted the raw posted
+  // sum — the regression fixed by DESIGN.md §5.11 keeps them distinct.
+  EXPECT_NE(os.str().find("\"p_total\":12.5,\"p_posted\":14,"),
+            std::string::npos);
 }
 
 TEST(CsvRoundSink, QuotesListCellsAndWritesHeaderOnce) {
@@ -93,6 +99,8 @@ TEST(CsvRoundSink, QuotesListCellsAndWritesHeaderOnce) {
   ASSERT_TRUE(std::getline(lines, header));
   ASSERT_TRUE(std::getline(lines, row));
   EXPECT_EQ(header.rfind("episode,round,aborted,", 0), 0u) << header;
+  EXPECT_NE(header.find(",p_total,p_posted,payment,"), std::string::npos)
+      << header;
   // The two-node price list must survive as one RFC-4180 quoted cell.
   EXPECT_NE(row.find("\"1.5,2\""), std::string::npos) << row;
   std::string second_row;

@@ -1,0 +1,126 @@
+#include "runtime/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "runtime/runtime.h"
+
+namespace chiron::runtime {
+namespace {
+
+TEST(RoundPipeline, JoinWithNothingInFlightIsANoOp) {
+  RoundPipeline p;
+  EXPECT_FALSE(p.busy());
+  p.join();
+  p.join();
+  EXPECT_FALSE(p.busy());
+}
+
+TEST(RoundPipeline, SubmitRunsTaskOnStageThreadAndJoinWaitsForIt) {
+  RoundPipeline p;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> value{0};
+  p.submit([gate, &value] {
+    gate.wait();
+    value.store(42, std::memory_order_release);
+  });
+  EXPECT_TRUE(p.busy());
+  EXPECT_EQ(value.load(std::memory_order_acquire), 0);
+  release.set_value();
+  p.join();
+  EXPECT_FALSE(p.busy());
+  EXPECT_EQ(value.load(std::memory_order_acquire), 42);
+}
+
+TEST(RoundPipeline, OneSlotDisciplineSerialisesTasksInSubmissionOrder) {
+  RoundPipeline p;
+  // No mutex around `order`: the one-slot contract (submit joins the
+  // previous task first) is itself the synchronisation under test —
+  // TSan-clean execution here is part of the assertion.
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    p.submit([i, &order] { order.push_back(i); });
+  }
+  p.join();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RoundPipeline, JoinRethrowsTheTaskExceptionAndPipelineStaysUsable) {
+  RoundPipeline p;
+  p.submit([] { throw std::runtime_error("stage failed"); });
+  EXPECT_THROW(p.join(), std::runtime_error);
+  // The error is consumed by the rethrow; the pipeline accepts new work.
+  std::atomic<bool> ran{false};
+  p.submit([&ran] { ran.store(true, std::memory_order_release); });
+  p.join();
+  EXPECT_TRUE(ran.load(std::memory_order_acquire));
+}
+
+TEST(RoundPipeline, SubmitRethrowsPendingErrorBeforeAcceptingNewTask) {
+  RoundPipeline p;
+  p.submit([] { throw std::runtime_error("stage failed"); });
+  std::atomic<bool> ran{false};
+  // submit() joins the previous task first, so the pending exception
+  // surfaces here rather than being silently dropped.
+  EXPECT_THROW(p.submit([&ran] { ran.store(true); }), std::runtime_error);
+  p.join();
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(RoundPipeline, DestructorJoinsInFlightTaskWithoutRethrow) {
+  std::atomic<bool> ran{false};
+  {
+    RoundPipeline p;
+    p.submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      ran.store(true, std::memory_order_release);
+    });
+    // Destroyed with the task potentially still running: the dtor joins.
+  }
+  EXPECT_TRUE(ran.load(std::memory_order_acquire));
+  {
+    RoundPipeline p;
+    p.submit([] { throw std::runtime_error("dropped at destruction"); });
+    // A pending exception at destruction is dropped, not rethrown.
+  }
+}
+
+TEST(RoundPipeline, StageTaskRunsNestedParallelForInline) {
+  // The worker wraps tasks in a CallerLane, so a parallel_for inside a
+  // stage task must take the inline-serial nested path and compute the
+  // exact serial result even while the pool is sized for parallelism.
+  set_threads(4);
+  RoundPipeline p;
+  std::vector<std::int64_t> out(64, 0);
+  bool nested = false;
+  p.submit([&out, &nested] {
+    nested = in_parallel_section();
+    parallel_for(0, 64, [&out](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) out[i] = i * i;
+    });
+  });
+  p.join();
+  set_threads(0);
+  EXPECT_TRUE(nested) << "stage thread must register as a caller lane";
+  for (std::int64_t i = 0; i < 64; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(PipelineFlag, SetPipelineOverridesAndRestores) {
+  const bool before = pipeline_enabled();
+  set_pipeline(true);
+  EXPECT_TRUE(pipeline_enabled());
+  set_pipeline(false);
+  EXPECT_FALSE(pipeline_enabled());
+  set_pipeline(before);
+}
+
+}  // namespace
+}  // namespace chiron::runtime

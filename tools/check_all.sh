@@ -26,7 +26,11 @@
 #                             and 10k-node thread-count byte-identity of
 #                             the economics plane, plus ASan on the plane
 #                             and shard-tree suites (DESIGN.md §5.12)
-#  12. benchmarks           — regenerates BENCH_substrate.json, so a perf
+#  12. pipeline            — round-pipeline determinism: fig3 byte-diff
+#                             with --pipeline off vs on at --threads 1
+#                             and 8, plus the pipelined run and suites
+#                             under TSan (DESIGN.md §5.14)
+#  13. benchmarks           — regenerates BENCH_substrate.json, so a perf
 #                             regression (or a silently missing benchmark
 #                             binary) fails the check instead of dropping
 #                             out of the trajectory
@@ -80,18 +84,19 @@ build_and_ctest() {
   ctest --test-dir build --output-on-failure -j"$(nproc)"
 }
 
-stage "1/12: chiron-lint (layering/locking/allocation contract)" tools/check_lint.sh
-stage "2/12: header self-containment" tools/check_headers.sh
-stage "3/12: build -Werror + full ctest" build_and_ctest
-stage "4/12: UndefinedBehaviorSanitizer" tools/check_ubsan.sh
-stage "5/12: ThreadSanitizer" tools/check_tsan.sh
-stage "6/12: AddressSanitizer" tools/check_asan.sh
-stage "7/12: clang-tidy" tools/check_tidy.sh
-stage "8/12: observability determinism (threads 1 vs 8 diff)" tools/check_obs.sh
-stage "9/12: serving determinism (serial vs parallel diff)" tools/check_serve.sh
-stage "10/12: adversary contract (zero-knob + thread diff + ASan)" tools/check_adversary.sh
-stage "11/12: scale contract (zero-knob + 10k thread diff + ASan)" tools/check_scale.sh
-stage "12/12: substrate benchmarks -> BENCH_substrate.json" tools/bench_substrate.sh
+stage "1/13: chiron-lint (layering/locking/allocation contract)" tools/check_lint.sh
+stage "2/13: header self-containment" tools/check_headers.sh
+stage "3/13: build -Werror + full ctest" build_and_ctest
+stage "4/13: UndefinedBehaviorSanitizer" tools/check_ubsan.sh
+stage "5/13: ThreadSanitizer" tools/check_tsan.sh
+stage "6/13: AddressSanitizer" tools/check_asan.sh
+stage "7/13: clang-tidy" tools/check_tidy.sh
+stage "8/13: observability determinism (threads 1 vs 8 diff)" tools/check_obs.sh
+stage "9/13: serving determinism (serial vs parallel diff)" tools/check_serve.sh
+stage "10/13: adversary contract (zero-knob + thread diff + ASan)" tools/check_adversary.sh
+stage "11/13: scale contract (zero-knob + 10k thread diff + ASan)" tools/check_scale.sh
+stage "12/13: pipeline determinism (off vs on diff + TSan)" tools/check_pipeline.sh
+stage "13/13: substrate benchmarks -> BENCH_substrate.json" tools/bench_substrate.sh
 
 print_summary
 echo

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Round-pipeline determinism check (DESIGN.md §5.14).
+#
+# The double-buffered round pipeline overlaps round k-1's deferred
+# evaluation and the batch PPO update with round k's training. Its
+# contract is byte-for-byte identity: --pipeline must change wall-clock
+# only, never a result bit, at any thread count. This script is the
+# end-to-end form of the contract the unit tests pin
+# (PipelineEnv.*ByteIdentical*, PipelineMechanism.*):
+#
+#   1. fig3 convergence with the pipeline OFF vs ON, at --threads 1 and
+#      8: round logs and stdout must be byte-identical in all four runs.
+#   2. The pipelined fig3 run repeated under ThreadSanitizer, plus the
+#      pipeline unit/env suites — the stage-thread hand-off must be
+#      TSan-clean, not just deterministic by luck.
+#
+# Note: 12 episodes, not fewer — fig3's late-window summary needs at
+# least 10 episodes per approach.
+#
+# Usage: tools/check_pipeline.sh [build-dir] [tsan-build-dir]
+#        (defaults: build, build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+# shellcheck source=tools/sanitize_common.sh
+source tools/sanitize_common.sh
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${2:-build-tsan}"
+BIN="$BUILD_DIR/bench/fig3_convergence"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DCHIRON_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target fig3_convergence
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+run() {
+  local mode="$1" threads="$2"
+  local pipeline_flag=()
+  [ "$mode" = "on" ] && pipeline_flag=(--pipeline)
+  "$BIN" --episodes 12 --threads "$threads" "${pipeline_flag[@]}" \
+    --round-log "$TMP/rounds_${mode}_t$threads.jsonl" \
+    > "$TMP/stdout_${mode}_t$threads.txt"
+}
+
+for t in 1 8; do
+  run off "$t"
+  run on "$t"
+  diff -u "$TMP/rounds_off_t$t.jsonl" "$TMP/rounds_on_t$t.jsonl" \
+    || { echo "check_pipeline: FAIL (round log differs pipeline off vs on at --threads $t)"; exit 1; }
+  diff -u "$TMP/stdout_off_t$t.txt" "$TMP/stdout_on_t$t.txt" \
+    || { echo "check_pipeline: FAIL (stdout differs pipeline off vs on at --threads $t)"; exit 1; }
+done
+diff -u "$TMP/rounds_on_t1.jsonl" "$TMP/rounds_on_t8.jsonl" \
+  || { echo "check_pipeline: FAIL (pipelined round log differs between --threads 1 and 8)"; exit 1; }
+
+# The same pipelined run under ThreadSanitizer: the overlap must be
+# clean, not merely deterministic. CHIRON_PIPELINE exercises the env
+# default-on path on top of the --pipeline flag path above.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+chiron_sanitizer_configure thread "$TSAN_DIR"
+cmake --build "$TSAN_DIR" -j"$(nproc)" \
+  --target fig3_convergence test_runtime test_core
+CHIRON_PIPELINE=1 "$TSAN_DIR/bench/fig3_convergence" --episodes 12 \
+  --threads 8 --round-log "$TMP/rounds_tsan.jsonl" > /dev/null
+"$TSAN_DIR/tests/test_runtime" --gtest_filter='RoundPipeline.*:PipelineFlag.*'
+CHIRON_THREADS=8 "$TSAN_DIR/tests/test_core" \
+  --gtest_filter='PipelineEnv.*:PipelineMechanism.*'
+
+echo "check_pipeline: OK (pipeline on ≡ off byte-for-byte at --threads 1 and 8; TSan-clean)"

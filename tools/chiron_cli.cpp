@@ -39,6 +39,7 @@
 #include "obs/metrics.h"
 #include "obs/round_log.h"
 #include "obs/span.h"
+#include "runtime/pipeline.h"
 #include "runtime/runtime.h"
 #include "sysmodel/economics.h"
 
@@ -316,6 +317,9 @@ void usage() {
       "  common flags: --nodes N --budget B --task mnist|fashion|cifar\n"
       "                --episodes E --seed S --availability P --real\n"
       "                --threads T (0 = all hardware threads)\n"
+      "                --pipeline (double-buffered round pipeline; same\n"
+      "                 results byte-for-byte, faster rounds — or set\n"
+      "                 CHIRON_PIPELINE=1)\n"
       "  faults: --fault-crash P --fault-straggler P\n"
       "          --fault-straggler-factor F (max slowdown, default 4)\n"
       "          --fault-corrupt P --fault-persistent P --deadline SECONDS\n"
@@ -341,6 +345,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     runtime::set_threads(threads_flag(flags));
+    if (flags.has("pipeline")) runtime::set_pipeline(true);
     ObsScope scope(flags);
     const std::string& cmd = flags.positional().front();
     if (cmd == "market") return cmd_market(flags);

@@ -192,7 +192,7 @@ const Config& default_config() {
         {"fl", 4},      {"rl", 4},       {"adversary", 4}, {"core", 5},
         {"baselines", 6}, {"serve", 6},  {"lint", 7},
     };
-    cfg.lock_modules = {"serve"};
+    cfg.lock_modules = {"serve", "runtime"};
     cfg.lock_hierarchy = {"mu_"};
     cfg.lock_forbidden = {"price_batch", "adopt",      "mean_batch",
                           "value_batch", "matmul",     "matmul_bt",
